@@ -1,0 +1,62 @@
+//! Criterion: simulated block-layer submission cost across stack
+//! configurations and backends.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use requiem_block::{BackendOp, Disk, DiskConfig, IoStack, NullDevice, StackConfig};
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_ssd::{Ssd, SsdConfig};
+
+fn bench_stack_submit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocklayer/submit");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("null_device", |b| {
+        let mut stack = IoStack::new(
+            StackConfig::blk_mq(1),
+            NullDevice {
+                latency: SimDuration::from_micros(5),
+                pages: 1 << 20,
+            },
+        );
+        let mut t = SimTime::ZERO;
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 1) % (1 << 20);
+            let done = stack.submit(t, 0, BackendOp::Write, lba);
+            t = done.done;
+            done.latency
+        });
+    });
+    g.bench_function("ssd_backend", |b| {
+        let mut stack = IoStack::new(StackConfig::blk_mq(1), Ssd::new(SsdConfig::modern()));
+        let mut t = SimTime::ZERO;
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 1) % 2048;
+            let done = stack.submit(t, 0, BackendOp::Write, lba);
+            t = done.done;
+            done.latency
+        });
+    });
+    g.bench_function("disk_backend", |b| {
+        let mut stack = IoStack::new(StackConfig::legacy(1), Disk::new(DiskConfig::hdd_7200()));
+        let mut t = SimTime::ZERO;
+        let mut lba = 7u64;
+        b.iter(|| {
+            lba = lba.wrapping_mul(999983) % (1 << 20);
+            let done = stack.submit(t, 0, BackendOp::Read, lba);
+            t = done.done;
+            done.latency
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_stack_submit
+}
+criterion_main!(benches);

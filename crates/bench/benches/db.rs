@@ -1,0 +1,102 @@
+//! Criterion: simulated transaction execution rate of the storage engine
+//! on the legacy and vision backends.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use requiem_db::backend::{LegacyBackend, VisionBackend};
+use requiem_db::engine::{Database, DbConfig};
+use requiem_ssd::SsdConfig;
+use requiem_workload::oltp::{OltpConfig, OltpGen};
+
+fn db_cfg() -> DbConfig {
+    DbConfig {
+        buffer_frames: 256,
+        data_pages: 1024,
+        slots_per_page: 16,
+        record_size: 100,
+        checkpoint_every: 0,
+        group_commit: 1,
+    }
+}
+
+fn bench_txn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("db/txn_execute");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("legacy_backend", |b| {
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let be = LegacyBackend::new(ssd_cfg, 1024, 256);
+        let mut db = Database::new(db_cfg(), be);
+        db.load();
+        let mut gen = OltpGen::new(OltpConfig::default(), 1);
+        b.iter(|| {
+            let txn = gen.next_txn();
+            let acc: Vec<(u64, u16, bool)> =
+                txn.accesses.iter().map(|a| (a.page, 0, a.dirty)).collect();
+            db.execute(&acc, txn.log_bytes)
+        });
+    });
+    g.bench_function("vision_backend", |b| {
+        let mut flash_cfg = SsdConfig::modern();
+        flash_cfg.buffer.capacity_pages = 0;
+        let be = VisionBackend::new(flash_cfg, 1024, 1 << 22);
+        let mut db = Database::new(db_cfg(), be);
+        db.load();
+        let mut gen = OltpGen::new(OltpConfig::default(), 1);
+        b.iter(|| {
+            let txn = gen.next_txn();
+            let acc: Vec<(u64, u16, bool)> =
+                txn.accesses.iter().map(|a| (a.page, 0, a.dirty)).collect();
+            db.execute(&acc, txn.log_bytes)
+        });
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use requiem_db::btree::BTree;
+    use requiem_db::page::{PageId, Rid};
+    let mut g = c.benchmark_group("db/btree");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("insert", |b| {
+        let mut t = BTree::new(PageId(0));
+        let mut k = 1u64;
+        b.iter(|| {
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.insert(
+                k,
+                Rid {
+                    page: PageId(k % 1024),
+                    slot: 0,
+                },
+            )
+        });
+    });
+    g.bench_function("get_100k", |b| {
+        let mut t = BTree::new(PageId(0));
+        for k in 0..100_000u64 {
+            t.insert(
+                k,
+                Rid {
+                    page: PageId(k % 1024),
+                    slot: 0,
+                },
+            );
+        }
+        let mut k = 1u64;
+        b.iter(|| {
+            k = k.wrapping_mul(48271) % 100_000;
+            t.get(k)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_txn, bench_btree
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! **E1 — Figure 1**: four parallel reads are channel-bound; four parallel
+//! writes are chip-bound.
+//!
+//! Reconstructs the paper's Figure 1: four chips (1 LUN each) on one
+//! shared channel. Four reads issued together serialize on the channel's
+//! data-out transfers; four writes overlap their (long) programs after
+//! short data-in transfers. The ASCII Gantt charts below are the figure;
+//! the utilization table quantifies "channel-bound" vs "chip-bound", and a
+//! sustained run shows the resulting bandwidth ceilings.
+
+use requiem_bench::{note, section};
+use requiem_sim::table::Align;
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::Table;
+use requiem_ssd::{ArrayShape, BufferConfig, ChannelTiming, Lpn, Placement, Ssd, SsdConfig};
+use requiem_workload::driver::{run_closed_loop, IoMix};
+use requiem_workload::pattern::{AddressPattern, Pattern};
+
+fn figure1_device() -> SsdConfig {
+    SsdConfig {
+        shape: ArrayShape {
+            channels: 1,
+            chips_per_channel: 4,
+            luns_per_chip: 1,
+        },
+        // ONFI-2-class bus: a page transfer (~100 µs) is comparable to a
+        // page read (50 µs) — the regime the paper's figure depicts
+        channel: ChannelTiming::onfi2(),
+        placement: Placement::RoundRobin,
+        buffer: BufferConfig { capacity_pages: 0 },
+        ..SsdConfig::modern()
+    }
+}
+
+/// Utilization of channel / mean chips over a window, from busy deltas.
+fn window_utils(
+    ssd: &Ssd,
+    chan_before: &[SimDuration],
+    lun_before: &[SimDuration],
+    window: SimDuration,
+) -> (f64, f64) {
+    let chan_after = ssd.channel_busy_time();
+    let lun_after = ssd.lun_busy_time();
+    let chan: f64 = chan_after
+        .iter()
+        .zip(chan_before)
+        .map(|(a, b)| a.saturating_sub(*b).as_nanos() as f64)
+        .sum::<f64>()
+        / chan_after.len() as f64
+        / window.as_nanos() as f64;
+    let chips: f64 = lun_after
+        .iter()
+        .zip(lun_before)
+        .map(|(a, b)| a.saturating_sub(*b).as_nanos() as f64)
+        .sum::<f64>()
+        / lun_after.len() as f64
+        / window.as_nanos() as f64;
+    (chan, chips)
+}
+
+fn main() {
+    println!("# E1 — Figure 1: channel-bound reads vs chip-bound writes");
+    note("4 chips (1 LUN each) share one channel. Glyphs: R=page read, P=page program, E=erase (chip lanes); t=data transfer (channel lane).");
+
+    // ---- four parallel writes (chip-bound) ----
+    section("Four parallel writes");
+    let mut ssd = Ssd::new(figure1_device());
+    ssd.enable_trace();
+    for lpn in 0..4u64 {
+        ssd.write(SimTime::ZERO, Lpn(lpn)).expect("write");
+    }
+    let wr_makespan = ssd.drain_time();
+    let wr_trace = ssd.take_trace().expect("trace");
+    println!("```text\n{}```", wr_trace.render(100));
+    let wr_chan = ssd.channel_utilization(wr_makespan)[0];
+    let wr_chips = ssd.lun_utilization(wr_makespan);
+    let wr_chip_mean = wr_chips.iter().sum::<f64>() / wr_chips.len() as f64;
+
+    // ---- four parallel reads (channel-bound) ----
+    section("Four parallel reads");
+    let mut ssd = Ssd::new(figure1_device());
+    // place one page on each chip, quiesce, then read them back together
+    let mut t = SimTime::ZERO;
+    for lpn in 0..4u64 {
+        t = ssd.write(t, Lpn(lpn)).expect("precondition").done;
+    }
+    let t0 = ssd.drain_time();
+    let chan_b = ssd.channel_busy_time();
+    let lun_b = ssd.lun_busy_time();
+    ssd.enable_trace();
+    for lpn in 0..4u64 {
+        ssd.read(t0, Lpn(lpn)).expect("read");
+    }
+    let rd_makespan = ssd.drain_time();
+    let mut rd_trace = ssd.take_trace().expect("trace");
+    rd_trace.rebase(t0);
+    println!("```text\n{}```", rd_trace.render(100));
+    let window = rd_makespan.since(t0);
+    let (rd_chan, rd_chip_mean) = window_utils(&ssd, &chan_b, &lun_b, window);
+
+    section("Utilization (burst of four)");
+    let mut tbl = Table::new([
+        "pattern",
+        "makespan",
+        "channel util",
+        "mean chip util",
+        "bound by",
+    ])
+    .align(0, Align::Left)
+    .align(4, Align::Left);
+    tbl.row([
+        "4 parallel reads".to_string(),
+        format!("{window}"),
+        format!("{:.0}%", rd_chan * 100.0),
+        format!("{:.0}%", rd_chip_mean * 100.0),
+        if rd_chan > rd_chip_mean {
+            "channel"
+        } else {
+            "chips"
+        }
+        .to_string(),
+    ]);
+    tbl.row([
+        "4 parallel writes".to_string(),
+        format!("{wr_makespan}"),
+        format!("{:.0}%", wr_chan * 100.0),
+        format!("{:.0}%", wr_chip_mean * 100.0),
+        if wr_chan > wr_chip_mean {
+            "channel"
+        } else {
+            "chips"
+        }
+        .to_string(),
+    ]);
+    println!("{tbl}");
+
+    // ---- sustained: the bandwidth ceilings the bounds imply ----
+    section("Sustained throughput (queue depth 16, 512 ops)");
+    let mut tbl = Table::new(["workload", "IOPS", "MB/s", "channel util", "mean chip util"])
+        .align(0, Align::Left);
+    // reads
+    let mut ssd = Ssd::new(figure1_device());
+    let mut t = SimTime::ZERO;
+    for lpn in 0..512u64 {
+        t = ssd.write(t, Lpn(lpn)).expect("precondition").done;
+    }
+    let t0 = ssd.drain_time();
+    let chan_b = ssd.channel_busy_time();
+    let lun_b = ssd.lun_busy_time();
+    let mut pat = AddressPattern::new(Pattern::Sequential, 512, 1);
+    let r = run_closed_loop(&mut ssd, &mut pat, IoMix::read_only(), 16, 512, 1, t0);
+    let window = ssd.drain_time().since(t0);
+    let (cu, lu) = window_utils(&ssd, &chan_b, &lun_b, window);
+    tbl.row([
+        "reads".to_string(),
+        format!("{:.0}", r.iops),
+        format!("{:.1}", r.mb_per_s),
+        format!("{:.0}%", cu * 100.0),
+        format!("{:.0}%", lu * 100.0),
+    ]);
+    // writes
+    let mut ssd = Ssd::new(figure1_device());
+    let chan_b = ssd.channel_busy_time();
+    let lun_b = ssd.lun_busy_time();
+    let mut pat = AddressPattern::new(Pattern::Sequential, 2048, 2);
+    let r = run_closed_loop(
+        &mut ssd,
+        &mut pat,
+        IoMix::write_only(),
+        16,
+        512,
+        2,
+        SimTime::ZERO,
+    );
+    let window = ssd.drain_time().since(SimTime::ZERO);
+    let (cu, lu) = window_utils(&ssd, &chan_b, &lun_b, window);
+    tbl.row([
+        "writes".to_string(),
+        format!("{:.0}", r.iops),
+        format!("{:.1}", r.mb_per_s),
+        format!("{:.0}%", cu * 100.0),
+        format!("{:.0}%", lu * 100.0),
+    ]);
+    println!("{tbl}");
+    note("Expected shape (paper, Figure 1): reads saturate the shared channel while chips idle; writes saturate the chips while the channel idles.");
+}

@@ -1,0 +1,144 @@
+//! **E5 — TRIM**: the first crack in the block interface.
+//!
+//! §3: the TRIM command was added *"to communicate to a SSD that a range
+//! of logical addresses [is] no longer used and could thus be un-mapped by
+//! the FTL"* — the memory abstraction amended with a hint because the FTL
+//! otherwise copies dead data forever. This experiment runs a file-churn
+//! workload (create + delete) with and without TRIM and measures what the
+//! hint buys the garbage collector.
+
+use requiem_bench::{measure, modern_unbuffered, note, precondition, section};
+use requiem_sim::table::Align;
+use requiem_sim::Table;
+use requiem_ssd::{Lpn, Ssd};
+use requiem_workload::driver::IoMix;
+use requiem_workload::pattern::Pattern;
+
+/// Fill the device with "files", delete a third of them (with or without
+/// TRIM), then randomly overwrite the surviving files for two drive-fills.
+/// Without TRIM, the deleted files' pages remain "valid" to the FTL: they
+/// shrink its effective spare area and get copied by every GC pass.
+fn churn(use_trim: bool) -> (f64, f64, u64, f64) {
+    let mut cfg = modern_unbuffered();
+    cfg.shape.channels = 2;
+    cfg.shape.chips_per_channel = 2;
+    let mut ssd = Ssd::new(cfg);
+    let pages = ssd.capacity().exported_pages;
+    let file_pages = 64u64;
+    let files = pages / file_pages; // fill the whole LBA space with files
+    let mut t = precondition(&mut ssd, pages);
+
+    // delete every 3rd file; these LBAs are never used again — the host
+    // knows they are dead, the FTL only learns it via TRIM
+    for f in 0..files {
+        if f % 3 != 0 {
+            continue;
+        }
+        let base = f * file_pages;
+        if use_trim {
+            for p in 0..file_pages {
+                let c = ssd.trim(t, Lpn(base + p)).expect("trim");
+                t = c.done;
+            }
+        }
+    }
+    // now churn the *surviving* files: random overwrites, 2 drive-fills
+    let survivors: Vec<u64> = (0..files)
+        .filter(|f| f % 3 != 0)
+        .flat_map(|f| (0..file_pages).map(move |p| f * file_pages + p))
+        .collect();
+    let before = ssd.metrics().flash_programs.total();
+    let before_host = ssd.metrics().host_writes;
+    let before_moved = ssd.metrics().gc_pages_moved;
+    let before_runs = ssd.metrics().gc_runs;
+    let t0 = t;
+    let mut x = 42u64;
+    for _ in 0..2 * pages {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let lpn = survivors[(x % survivors.len() as u64) as usize];
+        let c = ssd.write(t, Lpn(lpn)).expect("write");
+        t = c.done;
+    }
+    let m = ssd.metrics();
+    let wa = (m.flash_programs.total() - before) as f64 / (m.host_writes - before_host) as f64;
+    let makespan = t.since(t0);
+    let mbs =
+        (m.host_writes - before_host) as f64 * 4096.0 / (1024.0 * 1024.0) / makespan.as_secs_f64();
+    (
+        wa,
+        mbs,
+        m.gc_pages_moved - before_moved,
+        (m.gc_runs - before_runs) as f64,
+    )
+}
+
+fn main() {
+    println!("# E5 — TRIM: telling the FTL what is dead");
+    section("File churn: fill device, delete 1/3 of files, then randomly overwrite the survivors for 2 drive-fills");
+    let mut tbl = Table::new([
+        "mode",
+        "churn-phase WA",
+        "GC pages moved",
+        "GC runs",
+        "effective MB/s",
+    ])
+    .align(0, Align::Left);
+    for (label, use_trim) in [("without TRIM", false), ("with TRIM", true)] {
+        let (wa, mbs, moved, runs) = churn(use_trim);
+        tbl.row([
+            label.to_string(),
+            format!("{wa:.2}"),
+            format!("{moved}"),
+            format!("{runs:.0}"),
+            format!("{mbs:.1}"),
+        ]);
+    }
+    println!("{tbl}");
+    note("Expected shape: without TRIM the collector relocates pages whose files were deleted long ago; with TRIM those pages are already invalid, cutting GC copies and write amplification.");
+
+    section("Interaction with steady-state overwrite (no deletes): TRIM is no help");
+    let mut tbl = Table::new(["mode", "write amplification"]).align(0, Align::Left);
+    for use_trim in [false, true] {
+        let mut cfg = modern_unbuffered();
+        cfg.shape.channels = 2;
+        cfg.shape.chips_per_channel = 2;
+        let mut ssd = Ssd::new(cfg);
+        let pages = ssd.capacity().exported_pages;
+        let t = precondition(&mut ssd, pages);
+        // pure overwrites never have dead-but-unmapped pages, so trimming
+        // immediately before each write is a wash
+        if use_trim {
+            let mut t2 = t;
+            for lpn in 0..pages / 2 {
+                let c = ssd.trim(t2, Lpn(lpn)).expect("trim");
+                t2 = c.done;
+                let c = ssd.write(t2, Lpn(lpn)).expect("write");
+                t2 = c.done;
+            }
+        } else {
+            let _ = measure(
+                &mut ssd,
+                Pattern::Sequential,
+                pages / 2,
+                IoMix::write_only(),
+                1,
+                pages / 2,
+                9,
+                t,
+            );
+        }
+        tbl.row([
+            if use_trim {
+                "trim-then-write"
+            } else {
+                "plain overwrite"
+            }
+            .to_string(),
+            format!("{:.2}", ssd.metrics().write_amplification()),
+        ]);
+    }
+    println!("{tbl}");
+    note("TRIM helps exactly when the host knows something the FTL cannot infer — dead data. It is a communication channel, which is the paper's point.");
+}

@@ -1,0 +1,237 @@
+//! **E7 — Principle P1**: separate synchronous from asynchronous
+//! persistence.
+//!
+//! The same storage manager (buffer pool, WAL, checkpoints) runs on two
+//! backends: **legacy** (everything through one flash SSD's block
+//! interface) and **vision** (log forces and buffer steals to a PCM DIMM
+//! on the memory bus; data traffic to flash with atomic batches and TRIM).
+//! The workload is a TPC-B-flavoured OLTP mix.
+
+use requiem_bench::{note, section};
+use requiem_db::backend::{LegacyBackend, PersistenceBackend, VisionBackend};
+use requiem_db::engine::{Database, DbConfig};
+use requiem_sim::table::Align;
+use requiem_sim::time::SimDuration;
+use requiem_sim::Table;
+use requiem_ssd::SsdConfig;
+use requiem_workload::oltp::{OltpConfig, OltpGen};
+
+struct RunResult {
+    label: String,
+    tps: f64,
+    txn_p50: u64,
+    txn_p99: u64,
+    commit_p50: u64,
+    commit_p99: u64,
+    steals: u64,
+    read_stall: SimDuration,
+    commit_stall: SimDuration,
+}
+
+fn run<B: PersistenceBackend>(label: &str, mut db: Database<B>, txns: u64) -> RunResult {
+    let oltp = OltpConfig {
+        pages_per_txn: 4,
+        read_only_fraction: 0.5,
+        log_bytes_per_txn: 256,
+        data_pages: 1024,
+        theta: 0.8,
+    };
+    let mut gen = OltpGen::new(oltp, 7);
+    db.load();
+    let t0 = db.now();
+    for _ in 0..txns {
+        let txn = gen.next_txn();
+        let accesses: Vec<(u64, u16, bool)> = txn
+            .accesses
+            .iter()
+            .map(|a| (a.page, (a.page % 16) as u16, a.dirty))
+            .collect();
+        db.execute(&accesses, txn.log_bytes);
+    }
+    let span = db.now().since(t0);
+    let s = db.stats().clone();
+    RunResult {
+        label: label.to_string(),
+        tps: txns as f64 / span.as_secs_f64().max(1e-12),
+        txn_p50: db.txn_latency().p50(),
+        txn_p99: db.txn_latency().p99(),
+        commit_p50: db.commit_latency().p50(),
+        commit_p99: db.commit_latency().p99(),
+        steals: db.backend().stats().steal_writes,
+        read_stall: s.read_stall,
+        commit_stall: s.commit_stall,
+    }
+}
+
+fn main() {
+    println!("# E7 — synchronous/asynchronous separation (log on PCM vs log on flash)");
+    let txns = 2_000u64;
+    let db_cfg = DbConfig {
+        buffer_frames: 256,
+        data_pages: 1024,
+        slots_per_page: 16,
+        record_size: 100,
+        checkpoint_every: 500,
+        group_commit: 1,
+    };
+
+    section("OLTP (2 000 txns, zipf 0.8, 4 pages/txn, 50% dirty, checkpoint every 500)");
+    let mut results = Vec::new();
+
+    // legacy, conservative: no write cache trusted
+    let mut ssd_cfg = SsdConfig::modern();
+    ssd_cfg.buffer.capacity_pages = 0;
+    let be = LegacyBackend::new(ssd_cfg, db_cfg.data_pages, 256);
+    results.push(run(
+        "legacy (flash, no write cache)",
+        Database::new(db_cfg.clone(), be),
+        txns,
+    ));
+
+    // legacy with a battery-backed write cache (ablation)
+    let be = LegacyBackend::new(SsdConfig::modern(), db_cfg.data_pages, 256);
+    results.push(run(
+        "legacy (flash + battery cache)",
+        Database::new(db_cfg.clone(), be),
+        txns,
+    ));
+
+    // vision: PCM log + extended flash
+    let mut flash_cfg = SsdConfig::modern();
+    flash_cfg.buffer.capacity_pages = 0;
+    let be = VisionBackend::new(flash_cfg, db_cfg.data_pages, 1 << 22);
+    results.push(run(
+        "vision (PCM log + atomic flash)",
+        Database::new(db_cfg.clone(), be),
+        txns,
+    ));
+
+    let mut tbl = Table::new([
+        "backend",
+        "txns/s",
+        "txn p50",
+        "txn p99",
+        "commit p50",
+        "commit p99",
+        "steals",
+    ])
+    .align(0, Align::Left);
+    for r in &results {
+        tbl.row([
+            r.label.clone(),
+            format!("{:.0}", r.tps),
+            format!("{}", SimDuration::from_nanos(r.txn_p50)),
+            format!("{}", SimDuration::from_nanos(r.txn_p99)),
+            format!("{}", SimDuration::from_nanos(r.commit_p50)),
+            format!("{}", SimDuration::from_nanos(r.commit_p99)),
+            format!("{}", r.steals),
+        ]);
+    }
+    println!("{tbl}");
+
+    section("Where the time goes (stall decomposition)");
+    let mut tbl = Table::new(["backend", "read stall", "commit stall"]).align(0, Align::Left);
+    for r in &results {
+        tbl.row([
+            r.label.clone(),
+            format!("{}", r.read_stall),
+            format!("{}", r.commit_stall),
+        ]);
+    }
+    println!("{tbl}");
+    note("Expected shape: legacy commit forces cost hundreds of µs each and dominate; the PCM path cuts the commit force to ~1µs, leaving reads as the async bottleneck — 'synchronous patterns should be directed to PCM, asynchronous patterns to flash-based SSDs'.");
+
+    section("Memory-pressure ablation (buffer pool 32 frames, 1 000 txns)");
+    let small = DbConfig {
+        buffer_frames: 32,
+        checkpoint_every: 0,
+        ..db_cfg
+    };
+    let mut tbl = Table::new(["backend", "txns/s", "steals", "steal stall"]).align(0, Align::Left);
+    let mut ssd_cfg = SsdConfig::modern();
+    ssd_cfg.buffer.capacity_pages = 0;
+    let be = LegacyBackend::new(ssd_cfg, small.data_pages, 256);
+    let mut db = Database::new(small.clone(), be);
+    db.load();
+    let mut gen = OltpGen::new(OltpConfig::default(), 9);
+    let t0 = db.now();
+    for _ in 0..1000 {
+        let txn = gen.next_txn();
+        let acc: Vec<(u64, u16, bool)> =
+            txn.accesses.iter().map(|a| (a.page, 0, a.dirty)).collect();
+        db.execute(&acc, txn.log_bytes);
+    }
+    tbl.row([
+        "legacy (flash steals)".to_string(),
+        format!(
+            "{:.0}",
+            1000.0 / db.now().since(t0).as_secs_f64().max(1e-12)
+        ),
+        format!("{}", db.backend().stats().steal_writes),
+        format!("{}", db.stats().steal_stall),
+    ]);
+    let mut flash_cfg = SsdConfig::modern();
+    flash_cfg.buffer.capacity_pages = 0;
+    let be = VisionBackend::new(flash_cfg, small.data_pages, 1 << 22);
+    let mut db = Database::new(small, be);
+    db.load();
+    let mut gen = OltpGen::new(OltpConfig::default(), 9);
+    let t0 = db.now();
+    for _ in 0..1000 {
+        let txn = gen.next_txn();
+        let acc: Vec<(u64, u16, bool)> =
+            txn.accesses.iter().map(|a| (a.page, 0, a.dirty)).collect();
+        db.execute(&acc, txn.log_bytes);
+    }
+    tbl.row([
+        "vision (PCM staging steals)".to_string(),
+        format!(
+            "{:.0}",
+            1000.0 / db.now().since(t0).as_secs_f64().max(1e-12)
+        ),
+        format!("{}", db.backend().stats().steal_writes),
+        format!("{}", db.stats().steal_stall),
+    ]);
+    println!("{tbl}");
+    note("Buffer steals are the second synchronous pattern P1 names; staging them in PCM removes the flash program from the blocking path.");
+
+    section("Group-commit ablation: how far can software alone close the gap?");
+    note("Group commit amortizes the flash log force over N transactions — the classic software mitigation. It trades durability lag (a crash loses up to N-1 commits) and still cannot reach the PCM path.");
+    let mut tbl = Table::new(["configuration", "txns/s", "commit p99"]).align(0, Align::Left);
+    for group in [1u32, 8, 64] {
+        let cfg2 = DbConfig {
+            group_commit: group,
+            ..db_cfg.clone()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let be = LegacyBackend::new(ssd_cfg, cfg2.data_pages, 256);
+        let r = run(
+            &format!("legacy, group commit = {group}"),
+            Database::new(cfg2, be),
+            1000,
+        );
+        tbl.row([
+            r.label.clone(),
+            format!("{:.0}", r.tps),
+            format!("{}", SimDuration::from_nanos(r.commit_p99)),
+        ]);
+    }
+    {
+        let mut flash_cfg = SsdConfig::modern();
+        flash_cfg.buffer.capacity_pages = 0;
+        let be = VisionBackend::new(flash_cfg, db_cfg.data_pages, 1 << 22);
+        let r = run(
+            "vision, no grouping needed",
+            Database::new(db_cfg.clone(), be),
+            1000,
+        );
+        tbl.row([
+            r.label.clone(),
+            format!("{:.0}", r.tps),
+            format!("{}", SimDuration::from_nanos(r.commit_p99)),
+        ]);
+    }
+    println!("{tbl}");
+    note("Expected shape: grouping buys throughput but keeps multi-hundred-µs commit tails and weakens durability; the PCM path gives both low latency and per-commit durability.");
+}

@@ -1,0 +1,99 @@
+//! Shared helpers for the experiment binaries.
+//!
+//! Each `expN_*` binary regenerates one figure or quantitative claim of
+//! the paper (see `DESIGN.md` §3 for the index) and prints GitHub-
+//! flavoured markdown so `EXPERIMENTS.md` can be refreshed by copy-paste.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use requiem_sim::time::SimTime;
+use requiem_ssd::{BufferConfig, Lpn, Ssd, SsdConfig};
+use requiem_workload::driver::{run_closed_loop, DriverReport, IoMix};
+use requiem_workload::pattern::{AddressPattern, Pattern};
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n## {title}\n");
+}
+
+/// Print a sub-note line.
+pub fn note(text: &str) {
+    println!("_{text}_\n");
+}
+
+/// The modern device without its write buffer (for experiments isolating
+/// the flash path).
+pub fn modern_unbuffered() -> SsdConfig {
+    SsdConfig {
+        buffer: BufferConfig { capacity_pages: 0 },
+        ..SsdConfig::modern()
+    }
+}
+
+/// Sequentially fill the first `pages` LPNs; returns the drain time so a
+/// following measurement starts on a quiet device.
+pub fn precondition(ssd: &mut Ssd, pages: u64) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for lpn in 0..pages {
+        let c = ssd.write(t, Lpn(lpn)).expect("precondition write");
+        t = c.done;
+    }
+    ssd.drain_time().max(t)
+}
+
+/// Run a simple measurement: `ops` operations of `mix` with `pattern`
+/// over `span` pages at queue depth `qd`, starting at `start`.
+#[allow(clippy::too_many_arguments)] // experiment helper mirrors the driver signature
+pub fn measure(
+    ssd: &mut Ssd,
+    pattern: Pattern,
+    span: u64,
+    mix: IoMix,
+    qd: usize,
+    ops: u64,
+    seed: u64,
+    start: SimTime,
+) -> DriverReport {
+    let mut pat = AddressPattern::new(pattern, span, seed);
+    run_closed_loop(ssd, &mut pat, mix, qd, ops, seed, start)
+}
+
+/// Format nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    requiem_sim::time::SimDuration::from_nanos(ns).to_string()
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precondition_and_measure_smoke() {
+        let mut ssd = Ssd::new(modern_unbuffered());
+        let t = precondition(&mut ssd, 64);
+        let r = measure(
+            &mut ssd,
+            Pattern::Sequential,
+            64,
+            IoMix::read_only(),
+            2,
+            64,
+            1,
+            t,
+        );
+        assert_eq!(r.ops, 64);
+        assert!(r.iops > 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(1_500), "1.50µs");
+        assert_eq!(fmt_ratio(2.0), "2.00x");
+    }
+}

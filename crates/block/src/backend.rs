@@ -1,0 +1,136 @@
+//! The storage-backend abstraction under the block layer.
+//!
+//! The whole point of the block device interface is that the stack above
+//! it cannot tell a disk from an SSD from a PCM array. [`StorageBackend`]
+//! captures that: one `submit` entry point, a completion time back.
+//! Experiment E9 exploits it to show how the *same* software overhead is
+//! invisible on a disk and dominant on fast devices.
+
+use requiem_sim::time::SimTime;
+use requiem_ssd::{Lpn, Ssd};
+
+use crate::disk::Disk;
+
+/// Operation kind at the block level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendOp {
+    /// Read one logical page/sector.
+    Read,
+    /// Write one logical page/sector.
+    Write,
+}
+
+/// Anything that can serve page-granular I/O with virtual-time completions.
+pub trait StorageBackend {
+    /// Submit one operation at `now`; returns the completion instant.
+    fn submit(&mut self, now: SimTime, op: BackendOp, lba: u64) -> SimTime;
+
+    /// Addressable pages/sectors.
+    fn capacity_pages(&self) -> u64;
+
+    /// Short human-readable device name.
+    fn label(&self) -> &'static str;
+}
+
+impl StorageBackend for Disk {
+    fn submit(&mut self, now: SimTime, _op: BackendOp, lba: u64) -> SimTime {
+        // reads and writes cost the same mechanically
+        self.serve(now, lba)
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.config().sectors
+    }
+
+    fn label(&self) -> &'static str {
+        "hdd-7200"
+    }
+}
+
+impl StorageBackend for Ssd {
+    fn submit(&mut self, now: SimTime, op: BackendOp, lba: u64) -> SimTime {
+        match op {
+            BackendOp::Read => self.read(now, Lpn(lba)).expect("ssd read failed").done,
+            BackendOp::Write => self.write(now, Lpn(lba)).expect("ssd write failed").done,
+        }
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.capacity().exported_pages
+    }
+
+    fn label(&self) -> &'static str {
+        "flash-ssd"
+    }
+}
+
+/// An idealized device: fixed latency, unlimited internal parallelism.
+/// Useful for isolating *software* bottlenecks (E9's queue-contention
+/// measurements) from device behaviour.
+#[derive(Debug, Clone)]
+pub struct NullDevice {
+    /// Fixed service latency.
+    pub latency: requiem_sim::time::SimDuration,
+    /// Addressable pages.
+    pub pages: u64,
+}
+
+impl StorageBackend for NullDevice {
+    fn submit(&mut self, now: SimTime, _op: BackendOp, lba: u64) -> SimTime {
+        assert!(lba < self.pages, "lba out of range");
+        now + self.latency
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.pages
+    }
+
+    fn label(&self) -> &'static str {
+        "null-device"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskConfig;
+    use requiem_ssd::SsdConfig;
+
+    #[test]
+    fn disk_backend_serves() {
+        let mut d = Disk::new(DiskConfig::hdd_7200());
+        let done = d.submit(SimTime::ZERO, BackendOp::Read, 10);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(d.capacity_pages(), 1 << 20);
+        assert_eq!(d.label(), "hdd-7200");
+    }
+
+    #[test]
+    fn ssd_backend_serves() {
+        let mut s = Ssd::new(SsdConfig::modern());
+        let w = s.submit(SimTime::ZERO, BackendOp::Write, 3);
+        let r = s.submit(w, BackendOp::Read, 3);
+        assert!(r > w);
+        assert_eq!(s.label(), "flash-ssd");
+    }
+
+    #[test]
+    fn same_interface_different_latency_classes() {
+        // the abstraction hides a 100x latency difference — §2's complaint
+        let mut d = Disk::new(DiskConfig::hdd_7200());
+        let mut s = Ssd::new(SsdConfig::modern());
+        // random-ish single reads on each
+        let t_disk = {
+            d.submit(SimTime::ZERO, BackendOp::Read, 500_000);
+            let a = d.submit(d.drain_time(), BackendOp::Read, 12_345);
+            let b = d.submit(a, BackendOp::Read, 900_000);
+            b.since(a)
+        };
+        let t_ssd = {
+            let w = s.submit(SimTime::ZERO, BackendOp::Write, 0);
+            let a = s.submit(w, BackendOp::Read, 0);
+            a.since(w)
+        };
+        assert!(t_disk.as_nanos() > 20 * t_ssd.as_nanos());
+    }
+}

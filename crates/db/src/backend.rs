@@ -1,0 +1,463 @@
+//! The persistence boundary: where the legacy and vision designs diverge.
+//!
+//! The storage manager above this trait is **identical** in both designs;
+//! only the routing of its four traffic classes changes:
+//!
+//! | traffic               | class        | Legacy                     | Vision (§3 P1/P2)            |
+//! |-----------------------|--------------|----------------------------|------------------------------|
+//! | log force (commit)    | synchronous  | flash SSD page write       | PCM memory-bus persist       |
+//! | buffer steal          | synchronous  | flash SSD page write       | PCM staging persist          |
+//! | data write-back       | asynchronous | flash SSD page write       | flash SSD page write         |
+//! | checkpoint batch      | asynchronous | double-write journal (2×)  | device atomic write (1×)     |
+//! | page free             | —            | nothing (device unaware)   | TRIM                         |
+
+use requiem_iface::atomic::{double_write_journal, ExtendedSsd};
+use requiem_pcm::{PcmDimm, PcmTiming};
+use requiem_sim::time::SimTime;
+use requiem_ssd::{Lpn, Ssd, SsdConfig};
+
+use crate::page::{PageId, PAGE_SIZE};
+
+/// I/O issued by a backend, by class.
+#[derive(Debug, Default, Clone)]
+pub struct BackendStats {
+    /// Log forces performed.
+    pub log_forces: u64,
+    /// Bytes of log forced.
+    pub log_bytes: u64,
+    /// Data page writes (async write-back).
+    pub page_writes: u64,
+    /// Synchronous steal writes.
+    pub steal_writes: u64,
+    /// Data page reads.
+    pub page_reads: u64,
+    /// Pages freed (trimmed where supported).
+    pub frees: u64,
+    /// Checkpoint batches.
+    pub batches: u64,
+}
+
+/// The persistence service a storage manager runs on.
+pub trait PersistenceBackend {
+    /// Force `bytes` of log; returns the instant the log is durable
+    /// (synchronous — the committer waits).
+    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime;
+
+    /// Asynchronous write-back of one data page; returns its completion
+    /// (the caller does not have to wait).
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime;
+
+    /// Synchronous steal write of a dirty page under memory pressure;
+    /// returns the instant the evicting request may proceed.
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime;
+
+    /// Synchronous read of one data page.
+    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime;
+
+    /// Write a batch of pages that must be torn-write safe (checkpoint
+    /// flush). Returns the batch completion.
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime;
+
+    /// Tell the device a page's contents are dead.
+    fn free_page(&mut self, now: SimTime, page: PageId);
+
+    /// Traffic statistics.
+    fn stats(&self) -> &BackendStats;
+
+    /// Short label for reports.
+    fn label(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Legacy: everything through the block interface of one flash SSD
+// ---------------------------------------------------------------------
+
+/// The conservative design: one flash SSD behind the block interface
+/// carries the log, the data, and a double-write journal.
+pub struct LegacyBackend {
+    ssd: Ssd,
+    /// LBA layout.
+    log_pages: u64,
+    data_base: u64,
+    journal_base: u64,
+    data_pages: u64,
+    /// Circular log tail (byte offset).
+    log_tail: u64,
+    /// Use TRIM on frees (off by default: legacy stacks rarely did).
+    pub use_trim: bool,
+    stats: BackendStats,
+}
+
+impl std::fmt::Debug for LegacyBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LegacyBackend")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LegacyBackend {
+    /// Lay out `data_pages` of data, `log_pages` of circular log, and an
+    /// equal-size journal area on one device.
+    ///
+    /// # Panics
+    /// Panics if the device is too small for the layout.
+    pub fn new(cfg: SsdConfig, data_pages: u64, log_pages: u64) -> Self {
+        let ssd = Ssd::new(cfg);
+        let exported = ssd.capacity().exported_pages;
+        let needed = log_pages + 2 * data_pages;
+        assert!(
+            needed <= exported,
+            "device too small: need {needed} pages, exported {exported}"
+        );
+        LegacyBackend {
+            ssd,
+            log_pages,
+            data_base: log_pages,
+            journal_base: log_pages + data_pages,
+            data_pages,
+            log_tail: 0,
+            use_trim: false,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The underlying device (for write-amplification reporting).
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    fn data_lpn(&self, page: PageId) -> Lpn {
+        assert!(page.0 < self.data_pages, "page id beyond data region");
+        Lpn(self.data_base + page.0)
+    }
+}
+
+impl PersistenceBackend for LegacyBackend {
+    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.stats.log_forces += 1;
+        self.stats.log_bytes += u64::from(bytes);
+        // the tail page is rewritten on every force (the classic small-
+        // synchronous-write problem on flash); additional full pages spill
+        let mut remaining = u64::from(bytes);
+        let mut t = now;
+        loop {
+            let page_in_log = (self.log_tail / PAGE_SIZE as u64) % self.log_pages;
+            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
+            let taken = remaining.min(room);
+            let c = self
+                .ssd
+                .write(t, Lpn(page_in_log))
+                .expect("log write failed");
+            t = c.done;
+            self.log_tail += taken;
+            remaining -= taken;
+            if remaining == 0 {
+                break;
+            }
+        }
+        t
+    }
+
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_writes += 1;
+        let lpn = self.data_lpn(page);
+        self.ssd.write(now, lpn).expect("data write failed").done
+    }
+
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.steal_writes += 1;
+        let lpn = self.data_lpn(page);
+        self.ssd.write(now, lpn).expect("steal write failed").done
+    }
+
+    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_reads += 1;
+        let lpn = self.data_lpn(page);
+        self.ssd.read(now, lpn).expect("data read failed").done
+    }
+
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
+        if pages.is_empty() {
+            return now;
+        }
+        self.stats.batches += 1;
+        self.stats.page_writes += pages.len() as u64;
+        // torn-write safety through the block interface = double-write
+        // journal: journal copies, barrier, then in-place writes
+        let lpns: Vec<Lpn> = pages.iter().map(|&p| self.data_lpn(p)).collect();
+        double_write_journal(&mut self.ssd, now, &lpns, Lpn(self.journal_base))
+            .expect("journal batch failed")
+            .done
+    }
+
+    fn free_page(&mut self, now: SimTime, page: PageId) {
+        self.stats.frees += 1;
+        if self.use_trim {
+            let lpn = self.data_lpn(page);
+            self.ssd.trim(now, lpn).expect("trim failed");
+        }
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn label(&self) -> &'static str {
+        "legacy-block"
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vision: PCM for synchronous persistence, extended flash for the rest
+// ---------------------------------------------------------------------
+
+/// The paper's design: log and steals go to byte-addressable PCM on the
+/// memory bus; data traffic goes to flash through an extended interface
+/// (atomic batches instead of a journal, TRIM on frees).
+pub struct VisionBackend {
+    pcm: PcmDimm,
+    flash: ExtendedSsd,
+    data_pages: u64,
+    /// Circular log region in PCM (bytes).
+    log_capacity: u64,
+    log_tail: u64,
+    /// Staging region base for steal writes (after the log region).
+    staging_base: u64,
+    staging_slots: u64,
+    staging_next: u64,
+    stats: BackendStats,
+}
+
+impl std::fmt::Debug for VisionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VisionBackend")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl VisionBackend {
+    /// `pcm_bytes` of PCM split into a log region (¾) and a steal-staging
+    /// region (¼); data pages on the flash device.
+    ///
+    /// # Panics
+    /// Panics if the flash device cannot hold `data_pages`.
+    pub fn new(cfg: SsdConfig, data_pages: u64, pcm_bytes: u64) -> Self {
+        let flash = ExtendedSsd::new(Ssd::new(cfg));
+        assert!(
+            data_pages <= flash.inner().capacity().exported_pages,
+            "flash device too small"
+        );
+        let log_capacity = pcm_bytes * 3 / 4;
+        let staging_bytes = pcm_bytes - log_capacity;
+        VisionBackend {
+            pcm: PcmDimm::new(pcm_bytes, PcmTiming::gen1(), 100),
+            flash,
+            data_pages,
+            log_capacity,
+            log_tail: 0,
+            staging_base: log_capacity,
+            staging_slots: staging_bytes / PAGE_SIZE as u64,
+            staging_next: 0,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The PCM module (for latency reporting).
+    pub fn pcm(&self) -> &PcmDimm {
+        &self.pcm
+    }
+
+    /// The flash device (for write-amplification reporting).
+    pub fn flash(&self) -> &ExtendedSsd {
+        &self.flash
+    }
+
+    fn data_lpn(&self, page: PageId) -> Lpn {
+        assert!(page.0 < self.data_pages, "page id beyond data region");
+        Lpn(page.0)
+    }
+}
+
+impl PersistenceBackend for VisionBackend {
+    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.stats.log_forces += 1;
+        self.stats.log_bytes += u64::from(bytes);
+        // a byte-granular persist — no 4 KiB rounding, no flash program
+        let len = u64::from(bytes).min(self.log_capacity);
+        let offset = self.log_tail % self.log_capacity.max(1);
+        let offset = offset.min(self.log_capacity.saturating_sub(len));
+        self.log_tail += u64::from(bytes);
+        let data = vec![0xA5u8; len as usize];
+        self.pcm.persist(now, offset, &data)
+    }
+
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_writes += 1;
+        let lpn = self.data_lpn(page);
+        self.flash.write(now, lpn).expect("data write failed").done
+    }
+
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.steal_writes += 1;
+        // stage the dirty page in PCM (synchronous, ~20 µs for 4 KiB)…
+        let slot = self.staging_next % self.staging_slots.max(1);
+        self.staging_next += 1;
+        let offset = self.staging_base + slot * PAGE_SIZE as u64;
+        let durable = self.pcm.persist(now, offset, &[0u8; 64]); // header line
+        let durable = self
+            .pcm
+            .persist(durable, offset, &vec![0xEEu8; PAGE_SIZE - 64]);
+        // …then write back to flash lazily (does not block the caller)
+        let lpn = self.data_lpn(page);
+        let _bg = self.flash.write(durable, lpn).expect("write-back failed");
+        durable
+    }
+
+    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_reads += 1;
+        let lpn = self.data_lpn(page);
+        self.flash.read(now, lpn).expect("data read failed").done
+    }
+
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
+        if pages.is_empty() {
+            return now;
+        }
+        self.stats.batches += 1;
+        self.stats.page_writes += pages.len() as u64;
+        // torn-write safety is a device guarantee: atomic batch, 1× I/O
+        let lpns: Vec<Lpn> = pages.iter().map(|&p| self.data_lpn(p)).collect();
+        self.flash
+            .write_atomic(now, &lpns)
+            .expect("atomic batch failed")
+            .done
+    }
+
+    fn free_page(&mut self, now: SimTime, page: PageId) {
+        self.stats.frees += 1;
+        let lpn = self.data_lpn(page);
+        self.flash.trim(now, lpn).expect("trim failed");
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn label(&self) -> &'static str {
+        "vision-split"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use requiem_sim::time::SimDuration;
+
+    fn small_cfg() -> SsdConfig {
+        // conservative legacy device: write cache disabled (a common DBA
+        // setting when cache durability is not trusted); the buffered
+        // variant is explored as an ablation in experiment E7
+        let mut cfg = SsdConfig::modern();
+        cfg.buffer.capacity_pages = 0;
+        cfg
+    }
+
+    fn legacy() -> LegacyBackend {
+        LegacyBackend::new(small_cfg(), 1024, 64)
+    }
+
+    fn vision() -> VisionBackend {
+        VisionBackend::new(small_cfg(), 1024, 1 << 20)
+    }
+
+    #[test]
+    fn log_force_latency_gap() {
+        // the P1 headline: a 256-byte commit force is ~3 orders of
+        // magnitude faster on the PCM path
+        let mut l = legacy();
+        let mut v = vision();
+        let tl = l.log_force(SimTime::ZERO, 256).since(SimTime::ZERO);
+        let tv = v.log_force(SimTime::ZERO, 256).since(SimTime::ZERO);
+        assert!(
+            tl.as_nanos() > 10 * tv.as_nanos(),
+            "legacy {tl} vs vision {tv}"
+        );
+        assert!(tv < SimDuration::from_micros(5), "vision force {tv}");
+    }
+
+    #[test]
+    fn legacy_log_force_spills_across_pages() {
+        let mut l = legacy();
+        let before = l.ssd().metrics().host_writes;
+        // 10 KiB of log = 3 page writes
+        l.log_force(SimTime::ZERO, 10 * 1024);
+        let after = l.ssd().metrics().host_writes;
+        assert_eq!(after - before, 3);
+    }
+
+    #[test]
+    fn batch_io_volume_2x_vs_1x() {
+        let mut l = legacy();
+        let mut v = vision();
+        let pages: Vec<PageId> = (0..8).map(PageId).collect();
+        l.page_batch(SimTime::ZERO, &pages);
+        v.page_batch(SimTime::ZERO, &pages);
+        assert_eq!(l.ssd().metrics().host_writes, 16, "double-write journal");
+        assert_eq!(
+            v.flash().inner().metrics().host_writes,
+            8,
+            "atomic batch writes once"
+        );
+    }
+
+    #[test]
+    fn steal_blocks_only_for_pcm_time_on_vision() {
+        let mut l = legacy();
+        let mut v = vision();
+        let tl = l.steal_write(SimTime::ZERO, PageId(1)).since(SimTime::ZERO);
+        let tv = v.steal_write(SimTime::ZERO, PageId(1)).since(SimTime::ZERO);
+        assert!(
+            tv.as_nanos() * 2 < tl.as_nanos(),
+            "vision steal {tv} should be well under legacy {tl}"
+        );
+        // and the flash write-back still happened in the background
+        assert_eq!(v.flash().inner().metrics().host_writes, 1);
+    }
+
+    #[test]
+    fn frees_trim_on_vision_only_by_default() {
+        let mut l = legacy();
+        let mut v = vision();
+        l.free_page(SimTime::ZERO, PageId(3));
+        v.free_page(SimTime::ZERO, PageId(3));
+        assert_eq!(l.ssd().metrics().host_trims, 0);
+        assert_eq!(v.flash().inner().metrics().host_trims, 1);
+        assert_eq!(l.stats().frees, 1);
+        assert_eq!(v.stats().frees, 1);
+    }
+
+    #[test]
+    fn reads_work_on_both() {
+        let mut l = legacy();
+        let mut v = vision();
+        let t1 = l.page_write(SimTime::ZERO, PageId(0));
+        let t2 = l.page_read(t1, PageId(0));
+        assert!(t2 > t1);
+        let t1 = v.page_write(SimTime::ZERO, PageId(0));
+        let t2 = v.page_read(t1, PageId(0));
+        assert!(t2 > t1);
+        assert_eq!(l.stats().page_reads, 1);
+        assert_eq!(v.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut v = vision();
+        v.log_force(SimTime::ZERO, 100);
+        v.log_force(SimTime::ZERO, 100);
+        assert_eq!(v.stats().log_forces, 2);
+        assert_eq!(v.stats().log_bytes, 200);
+    }
+}

@@ -1,0 +1,665 @@
+//! The database engine: transactions over the buffer pool, WAL, and a
+//! persistence backend — plus crash/recovery.
+//!
+//! The engine is deliberately identical for both backends; every design
+//! difference lives below [`PersistenceBackend`]. Virtual time advances
+//! only on synchronous waits: page-read misses, buffer steals, and commit
+//! log forces. Data write-backs and checkpoints are charged to the device
+//! timeline but do not block the engine (they interfere with later reads
+//! through device queueing — the paper's GC/IO interference made visible).
+//!
+//! Recovery is commit-consistent redo: on restart, replay the durable
+//! log's updates of committed transactions onto the durable page images,
+//! LSN-guarded for idempotence.
+
+use std::collections::{HashMap, HashSet};
+
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::Histogram;
+
+use crate::backend::PersistenceBackend;
+use crate::buffer::{BufferPool, EvictOutcome};
+use crate::page::{PageId, SlottedPage};
+use crate::wal::{LogRecord, Lsn, Wal};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// Data pages in the database.
+    pub data_pages: u64,
+    /// Fixed record slots per page (pre-formatted at load).
+    pub slots_per_page: u16,
+    /// Fixed record size in bytes.
+    pub record_size: usize,
+    /// Checkpoint every N transactions (0 = never).
+    pub checkpoint_every: u64,
+    /// Group commit: force the log once every N commits (1 = force every
+    /// commit). Commits between forces complete immediately but are NOT
+    /// durable until the group force — a crash loses them (recovery
+    /// honestly reflects this).
+    pub group_commit: u32,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            buffer_frames: 128,
+            data_pages: 1024,
+            slots_per_page: 16,
+            record_size: 100,
+            checkpoint_every: 0,
+            group_commit: 1,
+        }
+    }
+}
+
+/// Result of one executed transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnOutcome {
+    /// The transaction id.
+    pub txn: u64,
+    /// End-to-end latency (reads + steals + commit force).
+    pub latency: SimDuration,
+    /// The commit force's share.
+    pub commit_force: SimDuration,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Time stalled on page reads.
+    pub read_stall: SimDuration,
+    /// Time stalled on buffer steals.
+    pub steal_stall: SimDuration,
+    /// Time stalled on commit forces.
+    pub commit_stall: SimDuration,
+}
+
+/// The storage engine over a persistence backend.
+pub struct Database<B: PersistenceBackend> {
+    cfg: DbConfig,
+    backend: B,
+    pool: BufferPool,
+    wal: Wal,
+    now: SimTime,
+    /// Host-side model of the page images that are durable on the device
+    /// (updated when a page write completes; the devices themselves model
+    /// timing and layout, the engine models the bytes).
+    durable: HashMap<PageId, SlottedPage>,
+    /// Writes in flight: (completion time, page id, image). Promoted to
+    /// `durable` once `now` passes the completion.
+    in_flight: Vec<(SimTime, PageId, SlottedPage)>,
+    txn_latency: Histogram,
+    commit_latency: Histogram,
+    stats: EngineStats,
+    next_txn: u64,
+    loaded: bool,
+    /// Commits since the last group force.
+    unforced_commits: u32,
+    /// Log bytes accumulated since the last force.
+    unforced_bytes: u32,
+}
+
+impl<B: PersistenceBackend> std::fmt::Debug for Database<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("backend", &self.backend.label())
+            .field("now", &self.now)
+            .field("commits", &self.stats.commits)
+            .finish()
+    }
+}
+
+impl<B: PersistenceBackend> Database<B> {
+    /// Create an engine over `backend`.
+    pub fn new(cfg: DbConfig, backend: B) -> Self {
+        Database {
+            pool: BufferPool::new(cfg.buffer_frames),
+            wal: Wal::new(),
+            now: SimTime::ZERO,
+            durable: HashMap::new(),
+            in_flight: Vec::new(),
+            txn_latency: Histogram::new(),
+            commit_latency: Histogram::new(),
+            stats: EngineStats::default(),
+            next_txn: 1,
+            cfg,
+            backend,
+            loaded: false,
+            unforced_commits: 0,
+            unforced_bytes: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Transaction latency distribution.
+    pub fn txn_latency(&self) -> &Histogram {
+        &self.txn_latency
+    }
+
+    /// Commit-force latency distribution.
+    pub fn commit_latency(&self) -> &Histogram {
+        &self.commit_latency
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Promote completed in-flight writes to the durable image set.
+    fn settle_in_flight(&mut self) {
+        let now = self.now;
+        let mut settled = Vec::new();
+        self.in_flight.retain(|(done, page, image)| {
+            if *done <= now {
+                settled.push((*page, image.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (page, image) in settled {
+            self.durable.insert(page, image);
+        }
+    }
+
+    fn fresh_formatted_page(&self) -> SlottedPage {
+        let mut p = SlottedPage::new();
+        let zeros = vec![0u8; self.cfg.record_size];
+        for _ in 0..self.cfg.slots_per_page {
+            p.insert(&zeros)
+                .expect("slots_per_page × record_size must fit a page");
+        }
+        p
+    }
+
+    /// Bulk-load: pre-format every data page with fixed slots, write all
+    /// pages out, and checkpoint. Must be called once before transactions.
+    pub fn load(&mut self) {
+        assert!(!self.loaded, "load() must run exactly once");
+        for pid in 0..self.cfg.data_pages {
+            let page = self.fresh_formatted_page();
+            let done = self.backend.page_write(self.now, PageId(pid));
+            self.durable.insert(PageId(pid), page);
+            // loading is offline: wait for each completion
+            self.now = self.now.max(done);
+        }
+        let lsn = self.wal.append(LogRecord::Checkpoint);
+        let done = self
+            .backend
+            .log_force(self.now, LogRecord::Checkpoint.encoded_len());
+        self.wal.mark_flushed(lsn);
+        self.now = self.now.max(done);
+        self.loaded = true;
+    }
+
+    /// Fetch a page into the pool (if absent), charging read and steal
+    /// stalls. Returns nothing; the page is then resident.
+    fn fetch_page(&mut self, pid: PageId) {
+        if self.pool.contains(pid) {
+            return;
+        }
+        self.settle_in_flight();
+        // read the durable image (or an in-flight newer one)
+        let image = self
+            .in_flight
+            .iter()
+            .rev()
+            .find(|(_, p, _)| *p == pid)
+            .map(|(_, _, img)| img.clone())
+            .or_else(|| self.durable.get(&pid).cloned())
+            .unwrap_or_else(|| self.fresh_formatted_page());
+        let t0 = self.now;
+        let done = self.backend.page_read(self.now, pid);
+        self.now = self.now.max(done);
+        self.stats.read_stall += self.now.since(t0);
+        match self.pool.install(pid, image, false) {
+            EvictOutcome::Clean => {}
+            EvictOutcome::Steal { page_id, image } => {
+                // synchronous steal write: WAL rule first — the stolen
+                // page's updates must be durable in the log
+                let t0 = self.now;
+                let unflushed = self.wal.next_lsn();
+                if self.wal.flushed().map(|f| f < unflushed).unwrap_or(true) {
+                    let done = self.backend.log_force(self.now, 512);
+                    self.wal.mark_flushed(unflushed);
+                    self.now = self.now.max(done);
+                }
+                let done = self.backend.steal_write(self.now, page_id);
+                self.now = self.now.max(done);
+                self.stats.steal_stall += self.now.since(t0);
+                self.durable.insert(page_id, *image);
+            }
+        }
+    }
+
+    /// Execute one transaction: each access reads (and possibly dirties)
+    /// one record; commit forces the log.
+    ///
+    /// `accesses` is a list of `(page, slot, dirty)`.
+    pub fn execute(&mut self, accesses: &[(u64, u16, bool)], log_bytes: u32) -> TxnOutcome {
+        assert!(self.loaded, "call load() before executing transactions");
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let started = self.now;
+        let mut wrote = false;
+        for &(page, slot, dirty) in accesses {
+            let pid = PageId(page % self.cfg.data_pages);
+            let slot = slot % self.cfg.slots_per_page;
+            self.fetch_page(pid);
+            if dirty {
+                wrote = true;
+                let mut after = vec![0u8; self.cfg.record_size];
+                after[..8].copy_from_slice(&txn.to_le_bytes());
+                let lsn = self.wal.append(LogRecord::Update {
+                    txn,
+                    page: pid,
+                    slot,
+                    after: after.clone(),
+                });
+                let frame = self.pool.get_mut(pid, true).expect("page was just fetched");
+                frame.update(slot, &after);
+                frame.set_lsn(lsn.0);
+            } else {
+                self.pool.get_mut(pid, false);
+            }
+        }
+        // commit: append the record; force the log per the group-commit
+        // policy (every Nth commit carries the whole group's bytes)
+        let commit_started = self.now;
+        let commit_lsn = self.wal.append(LogRecord::Commit { txn });
+        let force_bytes = if wrote { log_bytes.max(32) } else { 32 };
+        self.unforced_commits += 1;
+        self.unforced_bytes = self.unforced_bytes.saturating_add(force_bytes);
+        if self.unforced_commits >= self.cfg.group_commit.max(1) {
+            let done = self.backend.log_force(self.now, self.unforced_bytes);
+            self.wal.mark_flushed(commit_lsn);
+            self.now = self.now.max(done);
+            self.unforced_commits = 0;
+            self.unforced_bytes = 0;
+        }
+        let commit_force = self.now.since(commit_started);
+        self.stats.commit_stall += commit_force;
+        self.stats.commits += 1;
+        let latency = self.now.since(started);
+        self.txn_latency.record_duration(latency);
+        self.commit_latency.record_duration(commit_force);
+        if self.cfg.checkpoint_every > 0 && self.stats.commits % self.cfg.checkpoint_every == 0 {
+            self.checkpoint();
+        }
+        TxnOutcome {
+            txn,
+            latency,
+            commit_force,
+        }
+    }
+
+    /// Sharp checkpoint: flush all dirty pages as one torn-safe batch,
+    /// wait for it, then log the checkpoint — so the checkpoint record is
+    /// an honest redo lower bound.
+    pub fn checkpoint(&mut self) {
+        let dirty = self.pool.dirty_pages();
+        if !dirty.is_empty() {
+            let ids: Vec<PageId> = dirty.iter().map(|(p, _)| *p).collect();
+            let done = self.backend.page_batch(self.now, &ids);
+            self.now = self.now.max(done);
+            for (pid, image) in dirty {
+                self.pool.mark_clean(pid);
+                self.in_flight.push((done, pid, image));
+            }
+        }
+        let lsn = self.wal.append(LogRecord::Checkpoint);
+        let done = self.backend.log_force(
+            self.now,
+            LogRecord::Checkpoint.encoded_len() + self.unforced_bytes,
+        );
+        self.wal.mark_flushed(lsn);
+        self.now = self.now.max(done);
+        self.unforced_commits = 0;
+        self.unforced_bytes = 0;
+        self.stats.checkpoints += 1;
+        self.settle_in_flight();
+    }
+
+    /// Simulated crash: volatile state (buffer pool, in-flight promotions)
+    /// vanishes; the durable log and page images survive.
+    pub fn crash(&mut self) {
+        self.pool.crash();
+        // in-flight writes whose completion time had not been reached are
+        // lost (torn batches are prevented by the backend's journal /
+        // atomic write)
+        let now = self.now;
+        let mut survived = Vec::new();
+        self.in_flight.retain(|(done, page, image)| {
+            if *done <= now {
+                survived.push((*page, image.clone()));
+            }
+            false
+        });
+        for (page, image) in survived {
+            self.durable.insert(page, image);
+        }
+    }
+
+    /// Redo recovery: replay committed updates from the durable log onto
+    /// the durable images, LSN-guarded. Returns the number of records
+    /// replayed.
+    pub fn recover(&mut self) -> u64 {
+        let committed: HashSet<u64> = self
+            .wal
+            .durable_records()
+            .filter_map(|(_, r)| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let start = self.wal.last_durable_checkpoint();
+        let mut replayed = 0u64;
+        let to_apply: Vec<(Lsn, LogRecord)> = self
+            .wal
+            .durable_records()
+            .filter(|(lsn, _)| start.map(|s| *lsn >= s).unwrap_or(true))
+            .cloned()
+            .collect();
+        let zeros_page = self.fresh_formatted_page();
+        for (lsn, rec) in to_apply {
+            match rec {
+                LogRecord::Update {
+                    txn,
+                    page,
+                    slot,
+                    after,
+                } if committed.contains(&txn) => {
+                    let img = self
+                        .durable
+                        .entry(page)
+                        .or_insert_with(|| zeros_page.clone());
+                    if img.lsn() < lsn.0 {
+                        img.update(slot, &after);
+                        img.set_lsn(lsn.0);
+                        replayed += 1;
+                    }
+                }
+                LogRecord::Delete { txn, page, slot } if committed.contains(&txn) => {
+                    let img = self
+                        .durable
+                        .entry(page)
+                        .or_insert_with(|| zeros_page.clone());
+                    if img.lsn() < lsn.0 {
+                        img.delete(slot);
+                        img.set_lsn(lsn.0);
+                        replayed += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        replayed
+    }
+
+    /// Inspect the *visible* value of `(page, slot)`: from the buffer pool
+    /// if resident, else the durable image. Returns the owning txn id
+    /// stamped in the record's first 8 bytes (0 = never written).
+    pub fn visible_owner(&mut self, page: u64, slot: u16) -> u64 {
+        let pid = PageId(page % self.cfg.data_pages);
+        let slot = slot % self.cfg.slots_per_page;
+        let record = self
+            .pool
+            .peek(pid)
+            .and_then(|p| p.get(slot).map(|r| r.to_vec()))
+            .or_else(|| {
+                self.durable
+                    .get(&pid)
+                    .and_then(|p| p.get(slot).map(|r| r.to_vec()))
+            });
+        record
+            .map(|r| u64::from_le_bytes(r[..8].try_into().expect("record >= 8 bytes")))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LegacyBackend, VisionBackend};
+    use requiem_ssd::SsdConfig;
+
+    fn legacy_db() -> Database<LegacyBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: 64,
+            ..DbConfig::default()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0; // conservative: no write cache
+        let be = LegacyBackend::new(ssd_cfg, cfg.data_pages, 64);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    fn vision_db() -> Database<VisionBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: 64,
+            ..DbConfig::default()
+        };
+        let be = VisionBackend::new(SsdConfig::modern(), cfg.data_pages, 1 << 22);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    #[test]
+    fn txn_executes_and_commits() {
+        let mut db = legacy_db();
+        let out = db.execute(&[(1, 0, true), (2, 1, false)], 256);
+        assert_eq!(out.txn, 1);
+        assert!(out.latency >= out.commit_force);
+        assert!(out.commit_force > SimDuration::ZERO);
+        assert_eq!(db.stats().commits, 1);
+        assert_eq!(db.visible_owner(1, 0), 1);
+        assert_eq!(db.visible_owner(2, 1), 0, "read-only access left no mark");
+    }
+
+    #[test]
+    fn vision_commit_force_is_much_cheaper() {
+        let mut l = legacy_db();
+        let mut v = vision_db();
+        let lo = l.execute(&[(1, 0, true)], 256);
+        let vo = v.execute(&[(1, 0, true)], 256);
+        assert!(
+            lo.commit_force.as_nanos() > 10 * vo.commit_force.as_nanos(),
+            "legacy force {} vs vision {}",
+            lo.commit_force,
+            vo.commit_force
+        );
+    }
+
+    #[test]
+    fn buffer_pressure_causes_steals() {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: 8, // tiny pool
+            ..DbConfig::default()
+        };
+        let be = LegacyBackend::new(SsdConfig::modern(), cfg.data_pages, 64);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        // touch many distinct pages with writes → dirty evictions
+        for i in 0..64u64 {
+            db.execute(&[(i, 0, true)], 128);
+        }
+        assert!(db.backend().stats().steal_writes > 0, "expected steals");
+        assert!(db.stats().steal_stall > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn committed_work_survives_crash_and_recovery() {
+        let mut db = legacy_db();
+        db.execute(&[(10, 3, true)], 256); // txn 1
+        db.execute(&[(11, 4, true)], 256); // txn 2
+        db.crash();
+        let replayed = db.recover();
+        assert!(replayed >= 2, "replayed {replayed}");
+        assert_eq!(db.visible_owner(10, 3), 1);
+        assert_eq!(db.visible_owner(11, 4), 2);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut db = legacy_db();
+        db.execute(&[(10, 3, true)], 256);
+        db.crash();
+        let first = db.recover();
+        let second = db.recover();
+        assert!(first >= 1);
+        assert_eq!(second, 0, "LSN guard must stop double-apply");
+        assert_eq!(db.visible_owner(10, 3), 1);
+    }
+
+    #[test]
+    fn checkpoint_flushes_dirty_pages() {
+        let mut db = vision_db();
+        db.execute(&[(5, 0, true)], 256);
+        db.checkpoint();
+        assert_eq!(db.stats().checkpoints, 1);
+        // after checkpoint + crash, data is in the durable image even
+        // without log replay
+        db.crash();
+        assert_eq!(db.visible_owner(5, 0), 1);
+    }
+
+    #[test]
+    fn uncommitted_after_images_do_not_resurrect() {
+        // write without committing is impossible through execute(); this
+        // simulates it by crashing mid-transaction: append update, no
+        // commit, no force
+        let mut db = legacy_db();
+        db.execute(&[(1, 0, true)], 256); // txn 1 commits
+                                          // hand-craft an unflushed, uncommitted update for txn 99
+        db.wal.append(LogRecord::Update {
+            txn: 99,
+            page: PageId(2),
+            slot: 0,
+            after: {
+                let mut v = vec![0u8; 100];
+                v[..8].copy_from_slice(&99u64.to_le_bytes());
+                v
+            },
+        });
+        db.crash();
+        db.recover();
+        assert_eq!(db.visible_owner(1, 0), 1);
+        assert_eq!(db.visible_owner(2, 0), 0, "uncommitted txn must not apply");
+    }
+
+    #[test]
+    fn throughput_vision_beats_legacy_on_commit_heavy_load() {
+        let mut l = legacy_db();
+        let mut v = vision_db();
+        let n = 100u64;
+        for i in 0..n {
+            l.execute(&[(i % 50, 0, true)], 128);
+            v.execute(&[(i % 50, 0, true)], 128);
+        }
+        let tl = l.now();
+        let tv = v.now();
+        assert!(
+            tv < tl,
+            "vision should finish sooner: vision {tv} legacy {tl}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod group_commit_tests {
+    use super::*;
+    use crate::backend::LegacyBackend;
+    use requiem_ssd::SsdConfig;
+
+    fn db_with_group(group: u32) -> Database<LegacyBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: 64,
+            group_commit: group,
+            ..DbConfig::default()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let be = LegacyBackend::new(ssd_cfg, cfg.data_pages, 64);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    #[test]
+    fn group_commit_amortizes_forces() {
+        let mut single = db_with_group(1);
+        let mut grouped = db_with_group(8);
+        for i in 0..64u64 {
+            single.execute(&[(i % 32, 0, true)], 128);
+            grouped.execute(&[(i % 32, 0, true)], 128);
+        }
+        let f1 = single.backend().stats().log_forces;
+        let f8 = grouped.backend().stats().log_forces;
+        assert!(f8 * 4 < f1, "grouped {f8} vs single {f1} forces");
+        assert!(grouped.now() < single.now(), "grouping should be faster");
+    }
+
+    #[test]
+    fn crash_between_group_forces_loses_only_unforced_txns() {
+        let mut db = db_with_group(8);
+        // 8 txns: the 8th triggers the group force — all durable
+        for i in 0..8u64 {
+            db.execute(&[(i, 0, true)], 128);
+        }
+        // 3 more: unforced
+        for i in 8..11u64 {
+            db.execute(&[(i, 0, true)], 128);
+        }
+        db.crash();
+        db.recover();
+        for i in 0..8u64 {
+            assert_eq!(db.visible_owner(i, 0), i + 1, "forced txn {} lost", i + 1);
+        }
+        for i in 8..11u64 {
+            assert_eq!(
+                db.visible_owner(i, 0),
+                0,
+                "unforced txn {} must NOT survive (group commit traded it)",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_flushes_pending_group() {
+        let mut db = db_with_group(100); // never forces on its own
+        for i in 0..5u64 {
+            db.execute(&[(i, 0, true)], 128);
+        }
+        db.checkpoint(); // must flush the pending group
+        db.crash();
+        db.recover();
+        for i in 0..5u64 {
+            assert_eq!(db.visible_owner(i, 0), i + 1);
+        }
+    }
+}

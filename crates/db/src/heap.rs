@@ -1,0 +1,110 @@
+//! Heap files: unordered record storage over slotted pages.
+//!
+//! A heap file owns a range of page ids and a free-space hint list. It
+//! operates purely on in-memory pages supplied by the buffer pool — the
+//! heap layer itself never does I/O, preserving the crate's layering
+//! (only [`crate::backend`] touches devices).
+
+use std::collections::BTreeMap;
+
+use crate::page::{PageId, Rid, SlottedPage};
+
+/// Catalog/state of one heap file (page contents live in the buffer pool).
+#[derive(Debug, Default)]
+pub struct HeapFile {
+    /// Pages owned by this heap, with a cached free-space hint.
+    pages: BTreeMap<PageId, usize>,
+}
+
+impl HeapFile {
+    /// New, empty heap file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages in the file.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// All page ids, ascending.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.pages.keys().copied()
+    }
+
+    /// Register a (new or reloaded) page with its current free space.
+    pub fn register_page(&mut self, id: PageId, free: usize) {
+        self.pages.insert(id, free);
+    }
+
+    /// Drop a page from the file (it became empty and was freed).
+    pub fn unregister_page(&mut self, id: PageId) {
+        self.pages.remove(&id);
+    }
+
+    /// Find a page with at least `need` bytes of free space, if any.
+    /// First-fit in page-id order (deterministic).
+    pub fn find_space(&self, need: usize) -> Option<PageId> {
+        self.pages
+            .iter()
+            .find(|(_, &free)| free >= need)
+            .map(|(&id, _)| id)
+    }
+
+    /// Update the cached free-space hint after a page mutation.
+    pub fn update_hint(&mut self, id: PageId, free: usize) {
+        if let Some(f) = self.pages.get_mut(&id) {
+            *f = free;
+        }
+    }
+
+    /// Insert a record into `page` (the buffer-pool frame for the chosen
+    /// page), maintaining hints. Returns the record's rid, or `None` if
+    /// the caller's chosen page was too full after all.
+    pub fn insert_into(
+        &mut self,
+        id: PageId,
+        page: &mut SlottedPage,
+        record: &[u8],
+    ) -> Option<Rid> {
+        let slot = page.insert(record)?;
+        self.update_hint(id, page.free_space());
+        Some(Rid { page: id, slot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_space_first_fit_in_id_order() {
+        let mut h = HeapFile::new();
+        h.register_page(PageId(3), 100);
+        h.register_page(PageId(1), 50);
+        h.register_page(PageId(2), 100);
+        assert_eq!(h.find_space(80), Some(PageId(2)));
+        assert_eq!(h.find_space(40), Some(PageId(1)));
+        assert_eq!(h.find_space(500), None);
+    }
+
+    #[test]
+    fn insert_updates_hint() {
+        let mut h = HeapFile::new();
+        let mut p = SlottedPage::new();
+        h.register_page(PageId(1), p.free_space());
+        let rid = h.insert_into(PageId(1), &mut p, b"record").unwrap();
+        assert_eq!(rid.page, PageId(1));
+        assert_eq!(h.find_space(4080), None); // hint shrank below a full page
+        assert!(h.find_space(100).is_some());
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut h = HeapFile::new();
+        h.register_page(PageId(1), 100);
+        h.unregister_page(PageId(1));
+        assert_eq!(h.page_count(), 0);
+        assert_eq!(h.find_space(1), None);
+    }
+}

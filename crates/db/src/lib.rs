@@ -1,0 +1,46 @@
+//! # requiem-db — a miniature database storage manager
+//!
+//! The paper's audience is database systems researchers; its §3 vision is
+//! ultimately about how a **database storage manager** should talk to
+//! storage. This crate is a compact but complete storage manager built to
+//! test that vision:
+//!
+//! * [`page`] — slotted pages with LSNs (the unit of buffering and I/O);
+//! * [`heap`] — heap files of records with free-space tracking;
+//! * [`btree`] — a page-based B+tree index (`u64 → Rid`);
+//! * [`buffer`] — a clock buffer pool with a steal policy (dirty eviction
+//!   forces a synchronous write — one of the paper's two synchronous
+//!   patterns);
+//! * [`wal`] — a redo write-ahead log with group commit (the other
+//!   synchronous pattern);
+//! * [`backend`] — the persistence boundary, with two implementations:
+//!   - **Legacy**: everything (log and data, double-write journal) goes
+//!     through the block interface of one flash SSD;
+//!   - **Vision**: the paper's principle P1 — synchronous log forces and
+//!     buffer steals go to a PCM DIMM on the memory bus, asynchronous data
+//!     traffic goes to the flash SSD using atomic writes (no double-write
+//!     journal) and trim on free.
+//! * [`engine`] — transaction execution over all of the above, with
+//!   crash/recovery (redo replay) support and group commit;
+//! * [`kvstore`] — a SILT-flavoured key-value store over nameless writes
+//!   (the paper's ref [14] rebuilt on the §3 interface).
+//!
+//! Virtual time discipline: RAM operations are free; every device
+//! interaction advances the clock through the backend.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod btree;
+pub mod buffer;
+pub mod engine;
+pub mod heap;
+pub mod kvstore;
+pub mod page;
+pub mod wal;
+
+pub use backend::{LegacyBackend, PersistenceBackend, VisionBackend};
+pub use engine::{Database, DbConfig, TxnOutcome};
+pub use kvstore::NamelessKv;
+pub use page::{PageId, Rid, SlottedPage, PAGE_SIZE};

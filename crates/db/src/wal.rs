@@ -1,0 +1,214 @@
+//! The write-ahead log: redo records, LSNs, group commit.
+//!
+//! A physiological redo log in the ARIES tradition, cut down to what the
+//! experiments need: page-update redo records and commit records. The log
+//! object is pure state; *forcing* it to stable storage is the backend's
+//! job — which is precisely where the legacy and vision designs diverge
+//! (§3 P1: log writes are the canonical synchronous pattern).
+
+use serde::{Deserialize, Serialize};
+
+use crate::page::PageId;
+
+/// A log sequence number (byte offset in the log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Lsn(pub u64);
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Redo information for one page update: replace slot `slot` of
+    /// `page` with `after` (insert if the slot is new).
+    Update {
+        /// The transaction.
+        txn: u64,
+        /// Target page.
+        page: PageId,
+        /// Target slot.
+        slot: u16,
+        /// After-image of the record.
+        after: Vec<u8>,
+    },
+    /// A record was deleted.
+    Delete {
+        /// The transaction.
+        txn: u64,
+        /// Target page.
+        page: PageId,
+        /// Target slot.
+        slot: u16,
+    },
+    /// Transaction commit.
+    Commit {
+        /// The transaction.
+        txn: u64,
+    },
+    /// Checkpoint: all pages with LSN ≤ this record's LSN are durable.
+    Checkpoint,
+}
+
+impl LogRecord {
+    /// Serialized size in bytes (header + payload), used for log-space
+    /// accounting and force sizing.
+    pub fn encoded_len(&self) -> u32 {
+        let payload = match self {
+            LogRecord::Update { after, .. } => 8 + 8 + 2 + 4 + after.len(),
+            LogRecord::Delete { .. } => 8 + 8 + 2,
+            LogRecord::Commit { .. } => 8,
+            LogRecord::Checkpoint => 0,
+        };
+        (16 + payload) as u32 // 16-byte record header (lsn, len, type, crc)
+    }
+}
+
+/// The in-memory log: appended records plus the durable horizon.
+#[derive(Debug, Default)]
+pub struct Wal {
+    records: Vec<(Lsn, LogRecord)>,
+    next_lsn: u64,
+    /// Everything up to (and including) this LSN is durable.
+    flushed: Option<Lsn>,
+}
+
+impl Wal {
+    /// New, empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record; returns its LSN. Not yet durable.
+    pub fn append(&mut self, rec: LogRecord) -> Lsn {
+        let lsn = Lsn(self.next_lsn);
+        self.next_lsn += u64::from(rec.encoded_len());
+        self.records.push((lsn, rec));
+        lsn
+    }
+
+    /// The LSN the next record will get.
+    pub fn next_lsn(&self) -> Lsn {
+        Lsn(self.next_lsn)
+    }
+
+    /// Durable horizon.
+    pub fn flushed(&self) -> Option<Lsn> {
+        self.flushed
+    }
+
+    /// Bytes not yet durable.
+    pub fn unflushed_bytes(&self) -> u64 {
+        let from = self.flushed.map(|l| l.0).unwrap_or(0);
+        self.next_lsn
+            - self
+                .records
+                .iter()
+                .find(|(lsn, _)| lsn.0 >= from && self.flushed.map(|f| lsn.0 > f.0).unwrap_or(true))
+                .map(|(lsn, _)| lsn.0)
+                .unwrap_or(self.next_lsn)
+    }
+
+    /// Mark everything up to `lsn` durable (called by the backend after a
+    /// successful force).
+    pub fn mark_flushed(&mut self, lsn: Lsn) {
+        debug_assert!(self.flushed.map(|f| lsn >= f).unwrap_or(true));
+        self.flushed = Some(lsn);
+    }
+
+    /// Records with LSN strictly greater than `after` (or all, if `None`)
+    /// — the redo range for recovery.
+    pub fn records_after(&self, after: Option<Lsn>) -> impl Iterator<Item = &(Lsn, LogRecord)> {
+        let from = after.map(|l| l.0);
+        self.records
+            .iter()
+            .filter(move |(lsn, _)| from.map(|f| lsn.0 > f).unwrap_or(true))
+    }
+
+    /// All records up to the durable horizon — what survives a crash.
+    pub fn durable_records(&self) -> impl Iterator<Item = &(Lsn, LogRecord)> {
+        let horizon = self.flushed;
+        self.records
+            .iter()
+            .filter(move |(lsn, _)| horizon.map(|h| *lsn <= h).unwrap_or(false))
+    }
+
+    /// Total records appended.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was appended.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The latest checkpoint LSN at or below the durable horizon.
+    pub fn last_durable_checkpoint(&self) -> Option<Lsn> {
+        self.durable_records()
+            .filter(|(_, r)| matches!(r, LogRecord::Checkpoint))
+            .map(|(lsn, _)| *lsn)
+            .last()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsns_advance_by_encoded_len() {
+        let mut w = Wal::new();
+        let r1 = LogRecord::Commit { txn: 1 };
+        let l1 = w.append(r1.clone());
+        let l2 = w.append(LogRecord::Commit { txn: 2 });
+        assert_eq!(l1, Lsn(0));
+        assert_eq!(l2, Lsn(u64::from(r1.encoded_len())));
+    }
+
+    #[test]
+    fn encoded_len_tracks_payload() {
+        let small = LogRecord::Update {
+            txn: 1,
+            page: PageId(1),
+            slot: 0,
+            after: vec![0; 10],
+        };
+        let big = LogRecord::Update {
+            txn: 1,
+            page: PageId(1),
+            slot: 0,
+            after: vec![0; 100],
+        };
+        assert_eq!(big.encoded_len() - small.encoded_len(), 90);
+    }
+
+    #[test]
+    fn durability_horizon() {
+        let mut w = Wal::new();
+        let l1 = w.append(LogRecord::Commit { txn: 1 });
+        let l2 = w.append(LogRecord::Commit { txn: 2 });
+        assert_eq!(w.durable_records().count(), 0);
+        w.mark_flushed(l1);
+        assert_eq!(w.durable_records().count(), 1);
+        w.mark_flushed(l2);
+        assert_eq!(w.durable_records().count(), 2);
+    }
+
+    #[test]
+    fn records_after_filters() {
+        let mut w = Wal::new();
+        let l1 = w.append(LogRecord::Commit { txn: 1 });
+        w.append(LogRecord::Commit { txn: 2 });
+        assert_eq!(w.records_after(None).count(), 2);
+        assert_eq!(w.records_after(Some(l1)).count(), 1);
+    }
+
+    #[test]
+    fn checkpoint_discovery() {
+        let mut w = Wal::new();
+        w.append(LogRecord::Commit { txn: 1 });
+        let ck = w.append(LogRecord::Checkpoint);
+        let l3 = w.append(LogRecord::Commit { txn: 2 });
+        assert_eq!(w.last_durable_checkpoint(), None, "not yet flushed");
+        w.mark_flushed(l3);
+        assert_eq!(w.last_durable_checkpoint(), Some(ck));
+    }
+}

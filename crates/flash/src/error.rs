@@ -1,0 +1,120 @@
+//! Flash operation errors.
+//!
+//! Constraint violations (C1–C3) are *programming errors in the caller* —
+//! an FTL that triggers them is buggy — but they are reported as values,
+//! not panics, because the paper's myth 1 discussion hinges on what happens
+//! when software above the chip (or a host bypassing the FTL) is allowed to
+//! violate them. Media failures (C4 aftermath) are genuine runtime events
+//! any controller must handle.
+
+use crate::geometry::{BlockAddr, PageAddr};
+
+/// Errors returned by flash chip operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// C2 violation: programming a page that is not in the erased state.
+    ProgramDirtyPage {
+        /// Offending page.
+        addr: PageAddr,
+    },
+    /// C3 violation: programming out of sequential order within a block.
+    NonSequentialProgram {
+        /// Offending page.
+        addr: PageAddr,
+        /// The page index the block's write point expected.
+        expected: u32,
+    },
+    /// Address outside the LUN geometry.
+    OutOfRange {
+        /// Offending page.
+        addr: PageAddr,
+    },
+    /// Operation issued to a block previously marked bad.
+    BadBlock {
+        /// The bad block.
+        block: BlockAddr,
+    },
+    /// The erase failed and the block has now been marked bad (C4 wear-out).
+    EraseFailed {
+        /// The newly bad block.
+        block: BlockAddr,
+        /// P/E cycles sustained before failure.
+        erase_count: u32,
+    },
+    /// The program operation failed (wear-induced); the block should be
+    /// retired by the controller after salvaging live data.
+    ProgramFailed {
+        /// Offending page.
+        addr: PageAddr,
+    },
+    /// Read saw more raw bit errors than the ECC can correct. The payload
+    /// is lost unless the controller holds redundancy elsewhere.
+    UncorrectableRead {
+        /// Offending page.
+        addr: PageAddr,
+        /// Raw bit errors the decoder saw.
+        raw_errors: u32,
+        /// Correction capability it had.
+        correctable: u32,
+    },
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::ProgramDirtyPage { addr } => {
+                write!(f, "C2 violation: program to non-erased page {addr}")
+            }
+            FlashError::NonSequentialProgram { addr, expected } => write!(
+                f,
+                "C3 violation: program to {addr}, write point expected page {expected}"
+            ),
+            FlashError::OutOfRange { addr } => write!(f, "address {addr} out of range"),
+            FlashError::BadBlock { block } => write!(f, "operation on bad block {block}"),
+            FlashError::EraseFailed { block, erase_count } => write!(
+                f,
+                "erase failed on {block} after {erase_count} P/E cycles; block marked bad"
+            ),
+            FlashError::ProgramFailed { addr } => write!(f, "program failed at {addr}"),
+            FlashError::UncorrectableRead {
+                addr,
+                raw_errors,
+                correctable,
+            } => write!(
+                f,
+                "uncorrectable read at {addr}: {raw_errors} raw errors > {correctable} correctable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+
+    #[test]
+    fn display_mentions_constraint_ids() {
+        let g = Geometry::new(1, 4, 4, 512);
+        let e = FlashError::ProgramDirtyPage {
+            addr: g.page_addr(0, 1, 2),
+        };
+        assert!(e.to_string().contains("C2"));
+        let e = FlashError::NonSequentialProgram {
+            addr: g.page_addr(0, 1, 2),
+            expected: 0,
+        };
+        assert!(e.to_string().contains("C3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let g = Geometry::new(1, 4, 4, 512);
+        takes_err(&FlashError::OutOfRange {
+            addr: g.page_addr(0, 0, 0),
+        });
+    }
+}

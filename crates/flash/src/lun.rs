@@ -1,0 +1,553 @@
+//! The LUN: the stateful flash die model and unit of operation interleaving.
+//!
+//! *"LUNs are the unit of operation interleaving, i.e., operations on
+//! distinct LUNs can be executed in parallel, while operations on a same
+//! LUN are executed serially."* (§2.2)
+//!
+//! A [`Lun`] owns the page/block state machine and enforces C1–C4. It is a
+//! *semantic + timing oracle*: every successful operation returns the
+//! duration it would occupy the die. Serialization of operations in time is
+//! the caller's job (in `requiem-ssd`, a [`requiem_sim::Resource`] per LUN).
+
+use requiem_sim::time::SimDuration;
+use requiem_sim::SimRng;
+
+use crate::error::FlashError;
+use crate::geometry::{BlockAddr, Geometry, PageAddr};
+use crate::FlashSpec;
+
+/// State of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased, ready to program.
+    Free,
+    /// Programmed with live or stale data (liveness is FTL-level knowledge;
+    /// the chip only knows "programmed").
+    Programmed,
+}
+
+/// What a page holds. Real chips hold 4 KiB of bytes plus out-of-band
+/// metadata; simulations rarely need the bytes. [`PagePayload::Tag`] carries
+/// a compact token (e.g. the logical page number an FTL stored there, which
+/// is how real FTLs rebuild their mapping after power loss). Byte payloads
+/// are available for end-to-end data-integrity tests.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PagePayload {
+    /// Erased / never written.
+    #[default]
+    Empty,
+    /// Compact token payload (cheap, the common case in experiments).
+    Tag(u64),
+    /// FTL out-of-band metadata: the logical page stored here plus a
+    /// monotonic write sequence number — exactly what real FTLs keep in
+    /// the spare area so the mapping can be rebuilt after power loss.
+    Oob {
+        /// Logical page number.
+        lpn: u64,
+        /// Global write sequence (newest wins during rebuild).
+        seq: u64,
+    },
+    /// Full byte payload (used by the database integrity tests).
+    Bytes(Box<[u8]>),
+}
+
+/// Outcome of a program or erase: how long the die is busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpOutcome {
+    /// Die-busy time for the operation.
+    pub duration: SimDuration,
+}
+
+/// Outcome of a read: duration, payload, and the raw bit errors the ECC
+/// corrected (observable by controllers that track block health).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Die-busy time (tR). Transfer time is a channel concern.
+    pub duration: SimDuration,
+    /// The stored payload.
+    pub payload: PagePayload,
+    /// Raw bit errors corrected by ECC on this read.
+    pub corrected_errors: u32,
+}
+
+/// Per-block bookkeeping.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    /// P/E cycles sustained (C4).
+    pub erase_count: u32,
+    /// Next page index the write point expects (C3).
+    pub write_point: u32,
+    /// True once the block has failed and been retired.
+    pub bad: bool,
+    /// Page reads since the last erase (read-disturb accumulator).
+    pub reads_since_erase: u64,
+}
+
+struct Block {
+    state: BlockState,
+    pages: Vec<PageState>,
+    payloads: Vec<PagePayload>,
+}
+
+/// One flash die with full state tracking.
+pub struct Lun {
+    id: u32,
+    spec: FlashSpec,
+    blocks: Vec<Block>,
+    rng: SimRng,
+    /// Counters for reporting.
+    reads: u64,
+    programs: u64,
+    erases: u64,
+}
+
+impl std::fmt::Debug for Lun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lun")
+            .field("id", &self.id)
+            .field("geometry", &self.spec.geometry)
+            .field("reads", &self.reads)
+            .field("programs", &self.programs)
+            .field("erases", &self.erases)
+            .finish()
+    }
+}
+
+impl Lun {
+    /// Create a fresh (fully erased) LUN. `seed` feeds the error-injection
+    /// stream; LUNs with different ids derive different streams.
+    pub fn new(id: u32, spec: FlashSpec, seed: u64) -> Self {
+        let nblocks = spec.geometry.total_blocks() as usize;
+        let ppb = spec.geometry.pages_per_block as usize;
+        let blocks = (0..nblocks)
+            .map(|_| Block {
+                state: BlockState {
+                    erase_count: 0,
+                    write_point: 0,
+                    bad: false,
+                    reads_since_erase: 0,
+                },
+                pages: vec![PageState::Free; ppb],
+                payloads: vec![PagePayload::Empty; ppb],
+            })
+            .collect();
+        let rng = SimRng::from_seed(seed).derive(&format!("lun{id}"));
+        Lun {
+            id,
+            spec,
+            blocks,
+            rng,
+            reads: 0,
+            programs: 0,
+            erases: 0,
+        }
+    }
+
+    /// This LUN's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The LUN's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.spec.geometry
+    }
+
+    /// The LUN's full spec.
+    pub fn spec(&self) -> &FlashSpec {
+        &self.spec
+    }
+
+    fn block(&self, b: BlockAddr) -> &Block {
+        &self.blocks[self.spec.geometry.block_index(b) as usize]
+    }
+
+    fn block_mut(&mut self, b: BlockAddr) -> &mut Block {
+        let idx = self.spec.geometry.block_index(b) as usize;
+        &mut self.blocks[idx]
+    }
+
+    /// Bookkeeping for one block.
+    pub fn block_state(&self, b: BlockAddr) -> &BlockState {
+        &self.block(b).state
+    }
+
+    /// State of one page.
+    pub fn page_state(&self, a: PageAddr) -> PageState {
+        self.block(self.spec.geometry.block_of(a)).pages[a.page as usize]
+    }
+
+    /// Wear ratio of a block: `erase_count / endurance`.
+    pub fn wear_ratio(&self, b: BlockAddr) -> f64 {
+        self.block(b).state.erase_count as f64 / self.spec.endurance() as f64
+    }
+
+    /// `(reads, programs, erases)` issued so far.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (self.reads, self.programs, self.erases)
+    }
+
+    /// Read one page (C1: page granularity).
+    ///
+    /// Reading an erased page is legal and returns
+    /// [`PagePayload::Empty`] (all-ones on real flash). Wear raises the raw
+    /// bit error rate; if errors exceed ECC capability the read fails with
+    /// [`FlashError::UncorrectableRead`].
+    pub fn read(&mut self, a: PageAddr) -> Result<ReadOutcome, FlashError> {
+        if !self.spec.geometry.contains(a) {
+            return Err(FlashError::OutOfRange { addr: a });
+        }
+        let baddr = self.spec.geometry.block_of(a);
+        if self.block(baddr).state.bad {
+            return Err(FlashError::BadBlock { block: baddr });
+        }
+        self.reads += 1;
+        self.block_mut(baddr).state.reads_since_erase += 1;
+        let wear = self.wear_ratio(baddr);
+        let disturb = self
+            .spec
+            .cell
+            .read_disturb_factor(self.block(baddr).state.reads_since_erase);
+        let rber = self.spec.cell.rber(wear) * disturb;
+        let page_size = self.spec.geometry.page_size;
+        let (raw, correctable) = self.spec.ecc.decode(rber, page_size, &mut self.rng);
+        if !correctable {
+            return Err(FlashError::UncorrectableRead {
+                addr: a,
+                raw_errors: raw,
+                correctable: self.spec.ecc.correctable_for_page(page_size),
+            });
+        }
+        let block = self.block(baddr);
+        Ok(ReadOutcome {
+            duration: self.spec.timing.read,
+            payload: block.payloads[a.page as usize].clone(),
+            corrected_errors: raw,
+        })
+    }
+
+    /// Program one page (C1; enforces C2 and C3).
+    ///
+    /// Past rated endurance, programs fail probabilistically
+    /// ([`FlashError::ProgramFailed`]); the controller is expected to
+    /// retire the block.
+    pub fn program(&mut self, a: PageAddr, payload: PagePayload) -> Result<OpOutcome, FlashError> {
+        if !self.spec.geometry.contains(a) {
+            return Err(FlashError::OutOfRange { addr: a });
+        }
+        let baddr = self.spec.geometry.block_of(a);
+        let wear = self.wear_ratio(baddr);
+        let endurance_exceeded = wear > 1.0;
+        let block = self.block_mut(baddr);
+        if block.state.bad {
+            return Err(FlashError::BadBlock { block: baddr });
+        }
+        if block.pages[a.page as usize] != PageState::Free {
+            return Err(FlashError::ProgramDirtyPage { addr: a });
+        }
+        // C3: pages must be programmed in ascending order within a block.
+        // ONFI permits *skipping* pages but never going back below the
+        // write point.
+        if a.page < block.state.write_point {
+            return Err(FlashError::NonSequentialProgram {
+                addr: a,
+                expected: block.state.write_point,
+            });
+        }
+        // wear-induced program failure: ramps from 0 at rated life
+        if endurance_exceeded {
+            let p_fail = ((wear - 1.0) * 0.5).min(0.9);
+            if self.rng.chance(p_fail) {
+                self.programs += 1;
+                return Err(FlashError::ProgramFailed { addr: a });
+            }
+        }
+        let block = self.block_mut(baddr);
+        block.pages[a.page as usize] = PageState::Programmed;
+        block.payloads[a.page as usize] = payload;
+        block.state.write_point = a.page + 1;
+        self.programs += 1;
+        Ok(OpOutcome {
+            duration: self.spec.timing.program(a.page),
+        })
+    }
+
+    /// Erase one block (resets all pages to free; C4: counts wear).
+    ///
+    /// Past rated endurance, erases fail probabilistically and mark the
+    /// block bad ([`FlashError::EraseFailed`]).
+    pub fn erase(&mut self, b: BlockAddr) -> Result<OpOutcome, FlashError> {
+        if !self.spec.geometry.contains_block(b) {
+            return Err(FlashError::OutOfRange {
+                addr: PageAddr {
+                    plane: b.plane,
+                    block: b.block,
+                    page: 0,
+                },
+            });
+        }
+        let endurance = self.spec.endurance();
+        if self.block(b).state.bad {
+            return Err(FlashError::BadBlock { block: b });
+        }
+        self.erases += 1;
+        let count = {
+            let block = self.block_mut(b);
+            block.state.erase_count += 1;
+            block.state.erase_count
+        };
+        let wear = count as f64 / endurance as f64;
+        if wear > 1.0 {
+            let p_fail = ((wear - 1.0) * 0.5).min(0.9);
+            if self.rng.chance(p_fail) {
+                self.block_mut(b).state.bad = true;
+                return Err(FlashError::EraseFailed {
+                    block: b,
+                    erase_count: count,
+                });
+            }
+        }
+        let block = self.block_mut(b);
+        block.state.write_point = 0;
+        block.state.reads_since_erase = 0;
+        block.pages.iter_mut().for_each(|p| *p = PageState::Free);
+        block
+            .payloads
+            .iter_mut()
+            .for_each(|p| *p = PagePayload::Empty);
+        Ok(OpOutcome {
+            duration: self.spec.timing.erase,
+        })
+    }
+
+    /// Administratively mark a block bad (factory bad blocks, scan results).
+    pub fn mark_bad(&mut self, b: BlockAddr) {
+        self.block_mut(b).state.bad = true;
+    }
+
+    /// Count of non-bad blocks.
+    pub fn good_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| !b.state.bad).count() as u32
+    }
+
+    /// Maximum erase count across blocks (wear-leveling metric).
+    pub fn max_erase_count(&self) -> u32 {
+        self.blocks
+            .iter()
+            .map(|b| b.state.erase_count)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean erase count across blocks.
+    pub fn mean_erase_count(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks
+            .iter()
+            .map(|b| b.state.erase_count as f64)
+            .sum::<f64>()
+            / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lun() -> Lun {
+        Lun::new(0, FlashSpec::mlc_small(), 7)
+    }
+
+    #[test]
+    fn fresh_lun_is_all_free() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        for b in g.blocks() {
+            assert_eq!(l.block_state(b).erase_count, 0);
+            assert!(!l.block_state(b).bad);
+        }
+        let r = l.read(g.page_addr(0, 0, 0)).unwrap();
+        assert_eq!(r.payload, PagePayload::Empty);
+    }
+
+    #[test]
+    fn program_then_read_roundtrips_payload() {
+        let mut l = lun();
+        let a = l.geometry().page_addr(1, 3, 0);
+        l.program(a, PagePayload::Tag(99)).unwrap();
+        assert_eq!(l.read(a).unwrap().payload, PagePayload::Tag(99));
+        assert_eq!(l.page_state(a), PageState::Programmed);
+    }
+
+    #[test]
+    fn c2_program_dirty_page_rejected() {
+        let mut l = lun();
+        let a = l.geometry().page_addr(0, 0, 0);
+        l.program(a, PagePayload::Tag(1)).unwrap();
+        let err = l.program(a, PagePayload::Tag(2)).unwrap_err();
+        assert!(matches!(err, FlashError::ProgramDirtyPage { .. }));
+    }
+
+    #[test]
+    fn c3_descending_program_rejected_but_gaps_allowed() {
+        let mut l = lun();
+        // skipping ahead is legal (ONFI allows gaps)…
+        let skip = l.geometry().page_addr(0, 0, 5);
+        l.program(skip, PagePayload::Tag(1)).unwrap();
+        // …but going back below the write point is not
+        let back = l.geometry().page_addr(0, 0, 2);
+        let err = l.program(back, PagePayload::Tag(2)).unwrap_err();
+        assert_eq!(
+            err,
+            FlashError::NonSequentialProgram {
+                addr: back,
+                expected: 6
+            }
+        );
+        // skipped pages read as empty
+        let gap = l.geometry().page_addr(0, 0, 3);
+        assert_eq!(l.read(gap).unwrap().payload, PagePayload::Empty);
+    }
+
+    #[test]
+    fn erase_resets_write_point_and_pages() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        let b = g.block_addr(0, 2);
+        for p in 0..g.pages_per_block {
+            l.program(g.page_addr(0, 2, p), PagePayload::Tag(p as u64))
+                .unwrap();
+        }
+        // block full: next program violates C2
+        assert!(l
+            .program(g.page_addr(0, 2, 0), PagePayload::Tag(0))
+            .is_err());
+        l.erase(b).unwrap();
+        assert_eq!(l.block_state(b).erase_count, 1);
+        assert_eq!(l.block_state(b).write_point, 0);
+        assert_eq!(
+            l.read(g.page_addr(0, 2, 3)).unwrap().payload,
+            PagePayload::Empty
+        );
+        // and the block can be rewritten from page 0
+        l.program(g.page_addr(0, 2, 0), PagePayload::Tag(42))
+            .unwrap();
+    }
+
+    #[test]
+    fn c4_wear_eventually_kills_block() {
+        // use TLC (5000 cycles) and hammer one block well past endurance
+        let mut l = Lun::new(0, FlashSpec::tlc_small(), 3);
+        let b = l.geometry().block_addr(0, 0);
+        let mut died = None;
+        for i in 0..20_000u32 {
+            match l.erase(b) {
+                Ok(_) => {}
+                Err(FlashError::EraseFailed { erase_count, .. }) => {
+                    died = Some((i, erase_count));
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let (_, count) = died.expect("block should die past endurance");
+        assert!(count > 5_000, "died too early: {count}");
+        assert!(l.block_state(b).bad);
+        // further ops rejected
+        assert!(matches!(l.erase(b), Err(FlashError::BadBlock { .. })));
+        assert!(matches!(
+            l.read(l.geometry().page_addr(0, 0, 0)),
+            Err(FlashError::BadBlock { .. })
+        ));
+        assert_eq!(l.good_blocks(), l.geometry().total_blocks() - 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut l = lun();
+        let bad = PageAddr {
+            plane: 9,
+            block: 0,
+            page: 0,
+        };
+        assert!(matches!(l.read(bad), Err(FlashError::OutOfRange { .. })));
+        assert!(matches!(
+            l.program(bad, PagePayload::Empty),
+            Err(FlashError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn durations_follow_timing_model() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        let t = l.spec().timing.clone();
+        assert_eq!(l.read(g.page_addr(0, 0, 0)).unwrap().duration, t.read);
+        for p in 0..4 {
+            let d = l
+                .program(g.page_addr(0, 1, p), PagePayload::Tag(0))
+                .unwrap()
+                .duration;
+            assert_eq!(d, t.program(p));
+        }
+        assert_eq!(l.erase(g.block_addr(0, 1)).unwrap().duration, t.erase);
+    }
+
+    #[test]
+    fn op_counts_track() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        l.program(g.page_addr(0, 0, 0), PagePayload::Tag(0))
+            .unwrap();
+        l.read(g.page_addr(0, 0, 0)).unwrap();
+        l.read(g.page_addr(0, 0, 0)).unwrap();
+        l.erase(g.block_addr(0, 0)).unwrap();
+        assert_eq!(l.op_counts(), (2, 1, 1));
+    }
+
+    #[test]
+    fn wear_metrics() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        l.erase(g.block_addr(0, 0)).unwrap();
+        l.erase(g.block_addr(0, 0)).unwrap();
+        l.erase(g.block_addr(0, 1)).unwrap();
+        assert_eq!(l.max_erase_count(), 2);
+        let expected_mean = 3.0 / g.total_blocks() as f64;
+        assert!((l.mean_erase_count() - expected_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mark_bad_is_respected() {
+        let mut l = lun();
+        let b = l.geometry().block_addr(1, 1);
+        l.mark_bad(b);
+        assert!(matches!(l.erase(b), Err(FlashError::BadBlock { .. })));
+    }
+
+    #[test]
+    fn read_counter_accumulates_and_erase_resets_it() {
+        let mut l = lun();
+        let g = l.geometry().clone();
+        let b = g.block_addr(0, 0);
+        l.program(g.page_addr(0, 0, 0), PagePayload::Tag(1))
+            .unwrap();
+        for _ in 0..5 {
+            l.read(g.page_addr(0, 0, 0)).unwrap();
+        }
+        assert_eq!(l.block_state(b).reads_since_erase, 5);
+        l.erase(b).unwrap();
+        assert_eq!(l.block_state(b).reads_since_erase, 0);
+    }
+
+    #[test]
+    fn bytes_payload_roundtrip() {
+        let mut l = lun();
+        let a = l.geometry().page_addr(0, 0, 0);
+        let data: Box<[u8]> = vec![0xAB; 64].into_boxed_slice();
+        l.program(a, PagePayload::Bytes(data.clone())).unwrap();
+        assert_eq!(l.read(a).unwrap().payload, PagePayload::Bytes(data));
+    }
+}

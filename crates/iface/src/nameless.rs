@@ -1,0 +1,535 @@
+//! Nameless writes: the device names the data, the host keeps the name.
+//!
+//! §3: with a communication abstraction, *"extent-based allocation is
+//! irrelevant, nameless writes are interesting"*. In a nameless write the
+//! host sends only data (plus an opaque `tag` such as its database page
+//! id); the **device** picks the physical location — wherever its write
+//! frontier and parallelism make cheapest — and returns the location's
+//! *name*. The host stores names in the index it already maintains, so
+//! the FTL's page-mapping table (8 bytes/page of controller RAM) simply
+//! disappears, and the double indirection (host index → LBA → physical)
+//! collapses to one hop.
+//!
+//! The cost is a protocol: when garbage collection relocates a live page,
+//! the device must tell the host its new name — the
+//! [`Upcall::Migrated`](crate::comm::Upcall) message. A host that reads a
+//! stale name gets [`NamelessError::StaleName`] (detectable via the
+//! out-of-band tag), so correctness is preserved even with a lazy host.
+//!
+//! [`NamelessSsd`] reuses the same flash, channel, directory, and GC
+//! machinery as `requiem-ssd` — only the mapping is gone.
+
+use requiem_flash::{FlashError, FlashSpec, Lun, PageAddr, PagePayload};
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::Resource;
+use requiem_ssd::addr::{ArrayShape, LunId, PhysPage};
+use requiem_ssd::block_dir::{BlockDirectory, Stream};
+use requiem_ssd::channel::ChannelTiming;
+use requiem_ssd::config::{GcPolicy, SsdConfig};
+use requiem_ssd::metrics::{OpCause, SsdMetrics};
+use requiem_ssd::Lpn;
+use serde::{Deserialize, Serialize};
+
+use crate::comm::{Upcall, UpcallQueue};
+
+/// The physical name of a written page — the device-chosen location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhysName {
+    /// The LUN holding the page.
+    pub lun: LunId,
+    /// The page within the LUN.
+    pub addr: PageAddr,
+}
+
+/// Configuration of a nameless device (the FTL-mapping knobs of
+/// [`SsdConfig`] are meaningless here and absent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamelessConfig {
+    /// Array shape.
+    pub shape: ArrayShape,
+    /// Flash die specification.
+    pub flash: FlashSpec,
+    /// Channel timing.
+    pub channel: ChannelTiming,
+    /// Host link throughput, bytes/µs.
+    pub host_link_bytes_per_us: u32,
+    /// Controller overhead per command.
+    pub controller_overhead: SimDuration,
+    /// GC trigger threshold (free blocks per LUN).
+    pub gc_threshold: u32,
+    /// Use on-die copyback for relocations.
+    pub copyback: bool,
+    /// Wear-aware block allocation.
+    pub wear_aware: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl From<&SsdConfig> for NamelessConfig {
+    fn from(c: &SsdConfig) -> Self {
+        NamelessConfig {
+            shape: c.shape.clone(),
+            flash: c.flash.clone(),
+            channel: c.channel.clone(),
+            host_link_bytes_per_us: c.host_link_bytes_per_us,
+            controller_overhead: c.controller_overhead,
+            gc_threshold: c.gc.free_block_threshold,
+            copyback: c.gc.copyback,
+            wear_aware: c.wl.dynamic,
+            seed: c.seed,
+        }
+    }
+}
+
+/// Errors from the nameless interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamelessError {
+    /// The name no longer holds the tagged page (migrated or freed); the
+    /// host must drain its upcalls.
+    StaleName {
+        /// The stale name presented.
+        name: PhysName,
+    },
+    /// No usable space left.
+    DeviceFull,
+}
+
+impl std::fmt::Display for NamelessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamelessError::StaleName { name } => {
+                write!(f, "stale name {:?}; drain migration upcalls", name)
+            }
+            NamelessError::DeviceFull => write!(f, "device full"),
+        }
+    }
+}
+
+impl std::error::Error for NamelessError {}
+
+/// Completion of a nameless write.
+#[derive(Debug, Clone, Copy)]
+pub struct NamelessCompletion {
+    /// The device-chosen name.
+    pub name: PhysName,
+    /// Instant the write was durable.
+    pub done: SimTime,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+}
+
+/// A flash device with no FTL mapping: nameless writes + migration upcalls.
+pub struct NamelessSsd {
+    cfg: NamelessConfig,
+    luns: Vec<Lun>,
+    lun_res: Vec<Resource>,
+    chan_res: Vec<Resource>,
+    host_link: Resource,
+    dir: BlockDirectory,
+    upcalls: UpcallQueue,
+    metrics: SsdMetrics,
+    rr: u32,
+    gc_active: bool,
+}
+
+impl std::fmt::Debug for NamelessSsd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NamelessSsd")
+            .field("luns", &self.luns.len())
+            .field("writes", &self.metrics.host_writes)
+            .field("pending_upcalls", &self.upcalls.len())
+            .finish()
+    }
+}
+
+impl NamelessSsd {
+    /// Build a nameless device.
+    pub fn new(cfg: NamelessConfig) -> Self {
+        let nluns = cfg.shape.total_luns();
+        let geom = cfg.flash.geometry.clone();
+        NamelessSsd {
+            luns: (0..nluns)
+                .map(|i| Lun::new(i, cfg.flash.clone(), cfg.seed))
+                .collect(),
+            lun_res: (0..nluns)
+                .map(|i| Resource::new(format!("chip{i}")))
+                .collect(),
+            chan_res: (0..cfg.shape.channels)
+                .map(|i| Resource::new(format!("chan{i}")))
+                .collect(),
+            host_link: Resource::new("host-link"),
+            dir: BlockDirectory::new(nluns, geom),
+            upcalls: UpcallQueue::new(),
+            metrics: SsdMetrics::new(),
+            rr: 0,
+            gc_active: false,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NamelessConfig {
+        &self.cfg
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &SsdMetrics {
+        &self.metrics
+    }
+
+    /// The device→host message queue.
+    pub fn upcalls(&mut self) -> &mut UpcallQueue {
+        &mut self.upcalls
+    }
+
+    /// Controller RAM spent on logical→physical mapping: **zero** — the
+    /// point of the interface (contrast [`SsdConfig::mapping_table_bytes`]).
+    pub fn mapping_table_bytes(&self) -> u64 {
+        0
+    }
+
+    /// When all queued operations drain.
+    pub fn drain_time(&self) -> SimTime {
+        let mut t = self.host_link.next_free();
+        for r in self.lun_res.iter().chain(self.chan_res.iter()) {
+            t = t.max(r.next_free());
+        }
+        t
+    }
+
+    fn host_link_time(&self) -> SimDuration {
+        let bytes = self.cfg.flash.geometry.page_size;
+        SimDuration::from_nanos(
+            (bytes as u64 * 1_000).div_ceil(self.cfg.host_link_bytes_per_us as u64),
+        )
+    }
+
+    fn place_lun(&mut self, t: SimTime) -> LunId {
+        let prog = self.cfg.flash.timing.program_mean();
+        let n = self.cfg.shape.total_luns();
+        let offset = self.rr;
+        self.rr = self.rr.wrapping_add(1);
+        let mut best = LunId(offset % n);
+        let mut best_start = SimTime::MAX;
+        for k in 0..n {
+            let l = self.cfg.shape.interleaved_lun((offset.wrapping_add(k)) % n);
+            if self.dir.exhausted(l) {
+                continue;
+            }
+            let start = self.lun_res[l.0 as usize].peek(t, prog).start;
+            if start < best_start {
+                best_start = start;
+                best = l;
+            }
+        }
+        best
+    }
+
+    fn op_program(
+        &mut self,
+        not_before: SimTime,
+        phys: PhysPage,
+        tag: u64,
+        use_channel: bool,
+        cause: OpCause,
+    ) -> SimTime {
+        let chan = self.cfg.shape.channel_of(phys.lun) as usize;
+        let start = if use_channel {
+            let bus = self
+                .cfg
+                .channel
+                .write_bus_time(self.cfg.flash.geometry.page_size);
+            self.chan_res[chan].reserve(not_before, bus).end
+        } else {
+            not_before
+        };
+        let dur = match self.luns[phys.lun.0 as usize].program(phys.addr, PagePayload::Tag(tag)) {
+            Ok(o) => o.duration,
+            Err(e) => panic!("nameless controller bug: illegal program: {e}"),
+        };
+        let g = self.lun_res[phys.lun.0 as usize].reserve(start, dur);
+        self.metrics.flash_programs.bump(cause);
+        g.end
+    }
+
+    fn op_read(
+        &mut self,
+        not_before: SimTime,
+        phys: PhysPage,
+        with_transfer: bool,
+        cause: OpCause,
+    ) -> (SimTime, PagePayload) {
+        let chan = self.cfg.shape.channel_of(phys.lun) as usize;
+        // command cycles are latency, not bus occupancy (see requiem-ssd)
+        let cmd_done = not_before + self.cfg.channel.command;
+        let (dur, payload) = match self.luns[phys.lun.0 as usize].read(phys.addr) {
+            Ok(o) => (o.duration, o.payload),
+            Err(FlashError::UncorrectableRead { .. }) => {
+                self.metrics.uncorrectable_reads += 1;
+                (self.cfg.flash.timing.read * 2, PagePayload::Empty)
+            }
+            Err(e) => panic!("nameless controller bug: illegal read: {e}"),
+        };
+        let lg = self.lun_res[phys.lun.0 as usize].reserve(cmd_done, dur);
+        self.metrics.flash_reads.bump(cause);
+        if with_transfer {
+            let xfer = self.cfg.channel.transfer(self.cfg.flash.geometry.page_size);
+            let xg = self.chan_res[chan].reserve(lg.end, xfer);
+            (xg.end, payload)
+        } else {
+            (lg.end, payload)
+        }
+    }
+
+    fn maybe_gc(&mut self, lun: LunId, t: SimTime) {
+        if self.gc_active {
+            return;
+        }
+        self.gc_active = true;
+        let mut guard = self.cfg.flash.geometry.total_blocks();
+        while self.dir.free_blocks(lun) <= self.cfg.gc_threshold && guard > 0 {
+            guard -= 1;
+            let Some(victim) = self.dir.pick_victim(lun, GcPolicy::Greedy) else {
+                break;
+            };
+            self.gc_collect(lun, victim, t);
+        }
+        self.gc_active = false;
+    }
+
+    fn gc_collect(&mut self, lun: LunId, victim: u32, t: SimTime) {
+        self.metrics.gc_runs += 1;
+        let live = self.dir.live_pages(lun, victim);
+        for (addr, tag) in live {
+            let old = PhysPage { lun, addr };
+            let copyback = self.cfg.copyback;
+            let (after_read, _payload) = self.op_read(t, old, !copyback, OpCause::Gc);
+            let np = self
+                .dir
+                .next_page(lun, Stream::Gc, self.cfg.wear_aware)
+                .expect("nameless GC out of space: raise over-provisioning");
+            let _end = self.op_program(after_read, np.phys, tag.0, !copyback, OpCause::Gc);
+            self.dir.invalidate(old);
+            self.dir.mark_valid(np.phys, tag);
+            self.metrics.gc_pages_moved += 1;
+            // the peer-to-peer message: tell the host where its page went
+            self.upcalls.push(Upcall::Migrated {
+                tag: tag.0,
+                old: PhysName {
+                    lun: old.lun,
+                    addr: old.addr,
+                },
+                new: PhysName {
+                    lun: np.phys.lun,
+                    addr: np.phys.addr,
+                },
+                at: t,
+            });
+        }
+        // erase the victim
+        let baddr = self.cfg.flash.geometry.block_from_index(victim);
+        let cmd_done = t + self.cfg.channel.command;
+        match self.luns[lun.0 as usize].erase(baddr) {
+            Ok(o) => {
+                self.lun_res[lun.0 as usize].reserve(cmd_done, o.duration);
+                self.metrics.flash_erases.bump(OpCause::Gc);
+                self.dir.recycle(lun, victim);
+            }
+            Err(FlashError::EraseFailed { .. }) => {
+                self.lun_res[lun.0 as usize].reserve(cmd_done, self.cfg.flash.timing.erase);
+                self.metrics.blocks_retired += 1;
+                self.dir.retire(lun, victim);
+                self.upcalls.push(Upcall::BlockRetired { at: t });
+            }
+            Err(e) => panic!("nameless controller bug: illegal erase: {e}"),
+        }
+    }
+
+    /// Write a page; the device picks the location and returns its name.
+    /// `tag` is an opaque host identifier stored out-of-band (and echoed
+    /// in migration upcalls).
+    pub fn write(&mut self, now: SimTime, tag: u64) -> Result<NamelessCompletion, NamelessError> {
+        self.metrics.host_writes += 1;
+        let link = self.host_link.reserve(now, self.host_link_time());
+        let t = link.end + self.cfg.controller_overhead;
+        let lun = self.place_lun(t);
+        self.maybe_gc(lun, t);
+        let np = self
+            .dir
+            .next_page(lun, Stream::Host, self.cfg.wear_aware)
+            .ok_or(NamelessError::DeviceFull)?;
+        let done = self.op_program(t, np.phys, tag, true, OpCause::Host);
+        self.dir.mark_valid(np.phys, Lpn(tag));
+        let latency = done.since(now);
+        self.metrics.write_latency.record_duration(latency);
+        Ok(NamelessCompletion {
+            name: PhysName {
+                lun: np.phys.lun,
+                addr: np.phys.addr,
+            },
+            done,
+            latency,
+        })
+    }
+
+    /// Read the page at `name`, verifying it still holds `tag`'s data.
+    pub fn read(
+        &mut self,
+        now: SimTime,
+        name: PhysName,
+        tag: u64,
+    ) -> Result<(SimTime, SimDuration), NamelessError> {
+        self.metrics.host_reads += 1;
+        let t = now + self.cfg.controller_overhead;
+        let geom = &self.cfg.flash.geometry;
+        let bidx = geom.block_index(geom.block_of(name.addr));
+        let info = self.dir.block_info(name.lun, bidx);
+        if info.backptrs[name.addr.page as usize] != Some(Lpn(tag)) {
+            return Err(NamelessError::StaleName { name });
+        }
+        let phys = PhysPage {
+            lun: name.lun,
+            addr: name.addr,
+        };
+        let (flash_done, _payload) = self.op_read(t, phys, true, OpCause::Host);
+        let out = self.host_link.reserve(flash_done, self.host_link_time());
+        let latency = out.end.since(now);
+        self.metrics.read_latency.record_duration(latency);
+        Ok((out.end, latency))
+    }
+
+    /// Free the page at `name` (the trim analog — but exact, since the
+    /// host speaks in physical names).
+    pub fn free(
+        &mut self,
+        now: SimTime,
+        name: PhysName,
+        tag: u64,
+    ) -> Result<SimTime, NamelessError> {
+        self.metrics.host_trims += 1;
+        let geom = &self.cfg.flash.geometry;
+        let bidx = geom.block_index(geom.block_of(name.addr));
+        let info = self.dir.block_info(name.lun, bidx);
+        if info.backptrs[name.addr.page as usize] != Some(Lpn(tag)) {
+            return Err(NamelessError::StaleName { name });
+        }
+        self.dir.invalidate(PhysPage {
+            lun: name.lun,
+            addr: name.addr,
+        });
+        Ok(now + self.cfg.controller_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn device() -> NamelessSsd {
+        let mut base = SsdConfig::modern();
+        base.shape.channels = 2;
+        base.shape.chips_per_channel = 2;
+        NamelessSsd::new(NamelessConfig::from(&base))
+    }
+
+    #[test]
+    fn write_returns_name_and_read_round_trips() {
+        let mut d = device();
+        let w = d.write(SimTime::ZERO, 42).unwrap();
+        let (done, lat) = d.read(w.done, w.name, 42).unwrap();
+        assert!(done > w.done);
+        assert!(lat > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wrong_tag_is_stale() {
+        let mut d = device();
+        let w = d.write(SimTime::ZERO, 42).unwrap();
+        let err = d.read(w.done, w.name, 43).unwrap_err();
+        assert!(matches!(err, NamelessError::StaleName { .. }));
+    }
+
+    #[test]
+    fn free_then_read_is_stale() {
+        let mut d = device();
+        let w = d.write(SimTime::ZERO, 7).unwrap();
+        let t = d.free(w.done, w.name, 7).unwrap();
+        let err = d.read(t, w.name, 7).unwrap_err();
+        assert!(matches!(err, NamelessError::StaleName { .. }));
+    }
+
+    #[test]
+    fn no_mapping_table_ram() {
+        let d = device();
+        assert_eq!(d.mapping_table_bytes(), 0);
+        // versus the page-mapped FTL on the same hardware:
+        let mut base = SsdConfig::modern();
+        base.shape.channels = 2;
+        base.shape.chips_per_channel = 2;
+        assert!(base.mapping_table_bytes() > 50_000);
+    }
+
+    #[test]
+    fn gc_migrations_emit_upcalls_and_host_stays_consistent() {
+        let mut d = device();
+        // host-side index: tag -> name (exactly what a DB's page table is)
+        let mut index: HashMap<u64, PhysName> = HashMap::new();
+        let raw_pages: u64 = 4 * d.config().flash.geometry.total_pages();
+        // high utilization so GC victims cannot be fully dead
+        let live_set = raw_pages * 8 / 10;
+        let mut t = SimTime::ZERO;
+        // initial fill: every tag written once
+        for tag in 0..live_set {
+            let w = d.write(t, tag).unwrap();
+            t = w.done;
+            index.insert(tag, w.name);
+        }
+        // random churn: rewrite scattered tags so invalid pages spread
+        // thinly over blocks, forcing GC to relocate live neighbours
+        let mut x = 12345u64;
+        for step in 0..(live_set * 2) {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tag = x % live_set;
+            // old version may have migrated; drain upcalls first
+            for u in d.upcalls().drain() {
+                if let Upcall::Migrated { tag, new, .. } = u {
+                    index.insert(tag, new);
+                }
+            }
+            let cur = index[&tag];
+            d.free(t, cur, tag).expect("free of current name");
+            let w = d
+                .write(t, tag)
+                .unwrap_or_else(|e| panic!("step {step} tag {tag}: {e}"));
+            t = w.done;
+            index.insert(tag, w.name);
+        }
+        // final drain + verify every tag readable at its current name
+        for u in d.upcalls().drain() {
+            if let Upcall::Migrated { tag, new, .. } = u {
+                index.insert(tag, new);
+            }
+        }
+        assert!(d.metrics().gc_runs > 0, "churn must trigger GC");
+        assert!(d.upcalls().delivered() > 0, "GC must have migrated pages");
+        for (tag, name) in index {
+            let r = d.read(t, name, tag);
+            assert!(r.is_ok(), "tag {tag} unreadable at {name:?}");
+            t = r.unwrap().0;
+        }
+    }
+
+    #[test]
+    fn parallel_writes_stripe_like_an_ftl() {
+        let mut d = device();
+        let mut names = Vec::new();
+        for tag in 0..8u64 {
+            names.push(d.write(SimTime::ZERO, tag).unwrap().name);
+        }
+        let luns: std::collections::HashSet<u32> = names.iter().map(|n| n.lun.0).collect();
+        assert!(luns.len() >= 3, "writes should spread over LUNs: {luns:?}");
+    }
+}

@@ -1,0 +1,200 @@
+//! A generic calendar queue for event-driven model fragments.
+//!
+//! Most of the stack uses resource timelines, but some behaviour is
+//! genuinely reactive: background garbage collection waking when the free
+//! block pool sinks below a threshold, periodic checkpoints, buffer flush
+//! timers. [`EventQueue`] orders arbitrary payloads by `(time, sequence)`,
+//! giving deterministic FIFO tie-breaking for simultaneous events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events of type `E`.
+///
+/// Events scheduled for the same instant pop in scheduling order.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock (causality violation).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.at;
+        Some((e.at, e.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Current clock (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drain and process every event with `f`, which may schedule more
+    /// events. Returns the number of events processed. `limit` bounds the
+    /// total processed as a runaway guard (use `u64::MAX` for no limit).
+    pub fn run(&mut self, limit: u64, mut f: impl FnMut(SimTime, E, &mut EventQueue<E>)) -> u64 {
+        let mut processed = 0u64;
+        while processed < limit {
+            let Some(e) = self.heap.pop() else { break };
+            self.now = e.at;
+            // Hand `self` to the handler so it can schedule follow-ups.
+            f(e.at, e.payload, self);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), "c");
+        q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn run_processes_cascading_events() {
+        // each event up to t=5 schedules a successor 1ns later
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 1u64);
+        let mut seen = Vec::new();
+        let n = q.run(1000, |t, v, q| {
+            seen.push(v);
+            if v < 5 {
+                q.schedule(t + crate::time::NANOSECOND, v + 1);
+            }
+        });
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_respects_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(1), 0u64);
+        let n = q.run(3, |t, v, q| {
+            q.schedule(t + crate::time::NANOSECOND, v + 1); // infinite cascade
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn peek_time_does_not_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Span recording and ASCII Gantt rendering.
+//!
+//! The paper's Figure 1 is a timing diagram: four chips on one shared
+//! channel, reads serialized on the channel (channel-bound) versus writes
+//! overlapping on chips (chip-bound). [`Gantt`] records labelled spans per
+//! lane and renders them as a textual chart so experiment binaries can
+//! regenerate the figure directly in a terminal / markdown code block.
+
+use std::fmt::Write as _;
+
+use crate::time::{SimDuration, SimTime};
+
+/// One labelled interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Lane (row) this span belongs to, e.g. `"chip2"` or `"channel"`.
+    pub lane: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+    /// Single-character glyph used when rendering (e.g. `T` transfer, `R` read).
+    pub glyph: char,
+    /// Free-form annotation.
+    pub label: String,
+}
+
+/// A recorder of spans across named lanes, renderable as ASCII art.
+#[derive(Debug, Default, Clone)]
+pub struct Gantt {
+    spans: Vec<Span>,
+    lane_order: Vec<String>,
+}
+
+impl Gantt {
+    /// New, empty chart.
+    pub fn new() -> Self {
+        Gantt::default()
+    }
+
+    /// Record a span. Lanes appear in first-recorded order.
+    pub fn record(
+        &mut self,
+        lane: impl Into<String>,
+        start: SimTime,
+        end: SimTime,
+        glyph: char,
+        label: impl Into<String>,
+    ) {
+        let lane = lane.into();
+        if !self.lane_order.contains(&lane) {
+            self.lane_order.push(lane.clone());
+        }
+        self.spans.push(Span {
+            lane,
+            start,
+            end,
+            glyph,
+            label: label.into(),
+        });
+    }
+
+    /// All recorded spans.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Latest end across spans (the makespan).
+    pub fn makespan(&self) -> SimTime {
+        self.spans
+            .iter()
+            .map(|s| s.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total busy time on one lane.
+    pub fn lane_busy(&self, lane: &str) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane)
+            .map(|s| s.end.since(s.start))
+            .sum()
+    }
+
+    /// Render as ASCII rows, `width` characters of timeline per row.
+    ///
+    /// Each lane becomes one row; spans are drawn with their glyph,
+    /// overlapping spans on a lane overwrite left-to-right (lanes fed from a
+    /// serial [`crate::Resource`] never overlap). A time axis is appended.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let makespan = self.makespan().as_nanos().max(1);
+        let width = width.max(10);
+        let name_w = self
+            .lane_order
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let scale = |t: SimTime| -> usize {
+            ((t.as_nanos() as u128 * width as u128) / makespan as u128) as usize
+        };
+        for lane in &self.lane_order {
+            let mut row = vec![' '; width + 1];
+            for s in self.spans.iter().filter(|s| &s.lane == lane) {
+                let a = scale(s.start).min(width);
+                let b = scale(s.end).min(width).max(a + 1);
+                for c in row.iter_mut().take(b).skip(a) {
+                    *c = s.glyph;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{lane:<name_w$} |{}|",
+                row.into_iter().collect::<String>()
+            );
+        }
+        // time axis
+        let total = SimDuration::from_nanos(makespan);
+        let _ = writeln!(
+            out,
+            "{:<name_w$} 0{}^ (makespan {})",
+            "",
+            " ".repeat(width.saturating_sub(1)),
+            total
+        );
+        out
+    }
+
+    /// Shift every span so `origin` becomes time zero (for rendering a
+    /// measurement window that started mid-run). Spans beginning before
+    /// `origin` are clamped to zero.
+    pub fn rebase(&mut self, origin: SimTime) {
+        for s in &mut self.spans {
+            let start = s.start.as_nanos().saturating_sub(origin.as_nanos());
+            let end = s.end.as_nanos().saturating_sub(origin.as_nanos());
+            s.start = SimTime::from_nanos(start);
+            s.end = SimTime::from_nanos(end.max(start));
+        }
+    }
+
+    /// Clear recorded spans (lane order is also reset).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+        self.lane_order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_lanes() {
+        let mut g = Gantt::new();
+        g.record("chip1", SimTime::ZERO, SimTime::from_micros(2), 'R', "read");
+        g.record(
+            "channel",
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+            'T',
+            "xfer",
+        );
+        g.record(
+            "chip1",
+            SimTime::from_micros(3),
+            SimTime::from_micros(4),
+            'R',
+            "read",
+        );
+        assert_eq!(g.spans().len(), 3);
+        assert_eq!(g.makespan(), SimTime::from_micros(4));
+        assert_eq!(g.lane_busy("chip1"), SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn render_contains_lanes_and_glyphs() {
+        let mut g = Gantt::new();
+        g.record(
+            "chipA",
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            'P',
+            "program",
+        );
+        g.record("chanX", SimTime::ZERO, SimTime::from_micros(1), 'T', "xfer");
+        let art = g.render(40);
+        assert!(art.contains("chipA"));
+        assert!(art.contains("chanX"));
+        assert!(art.contains('P'));
+        assert!(art.contains('T'));
+        assert!(art.contains("makespan"));
+    }
+
+    #[test]
+    fn render_scales_span_lengths() {
+        let mut g = Gantt::new();
+        // long span should paint many more cells than a short one
+        g.record("long", SimTime::ZERO, SimTime::from_micros(10), 'L', "");
+        g.record("short", SimTime::ZERO, SimTime::from_micros(1), 'S', "");
+        let art = g.render(100);
+        let longs = art.matches('L').count();
+        let shorts = art.matches('S').count();
+        assert!(longs >= 8 * shorts, "longs={longs} shorts={shorts}");
+    }
+
+    #[test]
+    fn empty_chart_renders() {
+        let g = Gantt::new();
+        let art = g.render(20);
+        assert!(art.contains("makespan"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = Gantt::new();
+        g.record("a", SimTime::ZERO, SimTime::from_micros(1), 'x', "");
+        g.clear();
+        assert!(g.spans().is_empty());
+        assert_eq!(g.makespan(), SimTime::ZERO);
+    }
+}

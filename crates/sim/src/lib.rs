@@ -1,0 +1,52 @@
+//! # requiem-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate every other `requiem` crate builds on. It
+//! provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a virtual clock in integer nanoseconds.
+//!   All timing in the simulated I/O stack is expressed in these units, so a
+//!   whole experiment is reproducible to the nanosecond.
+//! * [`Resource`] — a *serial* resource timeline (a flash channel, a LUN, a
+//!   CPU core, a submission-queue lock). Operations reserve an interval on
+//!   the timeline; the resource hands back the earliest feasible start in
+//!   FIFO order and tracks utilization.
+//! * [`EventQueue`] — a generic calendar queue for models that need
+//!   event-driven control flow (background garbage collection, checkpoint
+//!   timers) rather than pure timeline reservation.
+//! * [`stats`] — latency histograms with percentile extraction, counters,
+//!   and time-weighted gauges.
+//! * [`SimRng`] — a seedable, splittable random-number source so that every
+//!   component can derive an independent stream from one experiment seed.
+//! * [`gantt`] — span recording and ASCII rendering, used to regenerate the
+//!   paper's Figure 1 as a textual timing diagram.
+//! * [`table`] — GitHub-flavoured markdown table construction for experiment
+//!   reports.
+//!
+//! ## Why a timeline model?
+//!
+//! The devices simulated in this workspace (flash chips, channels, PCM
+//! lines, CPU cores) are all *serial* resources with deterministic service
+//! times. For such systems, reserving intervals on per-resource timelines is
+//! equivalent to a full event-driven simulation but is simpler, faster, and
+//! allocation-free on the hot path. Where genuinely reactive behaviour is
+//! needed (e.g. threshold-triggered garbage collection) the [`EventQueue`]
+//! complements the timelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod gantt;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use event::EventQueue;
+pub use gantt::{Gantt, Span};
+pub use resource::{Resource, ResourceBank};
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, Summary};
+pub use table::Table;
+pub use time::{SimDuration, SimTime};

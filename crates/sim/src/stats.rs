@@ -1,0 +1,417 @@
+//! Measurement collection: latency histograms, counters, summaries.
+//!
+//! The histogram uses HDR-style log-linear bucketing: values are grouped by
+//! power-of-two magnitude, each magnitude subdivided into 16 linear
+//! sub-buckets. This gives ≤ 6.25 % relative error on percentile extraction
+//! across the full `u64` range with a small constant footprint — accurate
+//! enough to distinguish a 50 µs read from a 3 ms erase-stalled read by
+//! orders of magnitude, which is what the paper's myth 3 requires.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+const SUB_BUCKET_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 16
+const MAGNITUDES: usize = 64;
+const BUCKETS: usize = MAGNITUDES * SUB_BUCKETS;
+
+/// A log-linear histogram over `u64` values (typically nanoseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // floor(log2(value)) >= 4
+        let shift = magnitude - SUB_BUCKET_BITS;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        ((magnitude - SUB_BUCKET_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (lower-bound) value for a bucket index.
+    fn bucket_floor(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let magnitude = (idx / SUB_BUCKETS - 1) as u32 + SUB_BUCKET_BITS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        let base = 1u64 << magnitude;
+        let step = 1u64 << (magnitude - SUB_BUCKET_BITS);
+        base + sub * step
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a duration (nanoseconds).
+    #[inline]
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of recorded values (exact, not bucketed).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (exact). Zero if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact). Zero if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (bucket lower bound; ≤ 6.25 % relative
+    /// error). Zero if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // clamp to true extrema for exactness at the edges
+                return Self::bucket_floor(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand: median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand: 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// Shorthand: 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Condensed summary snapshot.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.total,
+            mean: self.mean(),
+            min: self.min(),
+            p50: self.p50(),
+            p95: self.p95(),
+            p99: self.p99(),
+            max: self.max(),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram({:?})", self.summary())
+    }
+}
+
+/// A condensed latency summary (all values in the recorded unit, typically ns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} max={}",
+            self.count,
+            SimDuration::from_nanos(self.mean as u64),
+            SimDuration::from_nanos(self.p50),
+            SimDuration::from_nanos(self.p95),
+            SimDuration::from_nanos(self.p99),
+            SimDuration::from_nanos(self.max),
+        )
+    }
+}
+
+/// A labelled monotonically-increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Reset to zero.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Welford online mean/variance accumulator for f64 series (used for
+/// utilization and amplification factors where histograms are overkill).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_small_values_exact() {
+        for v in 0..16u64 {
+            let idx = Histogram::bucket_index(v);
+            assert_eq!(Histogram::bucket_floor(idx), v);
+        }
+    }
+
+    #[test]
+    fn bucket_floor_within_relative_error() {
+        for &v in &[17u64, 100, 1_000, 50_000, 3_000_000, u64::MAX / 2] {
+            let idx = Histogram::bucket_index(v);
+            let floor = Histogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // next bucket's floor must be above v
+            let next = Histogram::bucket_floor(idx + 1);
+            assert!(next > v, "next floor {next} <= value {v}");
+            // relative error bound 1/16
+            assert!((v - floor) as f64 / v as f64 <= 1.0 / 16.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_sequence() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!((450..=550).contains(&p50), "p50={p50}");
+        let p99 = h.p99();
+        assert!((930..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bimodal_distribution_separates() {
+        // 99 fast reads at 50µs + 1 erase-stalled read at 3ms:
+        // p50 must stay ~50µs, max must report ~3ms. This is the exact
+        // shape myth 3 depends on.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(50_000);
+        }
+        h.record(3_000_000);
+        assert!(h.p50() < 60_000);
+        assert_eq!(h.max(), 3_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_extremes_clamped_to_true_min_max() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        assert_eq!(h.quantile(0.0), 123_456);
+        assert_eq!(h.quantile(1.0), 123_456);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.clear();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.record(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.stddev() - 2.0).abs() < 1e-12);
+    }
+}

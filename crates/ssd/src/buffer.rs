@@ -1,0 +1,175 @@
+//! The battery-backed write-back buffer.
+//!
+//! §2.3.2: *"high-end SSDs now include safe RAM buffers (with batteries),
+//! which are designed for buffering write operations. Such SSDs provide a
+//! form of write-back mechanism where a write I/O request completes as
+//! soon as it hits the cache."*
+//!
+//! The buffer has `capacity` page slots. A write acquires a slot (waiting
+//! if all slots are mid-flush), completes immediately — the data is safe in
+//! battery-backed RAM — and the flash program proceeds behind the
+//! completion. Reads of still-buffered pages are served from RAM.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use requiem_sim::time::SimTime;
+
+/// Write-back buffer occupancy and residency tracking (timeline model:
+/// a slot is "busy" until its page's flash flush finishes).
+#[derive(Debug)]
+pub struct WriteBuffer {
+    capacity: usize,
+    /// Flush-completion times of occupied slots.
+    slots: BinaryHeap<Reverse<SimTime>>,
+    /// lpn → flush completion time (page readable from RAM until then).
+    resident: HashMap<u64, SimTime>,
+    read_hits: u64,
+    stalls: u64,
+}
+
+impl WriteBuffer {
+    /// Create a buffer with `capacity` page slots (0 = disabled; callers
+    /// should bypass a disabled buffer).
+    pub fn new(capacity: usize) -> Self {
+        WriteBuffer {
+            capacity,
+            slots: BinaryHeap::with_capacity(capacity + 1),
+            resident: HashMap::new(),
+            read_hits: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Whether the buffer exists at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Acquire a slot at or after `now`. Returns the time the slot is
+    /// available — `now` if the buffer has room, otherwise the earliest
+    /// flush completion (the write stalls until the flash drains a page:
+    /// the regime where buffered writes degrade to flash speed).
+    pub fn acquire(&mut self, now: SimTime) -> SimTime {
+        debug_assert!(self.enabled());
+        // release slots whose flush already finished
+        while let Some(&Reverse(t)) = self.slots.peek() {
+            if t <= now {
+                self.slots.pop();
+            } else {
+                break;
+            }
+        }
+        if self.slots.len() < self.capacity {
+            now
+        } else {
+            self.stalls += 1;
+            let Reverse(t) = self.slots.pop().expect("buffer non-empty when full");
+            t
+        }
+    }
+
+    /// Commit a page into the acquired slot: its flush finishes at `done`.
+    pub fn commit(&mut self, lpn: u64, done: SimTime) {
+        self.slots.push(Reverse(done));
+        self.resident.insert(lpn, done);
+        // bound residency-map growth
+        if self.resident.len() > self.capacity * 8 + 64 {
+            let horizon = done;
+            self.resident.retain(|_, &mut t| t > horizon);
+        }
+    }
+
+    /// True if a read of `lpn` at `now` can be served from buffer RAM.
+    pub fn read_hit(&mut self, lpn: u64, now: SimTime) -> bool {
+        match self.resident.get(&lpn) {
+            Some(&t) if t > now => {
+                self.read_hits += 1;
+                true
+            }
+            Some(_) => {
+                self.resident.remove(&lpn);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Discard residency for `lpn` (trim).
+    pub fn discard(&mut self, lpn: u64) {
+        self.resident.remove(&lpn);
+    }
+
+    /// Number of reads served from the buffer.
+    pub fn read_hits(&self) -> u64 {
+        self.read_hits
+    }
+
+    /// Number of writes that had to wait for a slot.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_immediate_with_room() {
+        let mut b = WriteBuffer::new(2);
+        assert_eq!(b.acquire(SimTime::from_micros(5)), SimTime::from_micros(5));
+        assert_eq!(b.stalls(), 0);
+    }
+
+    #[test]
+    fn full_buffer_stalls_until_earliest_flush() {
+        let mut b = WriteBuffer::new(2);
+        b.commit(1, SimTime::from_micros(100));
+        b.commit(2, SimTime::from_micros(50));
+        // both slots busy at t=0 → wait for the earliest (50µs)
+        let t = b.acquire(SimTime::ZERO);
+        assert_eq!(t, SimTime::from_micros(50));
+        assert_eq!(b.stalls(), 1);
+    }
+
+    #[test]
+    fn finished_flushes_free_slots() {
+        let mut b = WriteBuffer::new(1);
+        b.commit(1, SimTime::from_micros(10));
+        // at t=20µs the slot has drained
+        assert_eq!(
+            b.acquire(SimTime::from_micros(20)),
+            SimTime::from_micros(20)
+        );
+        assert_eq!(b.stalls(), 0);
+    }
+
+    #[test]
+    fn read_hits_while_flushing_only() {
+        let mut b = WriteBuffer::new(2);
+        b.commit(7, SimTime::from_micros(100));
+        assert!(b.read_hit(7, SimTime::from_micros(50)));
+        assert!(!b.read_hit(7, SimTime::from_micros(150)));
+        assert!(!b.read_hit(8, SimTime::ZERO));
+        assert_eq!(b.read_hits(), 1);
+    }
+
+    #[test]
+    fn discard_removes_residency() {
+        let mut b = WriteBuffer::new(2);
+        b.commit(7, SimTime::from_micros(100));
+        b.discard(7);
+        assert!(!b.read_hit(7, SimTime::ZERO));
+    }
+
+    #[test]
+    fn residency_map_stays_bounded() {
+        let mut b = WriteBuffer::new(2);
+        for i in 0..10_000u64 {
+            let t = b.acquire(SimTime::from_nanos(i));
+            b.commit(i, t + requiem_sim::time::MICROSECOND);
+        }
+        assert!(b.resident.len() <= 2 * 8 + 64 + 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # requiem-ssd — a flash SSD simulator
+//!
+//! The executable form of the paper's §2.2 ("I/O stack internals") and
+//! Figure 2 ("internal architecture of a SSD controller"):
+//!
+//! * tens of flash LUNs (from `requiem-flash`) wired to shared
+//!   **channels** with realistic bus timing ([`channel::ChannelTiming`]);
+//! * a controller with pluggable **FTLs** — full page mapping, pre-2009
+//!   block mapping, BAST-style hybrid log blocks, and DFTL (the paper's
+//!   ref [10]) — see [`config::FtlKind`];
+//! * **garbage collection** (greedy / cost-benefit) and **wear leveling**
+//!   (dynamic + optional static), whose traffic contends with host I/O on
+//!   the same channel/LUN resources;
+//! * a battery-backed **write-back buffer** (§2.3.2's "safe RAM buffer");
+//! * **TRIM** support.
+//!
+//! The device exposes the narrow block-style interface the paper
+//! critiques — `read(lpn)` / `write(lpn)` / `trim(lpn)` — and rich
+//! [`metrics::SsdMetrics`] that reveal everything that interface hides:
+//! write amplification by cause, GC interference, channel-vs-chip
+//! utilization, latency distributions.
+//!
+//! ```
+//! use requiem_sim::time::SimTime;
+//! use requiem_ssd::{Lpn, Ssd, SsdConfig};
+//!
+//! let mut ssd = Ssd::new(SsdConfig::modern());
+//! let w = ssd.write(SimTime::ZERO, Lpn(0)).unwrap();
+//! let r = ssd.read(w.done, Lpn(0)).unwrap();
+//! assert!(r.done > w.done);
+//! println!("write {} read {}", w.latency, r.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod block_dir;
+pub mod buffer;
+pub mod channel;
+pub mod config;
+pub mod device;
+pub mod mapping;
+pub mod metrics;
+
+pub use addr::{ArrayShape, Capacity, Lpn, LunId, PhysPage};
+pub use channel::ChannelTiming;
+pub use config::{BufferConfig, FtlKind, GcConfig, GcPolicy, Placement, SsdConfig, WlConfig};
+pub use device::{Completion, RebuildReport, Served, Ssd, SsdError};
+pub use metrics::{OpCause, SsdMetrics};

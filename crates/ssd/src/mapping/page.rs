@@ -1,0 +1,113 @@
+//! Full page-level mapping table.
+
+use crate::addr::{Lpn, PhysPage};
+
+/// A dense logical-page → physical-page table.
+///
+/// The scheme of modern controllers: *"with page mapping, there are no
+/// constraints on the placement of any write — regardless of whether they
+/// are sequential or random"* (§2.3.2).
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    table: Vec<Option<PhysPage>>,
+    mapped: u64,
+}
+
+impl PageMap {
+    /// Create an empty map over `exported_pages` logical pages.
+    pub fn new(exported_pages: u64) -> Self {
+        PageMap {
+            table: vec![None; exported_pages as usize],
+            mapped: 0,
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn len(&self) -> u64 {
+        self.table.len() as u64
+    }
+
+    /// True if no page is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.mapped == 0
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Current physical location of `lpn`, if written.
+    #[inline]
+    pub fn lookup(&self, lpn: Lpn) -> Option<PhysPage> {
+        self.table[lpn.0 as usize]
+    }
+
+    /// Map `lpn` to `phys`, returning the previous location (which the
+    /// caller must invalidate — out-of-place update).
+    #[inline]
+    pub fn update(&mut self, lpn: Lpn, phys: PhysPage) -> Option<PhysPage> {
+        let old = self.table[lpn.0 as usize].replace(phys);
+        if old.is_none() {
+            self.mapped += 1;
+        }
+        old
+    }
+
+    /// Unmap `lpn` (trim), returning the previous location.
+    #[inline]
+    pub fn unmap(&mut self, lpn: Lpn) -> Option<PhysPage> {
+        let old = self.table[lpn.0 as usize].take();
+        if old.is_some() {
+            self.mapped -= 1;
+        }
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LunId;
+    use requiem_flash::PageAddr;
+
+    fn pp(lun: u32, block: u32, page: u32) -> PhysPage {
+        PhysPage {
+            lun: LunId(lun),
+            addr: PageAddr {
+                plane: 0,
+                block,
+                page,
+            },
+        }
+    }
+
+    #[test]
+    fn starts_unmapped() {
+        let m = PageMap::new(10);
+        assert_eq!(m.lookup(Lpn(3)), None);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 10);
+    }
+
+    #[test]
+    fn update_returns_old_for_invalidation() {
+        let mut m = PageMap::new(10);
+        assert_eq!(m.update(Lpn(3), pp(0, 1, 2)), None);
+        assert_eq!(m.mapped(), 1);
+        let old = m.update(Lpn(3), pp(1, 5, 0));
+        assert_eq!(old, Some(pp(0, 1, 2)));
+        assert_eq!(m.mapped(), 1);
+        assert_eq!(m.lookup(Lpn(3)), Some(pp(1, 5, 0)));
+    }
+
+    #[test]
+    fn unmap_clears() {
+        let mut m = PageMap::new(10);
+        m.update(Lpn(3), pp(0, 1, 2));
+        assert_eq!(m.unmap(Lpn(3)), Some(pp(0, 1, 2)));
+        assert_eq!(m.lookup(Lpn(3)), None);
+        assert_eq!(m.mapped(), 0);
+        assert_eq!(m.unmap(Lpn(3)), None);
+    }
+}

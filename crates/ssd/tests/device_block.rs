@@ -1,0 +1,221 @@
+//! Behavioural tests of the block-mapped and hybrid (BAST) devices — the
+//! pre-2009 FTLs for which the paper's myth 2 was actually true.
+
+use requiem_sim::time::SimTime;
+use requiem_ssd::{Lpn, Served, Ssd, SsdConfig};
+
+fn seq_write(ssd: &mut Ssd, from: u64, n: u64) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for lpn in from..from + n {
+        let c = ssd.write(t, Lpn(lpn)).unwrap();
+        t = c.done;
+    }
+    t
+}
+
+#[test]
+fn block_ftl_sequential_writes_are_appends() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_block());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    seq_write(&mut ssd, 0, 2 * ppb);
+    let m = ssd.metrics();
+    assert_eq!(m.host_writes, 2 * ppb);
+    // pure appends: one program per host write, no merges
+    assert_eq!(m.flash_programs.total(), 2 * ppb);
+    assert_eq!(m.merges_full, 0);
+    assert!((m.write_amplification() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn block_ftl_rewrite_opens_replacement_then_merges_on_switch() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_block());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    // fill logical blocks 0 and 1
+    let t = seq_write(&mut ssd, 0, 2 * ppb);
+    let before = ssd.metrics().flash_programs.total();
+    // rewrite page 0 of block 0 → opens a replacement block (cheap: one
+    // program, no merge yet)
+    let c = ssd.write(t, Lpn(0)).unwrap();
+    assert_eq!(ssd.metrics().flash_programs.total() - before, 1);
+    assert_eq!(ssd.metrics().merges_full, 0);
+    // now rewrite inside logical block 1 → the open replacement for block
+    // 0 must be finalized: copy the 15 remaining pages + erase = merge
+    ssd.write(c.done, Lpn(ppb)).unwrap();
+    let m = ssd.metrics();
+    assert_eq!(m.merges_full, 1);
+    let delta = m.flash_programs.total() - before;
+    // host wrote 2 pages; the finalization copied ~ppb-1 pages
+    assert!(
+        delta >= ppb,
+        "merge should copy most of block 0: {delta} programs"
+    );
+    assert_eq!(m.flash_erases.total(), 1);
+}
+
+#[test]
+fn block_ftl_sequential_overwrite_is_cheap_via_replacement() {
+    // the historical asymmetry: a full in-order rewrite of a block is a
+    // "switch" (no copies), while random rewrites thrash merges
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_block());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    let t = seq_write(&mut ssd, 0, 2 * ppb);
+    let before = ssd.metrics().flash_programs.total();
+    // rewrite all of block 0 in order, then touch block 1 to finalize
+    let mut t = t;
+    for lpn in 0..ppb {
+        t = ssd.write(t, Lpn(lpn)).unwrap().done;
+    }
+    t = ssd.write(t, Lpn(ppb)).unwrap().done;
+    let _ = t;
+    let m = ssd.metrics();
+    let delta = m.flash_programs.total() - before;
+    // ppb rewrites + 1 write to block 1 + zero merge copies
+    assert_eq!(delta, ppb + 1, "in-order rewrite must not copy");
+    assert_eq!(m.merges_switch, 1, "finalization should be a switch merge");
+}
+
+#[test]
+fn block_ftl_random_writes_have_huge_write_amplification() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_block());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    // fill 4 logical blocks, then rewrite random pages within them
+    let mut t = seq_write(&mut ssd, 0, 4 * ppb);
+    let mut lpn = 7u64;
+    for _ in 0..32 {
+        lpn = (lpn * 1103515245 + 12345) % (4 * ppb);
+        let c = ssd.write(t, Lpn(lpn)).unwrap();
+        t = c.done;
+    }
+    let m = ssd.metrics();
+    // myth 2, pre-2009: WA explodes under random rewrites
+    assert!(
+        m.write_amplification() > 4.0,
+        "expected catastrophic WA, got {}",
+        m.write_amplification()
+    );
+    assert!(m.merges_full >= 16);
+}
+
+#[test]
+fn block_ftl_data_integrity_after_merges() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_block());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    let mut t = seq_write(&mut ssd, 0, ppb);
+    // rewrite a few pages (each forces a merge), then read everything back
+    for lpn in [0u64, 3, 7, 3] {
+        let c = ssd.write(t, Lpn(lpn)).unwrap();
+        t = c.done;
+    }
+    for lpn in 0..ppb {
+        let r = ssd.read(t, Lpn(lpn)).unwrap();
+        t = r.done;
+        assert_eq!(r.served, Served::Flash, "lpn {lpn} lost after merge");
+    }
+}
+
+#[test]
+fn hybrid_sequential_rewrite_uses_switch_merge() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_hybrid());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    // fill logical block 0, then rewrite it fully, in order → the log
+    // block fills perfectly in order and becomes the data block
+    let mut t = seq_write(&mut ssd, 0, ppb);
+    for lpn in 0..ppb {
+        let c = ssd.write(t, Lpn(lpn)).unwrap();
+        t = c.done;
+    }
+    // force the merge by writing the block a third time (first write of
+    // the third round needs log space for block 0 again)
+    let c = ssd.write(t, Lpn(0)).unwrap();
+    t = c.done;
+    let m = ssd.metrics();
+    assert!(
+        m.merges_switch >= 1,
+        "in-order rewrite should switch-merge (switch={}, full={})",
+        m.merges_switch,
+        m.merges_full
+    );
+    // and data must survive
+    for lpn in 1..ppb {
+        let r = ssd.read(t, Lpn(lpn)).unwrap();
+        t = r.done;
+        assert_eq!(r.served, Served::Flash, "lpn {lpn} lost");
+    }
+}
+
+#[test]
+fn hybrid_random_writes_thrash_log_pool_into_full_merges() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_hybrid());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    // fill 32 logical blocks; the log pool holds only 8
+    let mut t = seq_write(&mut ssd, 0, 32 * ppb);
+    let mut lpn = 13u64;
+    for _ in 0..128 {
+        lpn = lpn
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            % (32 * ppb);
+        let c = ssd.write(t, Lpn(lpn)).unwrap();
+        t = c.done;
+    }
+    let m = ssd.metrics();
+    assert!(
+        m.merges_full > 0,
+        "log-pool thrashing must force full merges"
+    );
+    assert!(
+        m.write_amplification() > 1.5,
+        "hybrid random WA should be clearly above 1: {}",
+        m.write_amplification()
+    );
+}
+
+#[test]
+fn hybrid_vs_block_sequential_equivalent() {
+    // sequential workloads should be cheap on both legacy FTLs
+    for cfg in [
+        SsdConfig::circa_2009_block(),
+        SsdConfig::circa_2009_hybrid(),
+    ] {
+        let mut ssd = Ssd::new(cfg);
+        let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+        seq_write(&mut ssd, 0, 8 * ppb);
+        let wa = ssd.metrics().write_amplification();
+        assert!((wa - 1.0).abs() < 0.05, "sequential WA should be ~1: {wa}");
+    }
+}
+
+#[test]
+fn hybrid_reads_see_newest_version_in_log() {
+    let mut ssd = Ssd::new(SsdConfig::circa_2009_hybrid());
+    let ppb = ssd.config().flash.geometry.pages_per_block as u64;
+    let mut t = seq_write(&mut ssd, 0, ppb);
+    // rewrite lpn 5 twice — latest version lives in the log block
+    for _ in 0..2 {
+        let c = ssd.write(t, Lpn(5)).unwrap();
+        t = c.done;
+    }
+    let r = ssd.read(t, Lpn(5)).unwrap();
+    assert_eq!(r.served, Served::Flash);
+    // no way to observe payload through the block interface — but the
+    // device's internal consistency asserts (debug) and metrics do:
+    let m = ssd.metrics();
+    assert_eq!(m.host_reads, 1);
+}
+
+#[test]
+fn trim_works_on_legacy_ftls() {
+    for cfg in [
+        SsdConfig::circa_2009_block(),
+        SsdConfig::circa_2009_hybrid(),
+    ] {
+        let mut ssd = Ssd::new(cfg);
+        let mut t = seq_write(&mut ssd, 0, 8);
+        let c = ssd.trim(t, Lpn(3)).unwrap();
+        t = c.done;
+        let r = ssd.read(t, Lpn(3)).unwrap();
+        assert_eq!(r.served, Served::Unmapped);
+        let r = ssd.read(r.done, Lpn(4)).unwrap();
+        assert_eq!(r.served, Served::Flash);
+    }
+}

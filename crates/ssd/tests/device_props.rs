@@ -1,0 +1,137 @@
+//! Property-based tests: the device must keep its mapping, block
+//! directory, and flash state mutually consistent under arbitrary
+//! workloads, for every FTL.
+
+use proptest::prelude::*;
+use requiem_sim::time::SimTime;
+use requiem_ssd::{BufferConfig, FtlKind, Lpn, Served, Ssd, SsdConfig};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+enum HostOp {
+    Write(u64),
+    Read(u64),
+    Trim(u64),
+}
+
+fn ops(space: u64) -> impl Strategy<Value = Vec<HostOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..space).prop_map(HostOp::Write),
+            2 => (0..space).prop_map(HostOp::Read),
+            1 => (0..space).prop_map(HostOp::Trim),
+        ],
+        1..200,
+    )
+}
+
+fn small_cfg(ftl: FtlKind) -> SsdConfig {
+    let mut cfg = SsdConfig::modern();
+    cfg.shape.channels = 2;
+    cfg.shape.chips_per_channel = 1;
+    cfg.ftl = ftl;
+    cfg.buffer = BufferConfig { capacity_pages: 8 };
+    cfg
+}
+
+/// Drive the device and a trivial shadow model (set of written lpns);
+/// check read servedness matches the shadow at every step.
+fn check_ftl(ftl: FtlKind, ops: &[HostOp]) -> Result<(), TestCaseError> {
+    let mut ssd = Ssd::new(small_cfg(ftl));
+    let space = 256u64.min(ssd.capacity().exported_pages);
+    let mut written: HashSet<u64> = HashSet::new();
+    let mut t = SimTime::ZERO;
+    for op in ops {
+        match op {
+            HostOp::Write(lpn) => {
+                let lpn = lpn % space;
+                let c = ssd.write(t, Lpn(lpn)).expect("write failed");
+                prop_assert!(c.done >= t);
+                t = c.done;
+                written.insert(lpn);
+            }
+            HostOp::Read(lpn) => {
+                let lpn = lpn % space;
+                let c = ssd.read(t, Lpn(lpn)).expect("read failed");
+                prop_assert!(c.done >= t);
+                t = c.done;
+                if written.contains(&lpn) {
+                    prop_assert!(
+                        matches!(c.served, Served::Flash | Served::Buffer),
+                        "written lpn {lpn} served {:?}",
+                        c.served
+                    );
+                } else {
+                    prop_assert_eq!(c.served, Served::Unmapped, "unwritten lpn {}", lpn);
+                }
+            }
+            HostOp::Trim(lpn) => {
+                let lpn = lpn % space;
+                let c = ssd.trim(t, Lpn(lpn)).expect("trim failed");
+                t = c.done;
+                written.remove(&lpn);
+            }
+        }
+    }
+    // final sweep: every shadow-written lpn must still be readable
+    for &lpn in &written {
+        let c = ssd.read(t, Lpn(lpn)).expect("final read failed");
+        t = c.done;
+        prop_assert!(
+            matches!(c.served, Served::Flash | Served::Buffer),
+            "lpn {lpn} lost"
+        );
+    }
+    // metrics sanity: host counters match what we issued
+    let m = ssd.metrics();
+    prop_assert_eq!(
+        m.host_writes + m.host_reads + m.host_trims,
+        ops.len() as u64 + written.len() as u64
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn page_map_consistency(ops in ops(256)) {
+        check_ftl(FtlKind::PageMap, &ops)?;
+    }
+
+    #[test]
+    fn dftl_consistency(ops in ops(256)) {
+        check_ftl(FtlKind::Dftl { cached_entries: 32 }, &ops)?;
+    }
+
+    #[test]
+    fn block_map_consistency(ops in ops(256)) {
+        check_ftl(FtlKind::BlockMap, &ops)?;
+    }
+
+    #[test]
+    fn hybrid_consistency(ops in ops(256)) {
+        check_ftl(FtlKind::Hybrid { log_blocks: 4 }, &ops)?;
+    }
+
+    /// Write amplification is never below 1 once any write happened, for
+    /// any FTL and any workload.
+    #[test]
+    fn wa_at_least_one(ops in ops(128)) {
+        for ftl in [FtlKind::PageMap, FtlKind::BlockMap, FtlKind::Hybrid { log_blocks: 4 }] {
+            let mut ssd = Ssd::new(small_cfg(ftl));
+            let mut t = SimTime::ZERO;
+            let mut wrote = false;
+            for op in &ops {
+                if let HostOp::Write(lpn) = op {
+                    let c = ssd.write(t, Lpn(lpn % 128)).unwrap();
+                    t = c.done;
+                    wrote = true;
+                }
+            }
+            if wrote {
+                prop_assert!(ssd.metrics().write_amplification() >= 1.0 - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Workload drivers: push patterns into a device and measure.
+//!
+//! The closed-loop driver maintains a fixed number of outstanding requests
+//! (queue depth) — the way uFLIP and real storage benchmarks (fio) exercise
+//! devices. Completions free a slot; the next request is submitted at the
+//! completion instant. Queue depth is how hosts *expose* device
+//! parallelism; §2.1's point that *"SSDs require a high level of
+//! parallelism"* shows up as IOPS scaling with queue depth.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::{Histogram, SimRng};
+use requiem_ssd::{Lpn, Ssd};
+use serde::{Deserialize, Serialize};
+
+use crate::pattern::AddressPattern;
+
+/// Read/write mix of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoMix {
+    /// Fraction of operations that are reads (0.0 = pure write, 1.0 = pure
+    /// read).
+    pub read_fraction: f64,
+}
+
+impl IoMix {
+    /// 100 % writes.
+    pub fn write_only() -> Self {
+        IoMix { read_fraction: 0.0 }
+    }
+
+    /// 100 % reads.
+    pub fn read_only() -> Self {
+        IoMix { read_fraction: 1.0 }
+    }
+
+    /// A mixed workload.
+    pub fn mixed(read_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        IoMix { read_fraction }
+    }
+}
+
+/// Result of one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Operations issued.
+    pub ops: u64,
+    /// Reads among them.
+    pub reads: u64,
+    /// Virtual time from first submission to last completion.
+    pub makespan: SimDuration,
+    /// Operations per second of virtual time.
+    pub iops: f64,
+    /// Payload megabytes per second (page-size × ops / makespan).
+    pub mb_per_s: f64,
+    /// Per-op end-to-end latency.
+    pub latency: Histogram,
+}
+
+impl DriverReport {
+    /// Pretty one-line summary.
+    pub fn summary_line(&self) -> String {
+        let s = self.latency.summary();
+        format!(
+            "{} ops in {} — {:.0} IOPS, {:.1} MB/s, lat p50 {} p99 {} max {}",
+            self.ops,
+            self.makespan,
+            self.iops,
+            self.mb_per_s,
+            SimDuration::from_nanos(s.p50),
+            SimDuration::from_nanos(s.p99),
+            SimDuration::from_nanos(s.max),
+        )
+    }
+}
+
+/// Run `ops` operations against `ssd` with `queue_depth` outstanding,
+/// drawing addresses from `pattern` and read/write decisions from `mix`.
+///
+/// Returns throughput/latency measured over the run (from `start_at` to the
+/// last completion).
+///
+/// # Panics
+/// Panics if `queue_depth == 0` or an I/O fails (the drivers address only
+/// exported pages, so failures indicate device exhaustion).
+pub fn run_closed_loop(
+    ssd: &mut Ssd,
+    pattern: &mut AddressPattern,
+    mix: IoMix,
+    queue_depth: usize,
+    ops: u64,
+    seed: u64,
+    start_at: SimTime,
+) -> DriverReport {
+    assert!(queue_depth > 0, "queue depth must be at least 1");
+    let mut rng = SimRng::from_seed(seed).derive("driver-mix");
+    let mut latency = Histogram::new();
+    let mut outstanding: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
+    let mut issued = 0u64;
+    let mut reads = 0u64;
+    let mut last_done = start_at;
+
+    while issued < ops {
+        // when at full depth, wait for the earliest completion
+        let now = if outstanding.len() >= queue_depth {
+            let Reverse(t) = outstanding.pop().expect("outstanding non-empty");
+            t
+        } else {
+            // ramp-up: the first `queue_depth` requests all fire at start
+            start_at
+        };
+        let lpn = Lpn(pattern.next_addr());
+        let is_read = rng.chance(mix.read_fraction);
+        let completion = if is_read {
+            reads += 1;
+            ssd.read(now, lpn).expect("driver read failed")
+        } else {
+            ssd.write(now, lpn).expect("driver write failed")
+        };
+        latency.record_duration(completion.latency);
+        outstanding.push(Reverse(completion.done));
+        last_done = last_done.max(completion.done);
+        issued += 1;
+    }
+    let makespan = last_done.since(start_at);
+    let secs = makespan.as_secs_f64().max(1e-12);
+    let page = ssd.config().flash.geometry.page_size as f64;
+    DriverReport {
+        ops,
+        reads,
+        makespan,
+        iops: ops as f64 / secs,
+        mb_per_s: ops as f64 * page / (1024.0 * 1024.0) / secs,
+        latency,
+    }
+}
+
+/// Run `ops` operations open-loop at an offered rate of `iops`
+/// (exponentially-distributed inter-arrival times, seeded). Unlike the
+/// closed loop, arrivals do not wait for completions, so latency includes
+/// queueing — the harness for offered-load vs latency curves.
+///
+/// # Panics
+/// Panics if `iops <= 0` or an I/O fails.
+#[allow(clippy::too_many_arguments)] // mirrors run_closed_loop
+pub fn run_open_loop(
+    ssd: &mut Ssd,
+    pattern: &mut AddressPattern,
+    mix: IoMix,
+    iops: f64,
+    ops: u64,
+    seed: u64,
+    start_at: SimTime,
+) -> DriverReport {
+    assert!(iops > 0.0, "offered rate must be positive");
+    let mut rng = SimRng::from_seed(seed).derive("driver-open");
+    let mut latency = Histogram::new();
+    let mut now = start_at;
+    let mut last_done = start_at;
+    let mut reads = 0u64;
+    let mean_gap_ns = 1e9 / iops;
+    for _ in 0..ops {
+        let lpn = Lpn(pattern.next_addr());
+        let is_read = rng.chance(mix.read_fraction);
+        let completion = if is_read {
+            reads += 1;
+            ssd.read(now, lpn).expect("driver read failed")
+        } else {
+            ssd.write(now, lpn).expect("driver write failed")
+        };
+        latency.record_duration(completion.latency);
+        last_done = last_done.max(completion.done);
+        // exponential inter-arrival, floor 1ns to keep time strictly advancing
+        let gap = (-rng.unit().max(f64::MIN_POSITIVE).ln() * mean_gap_ns).max(1.0);
+        now += SimDuration::from_nanos(gap as u64);
+    }
+    let makespan = last_done.since(start_at);
+    let secs = makespan.as_secs_f64().max(1e-12);
+    let page = ssd.config().flash.geometry.page_size as f64;
+    DriverReport {
+        ops,
+        reads,
+        makespan,
+        iops: ops as f64 / secs,
+        mb_per_s: ops as f64 * page / (1024.0 * 1024.0) / secs,
+        latency,
+    }
+}
+
+/// Precondition helper: fill the first `pages` LPNs sequentially so reads
+/// and overwrites have data to hit. Returns the drain time.
+pub fn precondition_sequential(ssd: &mut Ssd, pages: u64, start_at: SimTime) -> SimTime {
+    let mut t = start_at;
+    for lpn in 0..pages {
+        let c = ssd.write(t, Lpn(lpn)).expect("precondition write failed");
+        t = c.done;
+    }
+    ssd.drain_time().max(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use requiem_ssd::SsdConfig;
+
+    fn device() -> Ssd {
+        let mut cfg = SsdConfig::modern();
+        cfg.buffer.capacity_pages = 0;
+        Ssd::new(cfg)
+    }
+
+    #[test]
+    fn report_counts_match() {
+        let mut ssd = device();
+        let mut pat = AddressPattern::new(Pattern::Sequential, 512, 1);
+        let r = run_closed_loop(
+            &mut ssd,
+            &mut pat,
+            IoMix::write_only(),
+            4,
+            256,
+            1,
+            SimTime::ZERO,
+        );
+        assert_eq!(r.ops, 256);
+        assert_eq!(r.reads, 0);
+        assert_eq!(r.latency.count(), 256);
+        assert!(r.iops > 0.0);
+        assert!(r.makespan > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn higher_queue_depth_increases_write_throughput() {
+        // §2.1: parallelism is required to reach nominal bandwidth
+        let mut iops = Vec::new();
+        for qd in [1usize, 8, 32] {
+            let mut ssd = device();
+            let mut pat = AddressPattern::new(Pattern::Sequential, 2048, 1);
+            let r = run_closed_loop(
+                &mut ssd,
+                &mut pat,
+                IoMix::write_only(),
+                qd,
+                1024,
+                1,
+                SimTime::ZERO,
+            );
+            iops.push(r.iops);
+        }
+        assert!(
+            iops[1] > iops[0] * 2.0,
+            "QD8 should far exceed QD1: {iops:?}"
+        );
+        assert!(iops[2] > iops[1], "QD32 >= QD8: {iops:?}");
+    }
+
+    #[test]
+    fn mixed_workload_respects_fraction() {
+        let mut ssd = device();
+        let t = precondition_sequential(&mut ssd, 512, SimTime::ZERO);
+        let mut pat = AddressPattern::new(Pattern::UniformRandom, 512, 2);
+        let r = run_closed_loop(&mut ssd, &mut pat, IoMix::mixed(0.7), 4, 1000, 2, t);
+        let frac = r.reads as f64 / r.ops as f64;
+        assert!((0.63..=0.77).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn precondition_then_read_hits_flash() {
+        let mut ssd = device();
+        let t = precondition_sequential(&mut ssd, 128, SimTime::ZERO);
+        let mut pat = AddressPattern::new(Pattern::Sequential, 128, 3);
+        let r = run_closed_loop(&mut ssd, &mut pat, IoMix::read_only(), 2, 128, 3, t);
+        assert_eq!(ssd.metrics().unmapped_reads, 0);
+        assert_eq!(r.reads, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_rejected() {
+        let mut ssd = device();
+        let mut pat = AddressPattern::new(Pattern::Sequential, 16, 1);
+        run_closed_loop(
+            &mut ssd,
+            &mut pat,
+            IoMix::write_only(),
+            0,
+            1,
+            1,
+            SimTime::ZERO,
+        );
+    }
+}
+
+#[cfg(test)]
+mod open_loop_tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use requiem_ssd::SsdConfig;
+
+    #[test]
+    fn open_loop_latency_explodes_past_saturation() {
+        // classic offered-load curve: below capacity, latency ~= service
+        // time; above capacity, the queue grows without bound
+        let run = |iops: f64| -> u64 {
+            let mut cfg = SsdConfig::modern();
+            cfg.buffer.capacity_pages = 0;
+            let mut ssd = Ssd::new(cfg);
+            let span = ssd.capacity().exported_pages;
+            let mut pat = AddressPattern::new(Pattern::Sequential, span, 1);
+            let r = run_open_loop(
+                &mut ssd,
+                &mut pat,
+                IoMix::write_only(),
+                iops,
+                2000,
+                1,
+                SimTime::ZERO,
+            );
+            r.latency.p99()
+        };
+        let light = run(5_000.0);
+        let overloaded = run(200_000.0);
+        assert!(
+            overloaded > 10 * light,
+            "overload p99 {overloaded} should dwarf light-load p99 {light}"
+        );
+    }
+
+    #[test]
+    fn open_loop_achieves_offered_rate_below_saturation() {
+        let mut ssd = Ssd::new(SsdConfig::modern());
+        let span = ssd.capacity().exported_pages;
+        let mut pat = AddressPattern::new(Pattern::Sequential, span, 2);
+        let r = run_open_loop(
+            &mut ssd,
+            &mut pat,
+            IoMix::write_only(),
+            10_000.0,
+            2000,
+            2,
+            SimTime::ZERO,
+        );
+        assert!(
+            (r.iops - 10_000.0).abs() / 10_000.0 < 0.15,
+            "achieved {} vs offered 10k",
+            r.iops
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate")]
+    fn open_loop_rejects_zero_rate() {
+        let mut ssd = Ssd::new(SsdConfig::modern());
+        let mut pat = AddressPattern::new(Pattern::Sequential, 16, 1);
+        run_open_loop(
+            &mut ssd,
+            &mut pat,
+            IoMix::write_only(),
+            0.0,
+            1,
+            1,
+            SimTime::ZERO,
+        );
+    }
+}

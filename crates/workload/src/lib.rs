@@ -1,0 +1,25 @@
+//! # requiem-workload — I/O pattern generation and workload drivers
+//!
+//! The paper's myth-busting methodology comes from uFLIP (refs [2, 3, 6]):
+//! submit carefully-constructed *I/O patterns* — sequential, random,
+//! strided, mixed — and observe how the device responds. This crate
+//! regenerates those patterns and adds the access-skew and transaction
+//! mixes the database-side experiments need:
+//!
+//! * [`pattern`] — address-pattern generators (sequential, uniform random,
+//!   zipfian, strided, hot/cold) over a page space.
+//! * [`driver`] — closed-loop (queue-depth) and open-loop (arrival-rate)
+//!   drivers that push patterns into a [`requiem_ssd::Ssd`] and collect
+//!   throughput/latency.
+//! * [`oltp`] — a TPC-B-flavoured transaction mix used by the §3
+//!   experiments (log writes + data page reads/writes per transaction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod oltp;
+pub mod pattern;
+
+pub use driver::{run_closed_loop, run_open_loop, DriverReport, IoMix};
+pub use pattern::{AddressPattern, Pattern};

@@ -1,0 +1,288 @@
+//! Address-pattern generators (uFLIP-style).
+//!
+//! A pattern is an infinite iterator of logical page numbers over a space
+//! of `span` pages. All randomness is seeded ([`requiem_sim::SimRng`]), so
+//! a pattern replays identically across runs and devices — the property
+//! uFLIP's "sound measurements" methodology (the paper's ref [3]) insists
+//! on.
+
+use requiem_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// The shape of an address pattern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// `base, base+1, base+2, …` wrapping at the span.
+    Sequential,
+    /// Uniform random over the span.
+    UniformRandom,
+    /// Zipfian over the span with exponent `theta` (0 = uniform, ~0.99 =
+    /// classic YCSB skew).
+    Zipfian {
+        /// Skew exponent.
+        theta: f64,
+    },
+    /// `base, base+stride, base+2·stride, …` wrapping at the span. A
+    /// stride equal to the LUN count defeats static striping — the uFLIP
+    /// pattern that exposes placement policies.
+    Strided {
+        /// Address increment per access.
+        stride: u64,
+    },
+    /// A fraction `hot_fraction` of the span receives `hot_probability`
+    /// of the accesses (random within each region).
+    HotCold {
+        /// Fraction of the span that is hot (0, 1].
+        hot_fraction: f64,
+        /// Probability an access goes to the hot region.
+        hot_probability: f64,
+    },
+}
+
+/// A seeded, replayable generator of page addresses in `[0, span)`.
+pub struct AddressPattern {
+    pattern: Pattern,
+    span: u64,
+    cursor: u64,
+    rng: SimRng,
+    /// Precomputed generalized harmonic number for zipf sampling.
+    zipf_harmonic: f64,
+    /// Multiplier coprime to `span`, scattering zipf ranks over the space
+    /// as a bijection.
+    zipf_mult: u64,
+}
+
+impl std::fmt::Debug for AddressPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AddressPattern({:?}, span={})", self.pattern, self.span)
+    }
+}
+
+impl AddressPattern {
+    /// Create a pattern over `span` pages with a seeded RNG.
+    ///
+    /// # Panics
+    /// Panics if `span == 0` or pattern parameters are out of range.
+    pub fn new(pattern: Pattern, span: u64, seed: u64) -> Self {
+        assert!(span > 0, "pattern needs a non-empty span");
+        if let Pattern::HotCold {
+            hot_fraction,
+            hot_probability,
+        } = &pattern
+        {
+            assert!(
+                *hot_fraction > 0.0 && *hot_fraction <= 1.0,
+                "hot fraction must be in (0, 1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(hot_probability),
+                "hot probability must be in [0, 1]"
+            );
+        }
+        if let Pattern::Strided { stride } = &pattern {
+            assert!(*stride > 0, "stride must be positive");
+        }
+        let zipf_harmonic = match &pattern {
+            Pattern::Zipfian { theta } => {
+                assert!(*theta >= 0.0, "zipf theta must be non-negative");
+                // generalized harmonic number H_{span, theta}; cap the sum
+                // work for huge spans by integral approximation past 10^6
+                let n = span.min(1_000_000);
+                let mut h = 0.0;
+                for i in 1..=n {
+                    h += 1.0 / (i as f64).powf(*theta);
+                }
+                if span > n {
+                    // ∫ x^-theta dx from n to span
+                    let a = n as f64;
+                    let b = span as f64;
+                    h += if (*theta - 1.0).abs() < 1e-9 {
+                        (b / a).ln()
+                    } else {
+                        (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta)
+                    };
+                }
+                h
+            }
+            _ => 0.0,
+        };
+        // pick a scatter multiplier coprime to the span so the rank →
+        // address map is a bijection (hot ranks land on distinct pages)
+        let mut zipf_mult = 0x9E37_79B9u64 | 1;
+        while gcd(zipf_mult, span) != 1 {
+            zipf_mult += 2;
+        }
+        AddressPattern {
+            pattern,
+            span,
+            cursor: 0,
+            rng: SimRng::from_seed(seed).derive("pattern"),
+            zipf_harmonic,
+            zipf_mult,
+        }
+    }
+
+    /// The address space size.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Next address in `[0, span)`.
+    pub fn next_addr(&mut self) -> u64 {
+        match &self.pattern {
+            Pattern::Sequential => {
+                let a = self.cursor % self.span;
+                self.cursor += 1;
+                a
+            }
+            Pattern::Strided { stride } => {
+                let a = self.cursor % self.span;
+                self.cursor = self.cursor.wrapping_add(*stride);
+                a
+            }
+            Pattern::UniformRandom => self.rng.below(self.span),
+            Pattern::Zipfian { theta } => {
+                // inverse-CDF by bisection over ranks (ranks permuted by a
+                // multiplicative hash so hot pages are spread over the span)
+                let theta = *theta;
+                let u = self.rng.unit() * self.zipf_harmonic;
+                let mut acc = 0.0;
+                let mut rank = self.span; // fallback: coldest
+                let n = self.span.min(1_000_000);
+                for i in 1..=n {
+                    acc += 1.0 / (i as f64).powf(theta);
+                    if acc >= u {
+                        rank = i;
+                        break;
+                    }
+                }
+                // scatter ranks over the address space deterministically
+                // (bijective affine map: gcd(mult, span) == 1)
+                rank.wrapping_mul(self.zipf_mult) % self.span
+            }
+            Pattern::HotCold {
+                hot_fraction,
+                hot_probability,
+            } => {
+                let hot_pages = ((self.span as f64 * hot_fraction).ceil() as u64).max(1);
+                if self.rng.chance(*hot_probability) {
+                    self.rng.below(hot_pages)
+                } else if hot_pages < self.span {
+                    hot_pages + self.rng.below(self.span - hot_pages)
+                } else {
+                    self.rng.below(self.span)
+                }
+            }
+        }
+    }
+
+    /// Take the next `n` addresses as a vector.
+    pub fn take_vec(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_addr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_wraps() {
+        let mut p = AddressPattern::new(Pattern::Sequential, 4, 1);
+        assert_eq!(p.take_vec(6), vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn strided_pattern() {
+        let mut p = AddressPattern::new(Pattern::Strided { stride: 3 }, 8, 1);
+        assert_eq!(p.take_vec(4), vec![0, 3, 6, 1]);
+    }
+
+    #[test]
+    fn uniform_random_in_range_and_covers() {
+        let mut p = AddressPattern::new(Pattern::UniformRandom, 16, 2);
+        let v = p.take_vec(1000);
+        assert!(v.iter().all(|&a| a < 16));
+        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        assert_eq!(distinct.len(), 16, "1000 draws over 16 pages hit all");
+    }
+
+    #[test]
+    fn uniform_replays_with_same_seed() {
+        let mut a = AddressPattern::new(Pattern::UniformRandom, 100, 7);
+        let mut b = AddressPattern::new(Pattern::UniformRandom, 100, 7);
+        assert_eq!(a.take_vec(50), b.take_vec(50));
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut p = AddressPattern::new(Pattern::Zipfian { theta: 0.99 }, 1000, 3);
+        let v = p.take_vec(10_000);
+        assert!(v.iter().all(|&a| a < 1000));
+        // the most popular page should take far more than 1/1000 of accesses
+        let mut counts = std::collections::HashMap::new();
+        for a in v {
+            *counts.entry(a).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 400, "zipf 0.99 hottest page got only {max}/10000");
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_roughly_uniform() {
+        let mut p = AddressPattern::new(Pattern::Zipfian { theta: 0.0 }, 100, 3);
+        let v = p.take_vec(10_000);
+        let mut counts = std::collections::HashMap::new();
+        for a in v {
+            *counts.entry(a).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max < 250, "theta=0 should be near-uniform, max={max}");
+    }
+
+    #[test]
+    fn hot_cold_concentrates() {
+        let mut p = AddressPattern::new(
+            Pattern::HotCold {
+                hot_fraction: 0.1,
+                hot_probability: 0.9,
+            },
+            1000,
+            4,
+        );
+        let v = p.take_vec(10_000);
+        let hot_hits = v.iter().filter(|&&a| a < 100).count();
+        assert!(
+            (8_500..=9_500).contains(&hot_hits),
+            "expected ~90% hot hits, got {hot_hits}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty span")]
+    fn zero_span_rejected() {
+        AddressPattern::new(Pattern::Sequential, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot fraction")]
+    fn bad_hot_fraction_rejected() {
+        AddressPattern::new(
+            Pattern::HotCold {
+                hot_fraction: 1.5,
+                hot_probability: 0.5,
+            },
+            10,
+            1,
+        );
+    }
+}

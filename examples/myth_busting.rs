@@ -1,0 +1,104 @@
+//! Myth busting in miniature: the three §2.3 myths, one table each.
+//!
+//! A condensed interactive version of experiments E2–E4 (the full
+//! harnesses live in `requiem-bench`).
+//!
+//! ```sh
+//! cargo run --release --example myth_busting
+//! ```
+
+use requiem::sim::table::Align;
+use requiem::sim::time::SimTime;
+use requiem::sim::Table;
+use requiem::ssd::{BufferConfig, Lpn, Ssd, SsdConfig};
+use requiem::workload::driver::{run_closed_loop, IoMix};
+use requiem::workload::pattern::{AddressPattern, Pattern};
+
+fn fill(ssd: &mut Ssd, pages: u64) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for lpn in 0..pages {
+        t = ssd.write(t, Lpn(lpn)).expect("fill").done;
+    }
+    ssd.drain_time().max(t)
+}
+
+fn main() {
+    println!("# the three myths, measured\n");
+
+    // ---- myth 1: "the SSD behaves like its flash chips" ---------------
+    println!("## myth 1: a device is a chip\n");
+    let chip = SsdConfig::modern().flash.timing;
+    let mut ssd = Ssd::new(SsdConfig::modern());
+    let w = ssd.write(SimTime::ZERO, Lpn(0)).expect("write");
+    let mut tbl =
+        Table::new(["quantity", "chip datasheet", "device measured"]).align(0, Align::Left);
+    tbl.row([
+        "single 4KiB write".to_string(),
+        format!("{} (tPROG)", chip.program_fast),
+        format!("{} (hit the battery-backed buffer)", w.latency),
+    ]);
+    println!("{tbl}");
+
+    // ---- myth 2: "random writes must be avoided" -----------------------
+    println!("## myth 2: random writes are catastrophic\n");
+    let mut tbl = Table::new(["device", "seq MB/s", "rnd MB/s"]).align(0, Align::Left);
+    for (label, cfg) in [
+        ("circa-2009 (hybrid FTL)", SsdConfig::circa_2009_hybrid()),
+        ("modern (page FTL + buffer)", SsdConfig::modern()),
+    ] {
+        let mut rates = Vec::new();
+        for pattern in [Pattern::Sequential, Pattern::UniformRandom] {
+            let mut ssd = Ssd::new(cfg.clone());
+            let span = ssd.capacity().exported_pages / 4;
+            let t = fill(&mut ssd, span);
+            let mut pat = AddressPattern::new(pattern, span, 1);
+            let r = run_closed_loop(&mut ssd, &mut pat, IoMix::write_only(), 4, 1024, 1, t);
+            rates.push(r.mb_per_s);
+        }
+        tbl.row([
+            label.to_string(),
+            format!("{:.1}", rates[0]),
+            format!("{:.1}", rates[1]),
+        ]);
+    }
+    println!("{tbl}");
+
+    // ---- myth 3: "reads are cheaper than writes" -----------------------
+    println!("## myth 3: reads beat writes\n");
+    let mut cfg = SsdConfig::modern();
+    cfg.buffer = BufferConfig { capacity_pages: 0 };
+    cfg.shape.channels = 2;
+    cfg.shape.chips_per_channel = 2;
+    let mut ssd = Ssd::new(cfg);
+    let pages = ssd.capacity().exported_pages;
+    let t = fill(&mut ssd, pages);
+    // churn to provoke GC, then read through the turbulence
+    let mut pat = AddressPattern::new(Pattern::UniformRandom, pages, 2);
+    run_closed_loop(&mut ssd, &mut pat, IoMix::write_only(), 4, pages, 2, t);
+    let t = ssd.drain_time();
+    let mut pat = AddressPattern::new(Pattern::UniformRandom, pages, 3);
+    run_closed_loop(&mut ssd, &mut pat, IoMix::mixed(0.5), 8, 2048, 3, t);
+    let m = ssd.metrics();
+    let mut tbl = Table::new(["quantity", "value"]).align(0, Align::Left);
+    tbl.row([
+        "chip read vs chip program".to_string(),
+        format!(
+            "{} vs {} — reads win at the chip",
+            chip.read, chip.program_fast
+        ),
+    ]);
+    tbl.row([
+        "device read p99 amid writes+GC".to_string(),
+        format!(
+            "{} (stalls behind programs and {} erases)",
+            requiem::sim::time::SimDuration::from_nanos(m.read_latency.p99()),
+            chip.erase
+        ),
+    ]);
+    tbl.row([
+        "buffered device write (myth 1's table)".to_string(),
+        format!("{} — writes win at the device", w.latency),
+    ]);
+    println!("{tbl}");
+    println!("\nFull harnesses: `cargo run --release -p requiem-bench --bin exp2_myth1` (and exp3, exp4).");
+}

@@ -1,0 +1,105 @@
+//! The §3 vision end-to-end: one storage manager, two worlds.
+//!
+//! Runs the same OLTP workload on the legacy backend (everything through
+//! one flash SSD's block interface) and the vision backend (PCM log +
+//! atomic flash + TRIM), then crashes both mid-flight and recovers.
+//!
+//! ```sh
+//! cargo run --release --example vision_db
+//! ```
+
+use requiem::db::backend::{LegacyBackend, PersistenceBackend, VisionBackend};
+use requiem::db::engine::{Database, DbConfig};
+use requiem::sim::table::Align;
+use requiem::sim::time::SimDuration;
+use requiem::sim::Table;
+use requiem::ssd::SsdConfig;
+use requiem::workload::oltp::{OltpConfig, OltpGen};
+
+fn drive<B: PersistenceBackend>(db: &mut Database<B>, txns: u64, seed: u64) {
+    let mut gen = OltpGen::new(
+        OltpConfig {
+            data_pages: 1024,
+            theta: 0.8,
+            ..OltpConfig::default()
+        },
+        seed,
+    );
+    for _ in 0..txns {
+        let txn = gen.next_txn();
+        let acc: Vec<(u64, u16, bool)> = txn
+            .accesses
+            .iter()
+            .map(|a| (a.page, (a.page % 16) as u16, a.dirty))
+            .collect();
+        db.execute(&acc, txn.log_bytes);
+    }
+}
+
+fn main() {
+    let cfg = DbConfig {
+        buffer_frames: 256,
+        data_pages: 1024,
+        slots_per_page: 16,
+        record_size: 100,
+        checkpoint_every: 400,
+        group_commit: 1,
+    };
+
+    println!("# one storage manager, two persistence worlds\n");
+    let mut tbl = Table::new([
+        "backend",
+        "1000 txns took",
+        "txns/s",
+        "commit p50",
+        "commit p99",
+        "recovery replay",
+    ])
+    .align(0, Align::Left);
+
+    // ---- legacy ----
+    let mut ssd_cfg = SsdConfig::modern();
+    ssd_cfg.buffer.capacity_pages = 0;
+    let be = LegacyBackend::new(ssd_cfg, cfg.data_pages, 256);
+    let mut db = Database::new(cfg.clone(), be);
+    db.load();
+    let t0 = db.now();
+    drive(&mut db, 1000, 11);
+    let span = db.now().since(t0);
+    db.crash();
+    let replayed = db.recover();
+    assert_ne!(db.visible_owner(0, 0), u64::MAX); // engine consistency touch
+    tbl.row([
+        "legacy (block SSD)".to_string(),
+        format!("{span}"),
+        format!("{:.0}", 1000.0 / span.as_secs_f64()),
+        format!("{}", SimDuration::from_nanos(db.commit_latency().p50())),
+        format!("{}", SimDuration::from_nanos(db.commit_latency().p99())),
+        format!("{replayed} records"),
+    ]);
+
+    // ---- vision ----
+    let mut flash_cfg = SsdConfig::modern();
+    flash_cfg.buffer.capacity_pages = 0;
+    let be = VisionBackend::new(flash_cfg, cfg.data_pages, 1 << 22);
+    let mut db = Database::new(cfg, be);
+    db.load();
+    let t0 = db.now();
+    drive(&mut db, 1000, 11);
+    let span = db.now().since(t0);
+    db.crash();
+    let replayed = db.recover();
+    tbl.row([
+        "vision (PCM log + atomic flash)".to_string(),
+        format!("{span}"),
+        format!("{:.0}", 1000.0 / span.as_secs_f64()),
+        format!("{}", SimDuration::from_nanos(db.commit_latency().p50())),
+        format!("{}", SimDuration::from_nanos(db.commit_latency().p99())),
+        format!("{replayed} records"),
+    ]);
+
+    println!("{tbl}");
+    println!(
+        "Same WAL, same buffer pool, same recovery algorithm.\nOnly the routing changed: synchronous traffic to PCM on the memory bus,\nasynchronous traffic to flash through atomic writes and TRIM (§3, P1+P2)."
+    );
+}
