@@ -11,7 +11,7 @@
 use requiem_bench::{measure, modern_unbuffered, note, precondition, section};
 use requiem_sim::table::Align;
 use requiem_sim::Table;
-use requiem_ssd::{GcPolicy, Ssd, SsdConfig};
+use requiem_ssd::{GcPolicyKind, Ssd, SsdConfig};
 use requiem_workload::driver::IoMix;
 use requiem_workload::pattern::Pattern;
 
@@ -212,7 +212,7 @@ fn main() {
         section("GC policy ablation on the random churn (greedy vs cost-benefit)");
         let mut tbl =
             Table::new(["GC policy", "MB/s", "final WA", "GC pages moved"]).align(0, Align::Left);
-        for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
+        for policy in [GcPolicyKind::Greedy, GcPolicyKind::CostBenefit] {
             let mut cfg = modern_unbuffered();
             cfg.shape.channels = 4;
             cfg.shape.chips_per_channel = 2;

@@ -12,7 +12,7 @@
 use requiem_bench::{fmt_ns, measure, modern_unbuffered, note, precondition, section};
 use requiem_sim::table::Align;
 use requiem_sim::time::SimTime;
-use requiem_sim::Table;
+use requiem_sim::{Probe, Table};
 use requiem_ssd::{ArrayShape, ChannelTiming, Lpn, Placement, Ssd};
 use requiem_workload::driver::{run_closed_loop, IoMix};
 use requiem_workload::pattern::{AddressPattern, Pattern};
@@ -52,6 +52,8 @@ fn main() {
 
     // mixed: reads share LUNs with a write stream that triggers GC
     let mut ssd = Ssd::new(cfg.clone());
+    let probe = Probe::new();
+    ssd.attach_probe(probe.clone());
     let t = precondition(&mut ssd, pages);
     // churn first so the device is GC-active, then measure a 50/50 mix
     let _ = measure(
@@ -91,6 +93,10 @@ fn main() {
     );
     let _ = mix;
     note("Expected shape: p50 barely moves; the tail inflates by an order of magnitude as reads queue behind programs and multi-ms erases.");
+
+    section("4a'. Probe summary (JSON) — where the mixed workload's time went");
+    note("gc_stall / merge_stall buckets are exactly the interference the block interface cannot report; cell_erase time is background (never on a command's critical path) yet shows up as the stalls above.");
+    println!("```json\n{}\n```", probe.summary().to_json());
 
     // ------------------------------------------------------------------
     section("4b. Read parallelism depends on where earlier writes landed");

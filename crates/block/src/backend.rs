@@ -7,6 +7,7 @@
 //! invisible on a disk and dominant on fast devices.
 
 use requiem_sim::time::SimTime;
+use requiem_sim::Probe;
 use requiem_ssd::{Lpn, Ssd};
 
 use crate::disk::Disk;
@@ -30,6 +31,21 @@ pub trait StorageBackend {
 
     /// Short human-readable device name.
     fn label(&self) -> &'static str;
+
+    /// Attach a cross-layer [`Probe`] so the device decomposes its part
+    /// of each command into spans. Devices without internal structure
+    /// (disks, null devices) ignore it: their whole service time is one
+    /// opaque interval, which is exactly the paper's complaint.
+    fn attach_probe(&mut self, probe: Probe) {
+        let _ = probe;
+    }
+
+    /// Whether this device emits its own probe spans for the interval it
+    /// services. When `false`, the block layer above covers the device
+    /// interval with a single opaque span — the block-interface view.
+    fn self_reporting(&self) -> bool {
+        false
+    }
 }
 
 impl StorageBackend for Disk {
@@ -61,6 +77,14 @@ impl StorageBackend for Ssd {
 
     fn label(&self) -> &'static str {
         "flash-ssd"
+    }
+
+    fn attach_probe(&mut self, probe: Probe) {
+        Ssd::attach_probe(self, probe);
+    }
+
+    fn self_reporting(&self) -> bool {
+        self.probe().is_enabled()
     }
 }
 

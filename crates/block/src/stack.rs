@@ -13,7 +13,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::{Histogram, Resource, ResourceBank};
+use requiem_sim::{Cause, Histogram, Layer, Probe, Resource, ResourceBank};
 use serde::{Deserialize, Serialize};
 
 use crate::backend::{BackendOp, StorageBackend};
@@ -114,6 +114,7 @@ pub struct IoStack<B: StorageBackend> {
     backend: B,
     cores: ResourceBank,
     queues: Vec<Resource>,
+    probe: Probe,
     latency: Histogram,
     device_ns: u128,
     total_ns: u128,
@@ -142,6 +143,7 @@ impl<B: StorageBackend> IoStack<B> {
             queues: (0..nq).map(|i| Resource::new(format!("q{i}"))).collect(),
             cfg,
             backend,
+            probe: Probe::disabled(),
             latency: Histogram::new(),
             device_ns: 0,
             total_ns: 0,
@@ -164,6 +166,34 @@ impl<B: StorageBackend> IoStack<B> {
         &mut self.backend
     }
 
+    /// Attach a cross-layer [`Probe`]: the stack opens one command per
+    /// `submit` and emits `Block`-layer spans (submission-path CPU,
+    /// queue-lock waits, doorbell, completion); the same probe is handed
+    /// down to the backend so a self-reporting device (the SSD) fills in
+    /// the device interval with its own controller/channel/flash spans.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.backend.attach_probe(probe.clone());
+        self.probe = probe;
+    }
+
+    /// The attached probe (disabled by default).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Emit a wait span `[from, start)` (queueing on a software resource)
+    /// followed by a busy span `[start, end)` of CPU-path overhead.
+    fn span_stage(&self, res: &str, from: SimTime, start: SimTime, end: SimTime) {
+        if start > from {
+            self.probe
+                .span(Layer::Block, Cause::Queue, res, from, start);
+        }
+        if end > start {
+            self.probe
+                .span(Layer::Block, Cause::Overhead, res, start, end);
+        }
+    }
+
     /// Submit one I/O from `core` at `now`.
     ///
     /// # Panics
@@ -177,6 +207,14 @@ impl<B: StorageBackend> IoStack<B> {
     ) -> StackCompletion {
         assert!(core < self.cfg.cores as usize, "core out of range");
         let cpu = self.cfg.cpu.clone();
+        let probing = self.probe.is_enabled();
+        let scope = self.probe.open_command(
+            match op {
+                BackendOp::Read => "read",
+                BackendOp::Write => "write",
+            },
+            now,
+        );
         // 1. submission path on the core
         let g_submit = self.cores.get_mut(core).reserve(now, cpu.submit);
         // 2. request-queue lock (the contention point in single-queue mode)
@@ -187,9 +225,27 @@ impl<B: StorageBackend> IoStack<B> {
         let g_lock = self.queues[q].reserve(g_submit.end, cpu.queue_lock);
         // 3. doorbell
         let g_bell = self.cores.get_mut(core).reserve(g_lock.end, cpu.doorbell);
-        // 4. device
+        if probing {
+            let core_res = format!("core{core}");
+            let q_res = format!("q{q}");
+            self.span_stage(&core_res, now, g_submit.start, g_submit.end);
+            self.span_stage(&q_res, g_submit.end, g_lock.start, g_lock.end);
+            self.span_stage(&core_res, g_lock.end, g_bell.start, g_bell.end);
+        }
+        // 4. device — a self-reporting backend decomposes this interval
+        // itself (the probe joined the open command); an opaque one gets
+        // the single block-interface span the paper complains about
         let dev_done = self.backend.submit(g_bell.end, op, lba);
         let device_time = dev_done.since(g_bell.end);
+        if probing && !self.backend.self_reporting() && dev_done > g_bell.end {
+            self.probe.span(
+                Layer::Block,
+                Cause::Transfer,
+                self.backend.label(),
+                g_bell.end,
+                dev_done,
+            );
+        }
         // 5. completion
         let (done, cpu_time) = match self.cfg.completion {
             CompletionMode::Polling => {
@@ -206,6 +262,13 @@ impl<B: StorageBackend> IoStack<B> {
                 (g.end, cpu.per_io_interrupt())
             }
         };
+        if probing && done > dev_done {
+            // interrupt + context switch + complete (or the polled
+            // completion tail); core waits fold into the same interval
+            self.probe
+                .span(Layer::Block, Cause::Overhead, "irq", dev_done, done);
+        }
+        scope.close(done);
         let latency = done.since(now);
         self.latency.record_duration(latency);
         self.device_ns += device_time.as_nanos() as u128;

@@ -66,6 +66,13 @@ pub trait PersistenceBackend {
 
     /// Short label for reports.
     fn label(&self) -> &'static str;
+
+    /// Attach a cross-layer [`Probe`](requiem_sim::Probe) so the devices
+    /// underneath decompose the storage manager's I/O into spans.
+    /// Backends without an instrumented device ignore it.
+    fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        let _ = probe;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -205,6 +212,10 @@ impl PersistenceBackend for LegacyBackend {
 
     fn label(&self) -> &'static str {
         "legacy-block"
+    }
+
+    fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.ssd.attach_probe(probe);
     }
 }
 
@@ -347,6 +358,10 @@ impl PersistenceBackend for VisionBackend {
 
     fn label(&self) -> &'static str {
         "vision-split"
+    }
+
+    fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.flash.inner_mut().attach_probe(probe);
     }
 }
 

@@ -147,6 +147,12 @@ impl<B: PersistenceBackend> Database<B> {
         &self.backend
     }
 
+    /// Attach a cross-layer [`Probe`](requiem_sim::Probe) to the backend's
+    /// devices so storage-manager I/O decomposes into per-layer spans.
+    pub fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.backend.attach_probe(probe);
+    }
+
     /// Transaction latency distribution.
     pub fn txn_latency(&self) -> &Histogram {
         &self.txn_latency

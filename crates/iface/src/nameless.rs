@@ -25,7 +25,7 @@ use requiem_sim::Resource;
 use requiem_ssd::addr::{ArrayShape, LunId, PhysPage};
 use requiem_ssd::block_dir::{BlockDirectory, Stream};
 use requiem_ssd::channel::ChannelTiming;
-use requiem_ssd::config::{GcPolicy, SsdConfig};
+use requiem_ssd::config::{GcPolicyKind, SsdConfig};
 use requiem_ssd::metrics::{OpCause, SsdMetrics};
 use requiem_ssd::Lpn;
 use serde::{Deserialize, Serialize};
@@ -289,7 +289,7 @@ impl NamelessSsd {
         let mut guard = self.cfg.flash.geometry.total_blocks();
         while self.dir.free_blocks(lun) <= self.cfg.gc_threshold && guard > 0 {
             guard -= 1;
-            let Some(victim) = self.dir.pick_victim(lun, GcPolicy::Greedy) else {
+            let Some(victim) = self.dir.pick_victim(lun, GcPolicyKind::Greedy) else {
                 break;
             };
             self.gc_collect(lun, victim, t);

@@ -37,6 +37,7 @@
 
 pub mod event;
 pub mod gantt;
+pub mod probe;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -45,7 +46,8 @@ pub mod time;
 
 pub use event::EventQueue;
 pub use gantt::{Gantt, Span};
-pub use resource::{Resource, ResourceBank};
+pub use probe::{BackgroundGuard, Cause, CommandScope, Layer, Probe, ProbeSummary, SpanEvent};
+pub use resource::{Occupant, Resource, ResourceBank};
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, Summary};
 pub use table::Table;

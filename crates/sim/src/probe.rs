@@ -1,0 +1,711 @@
+//! Cross-layer observability bus.
+//!
+//! Every layer of the simulated stack (flash timing, SSD controller,
+//! block layer, storage manager) can emit [`SpanEvent`]s into a shared
+//! [`Probe`]: *this command spent `[start, end)` in layer L for cause C
+//! on resource R*. One bus per experiment replaces per-layer ad-hoc
+//! metric structs with a single composable view: any host command can be
+//! decomposed into per-layer latency (queueing vs. channel transfer vs.
+//! cell read vs. GC stall vs. buffer hit), and aggregate per-layer
+//! totals fall out of the same stream.
+//!
+//! ## Span model
+//!
+//! * A **command** is opened by the outermost layer that accepts a host
+//!   operation ([`Probe::open_command`]) and closed with its completion
+//!   time. If a lower layer also calls `open_command` while a command is
+//!   open (e.g. `Ssd::read` under the block layer), it joins the open
+//!   command instead of nesting — so one host op maps to one command id
+//!   no matter where the stack was entered.
+//! * Spans emitted while a command is open are attributed to it and MUST
+//!   tile the command's `[submit, done)` interval without overlap: each
+//!   span is *exclusive* time on the critical path. The sum of a
+//!   command's span durations therefore equals its end-to-end latency —
+//!   tested property, not convention.
+//! * Work that runs on device time but off the command's critical path
+//!   (GC relocations, buffer flushes after a buffered-write completion,
+//!   discarded translation traffic) is emitted inside a *background*
+//!   scope ([`Probe::enter_background`]) and recorded with `cmd: None`.
+//!   Its cost reaches host commands only indirectly — as queueing delay
+//!   on shared resources — which the resource layer attributes via
+//!   occupant tags ([`crate::resource::Occupant`]) and surfaces here as
+//!   `GcStall` / `WearStall` / `MergeStall` spans on the stalled command.
+//!
+//! The bus always maintains aggregate per-`(layer, cause)` statistics;
+//! retaining the raw event list is opt-in ([`Probe::recording`]) so
+//! million-op experiments can run with summaries only.
+
+use crate::resource::Occupant;
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The stack layer a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Application / experiment harness.
+    App,
+    /// Storage manager (key-value / database engine).
+    Db,
+    /// Write-ahead log inside the storage manager.
+    Wal,
+    /// OS block layer (submission, queueing, completion).
+    Block,
+    /// SSD controller firmware (fixed overheads, mapping decisions).
+    Controller,
+    /// FTL mapping traffic (DFTL translation reads/writes, rebuild scans).
+    Mapping,
+    /// Controller write buffer.
+    Buffer,
+    /// Flash channel (command/address cycles, data transfers).
+    Channel,
+    /// Flash cell operations (tR / tPROG / tBERS) and waits for chips.
+    Flash,
+    /// Host interface link (SATA/NVMe transfer).
+    HostLink,
+}
+
+impl Layer {
+    /// Stable lowercase name (JSON keys, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::App => "app",
+            Layer::Db => "db",
+            Layer::Wal => "wal",
+            Layer::Block => "block",
+            Layer::Controller => "controller",
+            Layer::Mapping => "mapping",
+            Layer::Buffer => "buffer",
+            Layer::Channel => "channel",
+            Layer::Flash => "flash",
+            Layer::HostLink => "host_link",
+        }
+    }
+}
+
+/// Why the time elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Cause {
+    /// Fixed processing overhead (controller firmware, CPU submit path).
+    Overhead,
+    /// Command/address cycles on a channel.
+    Command,
+    /// Waiting for a resource occupied by other host traffic.
+    Queue,
+    /// Waiting for a resource occupied by garbage collection.
+    GcStall,
+    /// Waiting for a resource occupied by wear leveling.
+    WearStall,
+    /// Waiting for a resource occupied by an FTL merge.
+    MergeStall,
+    /// Waiting for a resource occupied by mapping-translation traffic.
+    TranslationStall,
+    /// Data movement on a bus (channel or host link).
+    Transfer,
+    /// Flash cell read (tR).
+    CellRead,
+    /// Flash cell program (tPROG).
+    CellProgram,
+    /// Flash block erase (tBERS).
+    CellErase,
+    /// Served out of the write buffer (zero-duration marker).
+    BufferHit,
+    /// Waiting for write-buffer space (buffer-full stall).
+    BufferStall,
+    /// Mapping translation traffic (DFTL page reads/writes, boot scan).
+    Translation,
+}
+
+impl Cause {
+    /// Stable lowercase name (JSON keys, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Cause::Overhead => "overhead",
+            Cause::Command => "command",
+            Cause::Queue => "queue",
+            Cause::GcStall => "gc_stall",
+            Cause::WearStall => "wear_stall",
+            Cause::MergeStall => "merge_stall",
+            Cause::TranslationStall => "translation_stall",
+            Cause::Transfer => "transfer",
+            Cause::CellRead => "cell_read",
+            Cause::CellProgram => "cell_program",
+            Cause::CellErase => "cell_erase",
+            Cause::BufferHit => "buffer_hit",
+            Cause::BufferStall => "buffer_stall",
+            Cause::Translation => "translation",
+        }
+    }
+
+    /// The stall cause charged to a command that waited behind a
+    /// resource occupied by `occ`.
+    pub fn from_occupant(occ: Occupant) -> Cause {
+        match occ {
+            Occupant::Host => Cause::Queue,
+            Occupant::Gc => Cause::GcStall,
+            Occupant::Wear => Cause::WearStall,
+            Occupant::Merge => Cause::MergeStall,
+            Occupant::Translation => Cause::TranslationStall,
+        }
+    }
+}
+
+/// One attributed interval of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Command this span is on the critical path of (`None` = background).
+    pub cmd: Option<u64>,
+    /// Stack layer.
+    pub layer: Layer,
+    /// Why the time elapsed.
+    pub cause: Cause,
+    /// Resource involved, when one is (`"chip3"`, `"chan0"`, …).
+    pub resource: Option<String>,
+    /// Span start (virtual time).
+    pub start: SimTime,
+    /// Span end (virtual time).
+    pub end: SimTime,
+}
+
+impl SpanEvent {
+    /// Span duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.since(self.start)
+    }
+}
+
+/// Record of one opened command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandRecord {
+    /// Command id (unique per bus).
+    pub id: u64,
+    /// Command kind (`"read"`, `"write"`, `"trim"`, …).
+    pub kind: &'static str,
+    /// Submission instant.
+    pub submit: SimTime,
+    /// Completion instant (`None` while open).
+    pub done: Option<SimTime>,
+}
+
+/// Aggregate statistics for one `(layer, cause)` bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of spans.
+    pub count: u64,
+    /// Total attributed time.
+    pub total: SimDuration,
+}
+
+/// Per-`(layer, cause)` aggregate view over everything the bus saw.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeSummary {
+    /// Aggregates keyed by `(layer, cause)`.
+    pub by_layer_cause: BTreeMap<(Layer, Cause), SpanStat>,
+    /// Commands completed, by kind.
+    pub commands: BTreeMap<&'static str, u64>,
+}
+
+impl ProbeSummary {
+    /// Total attributed time in `layer` across all causes.
+    pub fn layer_total(&self, layer: Layer) -> SimDuration {
+        self.by_layer_cause
+            .iter()
+            .filter(|((l, _), _)| *l == layer)
+            .map(|(_, s)| s.total)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Total attributed time for `cause` across all layers.
+    pub fn cause_total(&self, cause: Cause) -> SimDuration {
+        self.by_layer_cause
+            .iter()
+            .filter(|((_, c), _)| *c == cause)
+            .map(|(_, s)| s.total)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Serialize as a JSON object (hand-rolled; no serializer dependency):
+    /// `{"commands": {...}, "spans": [{"layer": .., "cause": ..,
+    /// "count": .., "total_ns": ..}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"commands\":{");
+        let mut first = true;
+        for (kind, n) in &self.commands {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{kind}\":{n}"));
+        }
+        out.push_str("},\"spans\":[");
+        let mut first = true;
+        for ((layer, cause), stat) in &self.by_layer_cause {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"layer\":\"{}\",\"cause\":\"{}\",\"count\":{},\"total_ns\":{}}}",
+                layer.as_str(),
+                cause.as_str(),
+                stat.count,
+                stat.total.as_nanos()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct ProbeBus {
+    retain_events: bool,
+    events: Vec<SpanEvent>,
+    commands: Vec<CommandRecord>,
+    open: Option<u64>,
+    next_cmd: u64,
+    background_depth: u32,
+    summary: ProbeSummary,
+}
+
+/// Scope handle returned by [`Probe::open_command`]; close it with the
+/// completion time. A scope that *joined* an already-open command (or a
+/// disabled probe) closes as a no-op.
+///
+/// Dropping an owned scope without closing it **aborts** the command: the
+/// unfinished record is discarded and the bus reopens for the next
+/// command. This keeps error paths (`?` past an open scope) from wedging
+/// the bus with a phantom open command.
+#[must_use = "close the command scope with its completion time"]
+pub struct CommandScope {
+    bus: Option<Rc<RefCell<ProbeBus>>>,
+    id: u64,
+    owned: bool,
+}
+
+impl CommandScope {
+    /// The command id (0 when the probe is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Close the command at `done`.
+    pub fn close(mut self, done: SimTime) {
+        let owned = self.owned;
+        if let (Some(bus), true) = (self.bus.take(), owned) {
+            let mut b = bus.borrow_mut();
+            if let Some(rec) = b.commands.iter_mut().rev().find(|c| c.id == self.id) {
+                rec.done = Some(done);
+                let kind = rec.kind;
+                *b.summary.commands.entry(kind).or_insert(0) += 1;
+            }
+            b.open = None;
+        }
+    }
+}
+
+impl Drop for CommandScope {
+    fn drop(&mut self) {
+        if !self.owned {
+            return;
+        }
+        if let Some(bus) = self.bus.take() {
+            // abort: the command never completed
+            let mut b = bus.borrow_mut();
+            if b.open == Some(self.id) {
+                b.open = None;
+            }
+            if let Some(pos) = b
+                .commands
+                .iter()
+                .rposition(|c| c.id == self.id && c.done.is_none())
+            {
+                b.commands.remove(pos);
+            }
+        }
+    }
+}
+
+/// RAII guard for a background scope (see [`Probe::background`]).
+pub struct BackgroundGuard {
+    probe: Probe,
+}
+
+impl Drop for BackgroundGuard {
+    fn drop(&mut self) {
+        self.probe.exit_background();
+    }
+}
+
+/// Cheaply clonable handle to a shared observability bus. A default
+/// (`Probe::disabled`) handle is a no-op with no allocation behind it,
+/// so instrumented hot paths cost one branch when tracing is off.
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    bus: Option<Rc<RefCell<ProbeBus>>>,
+}
+
+impl Probe {
+    /// A disabled probe: every emission is a no-op.
+    pub fn disabled() -> Self {
+        Probe { bus: None }
+    }
+
+    /// An enabled probe maintaining aggregate summaries only.
+    pub fn new() -> Self {
+        Probe {
+            bus: Some(Rc::new(RefCell::new(ProbeBus::default()))),
+        }
+    }
+
+    /// An enabled probe that additionally retains every [`SpanEvent`]
+    /// (for span-level tests and traces; memory grows with event count).
+    pub fn recording() -> Self {
+        let p = Probe::new();
+        if let Some(b) = &p.bus {
+            b.borrow_mut().retain_events = true;
+        }
+        p
+    }
+
+    /// Whether the probe is attached to a bus.
+    pub fn is_enabled(&self) -> bool {
+        self.bus.is_some()
+    }
+
+    /// Open (or join) a command submitted at `submit`.
+    pub fn open_command(&self, kind: &'static str, submit: SimTime) -> CommandScope {
+        let Some(bus) = &self.bus else {
+            return CommandScope {
+                bus: None,
+                id: 0,
+                owned: false,
+            };
+        };
+        let mut b = bus.borrow_mut();
+        if let Some(open) = b.open {
+            // join: inner layer of an already-open command
+            return CommandScope {
+                bus: Some(bus.clone()),
+                id: open,
+                owned: false,
+            };
+        }
+        b.next_cmd += 1;
+        let id = b.next_cmd;
+        b.open = Some(id);
+        b.commands.push(CommandRecord {
+            id,
+            kind,
+            submit,
+            done: None,
+        });
+        CommandScope {
+            bus: Some(bus.clone()),
+            id,
+            owned: true,
+        }
+    }
+
+    /// Emit one span. Attributed to the open command unless the bus is
+    /// inside a background scope (or no command is open). Zero-duration
+    /// spans are legal (markers such as [`Cause::BufferHit`]).
+    pub fn span(&self, layer: Layer, cause: Cause, resource: &str, start: SimTime, end: SimTime) {
+        let Some(bus) = &self.bus else {
+            return;
+        };
+        let mut b = bus.borrow_mut();
+        debug_assert!(end >= start, "span ends before it starts");
+        let cmd = if b.background_depth > 0 { None } else { b.open };
+        let stat = b.summary.by_layer_cause.entry((layer, cause)).or_default();
+        stat.count += 1;
+        stat.total += end.since(start);
+        if b.retain_events {
+            let resource = if resource.is_empty() {
+                None
+            } else {
+                Some(resource.to_string())
+            };
+            b.events.push(SpanEvent {
+                cmd,
+                layer,
+                cause,
+                resource,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Emit a wait interval `[from, to)` decomposed into per-occupant
+    /// stall spans (see [`crate::resource::Resource::blame`]). Sub-span
+    /// boundaries are synthetic but durations are exact.
+    pub fn wait_spans(
+        &self,
+        layer: Layer,
+        resource: &str,
+        from: SimTime,
+        to: SimTime,
+        blame: &[(Occupant, SimDuration)],
+    ) {
+        if self.bus.is_none() || to <= from {
+            return;
+        }
+        let mut cursor = from;
+        for &(occ, dur) in blame {
+            if dur == SimDuration::ZERO {
+                continue;
+            }
+            let end = cursor + dur;
+            self.span(layer, Cause::from_occupant(occ), resource, cursor, end);
+            cursor = end;
+        }
+        debug_assert_eq!(cursor, to, "blame does not tile the wait interval");
+    }
+
+    /// Enter a background scope: spans emitted until the matching
+    /// [`Probe::exit_background`] carry `cmd: None`.
+    pub fn enter_background(&self) {
+        if let Some(b) = &self.bus {
+            b.borrow_mut().background_depth += 1;
+        }
+    }
+
+    /// Enter a background scope released when the returned guard drops.
+    /// Prefer this over the manual pair on paths with early returns.
+    pub fn background(&self) -> BackgroundGuard {
+        self.enter_background();
+        BackgroundGuard {
+            probe: self.clone(),
+        }
+    }
+
+    /// Leave the innermost background scope.
+    pub fn exit_background(&self) {
+        if let Some(b) = &self.bus {
+            let mut b = b.borrow_mut();
+            debug_assert!(b.background_depth > 0, "unbalanced exit_background");
+            b.background_depth = b.background_depth.saturating_sub(1);
+        }
+    }
+
+    /// Snapshot of the aggregate per-`(layer, cause)` view.
+    pub fn summary(&self) -> ProbeSummary {
+        self.bus
+            .as_ref()
+            .map(|b| b.borrow().summary.clone())
+            .unwrap_or_default()
+    }
+
+    /// All retained events (empty unless built with [`Probe::recording`]).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.bus
+            .as_ref()
+            .map(|b| b.borrow().events.clone())
+            .unwrap_or_default()
+    }
+
+    /// All command records.
+    pub fn commands(&self) -> Vec<CommandRecord> {
+        self.bus
+            .as_ref()
+            .map(|b| b.borrow().commands.clone())
+            .unwrap_or_default()
+    }
+
+    /// Retained events on the critical path of command `id`, in
+    /// chronological order.
+    pub fn command_spans(&self, id: u64) -> Vec<SpanEvent> {
+        let mut v: Vec<SpanEvent> = self
+            .events()
+            .into_iter()
+            .filter(|e| e.cmd == Some(id))
+            .collect();
+        v.sort_by_key(|e| (e.start, e.end));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::MICROSECOND;
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::disabled();
+        assert!(!p.is_enabled());
+        let scope = p.open_command("read", SimTime::ZERO);
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(50),
+        );
+        scope.close(SimTime::from_micros(50));
+        assert!(p.events().is_empty());
+        assert!(p.summary().by_layer_cause.is_empty());
+    }
+
+    #[test]
+    fn spans_attribute_to_open_command() {
+        let p = Probe::recording();
+        let scope = p.open_command("read", SimTime::ZERO);
+        let id = scope.id();
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(50),
+        );
+        scope.close(SimTime::from_micros(50));
+        let spans = p.command_spans(id);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration(), MICROSECOND * 50);
+        assert_eq!(p.summary().commands.get("read"), Some(&1));
+    }
+
+    #[test]
+    fn nested_open_joins_outer_command() {
+        let p = Probe::recording();
+        let outer = p.open_command("write", SimTime::ZERO);
+        let inner = p.open_command("ssd_write", SimTime::ZERO);
+        assert_eq!(inner.id(), outer.id());
+        p.span(
+            Layer::Flash,
+            Cause::CellProgram,
+            "chip1",
+            SimTime::ZERO,
+            SimTime::from_micros(200),
+        );
+        inner.close(SimTime::from_micros(200));
+        // inner close must not close the outer command
+        p.span(
+            Layer::Block,
+            Cause::Overhead,
+            "",
+            SimTime::from_micros(200),
+            SimTime::from_micros(201),
+        );
+        let id = outer.id();
+        outer.close(SimTime::from_micros(201));
+        assert_eq!(p.command_spans(id).len(), 2);
+        assert_eq!(p.summary().commands.len(), 1);
+    }
+
+    #[test]
+    fn background_spans_are_unattributed() {
+        let p = Probe::recording();
+        let scope = p.open_command("write", SimTime::ZERO);
+        p.enter_background();
+        p.span(
+            Layer::Flash,
+            Cause::CellErase,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(2000),
+        );
+        p.exit_background();
+        let id = scope.id();
+        scope.close(SimTime::from_micros(10));
+        assert!(p.command_spans(id).is_empty());
+        // ...but still aggregated
+        assert_eq!(
+            p.summary().cause_total(Cause::CellErase),
+            MICROSECOND * 2000
+        );
+    }
+
+    #[test]
+    fn wait_spans_tile_interval() {
+        let p = Probe::recording();
+        let scope = p.open_command("read", SimTime::ZERO);
+        let blame = [
+            (Occupant::Gc, MICROSECOND * 3),
+            (Occupant::Host, MICROSECOND * 2),
+        ];
+        p.wait_spans(
+            Layer::Flash,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(5),
+            &blame,
+        );
+        let id = scope.id();
+        scope.close(SimTime::from_micros(5));
+        let spans = p.command_spans(id);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].cause, Cause::GcStall);
+        assert_eq!(spans[1].cause, Cause::Queue);
+        let total: SimDuration = spans
+            .iter()
+            .map(SpanEvent::duration)
+            .fold(SimDuration::ZERO, |a, b| a + b);
+        assert_eq!(total, MICROSECOND * 5);
+    }
+
+    #[test]
+    fn dropped_scope_aborts_command() {
+        let p = Probe::recording();
+        {
+            let _scope = p.open_command("write", SimTime::ZERO);
+            // error path: scope dropped without close
+        }
+        assert!(p.commands().is_empty());
+        // the bus is reusable afterwards
+        let scope = p.open_command("read", SimTime::ZERO);
+        assert!(scope.id() > 0);
+        scope.close(SimTime::from_micros(1));
+        assert_eq!(p.summary().commands.get("read"), Some(&1));
+    }
+
+    #[test]
+    fn background_guard_restores_depth() {
+        let p = Probe::recording();
+        let scope = p.open_command("write", SimTime::ZERO);
+        {
+            let _bg = p.background();
+            p.span(
+                Layer::Flash,
+                Cause::CellProgram,
+                "chip0",
+                SimTime::ZERO,
+                SimTime::from_micros(1),
+            );
+        }
+        p.span(
+            Layer::Controller,
+            Cause::Overhead,
+            "",
+            SimTime::from_micros(1),
+            SimTime::from_micros(2),
+        );
+        let id = scope.id();
+        scope.close(SimTime::from_micros(2));
+        // only the post-guard span is attributed
+        assert_eq!(p.command_spans(id).len(), 1);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let p = Probe::new();
+        let scope = p.open_command("read", SimTime::ZERO);
+        p.span(
+            Layer::Channel,
+            Cause::Transfer,
+            "chan0",
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+        );
+        scope.close(SimTime::from_micros(100));
+        let json = p.summary().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"commands\":{\"read\":1}"));
+        assert!(json.contains("\"layer\":\"channel\""));
+        assert!(json.contains("\"cause\":\"transfer\""));
+        assert!(json.contains("\"total_ns\":100000"));
+    }
+}

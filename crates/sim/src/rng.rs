@@ -6,14 +6,18 @@
 //! another component's stream. Streams are derived by hashing the parent
 //! seed with a label (FNV-1a), so derivation is stable across runs,
 //! platforms, and code reordering.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator itself is a self-contained xoshiro256++ (Blackman &
+//! Vigna), state-expanded from the 64-bit seed with splitmix64. No
+//! external crates are involved, so the stream is fully under this
+//! repository's control: identical across toolchains and immune to
+//! upstream algorithm changes — a hard requirement for the bit-identical
+//! determinism tests in `tests/determinism.rs`.
 
 /// A deterministic random source, seedable and splittable by label.
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl std::fmt::Debug for SimRng {
@@ -39,13 +43,27 @@ fn fnv1a(seed: u64, label: &str) -> u64 {
     h ^ (h >> 31)
 }
 
+/// splitmix64 step: advances `x` and returns the next output. Used only
+/// to expand the 64-bit seed into xoshiro's 256-bit state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl SimRng {
     /// Create a stream from a raw seed.
     pub fn from_seed(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
-        }
+        let mut x = seed;
+        let state = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        SimRng { seed, state }
     }
 
     /// Derive an independent child stream identified by `label`.
@@ -60,19 +78,37 @@ impl SimRng {
         self.seed
     }
 
-    /// Uniform `u64`.
+    /// Uniform `u64` (xoshiro256++ step).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, bound)`. Returns 0 if `bound == 0`.
+    ///
+    /// Debiased via Lemire's widening-multiply rejection method.
     #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         if bound == 0 {
-            0
-        } else {
-            self.inner.gen_range(0..bound)
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound.wrapping_neg() % bound {
+                // acceptance region reached; high word is unbiased
+                return (m >> 64) as u64;
+            }
         }
     }
 
@@ -85,7 +121,8 @@ impl SimRng {
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality mantissa bits -> [0, 1)
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -106,26 +143,6 @@ impl SimRng {
             let j = self.index(i + 1);
             xs.swap(i, j);
         }
-    }
-
-    /// Access the underlying `rand` RNG for distribution sampling.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -167,6 +184,27 @@ mod tests {
             assert!(r.below(17) < 17);
         }
         assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::from_seed(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((9_000..=11_000).contains(&c), "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = SimRng::from_seed(13);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use requiem_flash::{Geometry, PageAddr};
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{Lpn, LunId, PhysPage};
-use crate::config::GcPolicy;
+use crate::config::GcPolicyKind;
 
 /// Lifecycle state of a physical block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -337,7 +337,7 @@ impl BlockDirectory {
 
     /// Pick a GC victim among Full blocks of a LUN. Active frontiers are
     /// never victims. Returns the block index.
-    pub fn pick_victim(&self, l: LunId, policy: GcPolicy) -> Option<u32> {
+    pub fn pick_victim(&self, l: LunId, policy: GcPolicyKind) -> Option<u32> {
         let d = self.lun(l);
         let ppb = self.geom.pages_per_block as f64;
         let mut best: Option<(u32, f64)> = None;
@@ -348,8 +348,8 @@ impl BlockDirectory {
             // a full block with every page valid yields nothing (greedy);
             // cost-benefit may still skip it via u=1 guard
             let score = match policy {
-                GcPolicy::Greedy => -(info.valid as f64),
-                GcPolicy::CostBenefit => {
+                GcPolicyKind::Greedy => -(info.valid as f64),
+                GcPolicyKind::CostBenefit => {
                     let u = info.valid as f64 / ppb;
                     if u >= 1.0 {
                         f64::NEG_INFINITY
@@ -515,7 +515,7 @@ mod tests {
         for p in &pages[4..7] {
             d.invalidate(*p);
         }
-        let victim = d.pick_victim(l, GcPolicy::Greedy).unwrap();
+        let victim = d.pick_victim(l, GcPolicyKind::Greedy).unwrap();
         // geometry has 1 plane, so block index == block coordinate
         assert_eq!(victim, pages[4].addr.block);
     }
@@ -529,7 +529,7 @@ mod tests {
             d.mark_valid(n.phys, Lpn(i));
         }
         // one full block, all valid → nothing worth collecting
-        assert_eq!(d.pick_victim(l, GcPolicy::Greedy), None);
+        assert_eq!(d.pick_victim(l, GcPolicyKind::Greedy), None);
     }
 
     #[test]
@@ -548,7 +548,7 @@ mod tests {
         d.invalidate(pages[4]);
         d.invalidate(pages[5]);
         // block 0 was opened earlier (older) → cost-benefit picks it
-        assert_eq!(d.pick_victim(l, GcPolicy::CostBenefit), Some(0));
+        assert_eq!(d.pick_victim(l, GcPolicyKind::CostBenefit), Some(0));
     }
 
     #[test]

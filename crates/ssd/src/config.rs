@@ -59,9 +59,11 @@ pub enum Placement {
     StaticByLpn,
 }
 
-/// Garbage-collection victim selection policy.
+/// Garbage-collection victim selection policy (which
+/// [`GcPolicy`](crate::controller::GcPolicy) implementation the
+/// controller instantiates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum GcPolicy {
+pub enum GcPolicyKind {
     /// Fewest valid pages first.
     Greedy,
     /// Cost-benefit (age × (1−u) / 2u) — favours old, cold blocks.
@@ -74,7 +76,7 @@ pub struct GcConfig {
     /// Run GC on a LUN when its free-block count sinks to this threshold.
     pub free_block_threshold: u32,
     /// Victim selection policy.
-    pub policy: GcPolicy,
+    pub policy: GcPolicyKind,
     /// Use on-die copyback for same-LUN moves (no channel transfer).
     pub copyback: bool,
 }
@@ -83,17 +85,10 @@ impl Default for GcConfig {
     fn default() -> Self {
         GcConfig {
             free_block_threshold: 3,
-            policy: GcPolicy::Greedy,
+            policy: GcPolicyKind::Greedy,
             copyback: true,
         }
     }
-}
-
-/// Read-disturb scrubbing: relocate a block once it has absorbed this
-/// many reads since its last erase (`0` disables). Real controllers scrub
-/// around a fraction of the cell technology's disturb budget.
-fn default_scrub() -> u64 {
-    0
 }
 
 /// Wear-leveling tuning.
@@ -150,8 +145,10 @@ pub struct SsdConfig {
     pub wl: WlConfig,
     /// RNG seed for device-internal randomness (error injection).
     pub seed: u64,
-    /// Read-disturb scrub threshold (reads per block since erase; 0 = off).
-    #[serde(default = "default_scrub")]
+    /// Read-disturb scrub threshold: relocate a block once it has absorbed
+    /// this many reads since its last erase (`0` disables). Real
+    /// controllers scrub around a fraction of the cell technology's
+    /// disturb budget.
     pub scrub_after_reads: u64,
 }
 

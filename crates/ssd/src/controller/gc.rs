@@ -1,0 +1,316 @@
+//! Garbage collection: the Figure-2 "Garbage collection" box.
+//!
+//! Two things live here:
+//!
+//! * **Policy** — [`GreedyGc`] and [`CostBenefitGc`], implementations of
+//!   [`GcPolicy`](super::GcPolicy) deciding *when* a LUN needs collecting
+//!   and *which* block to victimize. Both are pure functions over the
+//!   [`BlockDirectory`](crate::block_dir::BlockDirectory) view.
+//! * **Mechanism** — the `impl Ssd` block at the bottom: the relocation
+//!   loop, the DFTL translation write-back batching, the erase, and
+//!   read-disturb scrubbing. Mechanism reserves channel/LUN time tagged
+//!   with [`Occupant::Gc`](requiem_sim::Occupant), which is how GC
+//!   interference with host reads (myth 3) shows up in the probe bus
+//!   without being explicitly programmed in.
+//!
+//! Re-entrancy is guarded by the typed [`GcGate`]/[`GcToken`] pair: a
+//! GC-internal allocation that runs dry spills to other LUNs instead of
+//! recursing into a nested collection. The token's `Drop` releases the
+//! gate, so no code path can forget to clear it.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use requiem_flash::PagePayload;
+use requiem_sim::time::SimTime;
+
+use crate::addr::{Lpn, LunId, PhysPage};
+use crate::block_dir::{BlockDirectory, Stream};
+use crate::config::GcPolicyKind;
+use crate::device::{MappingState, Ssd, SsdError};
+use crate::mapping::dftl::{TransIo, TransIoKind};
+use crate::metrics::OpCause;
+
+use super::GcPolicy;
+
+// ----------------------------------------------------------------------
+// re-entrancy gate
+// ----------------------------------------------------------------------
+
+/// Shared flag guarding against nested garbage collection. Cloned into
+/// every code path that may trigger GC; [`try_enter`](GcGate::try_enter)
+/// hands out at most one live [`GcToken`] at a time.
+#[derive(Debug, Clone, Default)]
+pub struct GcGate {
+    active: Rc<Cell<bool>>,
+}
+
+impl GcGate {
+    /// A fresh, open gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire the gate. `None` when a collection is already running —
+    /// the caller must spill (allocate elsewhere) rather than recurse.
+    pub fn try_enter(&self) -> Option<GcToken> {
+        if self.active.get() {
+            None
+        } else {
+            self.active.set(true);
+            Some(GcToken {
+                gate: self.active.clone(),
+            })
+        }
+    }
+
+    /// Whether a collection is currently running.
+    pub fn is_active(&self) -> bool {
+        self.active.get()
+    }
+}
+
+/// Proof of exclusive GC entry. Releases the [`GcGate`] on drop, so early
+/// returns and error paths cannot leave the gate wedged shut.
+#[derive(Debug)]
+pub struct GcToken {
+    gate: Rc<Cell<bool>>,
+}
+
+impl Drop for GcToken {
+    fn drop(&mut self) {
+        self.gate.set(false);
+    }
+}
+
+// ----------------------------------------------------------------------
+// policies
+// ----------------------------------------------------------------------
+
+/// Greedy victim selection: collect the block with the fewest valid
+/// pages. Minimizes relocation work per reclaimed block; ignores age.
+#[derive(Debug, Clone)]
+pub struct GreedyGc {
+    threshold: u32,
+}
+
+impl GreedyGc {
+    /// Greedy policy triggering when a LUN's free blocks drop to
+    /// `threshold`.
+    pub fn new(threshold: u32) -> Self {
+        Self { threshold }
+    }
+}
+
+impl GcPolicy for GreedyGc {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn should_collect(&self, dir: &BlockDirectory, lun: LunId) -> bool {
+        dir.free_blocks(lun) <= self.threshold
+    }
+
+    fn pick_victim(&self, dir: &BlockDirectory, lun: LunId) -> Option<u32> {
+        dir.pick_victim(lun, GcPolicyKind::Greedy)
+    }
+}
+
+/// Cost-benefit victim selection (Rosenblum and Ousterhout's LFS cleaner
+/// formula): maximize `age * (1 - u) / 2u` where `u` is the block's
+/// valid-page utilization. Prefers old, mostly-invalid blocks; avoids
+/// collecting hot blocks that are still shedding valid pages.
+#[derive(Debug, Clone)]
+pub struct CostBenefitGc {
+    threshold: u32,
+}
+
+impl CostBenefitGc {
+    /// Cost-benefit policy triggering when a LUN's free blocks drop to
+    /// `threshold`.
+    pub fn new(threshold: u32) -> Self {
+        Self { threshold }
+    }
+}
+
+impl GcPolicy for CostBenefitGc {
+    fn name(&self) -> &'static str {
+        "cost-benefit"
+    }
+
+    fn should_collect(&self, dir: &BlockDirectory, lun: LunId) -> bool {
+        dir.free_blocks(lun) <= self.threshold
+    }
+
+    fn pick_victim(&self, dir: &BlockDirectory, lun: LunId) -> Option<u32> {
+        dir.pick_victim(lun, GcPolicyKind::CostBenefit)
+    }
+}
+
+// ----------------------------------------------------------------------
+// mechanism
+// ----------------------------------------------------------------------
+
+impl Ssd {
+    /// Run GC on `lun` until it has breathing room (page-mapped FTLs only).
+    pub(crate) fn maybe_gc(&mut self, lun: LunId, t: SimTime) {
+        if !matches!(self.map, MappingState::Page(_) | MappingState::Dftl(_)) {
+            return;
+        }
+        let Some(token) = self.gc_gate.try_enter() else {
+            // no recursive GC; inner allocations spill to other LUNs
+            self.metrics.gc_reentries_blocked += 1;
+            return;
+        };
+        {
+            let _bg = self.sched.probe.background();
+            let mut guard = self.cfg.flash.geometry.total_blocks();
+            while self.gc_policy.should_collect(&self.dir, lun) && guard > 0 {
+                guard -= 1;
+                let Some(victim) = self.gc_policy.pick_victim(&self.dir, lun) else {
+                    break;
+                };
+                if self.gc_collect(lun, victim, t).is_err() {
+                    // relocation space exhausted (worn-out device): stop —
+                    // the caller's allocation will surface DeviceFull
+                    break;
+                }
+            }
+        }
+        drop(token);
+        if self.wear_policy.should_migrate(&self.dir) {
+            self.static_wear_level(lun, t);
+        }
+    }
+
+    /// Relocate all live pages of `victim` and erase it. On relocation
+    /// failure (worn-out device) the victim keeps its remaining live pages
+    /// and is NOT erased — data stays readable, writes will report full.
+    pub(crate) fn gc_collect(
+        &mut self,
+        lun: LunId,
+        victim: u32,
+        t: SimTime,
+    ) -> Result<(), SsdError> {
+        self.metrics.gc_runs += 1;
+        let live = self.dir.live_pages(lun, victim);
+        for (addr, lpn) in live {
+            let old = PhysPage { lun, addr };
+            self.relocate_page(old, lpn, t, OpCause::Gc)?;
+        }
+        // DFTL: one batched translation write-back per collected block
+        if let MappingState::Dftl(_) = self.map {
+            let ios = [TransIo {
+                lun,
+                kind: TransIoKind::Write,
+            }];
+            self.exec_trans(t, &ios);
+        }
+        self.op_erase(t, lun, victim, OpCause::Gc);
+        Ok(())
+    }
+
+    /// Move one live page elsewhere (GC / wear leveling / salvage).
+    /// Fails only when no LUN can host the page (worn-out device); the
+    /// source page is left untouched in that case.
+    pub(crate) fn relocate_page(
+        &mut self,
+        old: PhysPage,
+        lpn: Lpn,
+        t: SimTime,
+        cause: OpCause,
+    ) -> Result<(), SsdError> {
+        let copyback = self.cfg.gc.copyback;
+        let read = self.op_read(t, old, !copyback, cause);
+        // consistency check: the OOB tag must match the directory — unless
+        // the read itself was uncorrectable (payload lost, Empty returned),
+        // in which case the relocation proceeds from assumed redundancy
+        debug_assert!(
+            matches!(read.payload, PagePayload::Oob { lpn: l, .. } if l == lpn.0)
+                || read.payload == PagePayload::Empty,
+            "GC read of {:?} expected lpn {} got {:?}",
+            old,
+            lpn.0,
+            read.payload
+        );
+        let (new, _end) = self.append_page(read.end, old.lun, Stream::Gc, lpn, !copyback, cause)?;
+        match &mut self.map {
+            MappingState::Page(m) => {
+                let prev = m.update(lpn, new);
+                debug_assert_eq!(prev, Some(old));
+            }
+            MappingState::Dftl(m) => {
+                let prev = m.relocate(lpn, new);
+                debug_assert_eq!(prev, Some(old));
+            }
+            _ => unreachable!("relocate_page only used by page-mapped FTLs"),
+        }
+        self.dir.invalidate(old);
+        self.dir.mark_valid(new, lpn);
+        self.metrics.gc_pages_moved += 1;
+        Ok(())
+    }
+
+    /// Read-disturb scrubbing: if the block holding `phys` has absorbed
+    /// more reads than the configured threshold since its last erase,
+    /// relocate its live pages and erase it (page-mapped FTLs only).
+    pub(crate) fn maybe_scrub(&mut self, phys: PhysPage, t: SimTime) {
+        let threshold = self.cfg.scrub_after_reads;
+        if threshold == 0 || !matches!(self.map, MappingState::Page(_) | MappingState::Dftl(_)) {
+            return;
+        }
+        if self.gc_gate.is_active() {
+            return;
+        }
+        let geom = self.cfg.flash.geometry.clone();
+        let baddr = geom.block_of(phys.addr);
+        let reads = self.luns[phys.lun.0 as usize]
+            .block_state(baddr)
+            .reads_since_erase;
+        if reads < threshold {
+            return;
+        }
+        let block_idx = geom.block_index(baddr);
+        // never scrub an open frontier; it will be erased soon anyway
+        if self.dir.block_info(phys.lun, block_idx).state != crate::block_dir::BlockUse::Full {
+            return;
+        }
+        let Some(token) = self.gc_gate.try_enter() else {
+            return;
+        };
+        self.metrics.scrubs += 1;
+        {
+            let _bg = self.sched.probe.background();
+            let _ = self.gc_collect(phys.lun, block_idx, t);
+        }
+        drop(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_hands_out_one_token() {
+        let gate = GcGate::new();
+        assert!(!gate.is_active());
+        let token = gate.try_enter().expect("gate open");
+        assert!(gate.is_active());
+        assert!(gate.try_enter().is_none(), "nested entry must be refused");
+        drop(token);
+        assert!(!gate.is_active());
+        assert!(gate.try_enter().is_some(), "gate reusable after drop");
+    }
+
+    #[test]
+    fn token_drop_releases_on_early_return() {
+        let gate = GcGate::new();
+        fn inner(gate: &GcGate) -> Option<()> {
+            let _token = gate.try_enter()?;
+            None // early bail; token must still release
+        }
+        assert!(inner(&gate).is_none());
+        assert!(!gate.is_active());
+    }
+}

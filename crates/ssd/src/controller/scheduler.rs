@@ -1,0 +1,482 @@
+//! Scheduling: channel/LUN resource ownership, flash op primitives, and
+//! write placement (the "Scheduling" box of Figure 2).
+//!
+//! The [`Scheduler`] owns every serial resource timeline the controller
+//! arbitrates — one [`Resource`] per LUN, per channel, plus the host
+//! link — together with the optional Gantt trace and the observability
+//! [`Probe`]. All flash operation mechanisms (`op_read` / `op_program` /
+//! `op_erase` and DFTL translation traffic) live here as `impl Ssd`
+//! blocks: they reserve intervals on the scheduler's timelines, tagging
+//! each grant with its [`Occupant`] so that later waiters can *blame*
+//! their queueing delay (GC stall vs. merge stall vs. plain queueing) on
+//! the observability bus.
+
+use requiem_flash::{FlashError, PagePayload};
+use requiem_sim::gantt::Gantt;
+use requiem_sim::resource::Grant;
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::{Cause, Layer, Occupant, Probe, Resource};
+
+use crate::addr::{Lpn, LunId, PhysPage};
+use crate::block_dir::Stream;
+use crate::config::Placement;
+use crate::device::{FlashReadDone, Ssd, SsdError};
+use crate::mapping::dftl::{TransIo, TransIoKind};
+use crate::metrics::OpCause;
+
+/// The resource occupant tag for a flash operation cause.
+pub(crate) fn occupant_of(cause: OpCause) -> Occupant {
+    match cause {
+        OpCause::Host => Occupant::Host,
+        OpCause::Gc => Occupant::Gc,
+        OpCause::WearLevel => Occupant::Wear,
+        OpCause::Merge => Occupant::Merge,
+        OpCause::Translation => Occupant::Translation,
+    }
+}
+
+/// Owner of the controller's serial resource timelines (channels, LUNs,
+/// host link), the Gantt trace, and the observability probe.
+#[derive(Debug)]
+pub struct Scheduler {
+    /// One timeline per LUN (`chip{i}`).
+    pub(crate) lun_res: Vec<Resource>,
+    /// One timeline per channel (`chan{i}`).
+    pub(crate) chan_res: Vec<Resource>,
+    /// The host interface link.
+    pub(crate) host_link: Resource,
+    /// Optional chip/channel occupancy trace.
+    pub(crate) trace: Option<Gantt>,
+    /// Observability bus handle (disabled by default).
+    pub(crate) probe: Probe,
+}
+
+impl Scheduler {
+    /// Create timelines for `nluns` LUNs and `channels` channels, all
+    /// idle, with tracing and probing off.
+    pub(crate) fn new(nluns: u32, channels: u32) -> Self {
+        Scheduler {
+            lun_res: (0..nluns)
+                .map(|i| Resource::new(format!("chip{i}")))
+                .collect(),
+            chan_res: (0..channels)
+                .map(|i| Resource::new(format!("chan{i}")))
+                .collect(),
+            host_link: Resource::new("host-link"),
+            trace: None,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Attach an observability probe. An enabled probe turns on occupant
+    /// tracking for every resource so queueing delays can be blamed on
+    /// their cause; a disabled probe turns tracking back off.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        let on = probe.is_enabled();
+        self.probe = probe;
+        for r in self.lun_res.iter_mut().chain(self.chan_res.iter_mut()) {
+            r.track_occupants(on);
+        }
+        self.host_link.track_occupants(on);
+    }
+
+    /// The attached probe (disabled handle when none was attached).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// The instant every queued operation has drained.
+    pub fn drain_time(&self) -> SimTime {
+        let mut t = self.host_link.next_free();
+        for r in self.lun_res.iter().chain(self.chan_res.iter()) {
+            t = t.max(r.next_free());
+        }
+        t
+    }
+
+    pub(crate) fn trace_span(&mut self, lane: String, start: SimTime, end: SimTime, glyph: char) {
+        if let Some(g) = self.trace.as_mut() {
+            g.record(lane, start, end, glyph, "");
+        }
+    }
+
+    /// Emit wait-blame + transfer spans for a host-link grant requested
+    /// at `requested`.
+    pub(crate) fn emit_host_link_spans(&self, requested: SimTime, g: Grant) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let blame = self.host_link.blame(requested, g.start);
+        self.probe.wait_spans(
+            Layer::HostLink,
+            self.host_link.name(),
+            requested,
+            g.start,
+            &blame,
+        );
+        self.probe.span(
+            Layer::HostLink,
+            Cause::Transfer,
+            self.host_link.name(),
+            g.start,
+            g.end,
+        );
+    }
+
+    /// Emit wait-blame spans for a LUN grant requested at `requested`.
+    fn emit_lun_wait(&self, lun: usize, requested: SimTime, start: SimTime) {
+        let blame = self.lun_res[lun].blame(requested, start);
+        self.probe.wait_spans(
+            Layer::Flash,
+            self.lun_res[lun].name(),
+            requested,
+            start,
+            &blame,
+        );
+    }
+
+    /// Emit wait-blame spans for a channel grant requested at `requested`.
+    fn emit_chan_wait(&self, chan: usize, requested: SimTime, start: SimTime) {
+        let blame = self.chan_res[chan].blame(requested, start);
+        self.probe.wait_spans(
+            Layer::Channel,
+            self.chan_res[chan].name(),
+            requested,
+            start,
+            &blame,
+        );
+    }
+}
+
+impl Ssd {
+    // ------------------------------------------------------------------
+    // flash op primitives (resource-timed)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn op_read(
+        &mut self,
+        not_before: SimTime,
+        phys: PhysPage,
+        with_transfer: bool,
+        cause: OpCause,
+    ) -> FlashReadDone {
+        let li = phys.lun.0 as usize;
+        let chan = self.shape().channel_of(phys.lun) as usize;
+        // command/address cycles (~0.2µs) are charged as latency but not
+        // as bus occupancy: modelling them as channel reservations would
+        // serialize later commands behind earlier 100µs data transfers,
+        // which real command queueing does not do
+        let cmd_done = not_before + self.cfg.channel.command;
+        let (dur, payload) = match self.luns[li].read(phys.addr) {
+            Ok(o) => (o.duration, o.payload),
+            Err(FlashError::UncorrectableRead { .. }) => {
+                // assume controller-level redundancy recovers at the cost
+                // of a re-read
+                self.metrics.uncorrectable_reads += 1;
+                (self.cfg.flash.timing.read * 2, PagePayload::Empty)
+            }
+            Err(e) => panic!("FTL bug: illegal flash read at {:?}: {e}", phys),
+        };
+        let occ = occupant_of(cause);
+        let lg = self.sched.lun_res[li].reserve_tagged(cmd_done, dur, occ);
+        let lun_wait = lg.start.since(cmd_done);
+        self.metrics.flash_reads.bump(cause);
+        if self.sched.probe.is_enabled() {
+            self.sched.probe.span(
+                Layer::Channel,
+                Cause::Command,
+                self.sched.chan_res[chan].name(),
+                not_before,
+                cmd_done,
+            );
+            self.sched.emit_lun_wait(li, cmd_done, lg.start);
+            self.sched.probe.span(
+                Layer::Flash,
+                Cause::CellRead,
+                self.sched.lun_res[li].name(),
+                lg.start,
+                lg.end,
+            );
+        }
+        self.sched
+            .trace_span(format!("chip{}", phys.lun.0), lg.start, lg.end, 'R');
+        let (end, chan_wait) = if with_transfer {
+            let xfer = self.cfg.channel.transfer(self.page_size());
+            let xg = self.sched.chan_res[chan].reserve_tagged(lg.end, xfer, occ);
+            if self.sched.probe.is_enabled() {
+                self.sched.emit_chan_wait(chan, lg.end, xg.start);
+                self.sched.probe.span(
+                    Layer::Channel,
+                    Cause::Transfer,
+                    self.sched.chan_res[chan].name(),
+                    xg.start,
+                    xg.end,
+                );
+            }
+            self.sched
+                .trace_span(format!("chan{chan}"), xg.start, xg.end, 't');
+            (xg.end, xg.start.since(lg.end))
+        } else {
+            (lg.end, SimDuration::ZERO)
+        };
+        FlashReadDone {
+            end,
+            lun_wait,
+            chan_wait,
+            payload,
+        }
+    }
+
+    /// Program `phys` with the tag for `lpn`. `Err(())` = wear-induced
+    /// program failure (caller retires the block and retries elsewhere).
+    pub(crate) fn op_program(
+        &mut self,
+        not_before: SimTime,
+        phys: PhysPage,
+        lpn: Lpn,
+        use_channel: bool,
+        cause: OpCause,
+    ) -> Result<SimTime, ()> {
+        let li = phys.lun.0 as usize;
+        let chan = self.shape().channel_of(phys.lun) as usize;
+        let occ = occupant_of(cause);
+        let start = if use_channel {
+            let bus_time = self.cfg.channel.write_bus_time(self.page_size());
+            let bus = self.sched.chan_res[chan].reserve_tagged(not_before, bus_time, occ);
+            if self.sched.probe.is_enabled() {
+                self.sched.emit_chan_wait(chan, not_before, bus.start);
+                self.sched.probe.span(
+                    Layer::Channel,
+                    Cause::Transfer,
+                    self.sched.chan_res[chan].name(),
+                    bus.start,
+                    bus.end,
+                );
+            }
+            self.sched
+                .trace_span(format!("chan{chan}"), bus.start, bus.end, 't');
+            bus.end
+        } else {
+            not_before
+        };
+        self.oob_seq += 1;
+        let oob = PagePayload::Oob {
+            lpn: lpn.0,
+            seq: self.oob_seq,
+        };
+        let dur = match self.luns[li].program(phys.addr, oob) {
+            Ok(o) => o.duration,
+            Err(FlashError::ProgramFailed { .. }) => return Err(()),
+            Err(e) => panic!("FTL bug: illegal flash program at {:?}: {e}", phys),
+        };
+        let g = self.sched.lun_res[li].reserve_tagged(start, dur, occ);
+        self.metrics.flash_programs.bump(cause);
+        if self.sched.probe.is_enabled() {
+            self.sched.emit_lun_wait(li, start, g.start);
+            self.sched.probe.span(
+                Layer::Flash,
+                Cause::CellProgram,
+                self.sched.lun_res[li].name(),
+                g.start,
+                g.end,
+            );
+        }
+        self.sched
+            .trace_span(format!("chip{}", phys.lun.0), g.start, g.end, 'P');
+        Ok(g.end)
+    }
+
+    /// Erase a block; on wear-out failure the block is retired. Returns
+    /// the erase completion either way (the time was spent).
+    pub(crate) fn op_erase(
+        &mut self,
+        not_before: SimTime,
+        lun: LunId,
+        block_idx: u32,
+        cause: OpCause,
+    ) -> SimTime {
+        let li = lun.0 as usize;
+        let baddr = self.cfg.flash.geometry.block_from_index(block_idx);
+        let cmd_done = not_before + self.cfg.channel.command;
+        let occ = occupant_of(cause);
+        let (g, retired) = match self.luns[li].erase(baddr) {
+            Ok(o) => (
+                self.sched.lun_res[li].reserve_tagged(cmd_done, o.duration, occ),
+                false,
+            ),
+            Err(FlashError::EraseFailed { .. }) => (
+                self.sched.lun_res[li].reserve_tagged(cmd_done, self.cfg.flash.timing.erase, occ),
+                true,
+            ),
+            Err(e) => panic!("FTL bug: illegal erase of {baddr}: {e}"),
+        };
+        self.metrics.flash_erases.bump(cause);
+        if self.sched.probe.is_enabled() {
+            let chan = self.shape().channel_of(lun) as usize;
+            self.sched.probe.span(
+                Layer::Channel,
+                Cause::Command,
+                self.sched.chan_res[chan].name(),
+                not_before,
+                cmd_done,
+            );
+            self.sched.emit_lun_wait(li, cmd_done, g.start);
+            self.sched.probe.span(
+                Layer::Flash,
+                Cause::CellErase,
+                self.sched.lun_res[li].name(),
+                g.start,
+                g.end,
+            );
+        }
+        if retired {
+            self.metrics.blocks_retired += 1;
+            self.dir.retire(lun, block_idx);
+        } else {
+            self.sched
+                .trace_span(format!("chip{}", lun.0), g.start, g.end, 'E');
+            self.dir.recycle(lun, block_idx);
+        }
+        g.end
+    }
+
+    /// Charge DFTL translation traffic, serialized after `t`. Grants are
+    /// tagged [`Occupant::Translation`]; span attribution is left to the
+    /// caller (critical-path callers emit one aggregate mapping span).
+    pub(crate) fn exec_trans(&mut self, mut t: SimTime, ios: &[TransIo]) -> SimTime {
+        for io in ios {
+            let li = io.lun.0 as usize;
+            let chan = self.shape().channel_of(io.lun) as usize;
+            let xfer = self.cfg.channel.transfer(self.page_size());
+            match io.kind {
+                TransIoKind::Read => {
+                    let cmd_done = t + self.cfg.channel.command;
+                    let lg = self.sched.lun_res[li].reserve_tagged(
+                        cmd_done,
+                        self.cfg.flash.timing.read,
+                        Occupant::Translation,
+                    );
+                    let xg = self.sched.chan_res[chan].reserve_tagged(
+                        lg.end,
+                        xfer,
+                        Occupant::Translation,
+                    );
+                    self.metrics.flash_reads.bump(OpCause::Translation);
+                    t = xg.end;
+                }
+                TransIoKind::Write => {
+                    // read–modify–write of a translation page
+                    let cmd_done = t + self.cfg.channel.command;
+                    let rg = self.sched.lun_res[li].reserve_tagged(
+                        cmd_done,
+                        self.cfg.flash.timing.read,
+                        Occupant::Translation,
+                    );
+                    let bus_time = self.cfg.channel.write_bus_time(self.page_size());
+                    let bus = self.sched.chan_res[chan].reserve_tagged(
+                        rg.end,
+                        bus_time,
+                        Occupant::Translation,
+                    );
+                    let pg = self.sched.lun_res[li].reserve_tagged(
+                        bus.end,
+                        self.cfg.flash.timing.program_mean(),
+                        Occupant::Translation,
+                    );
+                    self.metrics.flash_reads.bump(OpCause::Translation);
+                    self.metrics.flash_programs.bump(OpCause::Translation);
+                    t = pg.end;
+                }
+            }
+        }
+        t
+    }
+
+    // ------------------------------------------------------------------
+    // write placement
+    // ------------------------------------------------------------------
+
+    pub(crate) fn place_lun(&mut self, lpn: Lpn, t: SimTime) -> LunId {
+        match self.cfg.placement {
+            Placement::StaticByLpn => LunId((lpn.0 % self.total_luns() as u64) as u32),
+            Placement::RoundRobin => {
+                let i = self.rr;
+                self.rr = self.rr.wrapping_add(1);
+                self.shape().interleaved_lun(i % self.total_luns())
+            }
+            Placement::LeastLoaded => {
+                // earliest-start wins; ties rotate round-robin so an idle
+                // device still stripes writes across every LUN (a
+                // lowest-index tie-break would degenerate to filling one
+                // LUN at a time under closed-loop workloads)
+                let prog = self.cfg.flash.timing.program_mean();
+                let n = self.total_luns();
+                let offset = self.rr;
+                self.rr = self.rr.wrapping_add(1);
+                let mut best = LunId(offset % n);
+                let mut best_start = SimTime::MAX;
+                for k in 0..n {
+                    let l = self.shape().interleaved_lun((offset.wrapping_add(k)) % n);
+                    if self.dir.exhausted(l) {
+                        continue;
+                    }
+                    let start = self.sched.lun_res[l.0 as usize].peek(t, prog).start;
+                    if start < best_start {
+                        best_start = start;
+                        best = l;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Allocate the next page on `lun` for `stream` and program it.
+    /// Falls back to other LUNs when this one is out of space; retires
+    /// blocks whose programs fail.
+    pub(crate) fn append_page(
+        &mut self,
+        t: SimTime,
+        lun: LunId,
+        stream: Stream,
+        lpn: Lpn,
+        use_channel: bool,
+        cause: OpCause,
+    ) -> Result<(PhysPage, SimTime), SsdError> {
+        let wear_aware = self.wear_policy.wear_aware_allocation();
+        let mut lun = lun;
+        let mut tries = 0u32;
+        loop {
+            tries += 1;
+            if tries > 4 * self.total_luns() {
+                return Err(SsdError::DeviceFull { lun });
+            }
+            let np = match self.dir.next_page(lun, stream, wear_aware) {
+                Some(np) => np,
+                None => {
+                    // out of free blocks here: try GC, then other LUNs
+                    self.maybe_gc(lun, t);
+                    match self.dir.next_page(lun, stream, wear_aware) {
+                        Some(np) => np,
+                        None => {
+                            let next = LunId((lun.0 + 1) % self.total_luns());
+                            if next.0 == 0 && tries > self.total_luns() {
+                                return Err(SsdError::DeviceFull { lun });
+                            }
+                            lun = next;
+                            continue;
+                        }
+                    }
+                }
+            };
+            match self.op_program(t, np.phys, lpn, use_channel, cause) {
+                Ok(end) => return Ok((np.phys, end)),
+                Err(()) => {
+                    // wear-induced failure: salvage live pages, retire block
+                    self.salvage_and_retire(np.phys.lun, np.phys.addr, t);
+                    continue;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The battery-backed RAM write buffer: the Figure-2 "RAM" box (§2.3.2).
+//!
+//! * **Policy** — [`WriteBufferPolicy`](super::WriteBufferPolicy)
+//!   implementations: the capacity-limited battery-backed
+//!   [`WriteBuffer`](crate::buffer::WriteBuffer) (acknowledge on buffer
+//!   admission, flush to flash in the background) and [`WriteThrough`]
+//!   (acknowledge only when the flash program completes).
+//! * **Mechanism** — the `impl Ssd` block: the page-mapped write path
+//!   that consults the policy, and the flush that places + programs one
+//!   page and updates the mapping.
+
+use requiem_sim::time::SimTime;
+use requiem_sim::{Cause, Layer};
+
+use crate::addr::Lpn;
+use crate::block_dir::Stream;
+use crate::buffer::WriteBuffer;
+use crate::device::{MappingState, Served, Ssd, SsdError};
+use crate::metrics::OpCause;
+
+use super::WriteBufferPolicy;
+
+impl WriteBufferPolicy for WriteBuffer {
+    fn name(&self) -> &'static str {
+        "battery-backed"
+    }
+
+    fn enabled(&self) -> bool {
+        WriteBuffer::enabled(self)
+    }
+
+    fn acquire(&mut self, now: SimTime) -> SimTime {
+        WriteBuffer::acquire(self, now)
+    }
+
+    fn commit(&mut self, lpn: u64, done: SimTime) {
+        WriteBuffer::commit(self, lpn, done)
+    }
+
+    fn read_hit(&mut self, lpn: u64, now: SimTime) -> bool {
+        WriteBuffer::read_hit(self, lpn, now)
+    }
+
+    fn discard(&mut self, lpn: u64) {
+        WriteBuffer::discard(self, lpn)
+    }
+
+    fn read_hits(&self) -> u64 {
+        WriteBuffer::read_hits(self)
+    }
+
+    fn stalls(&self) -> u64 {
+        WriteBuffer::stalls(self)
+    }
+}
+
+/// The no-buffer policy: every write is acknowledged only when its flash
+/// program finishes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteThrough;
+
+impl WriteBufferPolicy for WriteThrough {
+    fn name(&self) -> &'static str {
+        "write-through"
+    }
+
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn acquire(&mut self, now: SimTime) -> SimTime {
+        now
+    }
+
+    fn commit(&mut self, _lpn: u64, _done: SimTime) {}
+
+    fn read_hit(&mut self, _lpn: u64, _now: SimTime) -> bool {
+        false
+    }
+
+    fn discard(&mut self, _lpn: u64) {}
+
+    fn read_hits(&self) -> u64 {
+        0
+    }
+
+    fn stalls(&self) -> u64 {
+        0
+    }
+}
+
+impl Ssd {
+    /// Page-mapped write: admit to the buffer (acknowledge early, flush in
+    /// the background) or write through to flash.
+    pub(crate) fn write_page_mapped(
+        &mut self,
+        t0: SimTime,
+        lpn: Lpn,
+    ) -> Result<(SimTime, Served), SsdError> {
+        if self.buffer.enabled() {
+            let start = self.buffer.acquire(t0);
+            if self.sched.probe.is_enabled() {
+                if start > t0 {
+                    // every slot was mid-flush: the host write stalls
+                    self.sched
+                        .probe
+                        .span(Layer::Buffer, Cause::BufferStall, "wbuf", t0, start);
+                }
+                // zero-length marker: the command completed from RAM here
+                self.sched
+                    .probe
+                    .span(Layer::Buffer, Cause::BufferHit, "wbuf", start, start);
+            }
+            let flush_end = {
+                let _bg = self.sched.probe.background();
+                self.flush_page(start, lpn)?
+            };
+            self.buffer.commit(lpn.0, flush_end);
+            Ok((start, Served::Buffer))
+        } else {
+            let end = self.flush_page(t0, lpn)?;
+            Ok((end, Served::Flash))
+        }
+    }
+
+    /// Place + program one page and update the mapping.
+    pub(crate) fn flush_page(&mut self, t: SimTime, lpn: Lpn) -> Result<SimTime, SsdError> {
+        let lun = self.place_lun(lpn, t);
+        self.maybe_gc(lun, t);
+        let (phys, end) = self.append_page(t, lun, Stream::Host, lpn, true, OpCause::Host)?;
+        let old = match &mut self.map {
+            MappingState::Page(m) => m.update(lpn, phys),
+            MappingState::Dftl(m) => {
+                let mut ios = Vec::new();
+                let old = m.update(lpn, phys, &mut ios);
+                // write-back of the dirty translation entry does not gate
+                // the host acknowledgement: charge it as background traffic
+                let _bg = self.sched.probe.background();
+                self.exec_trans(t, &ios);
+                old
+            }
+            _ => unreachable!(),
+        };
+        if let Some(o) = old {
+            self.dir.invalidate(o);
+        }
+        self.dir.mark_valid(phys, lpn);
+        Ok(end)
+    }
+}

@@ -1,15 +1,36 @@
 //! The SSD device: the controller of the paper's Figure 2, in executable
 //! form.
 //!
-//! [`Ssd`] wires together everything §2.2 describes: flash LUNs behind
-//! shared channels, a mapping scheme ("Scheduling & Mapping"), garbage
-//! collection, wear leveling, the battery-backed write buffer, and TRIM —
-//! and exposes exactly the narrow waist the paper critiques: `read(lpn)`,
-//! `write(lpn)`, `trim(lpn)` on a flat logical address space.
+//! [`Ssd`] is the *chassis*: it owns the flash LUNs, the
+//! [`Scheduler`]'s resource timelines, the block directory, the mapping
+//! state, and the policy objects — and exposes exactly the narrow waist
+//! the paper critiques: `read(lpn)`, `write(lpn)`, `trim(lpn)` on a flat
+//! logical address space. Every controller *decision* lives in the
+//! [`crate::controller`] module tree, one module per Figure-2 box:
+//!
+//! | Figure 2 box                 | Module                                  |
+//! |------------------------------|-----------------------------------------|
+//! | Scheduling (channels, chips) | [`crate::controller::scheduler`]        |
+//! | Garbage collection           | [`crate::controller::gc`]               |
+//! | Wear leveling                | [`crate::controller::wear`]             |
+//! | RAM buffer (battery-backed)  | [`crate::controller::write_buffer`]     |
+//! | Mapping (block-mapped FTL)   | [`crate::controller::block_ftl`]        |
+//! | Mapping (hybrid log-block)   | [`crate::controller::hybrid_ftl`]       |
+//! | Boot / recovery              | [`crate::controller::rebuild`]          |
+//!
+//! GC, wear leveling, and the write buffer are chosen through the
+//! [`GcPolicy`], [`WearPolicy`], and [`WriteBufferPolicy`] traits; the
+//! configuration picks an implementation ([`crate::config::GcPolicyKind`]
+//! et al.) and custom implementations can be injected with the
+//! `set_*_policy` methods before issuing I/O.
 //!
 //! Every host command returns a [`Completion`] carrying the virtual-time
 //! instant it finished, so experiments can measure the latency/bandwidth
-//! behaviour that the block device interface hides.
+//! behaviour that the block device interface hides. Attaching a
+//! [`Probe`] ([`Ssd::attach_probe`]) additionally decomposes each
+//! command into per-layer spans — queueing blamed on its cause (GC
+//! stall, merge stall, translation traffic), cell time, bus transfers —
+//! on the cross-layer observability bus.
 //!
 //! ## Timing model
 //!
@@ -22,17 +43,18 @@
 //!
 //! Host commands must be submitted in non-decreasing time order.
 
-use requiem_flash::{FlashError, Lun, PagePayload};
+use requiem_flash::{Lun, PagePayload};
 use requiem_sim::gantt::Gantt;
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::Resource;
+use requiem_sim::{Cause, Layer, Probe};
 
 use crate::addr::{ArrayShape, Capacity, Lpn, LunId, PhysPage};
-use crate::block_dir::{BlockDirectory, Stream};
-use crate::buffer::WriteBuffer;
-use crate::config::{FtlKind, Placement, SsdConfig};
-use crate::mapping::block::{BlockMap, HybridState, PhysBlockRef};
-use crate::mapping::dftl::{DftlMap, TransIo, TransIoKind};
+use crate::block_dir::BlockDirectory;
+use crate::config::{FtlKind, SsdConfig};
+use crate::controller::block_ftl::ReplCtx;
+use crate::controller::{GcGate, GcPolicy, Scheduler, WearPolicy, WriteBufferPolicy};
+use crate::mapping::block::{BlockMap, HybridState};
+use crate::mapping::dftl::{DftlMap, TransIo};
 use crate::mapping::page::PageMap;
 use crate::metrics::{OpCause, SsdMetrics};
 
@@ -102,56 +124,45 @@ pub struct RebuildReport {
     pub pages_scanned: u64,
 }
 
-enum MappingState {
+pub(crate) enum MappingState {
     Page(PageMap),
     Dftl(DftlMap),
     Block(BlockMap),
     Hybrid(HybridState),
 }
 
-struct FlashReadDone {
-    end: SimTime,
-    lun_wait: SimDuration,
-    chan_wait: SimDuration,
-    payload: PagePayload,
-}
-
-/// Replacement-block context for the block-mapped FTL: the classic
-/// pre-2009 scheme that keeps sequential overwrites cheap. A rewrite below
-/// the data block's write point opens a replacement block; in-order
-/// follow-up writes append into it; touching another logical block (or
-/// going backwards) finalizes the replacement (copy the tail, erase the
-/// old block, switch the mapping).
-#[derive(Debug, Clone, Copy)]
-struct ReplCtx {
-    lbn: u64,
-    old: PhysBlockRef,
-    new: PhysBlockRef,
-    copies: u32,
+pub(crate) struct FlashReadDone {
+    pub(crate) end: SimTime,
+    pub(crate) lun_wait: SimDuration,
+    pub(crate) chan_wait: SimDuration,
+    pub(crate) payload: PagePayload,
 }
 
 /// The simulated SSD.
 pub struct Ssd {
-    cfg: SsdConfig,
-    capacity: Capacity,
-    luns: Vec<Lun>,
-    lun_res: Vec<Resource>,
-    chan_res: Vec<Resource>,
-    host_link: Resource,
-    dir: BlockDirectory,
-    map: MappingState,
-    buffer: WriteBuffer,
-    metrics: SsdMetrics,
-    rr: u32,
-    trace: Option<Gantt>,
-    last_submit: SimTime,
+    pub(crate) cfg: SsdConfig,
+    pub(crate) capacity: Capacity,
+    pub(crate) luns: Vec<Lun>,
+    /// Channel/LUN/host-link timelines, trace, probe (Figure 2 "Scheduling").
+    pub(crate) sched: Scheduler,
+    pub(crate) dir: BlockDirectory,
+    pub(crate) map: MappingState,
+    /// Write-acknowledgement policy (Figure 2 "RAM").
+    pub(crate) buffer: Box<dyn WriteBufferPolicy>,
+    /// When/what to garbage-collect (Figure 2 "Garbage collection").
+    pub(crate) gc_policy: Box<dyn GcPolicy>,
+    /// Allocation bias + static migration (Figure 2 "Wear-leveling").
+    pub(crate) wear_policy: Box<dyn WearPolicy>,
+    pub(crate) metrics: SsdMetrics,
+    pub(crate) rr: u32,
+    pub(crate) last_submit: SimTime,
     /// Re-entrancy guard: GC triggered from inside GC relocation must not
     /// recurse (the inner allocation falls through to other LUNs instead).
-    gc_active: bool,
+    pub(crate) gc_gate: GcGate,
     /// Open replacement block (block-mapped FTL only).
-    repl: Option<ReplCtx>,
+    pub(crate) repl: Option<ReplCtx>,
     /// Monotonic out-of-band write sequence (power-loss rebuild ordering).
-    oob_seq: u64,
+    pub(crate) oob_seq: u64,
 }
 
 impl std::fmt::Debug for Ssd {
@@ -166,7 +177,9 @@ impl std::fmt::Debug for Ssd {
 }
 
 impl Ssd {
-    /// Build a device from a configuration.
+    /// Build a device from a configuration. The GC, wear-leveling, and
+    /// write-buffer policies are instantiated from the configuration by
+    /// the [`crate::controller`] factories.
     pub fn new(cfg: SsdConfig) -> Self {
         let nluns = cfg.total_luns();
         let geom = cfg.flash.geometry.clone();
@@ -174,12 +187,7 @@ impl Ssd {
         let luns: Vec<Lun> = (0..nluns)
             .map(|i| Lun::new(i, cfg.flash.clone(), cfg.seed))
             .collect();
-        let lun_res = (0..nluns)
-            .map(|i| Resource::new(format!("chip{i}")))
-            .collect();
-        let chan_res = (0..cfg.shape.channels)
-            .map(|i| Resource::new(format!("chan{i}")))
-            .collect();
+        let sched = Scheduler::new(nluns, cfg.shape.channels);
         let exported = capacity.exported_pages;
         let page_size = geom.page_size;
         let ppb = geom.pages_per_block as u64;
@@ -195,22 +203,23 @@ impl Ssd {
                 geom.pages_per_block,
             )),
         };
-        let buffer = WriteBuffer::new(cfg.buffer.capacity_pages as usize);
+        let buffer = crate::controller::buffer_policy_from(&cfg.buffer);
+        let gc_policy = crate::controller::gc_policy_from(&cfg.gc);
+        let wear_policy = crate::controller::wear_policy_from(&cfg.wl);
         Ssd {
             dir: BlockDirectory::new(nluns, geom),
             luns,
-            lun_res,
-            chan_res,
-            host_link: Resource::new("host-link"),
+            sched,
             map,
             buffer,
+            gc_policy,
+            wear_policy,
             metrics: SsdMetrics::new(),
             rr: 0,
-            trace: None,
             capacity,
             cfg,
             last_submit: SimTime::ZERO,
-            gc_active: false,
+            gc_gate: GcGate::new(),
             repl: None,
             oob_seq: 0,
         }
@@ -238,36 +247,75 @@ impl Ssd {
 
     /// Begin recording a Gantt trace of chip/channel occupancy.
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Gantt::new());
+        self.sched.trace = Some(Gantt::new());
     }
 
     /// Stop recording and return the trace, if any.
     pub fn take_trace(&mut self) -> Option<Gantt> {
-        self.trace.take()
+        self.sched.trace.take()
+    }
+
+    /// Attach a cross-layer observability probe: every subsequent host
+    /// command is decomposed into per-layer spans, with queueing delays
+    /// blamed on their cause (GC, wear leveling, merges, translation).
+    pub fn attach_probe(&mut self, probe: Probe) {
+        self.sched.attach_probe(probe);
+    }
+
+    /// The attached probe (a disabled handle when none was attached).
+    pub fn probe(&self) -> &Probe {
+        self.sched.probe()
+    }
+
+    /// Replace the garbage-collection policy (custom experiments).
+    pub fn set_gc_policy(&mut self, policy: Box<dyn GcPolicy>) {
+        self.gc_policy = policy;
+    }
+
+    /// Replace the wear-leveling policy (custom experiments).
+    pub fn set_wear_policy(&mut self, policy: Box<dyn WearPolicy>) {
+        self.wear_policy = policy;
+    }
+
+    /// Replace the write-buffer policy (custom experiments).
+    pub fn set_buffer_policy(&mut self, policy: Box<dyn WriteBufferPolicy>) {
+        self.buffer = policy;
+    }
+
+    /// Name of the active GC policy.
+    pub fn gc_policy_name(&self) -> &'static str {
+        self.gc_policy.name()
+    }
+
+    /// Name of the active wear-leveling policy.
+    pub fn wear_policy_name(&self) -> &'static str {
+        self.wear_policy.name()
+    }
+
+    /// Name of the active write-buffer policy.
+    pub fn buffer_policy_name(&self) -> &'static str {
+        self.buffer.name()
     }
 
     /// The instant every queued operation has drained.
     pub fn drain_time(&self) -> SimTime {
-        let mut t = self.host_link.next_free();
-        for r in self.lun_res.iter().chain(self.chan_res.iter()) {
-            t = t.max(r.next_free());
-        }
-        t
+        self.sched.drain_time()
     }
 
     /// Cumulative busy time of each channel.
-    pub fn channel_busy_time(&self) -> Vec<requiem_sim::time::SimDuration> {
-        self.chan_res.iter().map(|r| r.busy_time()).collect()
+    pub fn channel_busy_time(&self) -> Vec<SimDuration> {
+        self.sched.chan_res.iter().map(|r| r.busy_time()).collect()
     }
 
     /// Cumulative busy time of each LUN.
-    pub fn lun_busy_time(&self) -> Vec<requiem_sim::time::SimDuration> {
-        self.lun_res.iter().map(|r| r.busy_time()).collect()
+    pub fn lun_busy_time(&self) -> Vec<SimDuration> {
+        self.sched.lun_res.iter().map(|r| r.busy_time()).collect()
     }
 
     /// Utilization of each channel at `horizon`.
     pub fn channel_utilization(&self, horizon: SimTime) -> Vec<f64> {
-        self.chan_res
+        self.sched
+            .chan_res
             .iter()
             .map(|r| r.utilization(horizon))
             .collect()
@@ -275,7 +323,8 @@ impl Ssd {
 
     /// Utilization of each LUN at `horizon`.
     pub fn lun_utilization(&self, horizon: SimTime) -> Vec<f64> {
-        self.lun_res
+        self.sched
+            .lun_res
             .iter()
             .map(|r| r.utilization(horizon))
             .collect()
@@ -304,16 +353,20 @@ impl Ssd {
         }
     }
 
-    fn shape(&self) -> &ArrayShape {
+    pub(crate) fn shape(&self) -> &ArrayShape {
         &self.cfg.shape
     }
 
-    fn page_size(&self) -> u32 {
+    pub(crate) fn page_size(&self) -> u32 {
         self.cfg.flash.geometry.page_size
     }
 
-    fn ppb(&self) -> u32 {
+    pub(crate) fn ppb(&self) -> u32 {
         self.cfg.flash.geometry.pages_per_block
+    }
+
+    pub(crate) fn total_luns(&self) -> u32 {
+        self.cfg.total_luns()
     }
 
     fn check_lpn(&self, lpn: Lpn) -> Result<(), SsdError> {
@@ -336,404 +389,12 @@ impl Ssd {
         self.last_submit = self.last_submit.max(now);
     }
 
-    // ------------------------------------------------------------------
-    // flash op primitives (resource-timed)
-    // ------------------------------------------------------------------
-
-    fn trace_span(&mut self, lane: String, start: SimTime, end: SimTime, glyph: char) {
-        if let Some(g) = self.trace.as_mut() {
-            g.record(lane, start, end, glyph, "");
-        }
-    }
-
-    fn op_read(
-        &mut self,
-        not_before: SimTime,
-        phys: PhysPage,
-        with_transfer: bool,
-        cause: OpCause,
-    ) -> FlashReadDone {
-        let chan = self.shape().channel_of(phys.lun) as usize;
-        // command/address cycles (~0.2µs) are charged as latency but not
-        // as bus occupancy: modelling them as channel reservations would
-        // serialize later commands behind earlier 100µs data transfers,
-        // which real command queueing does not do
-        let cmd_done = not_before + self.cfg.channel.command;
-        let (dur, payload) = match self.luns[phys.lun.0 as usize].read(phys.addr) {
-            Ok(o) => (o.duration, o.payload),
-            Err(FlashError::UncorrectableRead { .. }) => {
-                // assume controller-level redundancy recovers at the cost
-                // of a re-read
-                self.metrics.uncorrectable_reads += 1;
-                (self.cfg.flash.timing.read * 2, PagePayload::Empty)
-            }
-            Err(e) => panic!("FTL bug: illegal flash read at {:?}: {e}", phys),
-        };
-        let lg = self.lun_res[phys.lun.0 as usize].reserve(cmd_done, dur);
-        let lun_wait = lg.start.since(cmd_done);
-        self.metrics.flash_reads.bump(cause);
-        self.trace_span(format!("chip{}", phys.lun.0), lg.start, lg.end, 'R');
-        let (end, chan_wait) = if with_transfer {
-            let xfer = self.cfg.channel.transfer(self.page_size());
-            let xg = self.chan_res[chan].reserve(lg.end, xfer);
-            self.trace_span(format!("chan{chan}"), xg.start, xg.end, 't');
-            (xg.end, xg.start.since(lg.end))
-        } else {
-            (lg.end, SimDuration::ZERO)
-        };
-        FlashReadDone {
-            end,
-            lun_wait,
-            chan_wait,
-            payload,
-        }
-    }
-
-    /// Program `phys` with the tag for `lpn`. `Err(())` = wear-induced
-    /// program failure (caller retires the block and retries elsewhere).
-    fn op_program(
-        &mut self,
-        not_before: SimTime,
-        phys: PhysPage,
-        lpn: Lpn,
-        use_channel: bool,
-        cause: OpCause,
-    ) -> Result<SimTime, ()> {
-        let chan = self.shape().channel_of(phys.lun) as usize;
-        let start = if use_channel {
-            let bus_time = self.cfg.channel.write_bus_time(self.page_size());
-            let bus = self.chan_res[chan].reserve(not_before, bus_time);
-            self.trace_span(format!("chan{chan}"), bus.start, bus.end, 't');
-            bus.end
-        } else {
-            not_before
-        };
-        self.oob_seq += 1;
-        let oob = PagePayload::Oob {
-            lpn: lpn.0,
-            seq: self.oob_seq,
-        };
-        let dur = match self.luns[phys.lun.0 as usize].program(phys.addr, oob) {
-            Ok(o) => o.duration,
-            Err(FlashError::ProgramFailed { .. }) => return Err(()),
-            Err(e) => panic!("FTL bug: illegal flash program at {:?}: {e}", phys),
-        };
-        let g = self.lun_res[phys.lun.0 as usize].reserve(start, dur);
-        self.metrics.flash_programs.bump(cause);
-        self.trace_span(format!("chip{}", phys.lun.0), g.start, g.end, 'P');
-        Ok(g.end)
-    }
-
-    /// Erase a block; on wear-out failure the block is retired. Returns
-    /// the erase completion either way (the time was spent).
-    fn op_erase(
-        &mut self,
-        not_before: SimTime,
-        lun: LunId,
-        block_idx: u32,
-        cause: OpCause,
-    ) -> SimTime {
-        let baddr = self.cfg.flash.geometry.block_from_index(block_idx);
-        let cmd_done = not_before + self.cfg.channel.command;
-        match self.luns[lun.0 as usize].erase(baddr) {
-            Ok(o) => {
-                let g = self.lun_res[lun.0 as usize].reserve(cmd_done, o.duration);
-                self.metrics.flash_erases.bump(cause);
-                self.trace_span(format!("chip{}", lun.0), g.start, g.end, 'E');
-                self.dir.recycle(lun, block_idx);
-                g.end
-            }
-            Err(FlashError::EraseFailed { .. }) => {
-                let g = self.lun_res[lun.0 as usize].reserve(cmd_done, self.cfg.flash.timing.erase);
-                self.metrics.flash_erases.bump(cause);
-                self.metrics.blocks_retired += 1;
-                self.dir.retire(lun, block_idx);
-                g.end
-            }
-            Err(e) => panic!("FTL bug: illegal erase of {baddr}: {e}"),
-        }
-    }
-
-    /// Charge DFTL translation traffic, serialized after `t`.
-    fn exec_trans(&mut self, mut t: SimTime, ios: &[TransIo]) -> SimTime {
-        for io in ios {
-            let chan = self.shape().channel_of(io.lun) as usize;
-            let xfer = self.cfg.channel.transfer(self.page_size());
-            match io.kind {
-                TransIoKind::Read => {
-                    let cmd_done = t + self.cfg.channel.command;
-                    let lg = self.lun_res[io.lun.0 as usize]
-                        .reserve(cmd_done, self.cfg.flash.timing.read);
-                    let xg = self.chan_res[chan].reserve(lg.end, xfer);
-                    self.metrics.flash_reads.bump(OpCause::Translation);
-                    t = xg.end;
-                }
-                TransIoKind::Write => {
-                    // read–modify–write of a translation page
-                    let cmd_done = t + self.cfg.channel.command;
-                    let rg = self.lun_res[io.lun.0 as usize]
-                        .reserve(cmd_done, self.cfg.flash.timing.read);
-                    let bus_time = self.cfg.channel.write_bus_time(self.page_size());
-                    let bus = self.chan_res[chan].reserve(rg.end, bus_time);
-                    let pg = self.lun_res[io.lun.0 as usize]
-                        .reserve(bus.end, self.cfg.flash.timing.program_mean());
-                    self.metrics.flash_reads.bump(OpCause::Translation);
-                    self.metrics.flash_programs.bump(OpCause::Translation);
-                    t = pg.end;
-                }
-            }
-        }
-        t
-    }
-
-    // ------------------------------------------------------------------
-    // placement, allocation, GC
-    // ------------------------------------------------------------------
-
-    fn total_luns(&self) -> u32 {
-        self.shape().total_luns()
-    }
-
-    fn place_lun(&mut self, lpn: Lpn, t: SimTime) -> LunId {
-        match self.cfg.placement {
-            Placement::StaticByLpn => LunId((lpn.0 % self.total_luns() as u64) as u32),
-            Placement::RoundRobin => {
-                let i = self.rr;
-                self.rr = self.rr.wrapping_add(1);
-                self.shape().interleaved_lun(i % self.total_luns())
-            }
-            Placement::LeastLoaded => {
-                // earliest-start wins; ties rotate round-robin so an idle
-                // device still stripes writes across every LUN (a
-                // lowest-index tie-break would degenerate to filling one
-                // LUN at a time under closed-loop workloads)
-                let prog = self.cfg.flash.timing.program_mean();
-                let n = self.total_luns();
-                let offset = self.rr;
-                self.rr = self.rr.wrapping_add(1);
-                let mut best = LunId(offset % n);
-                let mut best_start = SimTime::MAX;
-                for k in 0..n {
-                    let l = self.shape().interleaved_lun((offset.wrapping_add(k)) % n);
-                    if self.dir.exhausted(l) {
-                        continue;
-                    }
-                    let start = self.lun_res[l.0 as usize].peek(t, prog).start;
-                    if start < best_start {
-                        best_start = start;
-                        best = l;
-                    }
-                }
-                best
-            }
-        }
-    }
-
-    /// Run GC on `lun` until it has breathing room (page-mapped FTLs only).
-    fn maybe_gc(&mut self, lun: LunId, t: SimTime) {
-        if !matches!(self.map, MappingState::Page(_) | MappingState::Dftl(_)) {
-            return;
-        }
-        if self.gc_active {
-            return; // no recursive GC; inner allocations spill to other LUNs
-        }
-        self.gc_active = true;
-        let threshold = self.cfg.gc.free_block_threshold;
-        let mut guard = self.cfg.flash.geometry.total_blocks();
-        while self.dir.free_blocks(lun) <= threshold && guard > 0 {
-            guard -= 1;
-            let Some(victim) = self.dir.pick_victim(lun, self.cfg.gc.policy) else {
-                break;
-            };
-            if self.gc_collect(lun, victim, t).is_err() {
-                // relocation space exhausted (worn-out device): stop —
-                // the caller's allocation will surface DeviceFull
-                break;
-            }
-        }
-        self.gc_active = false;
-        if self.cfg.wl.static_threshold > 0 {
-            let (min, max, _) = self.dir.erase_count_spread();
-            if max - min > self.cfg.wl.static_threshold {
-                self.static_wear_level(lun, t);
-            }
-        }
-    }
-
-    /// Relocate all live pages of `victim` and erase it. On relocation
-    /// failure (worn-out device) the victim keeps its remaining live pages
-    /// and is NOT erased — data stays readable, writes will report full.
-    fn gc_collect(&mut self, lun: LunId, victim: u32, t: SimTime) -> Result<(), SsdError> {
-        self.metrics.gc_runs += 1;
-        let live = self.dir.live_pages(lun, victim);
-        for (addr, lpn) in live {
-            let old = PhysPage { lun, addr };
-            self.relocate_page(old, lpn, t, OpCause::Gc)?;
-        }
-        // DFTL: one batched translation write-back per collected block
-        if let MappingState::Dftl(_) = self.map {
-            let ios = [TransIo {
-                lun,
-                kind: TransIoKind::Write,
-            }];
-            self.exec_trans(t, &ios);
-        }
-        self.op_erase(t, lun, victim, OpCause::Gc);
-        Ok(())
-    }
-
-    /// Move one live page elsewhere (GC / wear leveling / salvage).
-    /// Fails only when no LUN can host the page (worn-out device); the
-    /// source page is left untouched in that case.
-    fn relocate_page(
-        &mut self,
-        old: PhysPage,
-        lpn: Lpn,
-        t: SimTime,
-        cause: OpCause,
-    ) -> Result<(), SsdError> {
-        let copyback = self.cfg.gc.copyback;
-        let read = self.op_read(t, old, !copyback, cause);
-        // consistency check: the OOB tag must match the directory — unless
-        // the read itself was uncorrectable (payload lost, Empty returned),
-        // in which case the relocation proceeds from assumed redundancy
-        debug_assert!(
-            matches!(read.payload, PagePayload::Oob { lpn: l, .. } if l == lpn.0)
-                || read.payload == PagePayload::Empty,
-            "GC read of {:?} expected lpn {} got {:?}",
-            old,
-            lpn.0,
-            read.payload
-        );
-        let (new, _end) = self.append_page(read.end, old.lun, Stream::Gc, lpn, !copyback, cause)?;
-        match &mut self.map {
-            MappingState::Page(m) => {
-                let prev = m.update(lpn, new);
-                debug_assert_eq!(prev, Some(old));
-            }
-            MappingState::Dftl(m) => {
-                let prev = m.relocate(lpn, new);
-                debug_assert_eq!(prev, Some(old));
-            }
-            _ => unreachable!("relocate_page only used by page-mapped FTLs"),
-        }
-        self.dir.invalidate(old);
-        self.dir.mark_valid(new, lpn);
-        self.metrics.gc_pages_moved += 1;
-        Ok(())
-    }
-
-    /// Read-disturb scrubbing: if the block holding `phys` has absorbed
-    /// more reads than the configured threshold since its last erase,
-    /// relocate its live pages and erase it (page-mapped FTLs only).
-    fn maybe_scrub(&mut self, phys: PhysPage, t: SimTime) {
-        let threshold = self.cfg.scrub_after_reads;
-        if threshold == 0 || !matches!(self.map, MappingState::Page(_) | MappingState::Dftl(_)) {
-            return;
-        }
-        if self.gc_active {
-            return;
-        }
-        let geom = self.cfg.flash.geometry.clone();
-        let baddr = geom.block_of(phys.addr);
-        let reads = self.luns[phys.lun.0 as usize]
-            .block_state(baddr)
-            .reads_since_erase;
-        if reads < threshold {
-            return;
-        }
-        let block_idx = geom.block_index(baddr);
-        // never scrub an open frontier; it will be erased soon anyway
-        if self.dir.block_info(phys.lun, block_idx).state != crate::block_dir::BlockUse::Full {
-            return;
-        }
-        self.gc_active = true;
-        self.metrics.scrubs += 1;
-        let _ = self.gc_collect(phys.lun, block_idx, t);
-        self.gc_active = false;
-    }
-
-    /// Static wear leveling: migrate the coldest full block so its low-wear
-    /// block re-enters circulation.
-    fn static_wear_level(&mut self, lun: LunId, t: SimTime) {
-        let Some(victim) = self.dir.coldest_full_block(lun) else {
-            return;
-        };
-        let live = self.dir.live_pages(lun, victim);
-        for (addr, lpn) in live {
-            let old = PhysPage { lun, addr };
-            if self.relocate_page(old, lpn, t, OpCause::WearLevel).is_err() {
-                return; // out of space: leave the block as-is
-            }
-        }
-        self.op_erase(t, lun, victim, OpCause::WearLevel);
-    }
-
-    /// Allocate the next page on `lun` for `stream` and program it.
-    /// Falls back to other LUNs when this one is out of space; retires
-    /// blocks whose programs fail.
-    fn append_page(
-        &mut self,
-        t: SimTime,
-        lun: LunId,
-        stream: Stream,
-        lpn: Lpn,
-        use_channel: bool,
-        cause: OpCause,
-    ) -> Result<(PhysPage, SimTime), SsdError> {
-        let wear_aware = self.cfg.wl.dynamic;
-        let mut lun = lun;
-        let mut tries = 0u32;
-        loop {
-            tries += 1;
-            if tries > 4 * self.total_luns() {
-                return Err(SsdError::DeviceFull { lun });
-            }
-            let np = match self.dir.next_page(lun, stream, wear_aware) {
-                Some(np) => np,
-                None => {
-                    // out of free blocks here: try GC, then other LUNs
-                    self.maybe_gc(lun, t);
-                    match self.dir.next_page(lun, stream, wear_aware) {
-                        Some(np) => np,
-                        None => {
-                            let next = LunId((lun.0 + 1) % self.total_luns());
-                            if next.0 == 0 && tries > self.total_luns() {
-                                return Err(SsdError::DeviceFull { lun });
-                            }
-                            lun = next;
-                            continue;
-                        }
-                    }
-                }
-            };
-            match self.op_program(t, np.phys, lpn, use_channel, cause) {
-                Ok(end) => return Ok((np.phys, end)),
-                Err(()) => {
-                    // wear-induced failure: salvage live pages, retire block
-                    self.salvage_and_retire(np.phys.lun, np.phys.addr, t);
-                    continue;
-                }
-            }
-        }
-    }
-
-    fn salvage_and_retire(&mut self, lun: LunId, addr: requiem_flash::PageAddr, t: SimTime) {
-        let geom = self.cfg.flash.geometry.clone();
-        let block_idx = geom.block_index(geom.block_of(addr));
-        // retire FIRST: the block leaves the free pool and loses any
-        // frontier pointing at it, so the salvage relocations below (and
-        // their own retries) can never target it again — a program
-        // failure inside the salvage of the same block would otherwise
-        // recurse with stale locations
-        self.metrics.blocks_retired += 1;
-        self.dir.retire(lun, block_idx);
-        let live = self.dir.live_pages(lun, block_idx);
-        for (a, lpn) in live {
-            let old = PhysPage { lun, addr: a };
-            // on failure the page stays live on the retired block: still
-            // readable through the mapping, never allocatable again
-            let _ = self.relocate_page(old, lpn, t, OpCause::WearLevel);
+    /// Controller-overhead span helper for the host command paths.
+    fn span_overhead(&self, from: SimTime, to: SimTime) {
+        if self.sched.probe.is_enabled() && to > from {
+            self.sched
+                .probe
+                .span(Layer::Controller, Cause::Overhead, "fw", from, to);
         }
     }
 
@@ -746,13 +407,22 @@ impl Ssd {
         self.check_lpn(lpn)?;
         self.note_submit(now);
         self.metrics.host_reads += 1;
+        let scope = self.sched.probe.open_command("read", now);
         let t0 = now + self.cfg.controller_overhead;
+        self.span_overhead(now, t0);
         // buffer hit?
         if self.buffer.enabled() && self.buffer.read_hit(lpn.0, t0) {
             self.metrics.buffer_read_hits += 1;
-            let out = self.host_link.reserve(t0, self.cfg.host_link_time());
+            let out = self.sched.host_link.reserve(t0, self.cfg.host_link_time());
+            if self.sched.probe.is_enabled() {
+                self.sched
+                    .probe
+                    .span(Layer::Buffer, Cause::BufferHit, "wbuf", t0, t0);
+            }
+            self.sched.emit_host_link_spans(t0, out);
             let latency = out.end.since(now);
             self.metrics.read_latency.record_duration(latency);
+            scope.close(out.end);
             return Ok(Completion {
                 done: out.end,
                 latency,
@@ -761,10 +431,16 @@ impl Ssd {
         }
         // resolve mapping
         let (phys, t1) = self.resolve_read(lpn, t0);
+        if self.sched.probe.is_enabled() && t1 > t0 {
+            self.sched
+                .probe
+                .span(Layer::Mapping, Cause::Translation, "dftl", t0, t1);
+        }
         let Some(phys) = phys else {
             self.metrics.unmapped_reads += 1;
             let latency = t1.since(now);
             self.metrics.read_latency.record_duration(latency);
+            scope.close(t1);
             return Ok(Completion {
                 done: t1,
                 latency,
@@ -777,9 +453,14 @@ impl Ssd {
             .read_channel_wait
             .record_duration(done.chan_wait);
         self.maybe_scrub(phys, done.end);
-        let out = self.host_link.reserve(done.end, self.cfg.host_link_time());
+        let out = self
+            .sched
+            .host_link
+            .reserve(done.end, self.cfg.host_link_time());
+        self.sched.emit_host_link_spans(done.end, out);
         let latency = out.end.since(now);
         self.metrics.read_latency.record_duration(latency);
+        scope.close(out.end);
         Ok(Completion {
             done: out.end,
             latency,
@@ -789,99 +470,34 @@ impl Ssd {
 
     /// Resolve the physical location for a read, charging mapping traffic.
     fn resolve_read(&mut self, lpn: Lpn, t0: SimTime) -> (Option<PhysPage>, SimTime) {
-        match &mut self.map {
+        if matches!(self.map, MappingState::Dftl(_)) {
+            return self.resolve_read_dftl(lpn, t0);
+        }
+        if matches!(self.map, MappingState::Block(_)) {
+            return (self.resolve_read_block(lpn), t0);
+        }
+        if matches!(self.map, MappingState::Hybrid(_)) {
+            return (self.resolve_read_hybrid(lpn), t0);
+        }
+        match &self.map {
             MappingState::Page(m) => (m.lookup(lpn), t0),
+            _ => unreachable!(),
+        }
+    }
+
+    /// DFTL lookup: translation-page traffic is on the read's critical
+    /// path (the caller attributes `[t0, t1)` as one mapping span).
+    fn resolve_read_dftl(&mut self, lpn: Lpn, t0: SimTime) -> (Option<PhysPage>, SimTime) {
+        let (phys, ios) = match &mut self.map {
             MappingState::Dftl(m) => {
                 let mut ios = Vec::new();
                 let phys = m.lookup(lpn, &mut ios);
-                let t1 = self.exec_trans(t0, &ios);
-                (phys, t1)
+                (phys, ios)
             }
-            MappingState::Block(m) => {
-                let ppb = self.cfg.flash.geometry.pages_per_block as u64;
-                let lbn = lpn.0 / ppb;
-                let off = (lpn.0 % ppb) as u32;
-                // candidate blocks: the open replacement (if it is this
-                // logical block's), then the mapped data block
-                let mut candidates: Vec<PhysBlockRef> = Vec::with_capacity(2);
-                if let Some(ctx) = &self.repl {
-                    if ctx.lbn == lbn {
-                        candidates.push(ctx.new);
-                    }
-                }
-                if let Some(pb) = m.lookup(lbn) {
-                    candidates.push(pb);
-                }
-                let geometry = self.cfg.flash.geometry.clone();
-                for pb in candidates {
-                    let info = self.dir.block_info(pb.lun, pb.block);
-                    if info.backptrs[off as usize] == Some(lpn) {
-                        let baddr = geometry.block_from_index(pb.block);
-                        return (
-                            Some(PhysPage {
-                                lun: pb.lun,
-                                addr: geometry.page_addr(baddr.plane, baddr.block, off),
-                            }),
-                            t0,
-                        );
-                    }
-                }
-                (None, t0)
-            }
-            MappingState::Hybrid(h) => {
-                let ppb = h.pages_per_block() as u64;
-                let lbn = lpn.0 / ppb;
-                let off = (lpn.0 % ppb) as u32;
-                // newest version may be in the log block — but a trim can
-                // have killed it while log.latest still points there, so
-                // verify against the directory's back-pointer
-                if let Some(log) = h.log_of(lbn) {
-                    if let Some(log_page) = log.latest[off as usize] {
-                        let info = self.dir.block_info(log.phys.lun, log.phys.block);
-                        if info.backptrs[log_page as usize] == Some(lpn) {
-                            let baddr = self.cfg.flash.geometry.block_from_index(log.phys.block);
-                            return (
-                                Some(PhysPage {
-                                    lun: log.phys.lun,
-                                    addr: self.cfg.flash.geometry.page_addr(
-                                        baddr.plane,
-                                        baddr.block,
-                                        log_page,
-                                    ),
-                                }),
-                                t0,
-                            );
-                        }
-                        // fall through: trimmed in the log; the data-block
-                        // copy (if any) was also invalidated at append time
-                        return (None, t0);
-                    }
-                }
-                match h.data.lookup(lbn) {
-                    None => (None, t0),
-                    Some(pb) => {
-                        let info = self.dir.block_info(pb.lun, pb.block);
-                        match info.backptrs[off as usize] {
-                            Some(l) if l == lpn => {
-                                let baddr = self.cfg.flash.geometry.block_from_index(pb.block);
-                                (
-                                    Some(PhysPage {
-                                        lun: pb.lun,
-                                        addr: self.cfg.flash.geometry.page_addr(
-                                            baddr.plane,
-                                            baddr.block,
-                                            off,
-                                        ),
-                                    }),
-                                    t0,
-                                )
-                            }
-                            _ => (None, t0),
-                        }
-                    }
-                }
-            }
-        }
+            _ => unreachable!(),
+        };
+        let t1 = self.exec_trans(t0, &ios);
+        (phys, t1)
     }
 
     /// Write one logical page.
@@ -889,8 +505,11 @@ impl Ssd {
         self.check_lpn(lpn)?;
         self.note_submit(now);
         self.metrics.host_writes += 1;
-        let link = self.host_link.reserve(now, self.cfg.host_link_time());
+        let scope = self.sched.probe.open_command("write", now);
+        let link = self.sched.host_link.reserve(now, self.cfg.host_link_time());
+        self.sched.emit_host_link_spans(now, link);
         let t0 = link.end + self.cfg.controller_overhead;
+        self.span_overhead(link.end, t0);
         let (done, served) = match self.cfg.ftl.clone() {
             FtlKind::PageMap | FtlKind::Dftl { .. } => self.write_page_mapped(t0, lpn)?,
             FtlKind::BlockMap => (self.write_block_mapped(t0, lpn)?, Served::Flash),
@@ -898,516 +517,11 @@ impl Ssd {
         };
         let latency = done.since(now);
         self.metrics.write_latency.record_duration(latency);
+        scope.close(done);
         Ok(Completion {
             done,
             latency,
             served,
-        })
-    }
-
-    fn write_page_mapped(&mut self, t0: SimTime, lpn: Lpn) -> Result<(SimTime, Served), SsdError> {
-        if self.buffer.enabled() {
-            let start = self.buffer.acquire(t0);
-            let flush_end = self.flush_page(start, lpn)?;
-            self.buffer.commit(lpn.0, flush_end);
-            Ok((start, Served::Buffer))
-        } else {
-            let end = self.flush_page(t0, lpn)?;
-            Ok((end, Served::Flash))
-        }
-    }
-
-    /// Place + program one page and update the mapping.
-    fn flush_page(&mut self, t: SimTime, lpn: Lpn) -> Result<SimTime, SsdError> {
-        let lun = self.place_lun(lpn, t);
-        self.maybe_gc(lun, t);
-        let (phys, end) = self.append_page(t, lun, Stream::Host, lpn, true, OpCause::Host)?;
-        let old = match &mut self.map {
-            MappingState::Page(m) => m.update(lpn, phys),
-            MappingState::Dftl(m) => {
-                let mut ios = Vec::new();
-                let old = m.update(lpn, phys, &mut ios);
-                self.exec_trans(t, &ios);
-                old
-            }
-            _ => unreachable!(),
-        };
-        if let Some(o) = old {
-            self.dir.invalidate(o);
-        }
-        self.dir.mark_valid(phys, lpn);
-        Ok(end)
-    }
-
-    // -------------------------- block-mapped --------------------------
-
-    fn block_phys(&self, pb: PhysBlockRef, page: u32) -> PhysPage {
-        let baddr = self.cfg.flash.geometry.block_from_index(pb.block);
-        PhysPage {
-            lun: pb.lun,
-            addr: self
-                .cfg
-                .flash
-                .geometry
-                .page_addr(baddr.plane, baddr.block, page),
-        }
-    }
-
-    fn place_lun_for_block(&mut self, lbn: u64, t: SimTime) -> LunId {
-        match self.cfg.placement {
-            Placement::StaticByLpn => LunId((lbn % self.total_luns() as u64) as u32),
-            _ => self.place_lun(Lpn(lbn), t),
-        }
-    }
-
-    fn alloc_block_on(&mut self, lun: LunId, _t: SimTime) -> Result<u32, SsdError> {
-        let wear_aware = self.cfg.wl.dynamic;
-        self.dir
-            .alloc_block(lun, wear_aware)
-            .ok_or(SsdError::DeviceFull { lun })
-    }
-
-    /// Copy live pages of `old` at offsets `[from, to)` into the same
-    /// offsets of `new` (replacement catch-up).
-    fn repl_copy_range(
-        &mut self,
-        t: SimTime,
-        old: PhysBlockRef,
-        new: PhysBlockRef,
-        from: u32,
-        to: u32,
-    ) -> Result<u32, SsdError> {
-        let copyback = self.cfg.gc.copyback;
-        let mut copied = 0u32;
-        let mut cursor = t;
-        for o in from..to {
-            let info = self.dir.block_info(old.lun, old.block);
-            let Some(lpn_o) = info.backptrs[o as usize] else {
-                continue; // gap: C3 permits skipping ahead
-            };
-            let src = self.block_phys(old, o);
-            let read = self.op_read(cursor, src, !copyback, OpCause::Merge);
-            let dst = self.block_phys(new, o);
-            let end = self
-                .op_program(read.end, dst, lpn_o, !copyback, OpCause::Merge)
-                .map_err(|()| SsdError::DeviceFull { lun: new.lun })?;
-            self.dir.invalidate(src);
-            self.dir.mark_valid(dst, lpn_o);
-            cursor = end;
-            copied += 1;
-        }
-        Ok(copied)
-    }
-
-    /// Close the open replacement block: copy the remaining tail, erase
-    /// the old block, switch the mapping.
-    fn finalize_replacement(&mut self, t: SimTime) -> Result<(), SsdError> {
-        let Some(ctx) = self.repl.take() else {
-            return Ok(());
-        };
-        let ppb = self.ppb();
-        let baddr = self.cfg.flash.geometry.block_from_index(ctx.new.block);
-        let wp_new = self.luns[ctx.new.lun.0 as usize]
-            .block_state(baddr)
-            .write_point;
-        let tail = self.repl_copy_range(t, ctx.old, ctx.new, wp_new, ppb)?;
-        // anything still marked live in the old block is stale now
-        let stale = self.dir.live_pages(ctx.old.lun, ctx.old.block);
-        for (a, _) in stale {
-            self.dir.invalidate(PhysPage {
-                lun: ctx.old.lun,
-                addr: a,
-            });
-        }
-        self.op_erase(t, ctx.old.lun, ctx.old.block, OpCause::Merge);
-        match &mut self.map {
-            MappingState::Block(m) => {
-                m.update(ctx.lbn, ctx.new);
-            }
-            _ => unreachable!("replacement blocks exist only under block mapping"),
-        }
-        if ctx.copies + tail == 0 {
-            self.metrics.merges_switch += 1;
-        } else {
-            self.metrics.merges_full += 1;
-        }
-        Ok(())
-    }
-
-    fn write_block_mapped(&mut self, t0: SimTime, lpn: Lpn) -> Result<SimTime, SsdError> {
-        let ppb = self.ppb() as u64;
-        let lbn = lpn.0 / ppb;
-        let off = (lpn.0 % ppb) as u32;
-        // an open replacement block for this logical block?
-        if let Some(ctx) = self.repl {
-            if ctx.lbn == lbn {
-                let baddr = self.cfg.flash.geometry.block_from_index(ctx.new.block);
-                let wp_new = self.luns[ctx.new.lun.0 as usize]
-                    .block_state(baddr)
-                    .write_point;
-                if off >= wp_new {
-                    // in-order continuation: catch up the gap, then append
-                    let copied = self.repl_copy_range(t0, ctx.old, ctx.new, wp_new, off)?;
-                    if let Some(c) = self.repl.as_mut() {
-                        c.copies += copied;
-                    }
-                    self.dir
-                        .invalidate_checked(self.block_phys(ctx.old, off), lpn);
-                    let phys = self.block_phys(ctx.new, off);
-                    let end = self
-                        .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun: ctx.new.lun })?;
-                    self.dir.mark_valid(phys, lpn);
-                    return Ok(end);
-                }
-                // going backwards: close this replacement and start over
-                self.finalize_replacement(t0)?;
-            }
-        }
-        let cur = match &self.map {
-            MappingState::Block(m) => m.lookup(lbn),
-            _ => unreachable!(),
-        };
-        match cur {
-            None => {
-                let lun = self.place_lun_for_block(lbn, t0);
-                let block = self.alloc_block_on(lun, t0)?;
-                let pb = PhysBlockRef { lun, block };
-                let phys = self.block_phys(pb, off);
-                let end = self
-                    .op_program(t0, phys, lpn, true, OpCause::Host)
-                    .map_err(|()| SsdError::DeviceFull { lun })?;
-                if let MappingState::Block(m) = &mut self.map {
-                    m.update(lbn, pb);
-                }
-                self.dir.mark_valid(phys, lpn);
-                Ok(end)
-            }
-            Some(pb) => {
-                let baddr = self.cfg.flash.geometry.block_from_index(pb.block);
-                let wp = self.luns[pb.lun.0 as usize].block_state(baddr).write_point;
-                if off >= wp {
-                    // in-order append (C3 allows gaps upward)
-                    let phys = self.block_phys(pb, off);
-                    let end = self
-                        .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun: pb.lun })?;
-                    self.dir.mark_valid(phys, lpn);
-                    Ok(end)
-                } else {
-                    // rewrite below the write point: open a replacement
-                    // block (finalizing any replacement held by another
-                    // logical block first — the single-context limit that
-                    // makes *random* rewrites a merge storm)
-                    if self.repl.is_some() {
-                        self.finalize_replacement(t0)?;
-                    }
-                    let lun = pb.lun;
-                    let newb = self.alloc_block_on(lun, t0)?;
-                    let newpb = PhysBlockRef { lun, block: newb };
-                    let copied = self.repl_copy_range(t0, pb, newpb, 0, off)?;
-                    self.repl = Some(ReplCtx {
-                        lbn,
-                        old: pb,
-                        new: newpb,
-                        copies: copied,
-                    });
-                    self.dir.invalidate_checked(self.block_phys(pb, off), lpn);
-                    let phys = self.block_phys(newpb, off);
-                    let end = self
-                        .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun })?;
-                    self.dir.mark_valid(phys, lpn);
-                    Ok(end)
-                }
-            }
-        }
-    }
-
-    // ---------------------------- hybrid -----------------------------
-
-    fn write_hybrid(&mut self, t0: SimTime, lpn: Lpn) -> Result<SimTime, SsdError> {
-        let ppb = self.ppb() as u64;
-        let lbn = lpn.0 / ppb;
-        let off = (lpn.0 % ppb) as u32;
-        let data = match &self.map {
-            MappingState::Hybrid(h) => h.data.lookup(lbn),
-            _ => unreachable!(),
-        };
-        let Some(pb) = data else {
-            // fresh logical block: behave like block mapping
-            let lun = self.place_lun_for_block(lbn, t0);
-            let block = self.alloc_block_on(lun, t0)?;
-            let pbref = PhysBlockRef { lun, block };
-            let phys = self.block_phys(pbref, off);
-            let end = self
-                .op_program(t0, phys, lpn, true, OpCause::Host)
-                .map_err(|()| SsdError::DeviceFull { lun })?;
-            if let MappingState::Hybrid(h) = &mut self.map {
-                h.data.update(lbn, pbref);
-            }
-            self.dir.mark_valid(phys, lpn);
-            return Ok(end);
-        };
-        let baddr = self.cfg.flash.geometry.block_from_index(pb.block);
-        let wp = self.luns[pb.lun.0 as usize].block_state(baddr).write_point;
-        let has_log = matches!(&self.map, MappingState::Hybrid(h) if h.log_of(lbn).is_some());
-        if off >= wp && !has_log {
-            // clean append into the data block
-            let phys = self.block_phys(pb, off);
-            let end = self
-                .op_program(t0, phys, lpn, true, OpCause::Host)
-                .map_err(|()| SsdError::DeviceFull { lun: pb.lun })?;
-            self.dir.mark_valid(phys, lpn);
-            return Ok(end);
-        }
-        // need the log block path
-        let mut t = t0;
-        // full log for this lbn? merge first
-        let log_full = matches!(
-            &self.map,
-            MappingState::Hybrid(h) if h.log_of(lbn).map(|l| l.full(self.ppb())).unwrap_or(false)
-        );
-        if log_full {
-            t = self.merge_hybrid(t, lbn)?;
-            // after the merge the write may be an append; recurse once
-            return self.write_hybrid_after_merge(t, lpn);
-        }
-        if !has_log {
-            // need a free log slot
-            let need_evict = matches!(
-                &self.map,
-                MappingState::Hybrid(h) if !h.has_free_log_slot()
-            );
-            if need_evict {
-                let victim = match &self.map {
-                    MappingState::Hybrid(h) => h.lru_log().expect("pool full implies non-empty"),
-                    _ => unreachable!(),
-                };
-                t = self.merge_hybrid(t, victim)?;
-            }
-            let lun = pb.lun;
-            let block = self.alloc_block_on(lun, t)?;
-            if let MappingState::Hybrid(h) = &mut self.map {
-                h.assign_log(lbn, PhysBlockRef { lun, block });
-            }
-        }
-        // append into the log block
-        let (log_pb, log_page, prev_version) = match &mut self.map {
-            MappingState::Hybrid(h) => {
-                let prev = h.log_of(lbn).and_then(|l| l.latest[off as usize]);
-                let page = h.append_log(lbn, off);
-                let phys = h.log_of(lbn).expect("just appended").phys;
-                (phys, page, prev)
-            }
-            _ => unreachable!(),
-        };
-        // invalidate the version this write supersedes (checked: a trim
-        // may already have killed it while log.latest still points there)
-        if let Some(prev_page) = prev_version {
-            let prev = self.block_phys(log_pb, prev_page);
-            self.dir.invalidate_checked(prev, lpn);
-        } else {
-            // previous version may live in the data block
-            let prev = self.block_phys(pb, off);
-            self.dir.invalidate_checked(prev, lpn);
-        }
-        let phys = self.block_phys(log_pb, log_page);
-        let end = self
-            .op_program(t, phys, lpn, true, OpCause::Host)
-            .map_err(|()| SsdError::DeviceFull { lun: log_pb.lun })?;
-        self.dir.mark_valid(phys, lpn);
-        Ok(end)
-    }
-
-    fn write_hybrid_after_merge(&mut self, t: SimTime, lpn: Lpn) -> Result<SimTime, SsdError> {
-        // one level of recursion: after a merge the lbn has no log block
-        // and the data block is freshly written, so this terminates
-        self.write_hybrid(t, lpn)
-    }
-
-    /// Merge a hybrid log block with its data block.
-    fn merge_hybrid(&mut self, t: SimTime, lbn: u64) -> Result<SimTime, SsdError> {
-        let (log, data) = match &mut self.map {
-            MappingState::Hybrid(h) => {
-                let log = h.take_log(lbn).expect("merge without log block");
-                (log, h.data.lookup(lbn))
-            }
-            _ => unreachable!(),
-        };
-        let ppb = self.ppb();
-        if log.is_switchable(ppb) {
-            // switch merge: the log block IS the new data block
-            self.metrics.merges_switch += 1;
-            let mut end = t;
-            if let Some(old) = data {
-                // old data block is entirely superseded
-                let live = self.dir.live_pages(old.lun, old.block);
-                for (a, _) in live {
-                    self.dir.invalidate(PhysPage {
-                        lun: old.lun,
-                        addr: a,
-                    });
-                }
-                end = self.op_erase(t, old.lun, old.block, OpCause::Merge);
-            }
-            if let MappingState::Hybrid(h) = &mut self.map {
-                h.data.update(lbn, log.phys);
-            }
-            return Ok(end);
-        }
-        // full merge: newest version of each offset out of (log, data)
-        self.metrics.merges_full += 1;
-        let lun = log.phys.lun;
-        let newb = self.alloc_block_on(lun, t)?;
-        let newpb = PhysBlockRef { lun, block: newb };
-        let copyback = self.cfg.gc.copyback;
-        let data_live: std::collections::HashMap<u32, Lpn> = match data {
-            Some(pb) => self
-                .dir
-                .live_pages(pb.lun, pb.block)
-                .into_iter()
-                .map(|(a, l)| (a.page, l))
-                .collect(),
-            None => Default::default(),
-        };
-        let mut cursor = t;
-        for o in 0..ppb {
-            let (src, lpn_o) = if let Some(logpage) = log.latest[o as usize] {
-                let src = self.block_phys(log.phys, logpage);
-                let info = self.dir.block_info(lun, log.phys.block);
-                let Some(l) = info.backptrs[logpage as usize] else {
-                    continue;
-                };
-                (src, l)
-            } else if let Some(pb) = data {
-                match data_live.get(&o) {
-                    Some(&l) => (self.block_phys(pb, o), l),
-                    None => continue,
-                }
-            } else {
-                continue;
-            };
-            let read = self.op_read(cursor, src, !copyback, OpCause::Merge);
-            let dst = self.block_phys(newpb, o);
-            let end = self
-                .op_program(read.end, dst, lpn_o, !copyback, OpCause::Merge)
-                .map_err(|()| SsdError::DeviceFull { lun })?;
-            self.dir.invalidate(src);
-            self.dir.mark_valid(dst, lpn_o);
-            cursor = end;
-        }
-        // stale log pages (superseded versions) die with the log block
-        let stale = self.dir.live_pages(lun, log.phys.block);
-        for (a, _) in stale {
-            self.dir.invalidate(PhysPage { lun, addr: a });
-        }
-        let mut end = self.op_erase(cursor, lun, log.phys.block, OpCause::Merge);
-        if let Some(pb) = data {
-            // anything left in the data block is stale now
-            let stale = self.dir.live_pages(pb.lun, pb.block);
-            for (a, _) in stale {
-                self.dir.invalidate(PhysPage {
-                    lun: pb.lun,
-                    addr: a,
-                });
-            }
-            end = self.op_erase(end, pb.lun, pb.block, OpCause::Merge);
-        }
-        if let MappingState::Hybrid(h) = &mut self.map {
-            h.data.update(lbn, newpb);
-        }
-        Ok(end)
-    }
-
-    // ------------------------- power-loss rebuild ---------------------
-
-    /// Simulate a power loss followed by the page-mapped FTL's boot
-    /// sequence: all controller RAM (mapping table, block directory) is
-    /// lost and rebuilt by scanning every page's out-of-band metadata,
-    /// newest sequence number winning. Returns when the device is ready.
-    ///
-    /// This is the page-FTL startup cost that motivated DFTL (the paper's
-    /// ref [10]): scan time grows linearly with raw capacity. The write
-    /// buffer is battery-backed, so the rebuild requires all in-flight
-    /// flushes to have drained (`at >= drain_time()`).
-    ///
-    /// Only supported for [`FtlKind::PageMap`]; other FTLs return an error.
-    ///
-    /// # Panics
-    /// Panics if `at` precedes the drain time (buffer contents would be
-    /// ambiguous).
-    pub fn power_loss_rebuild(&mut self, at: SimTime) -> Result<RebuildReport, SsdError> {
-        if !matches!(self.map, MappingState::Page(_)) {
-            return Err(SsdError::DeviceFull { lun: LunId(0) }); // unsupported
-        }
-        assert!(
-            at >= self.drain_time(),
-            "rebuild before the battery-backed buffer drained"
-        );
-        let geom = self.cfg.flash.geometry.clone();
-        let nluns = self.total_luns();
-        // volatile state vanishes
-        let mut fresh = BlockDirectory::new(nluns, geom.clone());
-        let mut map = PageMap::new(self.capacity.exported_pages);
-        self.buffer = WriteBuffer::new(self.cfg.buffer.capacity_pages as usize);
-        self.repl = None;
-        // scan every page of every block (OOB reads; charged as
-        // translation traffic on each LUN — LUNs scan in parallel)
-        let mut best: std::collections::HashMap<u64, (u64, PhysPage)> =
-            std::collections::HashMap::new();
-        let mut scanned = 0u64;
-        for lun_i in 0..nluns {
-            let lun = LunId(lun_i);
-            for block in geom.blocks() {
-                let bidx = geom.block_index(block);
-                // mirror chip-held wear state back into the directory
-                let chip_state = self.luns[lun_i as usize].block_state(block).clone();
-                if chip_state.bad {
-                    fresh.retire(lun, bidx);
-                    continue;
-                }
-                fresh.set_erase_count(lun, bidx, chip_state.erase_count);
-                if chip_state.write_point == 0 {
-                    continue; // fully erased: stays on the free list
-                }
-                // programmed block: scan its pages, mark it occupied
-                fresh.claim_full(lun, bidx);
-                for addr in geom.pages_of(block) {
-                    if addr.page >= chip_state.write_point {
-                        break;
-                    }
-                    let phys = PhysPage { lun, addr };
-                    let read = self.op_read(at, phys, false, OpCause::Translation);
-                    scanned += 1;
-                    if let PagePayload::Oob { lpn, seq } = read.payload {
-                        match best.entry(lpn) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
-                                if e.get().0 < seq {
-                                    e.insert((seq, phys));
-                                }
-                            }
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert((seq, phys));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        for (lpn, (_, phys)) in best {
-            if lpn < self.capacity.exported_pages {
-                map.update(Lpn(lpn), phys);
-                fresh.mark_valid(phys, Lpn(lpn));
-            }
-        }
-        self.dir = fresh;
-        self.map = MappingState::Page(map);
-        let ready = self.drain_time().max(at);
-        Ok(RebuildReport {
-            ready,
-            duration: ready.since(at),
-            pages_scanned: scanned,
         })
     }
 
@@ -1424,94 +538,52 @@ impl Ssd {
         }
     }
 
-    // ----------------------------- trim ------------------------------
-
     /// Trim (unmap) one logical page — the command the paper highlights as
     /// the first crack in the block interface.
     pub fn trim(&mut self, now: SimTime, lpn: Lpn) -> Result<Completion, SsdError> {
         self.check_lpn(lpn)?;
         self.note_submit(now);
         self.metrics.host_trims += 1;
+        let scope = self.sched.probe.open_command("trim", now);
         let done = now + self.cfg.controller_overhead;
+        self.span_overhead(now, done);
         if self.buffer.enabled() {
             self.buffer.discard(lpn.0);
         }
-        match &mut self.map {
-            MappingState::Page(m) => {
-                if let Some(old) = m.unmap(lpn) {
-                    self.dir.invalidate(old);
-                }
-            }
-            MappingState::Dftl(m) => {
-                let mut ios = Vec::new();
-                let old = m.unmap(lpn, &mut ios);
-                self.exec_trans(done, &ios);
-                if let Some(old) = old {
-                    self.dir.invalidate(old);
-                }
-            }
-            MappingState::Block(m) => {
-                let ppb = self.cfg.flash.geometry.pages_per_block as u64;
-                let lbn = lpn.0 / ppb;
-                let off = (lpn.0 % ppb) as u32;
-                let mut candidates: Vec<PhysBlockRef> = Vec::with_capacity(2);
-                if let Some(ctx) = &self.repl {
-                    if ctx.lbn == lbn {
-                        candidates.push(ctx.new);
-                    }
-                }
-                if let Some(pb) = m.lookup(lbn) {
-                    candidates.push(pb);
-                }
-                for pb in candidates {
-                    let phys = self.block_phys(pb, off);
-                    if self.dir.invalidate_checked(phys, lpn) {
-                        break;
-                    }
-                }
-            }
-            MappingState::Hybrid(h) => {
-                let ppb = h.pages_per_block() as u64;
-                let lbn = lpn.0 / ppb;
-                let off = (lpn.0 % ppb) as u32;
-                let mut invalidations: Vec<PhysPage> = Vec::new();
-                if let Some(log) = h.log_of(lbn) {
-                    if let Some(page) = log.latest[off as usize] {
-                        let baddr = self.cfg.flash.geometry.block_from_index(log.phys.block);
-                        invalidations.push(PhysPage {
-                            lun: log.phys.lun,
-                            addr: self
-                                .cfg
-                                .flash
-                                .geometry
-                                .page_addr(baddr.plane, baddr.block, page),
-                        });
-                    }
-                }
-                if let Some(pb) = h.data.lookup(lbn) {
-                    let info = self.dir.block_info(pb.lun, pb.block);
-                    if info.backptrs[off as usize] == Some(lpn) {
-                        let baddr = self.cfg.flash.geometry.block_from_index(pb.block);
-                        invalidations.push(PhysPage {
-                            lun: pb.lun,
-                            addr: self
-                                .cfg
-                                .flash
-                                .geometry
-                                .page_addr(baddr.plane, baddr.block, off),
-                        });
-                    }
-                }
-                for p in invalidations {
-                    self.dir.invalidate_checked(p, lpn);
-                }
-            }
+        if matches!(self.map, MappingState::Block(_)) {
+            self.trim_block(lpn);
+        } else if matches!(self.map, MappingState::Hybrid(_)) {
+            self.trim_hybrid(lpn);
+        } else {
+            self.trim_page_mapped(done, lpn);
         }
         let latency = done.since(now);
+        scope.close(done);
         Ok(Completion {
             done,
             latency,
             served: Served::Controller,
         })
+    }
+
+    /// Trim under the page-mapped FTLs; the DFTL translation write-back
+    /// does not gate the completion, so it is charged as background.
+    fn trim_page_mapped(&mut self, done: SimTime, lpn: Lpn) {
+        let (old, ios) = match &mut self.map {
+            MappingState::Page(m) => (m.unmap(lpn), Vec::new()),
+            MappingState::Dftl(m) => {
+                let mut ios: Vec<TransIo> = Vec::new();
+                let old = m.unmap(lpn, &mut ios);
+                (old, ios)
+            }
+            _ => unreachable!(),
+        };
+        if !ios.is_empty() {
+            let _bg = self.sched.probe.background();
+            self.exec_trans(done, &ios);
+        }
+        if let Some(old) = old {
+            self.dir.invalidate(old);
+        }
     }
 }

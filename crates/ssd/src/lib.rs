@@ -39,12 +39,17 @@ pub mod block_dir;
 pub mod buffer;
 pub mod channel;
 pub mod config;
+pub mod controller;
 pub mod device;
 pub mod mapping;
 pub mod metrics;
 
 pub use addr::{ArrayShape, Capacity, Lpn, LunId, PhysPage};
 pub use channel::ChannelTiming;
-pub use config::{BufferConfig, FtlKind, GcConfig, GcPolicy, Placement, SsdConfig, WlConfig};
+pub use config::{BufferConfig, FtlKind, GcConfig, GcPolicyKind, Placement, SsdConfig, WlConfig};
+pub use controller::{
+    CostBenefitGc, GcGate, GcPolicy, GcToken, GreedyGc, Scheduler, ThresholdWear, WearPolicy,
+    WriteBufferPolicy, WriteThrough,
+};
 pub use device::{Completion, RebuildReport, Served, Ssd, SsdError};
 pub use metrics::{OpCause, SsdMetrics};

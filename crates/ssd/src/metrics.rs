@@ -84,6 +84,9 @@ pub struct SsdMetrics {
 
     /// GC invocations.
     pub gc_runs: u64,
+    /// GC triggers suppressed by the re-entrancy gate (a GC-internal
+    /// allocation tried to start a nested collection).
+    pub gc_reentries_blocked: u64,
     /// Pages relocated by GC.
     pub gc_pages_moved: u64,
     /// Full merges (block/hybrid FTL).

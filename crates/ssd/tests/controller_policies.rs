@@ -1,0 +1,140 @@
+//! Behavioural tests of the pluggable controller policies: GC policy
+//! selection (greedy vs. cost-benefit), the typed GC re-entrancy gate,
+//! and policy injection through the `set_*_policy` hooks.
+
+use requiem_sim::time::SimTime;
+use requiem_ssd::{
+    BufferConfig, GcPolicyKind, Lpn, Served, Ssd, SsdConfig, SsdError, WriteThrough,
+};
+
+/// A tiny two-LUN device with little spare area and a zero low-water
+/// mark: collections start only when a LUN's free pool is already empty,
+/// so the collection's own frontier allocation finds nothing and attempts
+/// to re-enter GC — the exact recursion the gate must block (the inner
+/// allocation then spills to the other LUN).
+fn tiny(policy: GcPolicyKind) -> SsdConfig {
+    let mut cfg = SsdConfig::modern();
+    cfg.shape.channels = 1;
+    cfg.shape.chips_per_channel = 2;
+    cfg.flash.geometry = requiem_flash::Geometry::new(1, 16, 8, 4096);
+    cfg.buffer = BufferConfig { capacity_pages: 0 };
+    cfg.op_ratio = 0.30;
+    cfg.gc.free_block_threshold = 0;
+    cfg.gc.policy = policy;
+    cfg
+}
+
+/// Same tiny array with the default low-water mark: GC runs early and
+/// victims still hold live pages, so policy choice (which victim?) shows
+/// up in relocation traffic.
+fn tiny_headroom(policy: GcPolicyKind) -> SsdConfig {
+    let mut cfg = tiny(policy);
+    cfg.gc.free_block_threshold = 3;
+    cfg
+}
+
+/// Fill every page, then overwrite the working set repeatedly; returns
+/// (final time, writes done).
+fn churn(ssd: &mut Ssd, rounds: u64) -> (SimTime, u64) {
+    let pages = ssd.capacity().exported_pages;
+    let working_set = pages;
+    let mut t = SimTime::ZERO;
+    for lpn in 0..working_set {
+        match ssd.write(t, Lpn(lpn)) {
+            Ok(c) => t = c.done,
+            Err(SsdError::DeviceFull { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let mut x = 13u64;
+    let mut wrote = 0u64;
+    for _ in 0..rounds * working_set {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        match ssd.write(t, Lpn(x % working_set)) {
+            Ok(c) => {
+                t = c.done;
+                wrote += 1;
+            }
+            Err(SsdError::DeviceFull { .. }) => break,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    (t, wrote)
+}
+
+#[test]
+fn greedy_gc_runs_and_gate_blocks_reentry() {
+    let mut ssd = Ssd::new(tiny(GcPolicyKind::Greedy));
+    assert_eq!(ssd.gc_policy_name(), "greedy");
+    let (mut t, wrote) = churn(&mut ssd, 30);
+    let m = ssd.metrics();
+    assert!(m.gc_runs > 0, "churn must trigger GC (wrote {wrote})");
+    assert!(
+        m.gc_reentries_blocked > 0,
+        "zero-headroom churn must hit the re-entrancy gate at least once \
+         (gc_runs {}, wrote {wrote})",
+        m.gc_runs
+    );
+    // the gate blocked re-entry rather than recursing: the device is still
+    // consistent — every page of the working set reads back from flash
+    let pages = ssd.capacity().exported_pages;
+    for lpn in 0..pages {
+        let r = ssd.read(t, Lpn(lpn)).expect("read");
+        t = r.done;
+        assert_eq!(r.served, Served::Flash, "lpn {lpn} lost under GC churn");
+    }
+}
+
+#[test]
+fn cost_benefit_gc_is_selectable_and_exercised() {
+    let mut ssd = Ssd::new(tiny_headroom(GcPolicyKind::CostBenefit));
+    assert_eq!(ssd.gc_policy_name(), "cost-benefit");
+    let (mut t, wrote) = churn(&mut ssd, 30);
+    let m = ssd.metrics();
+    assert!(
+        m.gc_runs > 0,
+        "cost-benefit churn must trigger GC (wrote {wrote})"
+    );
+    assert!(m.gc_pages_moved > 0, "collections must relocate live pages");
+    let pages = ssd.capacity().exported_pages;
+    for lpn in 0..pages {
+        let r = ssd.read(t, Lpn(lpn)).expect("read");
+        t = r.done;
+        assert_eq!(r.served, Served::Flash, "lpn {lpn} lost under GC churn");
+    }
+}
+
+#[test]
+fn gc_policies_disagree_on_victims() {
+    // same workload, different policy ⇒ different GC decisions somewhere:
+    // the policy is really consulted, not a config no-op
+    let mut greedy = Ssd::new(tiny_headroom(GcPolicyKind::Greedy));
+    let mut cb = Ssd::new(tiny_headroom(GcPolicyKind::CostBenefit));
+    churn(&mut greedy, 30);
+    churn(&mut cb, 30);
+    let (g, c) = (greedy.metrics(), cb.metrics());
+    assert!(g.gc_runs > 0 && c.gc_runs > 0);
+    assert!(
+        g.gc_pages_moved != c.gc_pages_moved || g.flash_erases.gc != c.flash_erases.gc,
+        "greedy and cost-benefit GC produced identical traffic \
+         (moved {} vs {}, erases {} vs {}) — policy not plugged in?",
+        g.gc_pages_moved,
+        c.gc_pages_moved,
+        g.flash_erases.gc,
+        c.flash_erases.gc
+    );
+}
+
+#[test]
+fn custom_buffer_policy_can_be_injected() {
+    // a buffered config downgraded to write-through via the injection hook
+    let mut ssd = Ssd::new(SsdConfig::modern());
+    assert_eq!(ssd.buffer_policy_name(), "battery-backed");
+    ssd.set_buffer_policy(Box::new(WriteThrough));
+    assert_eq!(ssd.buffer_policy_name(), "write-through");
+    let w = ssd.write(SimTime::ZERO, Lpn(1)).unwrap();
+    // write-through acknowledges only at flash-program completion
+    assert_eq!(w.served, Served::Flash);
+    let r = ssd.read(w.done, Lpn(1)).unwrap();
+    assert_eq!(r.served, Served::Flash, "no RAM residency without a buffer");
+}

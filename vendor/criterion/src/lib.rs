@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate implements the subset of the criterion API the bench crate uses
+//! — `Criterion` + `benchmark_group` + `bench_function`, `Bencher::iter`
+//! / `iter_batched`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a straightforward wall-clock
+//! harness:
+//!
+//! - warm up for `warm_up_time`, auto-scaling the per-batch iteration
+//!   count,
+//! - collect `sample_size` samples spread over `measurement_time`,
+//! - report median / mean ns-per-iteration (and throughput when
+//!   configured) as plain text.
+//!
+//! There is no statistical regression analysis, HTML report, or saved
+//! baseline; numbers are comparable within a run, which is what the
+//! BENCH_* trajectory tooling consumes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`].
+///
+/// The stand-in harness always materialises one input per timed
+/// iteration, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many.
+    SmallInput,
+    /// Inputs are expensive to hold; batch few.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MeasureConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    cfg: MeasureConfig,
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for measurement samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            cfg,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: MeasureConfig,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            cfg: self.cfg,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.into(), self.throughput);
+    }
+
+    /// Finish the group (plain-text harness: purely cosmetic).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    cfg: MeasureConfig,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine` called in a tight loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up while growing the batch size until one batch takes a
+        // measurable slice of the warm-up budget.
+        let mut batch: u64 = 1;
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_end {
+                // aim each sample at measurement_time / sample_size
+                let per_iter = dt.as_nanos().max(1) as f64 / batch as f64;
+                let target =
+                    self.cfg.measurement_time.as_nanos() as f64 / self.cfg.sample_size as f64;
+                batch = ((target / per_iter).ceil() as u64).clamp(1, 1 << 24);
+                break;
+            }
+            if dt < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2).min(1 << 24);
+            }
+        }
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples_ns_per_iter.push(ns);
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up briefly.
+        let warm_end = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // One timed input per sample; setup excluded.
+        for _ in 0..self.cfg.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples_ns_per_iter
+                .push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples_ns_per_iter.is_empty() {
+            println!("{group}/{id}: no samples (benchmark body never called iter)");
+            return;
+        }
+        self.samples_ns_per_iter
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = self.samples_ns_per_iter.len();
+        let median = self.samples_ns_per_iter[n / 2];
+        let mean = self.samples_ns_per_iter.iter().sum::<f64>() / n as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(e)) if median > 0.0 => {
+                format!(" ({:.3} Melem/s)", e as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(by)) if median > 0.0 => {
+                format!(
+                    " ({:.3} MiB/s)",
+                    by as f64 * 1e9 / median / (1024.0 * 1024.0)
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{group}/{id}: median {median:.1} ns/iter, mean {mean:.1} ns/iter{rate}");
+    }
+}
+
+/// Define a benchmark group function from a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

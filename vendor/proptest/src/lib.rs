@@ -1,0 +1,160 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate provides the subset of the proptest API that the workspace's
+//! property tests use, with the same semantics minus input shrinking:
+//!
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges and 2/3-tuples
+//! - [`collection::vec`] with a `Range<usize>` size
+//! - weighted/unweighted [`prop_oneof!`]
+//! - the [`proptest!`] block macro with optional
+//!   `#![proptest_config(...)]`, and the `prop_assert*` macros
+//!
+//! Sampling is deterministic: each test case draws from a splitmix64
+//! stream seeded by FNV-1a over the test's module path and name plus the
+//! case index, so failures reproduce exactly on re-run. On failure the
+//! generated inputs are printed in full (no shrinking is attempted — the
+//! workspace's inputs are small enough to read directly).
+//!
+//! Only what the workspace uses is implemented; extend as needed.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert a condition inside a proptest body; on failure returns
+/// `Err(TestCaseError)` from the enclosing (generated) closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)+);
+    }};
+}
+
+/// Build a [`strategy::Union`] over alternatives, optionally weighted
+/// (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let boxed: ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> =
+                    ::std::boxed::Box::new($strat);
+                (($weight) as u32, boxed)
+            }),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declare property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and test functions of the form
+/// `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                let inputs = [
+                    $(format!("{} = {:?}", stringify!($arg), &$arg)),+
+                ]
+                .join(", ");
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}/{}: {e}\ninputs: {inputs}",
+                        stringify!($name),
+                        runner.cases(),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,135 @@
+//! Value-generation strategies: the [`Strategy`] trait and the
+//! combinators the workspace uses (integer ranges, tuples, `prop_map`,
+//! weighted unions).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating random values of one type.
+///
+/// Object-safe (`Box<dyn Strategy<Value = T>>` works) so that
+/// [`prop_oneof!`](crate::prop_oneof) can mix heterogeneous alternatives.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Draw one value from the strategy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as u64).saturating_sub(self.start as u64);
+                self.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let width = (i128::from(self.end) - i128::from(self.start)).max(0) as u64;
+                (i128::from(self.start) + i128::from(rng.below(width))) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range!(i8, i16, i32, i64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed (cloned) value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// A weighted choice between boxed alternatives (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T: Debug> {
+    alts: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Build a union from `(weight, strategy)` alternatives.
+    ///
+    /// # Panics
+    /// If `alts` is empty or all weights are zero.
+    pub fn new(alts: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total_weight: u64 = alts.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! requires at least one positively weighted alternative"
+        );
+        Union { alts, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (w, s) in &self.alts {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}

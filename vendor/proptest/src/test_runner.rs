@@ -1,0 +1,124 @@
+//! Test-case execution: config, deterministic RNG, and the error type
+//! produced by the `prop_assert*` macros.
+
+/// Why a generated test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The test body's assertion failed.
+    Fail(String),
+    /// The input was rejected (unused by the workspace, kept for API shape).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Configuration for a `proptest!` block (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite quick while
+        // still exercising plenty of inputs. Tests that need more pass an
+        // explicit `#![proptest_config(ProptestConfig::with_cases(n))]`.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic random source for strategy sampling (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed a stream directly.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next uniform `u64`.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)`; 0 when `bound == 0`.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // widening multiply maps the full u64 range onto [0, bound);
+        // bias is < 2^-64 per draw, irrelevant for test-input generation
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Drives the cases of one property test deterministically.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: Config,
+    name_seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner for the named test (name seeds the RNG streams).
+    pub fn new(config: Config, name: &str) -> Self {
+        // FNV-1a over the fully qualified test name
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRunner {
+            config,
+            name_seed: h,
+        }
+    }
+
+    /// Number of cases this runner will execute.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The deterministic RNG for one case index.
+    pub fn rng_for_case(&self, case: u32) -> TestRng {
+        TestRng::from_seed(self.name_seed ^ (u64::from(case).wrapping_mul(0x2545_f491_4f6c_dd1d)))
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! This crate exists because the build environment has no network access to
+//! crates.io. The workspace only uses serde for `#[derive(Serialize,
+//! Deserialize)]` markers on config structs — no format crate (serde_json,
+//! bincode, ...) is present, so no code path ever calls into serde. The
+//! traits here are empty markers and the derives (re-exported from the
+//! sibling `serde_derive` stub) expand to nothing.
+//!
+//! If real serialization is ever needed, replace `[workspace.dependencies]
+//! serde` in the root `Cargo.toml` with the crates.io release; the derive
+//! attributes in the workspace are already written against the real API.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no network access, so the
+//! real `serde_derive` cannot be fetched. Nothing in the workspace actually
+//! serializes anything (there is no `serde_json` or other format crate);
+//! the `#[derive(Serialize, Deserialize)]` attributes exist so that config
+//! structs keep a serde-compatible shape for downstream users. These
+//! derives therefore expand to nothing, while still accepting the
+//! `#[serde(...)]` helper attribute so annotated fields compile.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts `#[serde(...)]` attributes, emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts `#[serde(...)]` attributes, emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
