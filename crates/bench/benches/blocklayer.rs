@@ -2,7 +2,7 @@
 //! configurations and backends.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use requiem_block::{BackendOp, Disk, DiskConfig, IoStack, NullDevice, StackConfig};
+use requiem_block::{Disk, DiskConfig, IoRequest, IoStack, NullDevice, StackConfig};
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_ssd::{Ssd, SsdConfig};
 
@@ -21,7 +21,7 @@ fn bench_stack_submit(c: &mut Criterion) {
         let mut lba = 0u64;
         b.iter(|| {
             lba = (lba + 1) % (1 << 20);
-            let done = stack.submit(t, 0, BackendOp::Write, lba);
+            let done = stack.submit(t, 0, IoRequest::write(lba));
             t = done.done;
             done.latency
         });
@@ -32,7 +32,7 @@ fn bench_stack_submit(c: &mut Criterion) {
         let mut lba = 0u64;
         b.iter(|| {
             lba = (lba + 1) % 2048;
-            let done = stack.submit(t, 0, BackendOp::Write, lba);
+            let done = stack.submit(t, 0, IoRequest::write(lba));
             t = done.done;
             done.latency
         });
@@ -43,7 +43,7 @@ fn bench_stack_submit(c: &mut Criterion) {
         let mut lba = 7u64;
         b.iter(|| {
             lba = lba.wrapping_mul(999983) % (1 << 20);
-            let done = stack.submit(t, 0, BackendOp::Read, lba);
+            let done = stack.submit(t, 0, IoRequest::read(lba));
             t = done.done;
             done.latency
         });

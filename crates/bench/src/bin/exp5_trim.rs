@@ -8,38 +8,53 @@
 //! hint buys the garbage collector.
 
 use requiem_bench::{measure, modern_unbuffered, note, precondition, section};
+use requiem_iface::device::DeviceInterface;
+use requiem_iface::nameless::{NamelessConfig, NamelessSsd};
 use requiem_sim::table::Align;
+use requiem_sim::time::SimTime;
 use requiem_sim::Table;
-use requiem_ssd::{Lpn, Ssd};
+use requiem_ssd::{Lpn, Ssd, SsdConfig};
 use requiem_workload::driver::IoMix;
 use requiem_workload::pattern::Pattern;
 
-/// Fill the device with "files", delete a third of them (with or without
-/// TRIM), then randomly overwrite the surviving files for two drive-fills.
-/// Without TRIM, the deleted files' pages remain "valid" to the FTL: they
-/// shrink its effective spare area and get copied by every GC pass.
-fn churn(use_trim: bool) -> (f64, f64, u64, f64) {
+fn churn_cfg() -> SsdConfig {
     let mut cfg = modern_unbuffered();
     cfg.shape.channels = 2;
     cfg.shape.chips_per_channel = 2;
-    let mut ssd = Ssd::new(cfg);
-    let pages = ssd.capacity().exported_pages;
-    let file_pages = 64u64;
-    let files = pages / file_pages; // fill the whole LBA space with files
-    let mut t = precondition(&mut ssd, pages);
+    cfg
+}
 
-    // delete every 3rd file; these LBAs are never used again — the host
-    // knows they are dead, the FTL only learns it via TRIM
+/// Fill the device with "files", delete a third of them (with or without
+/// telling the device), then randomly overwrite the surviving files for
+/// two drive-fills. If the device is not told, the deleted files' pages
+/// remain "valid" to its collector: they shrink the effective spare area
+/// and get copied by every GC pass. The generic [`DeviceInterface`] loop
+/// runs unchanged against the block FTL (where *telling* is TRIM) and the
+/// nameless device (where it is an exact `free` of the page's name).
+fn churn<D: DeviceInterface>(dev: &mut D, tell_device: bool) -> (f64, f64, u64, f64) {
+    let pages = dev.usable_tags();
+    let file_pages = 64u64;
+    let files = pages / file_pages; // fill the whole tag space with files
+    let mut handles: Vec<Option<D::Handle>> = vec![None; pages as usize];
+    let mut t = SimTime::ZERO;
+    for tag in 0..files * file_pages {
+        let (h, done) = dev.update(t, tag, None);
+        handles[tag as usize] = Some(h);
+        t = done;
+    }
+    // delete every 3rd file; these tags are never used again — the host
+    // knows they are dead, the device only learns it if told
     for f in 0..files {
-        if f % 3 != 0 {
+        if f % 3 != 0 || !tell_device {
             continue;
         }
-        let base = f * file_pages;
-        if use_trim {
-            for p in 0..file_pages {
-                let c = ssd.trim(t, Lpn(base + p)).expect("trim");
-                t = c.done;
-            }
+        for r in dev.drain_relocations() {
+            handles[r.tag as usize] = Some(r.new);
+        }
+        for p in 0..file_pages {
+            let tag = f * file_pages + p;
+            let h = handles[tag as usize].take().expect("live file page");
+            t = dev.discard(t, tag, h);
         }
     }
     // now churn the *surviving* files: random overwrites, 2 drive-fills
@@ -47,48 +62,72 @@ fn churn(use_trim: bool) -> (f64, f64, u64, f64) {
         .filter(|f| f % 3 != 0)
         .flat_map(|f| (0..file_pages).map(move |p| f * file_pages + p))
         .collect();
-    let before = ssd.metrics().flash_programs.total();
-    let before_host = ssd.metrics().host_writes;
-    let before_moved = ssd.metrics().gc_pages_moved;
-    let before_runs = ssd.metrics().gc_runs;
+    let before = dev.device_metrics();
     let t0 = t;
     let mut x = 42u64;
     for _ in 0..2 * pages {
         x = x
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        let lpn = survivors[(x % survivors.len() as u64) as usize];
-        let c = ssd.write(t, Lpn(lpn)).expect("write");
-        t = c.done;
+        let tag = survivors[(x % survivors.len() as u64) as usize];
+        for r in dev.drain_relocations() {
+            if handles[r.tag as usize].is_some() {
+                handles[r.tag as usize] = Some(r.new);
+            }
+        }
+        let (h, done) = dev.update(t, tag, handles[tag as usize]);
+        handles[tag as usize] = Some(h);
+        t = done;
     }
-    let m = ssd.metrics();
-    let wa = (m.flash_programs.total() - before) as f64 / (m.host_writes - before_host) as f64;
+    let d = dev.device_metrics().since(&before);
     let makespan = t.since(t0);
-    let mbs =
-        (m.host_writes - before_host) as f64 * 4096.0 / (1024.0 * 1024.0) / makespan.as_secs_f64();
+    let mbs = d.host_writes as f64 * 4096.0 / (1024.0 * 1024.0) / makespan.as_secs_f64();
     (
-        wa,
+        d.write_amplification(),
         mbs,
-        m.gc_pages_moved - before_moved,
-        (m.gc_runs - before_runs) as f64,
+        d.gc_pages_moved,
+        d.gc_runs as f64,
     )
 }
 
 fn main() {
-    println!("# E5 — TRIM: telling the FTL what is dead");
-    section("File churn: fill device, delete 1/3 of files, then randomly overwrite the survivors for 2 drive-fills");
+    println!("# E5 — TRIM: telling the device what is dead");
+    section("File churn: fill device, delete 1/3 of files, then randomly overwrite the survivors for 2 drive-fills (one generic loop per interface)");
     let mut tbl = Table::new([
-        "mode",
+        "interface / mode",
         "churn-phase WA",
         "GC pages moved",
         "GC runs",
         "effective MB/s",
     ])
     .align(0, Align::Left);
-    for (label, use_trim) in [("without TRIM", false), ("with TRIM", true)] {
-        let (wa, mbs, moved, runs) = churn(use_trim);
+    let rows: Vec<(String, (f64, f64, u64, f64))> = vec![
+        (
+            "block FTL, deletes unsaid".to_string(),
+            churn(&mut Ssd::new(churn_cfg()), false),
+        ),
+        (
+            "block FTL, TRIM".to_string(),
+            churn(&mut Ssd::new(churn_cfg()), true),
+        ),
+        (
+            "nameless, names hoarded".to_string(),
+            churn(
+                &mut NamelessSsd::new(NamelessConfig::from(&churn_cfg())),
+                false,
+            ),
+        ),
+        (
+            "nameless, names freed".to_string(),
+            churn(
+                &mut NamelessSsd::new(NamelessConfig::from(&churn_cfg())),
+                true,
+            ),
+        ),
+    ];
+    for (label, (wa, mbs, moved, runs)) in rows {
         tbl.row([
-            label.to_string(),
+            label,
             format!("{wa:.2}"),
             format!("{moved}"),
             format!("{runs:.0}"),
@@ -96,7 +135,7 @@ fn main() {
         ]);
     }
     println!("{tbl}");
-    note("Expected shape: without TRIM the collector relocates pages whose files were deleted long ago; with TRIM those pages are already invalid, cutting GC copies and write amplification.");
+    note("Expected shape: a device not told about dead pages relocates them forever — on either interface. TRIM (block) and free (nameless) are the same message: death notification. The difference is that the nameless host *must* manage names anyway, so the message is structural, not an optional afterthought.");
 
     section("Interaction with steady-state overwrite (no deletes): TRIM is no help");
     let mut tbl = Table::new(["mode", "write amplification"]).align(0, Align::Left);

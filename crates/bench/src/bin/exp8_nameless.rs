@@ -14,7 +14,7 @@
 //! 3. **Migration upcalls** — the price of namelessness, measured.
 
 use requiem_bench::{modern_unbuffered, note, precondition, section};
-use requiem_iface::comm::Upcall;
+use requiem_iface::device::{tag_churn, ChurnReport};
 use requiem_iface::nameless::{NamelessConfig, NamelessSsd};
 use requiem_sim::table::Align;
 use requiem_sim::time::SimTime;
@@ -204,82 +204,49 @@ fn main() {
     note("The scan reads every programmed page's OOB area (LUN-parallel). Scaled to a 2012-era 256 GiB drive this is tens of seconds of boot time — the second reason (after RAM) vendors could not afford page maps, and another asymmetry the block interface cannot express.");
 
     // ------------------------------------------------------------------
-    section("Random-overwrite churn: page-mapped FTL vs nameless device (same hardware)");
-    let mut tbl =
-        Table::new(["device", "MB/s", "WA", "GC pages moved", "upcalls"]).align(0, Align::Left);
+    section("Random-overwrite churn: the same generic loop through each interface");
+    note("One host loop (fill live set, rewrite random tags for 2 drive-fills, apply relocation upcalls) drives every device via the DeviceInterface trait — the interface is the only variable.");
+    let mut tbl = Table::new([
+        "device",
+        "MB/s",
+        "WA",
+        "GC pages moved",
+        "mapping RAM",
+        "upcalls",
+    ])
+    .align(0, Align::Left);
     let mut cfg = modern_unbuffered();
     cfg.shape.channels = 2;
     cfg.shape.chips_per_channel = 2;
 
-    // page-mapped FTL
-    {
-        let mut ssd = Ssd::new(cfg.clone());
-        let pages = ssd.capacity().exported_pages;
-        let t = precondition(&mut ssd, pages);
-        let mut x = 5u64;
-        let mut t = t;
-        for _ in 0..2 * pages {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            t = ssd.write(t, Lpn(x % pages)).expect("write").done;
-        }
-        let m = ssd.metrics();
-        let secs = t.since(SimTime::ZERO).as_secs_f64();
+    fn churn_row(tbl: &mut Table, label: &str, r: ChurnReport) {
         tbl.row([
-            "page-mapped FTL".to_string(),
-            format!("{:.1}", m.host_writes as f64 * 4096.0 / 1048576.0 / secs),
-            format!("{:.2}", m.write_amplification()),
-            format!("{}", m.gc_pages_moved),
-            "-".to_string(),
+            label.to_string(),
+            format!("{:.1}", r.throughput_mbs),
+            format!("{:.2}", r.delta.write_amplification()),
+            format!("{}", r.delta.gc_pages_moved),
+            format!("{} KiB", r.delta.mapping_ram_bytes / 1024),
+            if r.delta.upcalls_delivered == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{} ({:.3}/write)",
+                    r.delta.upcalls_delivered,
+                    r.delta.upcalls_delivered as f64 / r.rewrites as f64
+                )
+            },
         ]);
     }
-    // nameless (host keeps tag → name; same utilization)
+
+    {
+        let mut dev = Ssd::new(cfg.clone());
+        let r = tag_churn(&mut dev, 1.0, 2, 5);
+        churn_row(&mut tbl, "page-mapped FTL", r);
+    }
     {
         let mut dev = NamelessSsd::new(NamelessConfig::from(&cfg));
-        let raw = cfg.total_luns() as u64 * cfg.flash.geometry.total_pages();
-        let live = (raw as f64 * (1.0 - cfg.op_ratio)) as u64;
-        let mut index: std::collections::HashMap<u64, _> = Default::default();
-        let mut t = SimTime::ZERO;
-        for tag in 0..live {
-            let w = dev.write(t, tag).expect("fill");
-            t = w.done;
-            index.insert(tag, w.name);
-        }
-        let mut x = 5u64;
-        for _ in 0..2 * live {
-            x = x
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            let tag = x % live;
-            for u in dev.upcalls().drain() {
-                if let Upcall::Migrated { tag, new, .. } = u {
-                    index.insert(tag, new);
-                }
-            }
-            let cur = index[&tag];
-            dev.free(t, cur, tag).expect("free");
-            let w = dev.write(t, tag).expect("write");
-            t = w.done;
-            index.insert(tag, w.name);
-        }
-        let m = dev.metrics();
-        let churn_writes = 2 * live;
-        let secs = t.since(SimTime::ZERO).as_secs_f64();
-        tbl.row([
-            "nameless".to_string(),
-            format!("{:.1}", (m.host_writes) as f64 * 4096.0 / 1048576.0 / secs),
-            format!(
-                "{:.2}",
-                m.flash_programs.total() as f64 / m.host_writes as f64
-            ),
-            format!("{}", m.gc_pages_moved),
-            format!(
-                "{} ({:.3}/write)",
-                dev.upcalls().delivered(),
-                dev.upcalls().delivered() as f64 / churn_writes as f64
-            ),
-        ]);
+        let r = tag_churn(&mut dev, 1.0, 2, 5);
+        churn_row(&mut tbl, "nameless", r);
     }
     println!("{tbl}");
     note("Same flash, same GC machinery: throughput and WA match — the mapping table bought nothing this workload needed. The upcall rate is the entire protocol cost.");

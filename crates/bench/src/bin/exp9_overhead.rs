@@ -10,8 +10,8 @@
 
 use requiem_bench::{note, section};
 use requiem_block::{
-    BackendOp, CompletionMode, CpuCosts, Disk, DiskConfig, IoStack, NullDevice, QueueMode,
-    StackConfig,
+    BackendOp, CompletionMode, CpuCosts, Disk, DiskConfig, IoRequest, IoStack, NullDevice,
+    QueueMode, StackConfig,
 };
 use requiem_sim::table::Align;
 use requiem_sim::time::{SimDuration, SimTime};
@@ -39,7 +39,7 @@ fn main() {
     let mut s = 99u64;
     for _ in 0..64 {
         s = (s.wrapping_mul(999983)) % (1 << 20);
-        t = stack.submit(t, 0, BackendOp::Read, s).done;
+        t = stack.submit(t, 0, IoRequest::read(s)).done;
     }
     tbl.row([
         "hdd-7200".to_string(),
@@ -73,7 +73,7 @@ fn main() {
         }
         let mut last = stack.backend().drain_time();
         for lpn in 0..64u64 {
-            last = stack.submit(last, 0, op, lpn).done;
+            last = stack.submit(last, 0, IoRequest::new(op, lpn)).done;
         }
         tbl.row([
             label.to_string(),

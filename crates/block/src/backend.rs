@@ -2,29 +2,44 @@
 //!
 //! The whole point of the block device interface is that the stack above
 //! it cannot tell a disk from an SSD from a PCM array. [`StorageBackend`]
-//! captures that: one `submit` entry point, a completion time back.
-//! Experiment E9 exploits it to show how the *same* software overhead is
-//! invisible on a disk and dominant on fast devices.
+//! captures that with a *typed* command vocabulary: the host hands the
+//! device an [`IoRequest`] (operation, address, traffic class, tag) and
+//! gets an [`IoCompletion`] back (tag echoed, completion instant, probe
+//! span count). The request carries its identity with it, so the block
+//! layer above can keep many commands in flight and reap their
+//! completions out of submission order — the queue-pair model — while a
+//! serialized caller simply reads `completion.done` and chains, exactly
+//! like the old positional `submit(now, op, lba) -> SimTime` API did.
+//! Experiment E9 exploits the shared abstraction to show how the *same*
+//! software overhead is invisible on a disk and dominant on fast
+//! devices; E11 drives it at queue depth to expose Figure 1's
+//! read/write asymmetry.
 
+use requiem_pcm::PcmSsd;
 use requiem_sim::time::SimTime;
 use requiem_sim::Probe;
-use requiem_ssd::{Lpn, Ssd};
+use requiem_ssd::Ssd;
 
 use crate::disk::Disk;
 
+pub use requiem_sim::cmd::{CommandId, IoClass, IoCompletion, IoRequest};
+
 /// Operation kind at the block level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BackendOp {
-    /// Read one logical page/sector.
-    Read,
-    /// Write one logical page/sector.
-    Write,
-}
+///
+/// This is the shared [`IoOp`](requiem_sim::cmd::IoOp) vocabulary from
+/// `requiem-sim`; the alias keeps the block layer's historical
+/// `BackendOp` name alive for call sites and tests.
+pub use requiem_sim::cmd::IoOp as BackendOp;
 
 /// Anything that can serve page-granular I/O with virtual-time completions.
 pub trait StorageBackend {
-    /// Submit one operation at `now`; returns the completion instant.
-    fn submit(&mut self, now: SimTime, op: BackendOp, lba: u64) -> SimTime;
+    /// Submit one typed command at `now`; returns its completion.
+    ///
+    /// The completion echoes the request's `tag`/`op`/`lba`, records
+    /// `submitted = now`, and reports how many probe spans were
+    /// attributed to the command (0 for devices without internal
+    /// structure). Submission instants must be non-decreasing.
+    fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion;
 
     /// Addressable pages/sectors.
     fn capacity_pages(&self) -> u64;
@@ -48,10 +63,28 @@ pub trait StorageBackend {
     }
 }
 
+/// Build the completion for a device that serves the whole command as
+/// one opaque interval (no internal probe spans).
+fn opaque_completion(req: IoRequest, submitted: SimTime, done: SimTime) -> IoCompletion {
+    IoCompletion {
+        tag: req.tag,
+        op: req.op,
+        lba: req.lba,
+        submitted,
+        done,
+        spans: 0,
+    }
+}
+
 impl StorageBackend for Disk {
-    fn submit(&mut self, now: SimTime, _op: BackendOp, lba: u64) -> SimTime {
-        // reads and writes cost the same mechanically
-        self.serve(now, lba)
+    fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
+        let done = match req.op {
+            // reads and writes cost the same mechanically
+            BackendOp::Read | BackendOp::Write => self.serve(now, req.lba),
+            // disks have no trim: the command is a metadata no-op
+            BackendOp::Trim => now,
+        };
+        opaque_completion(req, now, done)
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -64,11 +97,8 @@ impl StorageBackend for Disk {
 }
 
 impl StorageBackend for Ssd {
-    fn submit(&mut self, now: SimTime, op: BackendOp, lba: u64) -> SimTime {
-        match op {
-            BackendOp::Read => self.read(now, Lpn(lba)).expect("ssd read failed").done,
-            BackendOp::Write => self.write(now, Lpn(lba)).expect("ssd write failed").done,
-        }
+    fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
+        self.io(now, req).expect("ssd command failed")
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -88,6 +118,26 @@ impl StorageBackend for Ssd {
     }
 }
 
+impl StorageBackend for PcmSsd {
+    fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
+        let done = match req.op {
+            BackendOp::Read => self.read_page(now, req.lba).done,
+            BackendOp::Write => self.write_page(now, req.lba).done,
+            // PCM overwrites in place: nothing to unmap.
+            BackendOp::Trim => now,
+        };
+        opaque_completion(req, now, done)
+    }
+
+    fn capacity_pages(&self) -> u64 {
+        self.total_pages()
+    }
+
+    fn label(&self) -> &'static str {
+        "pcm-array"
+    }
+}
+
 /// An idealized device: fixed latency, unlimited internal parallelism.
 /// Useful for isolating *software* bottlenecks (E9's queue-contention
 /// measurements) from device behaviour.
@@ -100,9 +150,9 @@ pub struct NullDevice {
 }
 
 impl StorageBackend for NullDevice {
-    fn submit(&mut self, now: SimTime, _op: BackendOp, lba: u64) -> SimTime {
-        assert!(lba < self.pages, "lba out of range");
-        now + self.latency
+    fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
+        assert!(req.lba < self.pages, "lba out of range");
+        opaque_completion(req, now, now + self.latency)
     }
 
     fn capacity_pages(&self) -> u64 {
@@ -118,13 +168,17 @@ impl StorageBackend for NullDevice {
 mod tests {
     use super::*;
     use crate::disk::DiskConfig;
+    use requiem_pcm::ssd::PcmSsdConfig;
     use requiem_ssd::SsdConfig;
 
     #[test]
     fn disk_backend_serves() {
         let mut d = Disk::new(DiskConfig::hdd_7200());
-        let done = d.submit(SimTime::ZERO, BackendOp::Read, 10);
-        assert!(done > SimTime::ZERO);
+        let c = d.submit(SimTime::ZERO, IoRequest::read(10));
+        assert!(c.done > SimTime::ZERO);
+        assert_eq!(c.op, BackendOp::Read);
+        assert_eq!(c.lba, 10);
+        assert_eq!(c.spans, 0);
         assert_eq!(d.capacity_pages(), 1 << 20);
         assert_eq!(d.label(), "hdd-7200");
     }
@@ -132,10 +186,35 @@ mod tests {
     #[test]
     fn ssd_backend_serves() {
         let mut s = Ssd::new(SsdConfig::modern());
-        let w = s.submit(SimTime::ZERO, BackendOp::Write, 3);
-        let r = s.submit(w, BackendOp::Read, 3);
-        assert!(r > w);
+        let w = s.submit(SimTime::ZERO, IoRequest::write(3));
+        let r = s.submit(w.done, IoRequest::read(3));
+        assert!(r.done > w.done);
         assert_eq!(s.label(), "flash-ssd");
+    }
+
+    #[test]
+    fn pcm_backend_serves() {
+        let mut p = PcmSsd::new(PcmSsdConfig::small());
+        let w = p.submit(SimTime::ZERO, IoRequest::write(1));
+        let r = p.submit(w.done, IoRequest::read(1));
+        assert!(r.done > w.done);
+        // trim is a metadata no-op on PCM
+        let t = p.submit(r.done, IoRequest::trim(1));
+        assert_eq!(t.done, r.done);
+        assert_eq!(p.label(), "pcm-array");
+        assert!(p.capacity_pages() > 0);
+    }
+
+    #[test]
+    fn completions_echo_request_tags() {
+        let mut n = NullDevice {
+            latency: requiem_sim::time::SimDuration::from_micros(5),
+            pages: 64,
+        };
+        let c = n.submit(SimTime::ZERO, IoRequest::write(7).tag(CommandId(42)));
+        assert_eq!(c.tag, CommandId(42));
+        assert_eq!(c.submitted, SimTime::ZERO);
+        assert_eq!(c.latency(), requiem_sim::time::SimDuration::from_micros(5));
     }
 
     #[test]
@@ -145,14 +224,14 @@ mod tests {
         let mut s = Ssd::new(SsdConfig::modern());
         // random-ish single reads on each
         let t_disk = {
-            d.submit(SimTime::ZERO, BackendOp::Read, 500_000);
-            let a = d.submit(d.drain_time(), BackendOp::Read, 12_345);
-            let b = d.submit(a, BackendOp::Read, 900_000);
+            d.submit(SimTime::ZERO, IoRequest::read(500_000));
+            let a = d.submit(d.drain_time(), IoRequest::read(12_345)).done;
+            let b = d.submit(a, IoRequest::read(900_000)).done;
             b.since(a)
         };
         let t_ssd = {
-            let w = s.submit(SimTime::ZERO, BackendOp::Write, 0);
-            let a = s.submit(w, BackendOp::Read, 0);
+            let w = s.submit(SimTime::ZERO, IoRequest::write(0)).done;
+            let a = s.submit(w, IoRequest::read(0)).done;
             a.since(w)
         };
         assert!(t_disk.as_nanos() > 20 * t_ssd.as_nanos());

@@ -33,7 +33,12 @@ pub mod cpu;
 pub mod disk;
 pub mod stack;
 
-pub use backend::{BackendOp, NullDevice, StorageBackend};
+pub use backend::{
+    BackendOp, CommandId, IoClass, IoCompletion, IoRequest, NullDevice, StorageBackend,
+};
 pub use cpu::CpuCosts;
 pub use disk::{Disk, DiskConfig, ServeOrder};
-pub use stack::{CompletionMode, IoStack, QueueMode, StackConfig, StackReport};
+pub use stack::{
+    CompletionMode, IoStack, QueueMode, StackCompletion, StackConfig, StackReport,
+    DEFAULT_INFLIGHT_WINDOW,
+};

@@ -8,15 +8,28 @@
 //!   IRQ + context switch) vs polling (core spins, no IRQ cost — the
 //!   low-latency-networking technique P3 imports);
 //! * **path cost** — disk-era vs streamlined CPU costs.
+//!
+//! Two host interfaces sit on top:
+//!
+//! * [`IoStack::submit`] — the serialized path: one command through the
+//!   whole stack, completion observed before the next submit. This is
+//!   the pre-queue-pair behaviour, preserved bit-for-bit.
+//! * [`IoStack::submit_batch`] / [`IoStack::poll_completions`] — the
+//!   queue-pair path: a batch of typed [`IoRequest`]s rings the doorbell
+//!   once, up to the configured in-flight window of commands run on the
+//!   device concurrently, and completions are reaped out of submission
+//!   order from a per-core completion queue (interrupt coalescing: one
+//!   IRQ + context switch per reap, not per command).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use requiem_sim::completion::{CompletionHeap, InflightWindow};
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Cause, Histogram, Layer, Probe, Resource, ResourceBank};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{BackendOp, StorageBackend};
+use crate::backend::{BackendOp, CommandId, IoRequest, StorageBackend};
 use crate::cpu::CpuCosts;
 
 /// Request-queue structure.
@@ -36,6 +49,10 @@ pub enum CompletionMode {
     /// The core polls: busy from doorbell to completion, no IRQ.
     Polling,
 }
+
+/// Default device-side in-flight window (queue depth) for the batch
+/// path — NVMe-ish, deep enough to saturate a single channel.
+pub const DEFAULT_INFLIGHT_WINDOW: usize = 16;
 
 /// Stack configuration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +100,8 @@ impl StackConfig {
 /// Completion of one I/O through the stack.
 #[derive(Debug, Clone, Copy)]
 pub struct StackCompletion {
+    /// Host tag of the completed command.
+    pub tag: CommandId,
     /// Instant the issuer observed completion.
     pub done: SimTime,
     /// End-to-end latency.
@@ -91,6 +110,18 @@ pub struct StackCompletion {
     pub device_time: SimDuration,
     /// CPU time charged to the issuing core.
     pub cpu_time: SimDuration,
+}
+
+/// One command in flight between `submit_batch` and `poll_completions`:
+/// the device has finished (or will finish) at `dev_done`, but the host
+/// has not reaped it yet.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    tag: CommandId,
+    probe_id: u64,
+    submitted: SimTime,
+    dev_done: SimTime,
+    device_time: SimDuration,
 }
 
 /// Aggregated result of a stack run.
@@ -119,6 +150,12 @@ pub struct IoStack<B: StorageBackend> {
     device_ns: u128,
     total_ns: u128,
     ios: u64,
+    /// Device-side in-flight window for the queue-pair path.
+    window: InflightWindow,
+    /// Per-core completion queues (queue-pair path).
+    cqs: Vec<CompletionHeap<Pending>>,
+    /// Auto-assigned host tags.
+    next_tag: u64,
 }
 
 impl<B: StorageBackend> std::fmt::Debug for IoStack<B> {
@@ -138,6 +175,9 @@ impl<B: StorageBackend> IoStack<B> {
             QueueMode::Single => 1,
             QueueMode::PerCore => cfg.cores as usize,
         };
+        let cqs = (0..cfg.cores as usize)
+            .map(|_| CompletionHeap::new())
+            .collect();
         IoStack {
             cores: ResourceBank::new("core", cfg.cores as usize),
             queues: (0..nq).map(|i| Resource::new(format!("q{i}"))).collect(),
@@ -148,7 +188,18 @@ impl<B: StorageBackend> IoStack<B> {
             device_ns: 0,
             total_ns: 0,
             ios: 0,
+            window: InflightWindow::new(DEFAULT_INFLIGHT_WINDOW),
+            cqs,
+            next_tag: 0,
         }
+    }
+
+    /// Set the device-side in-flight window (NVMe queue depth) used by
+    /// the batch path. Call before submitting; defaults to
+    /// [`DEFAULT_INFLIGHT_WINDOW`]. A window of 1 serializes the device
+    /// exactly like [`IoStack::submit`].
+    pub fn set_inflight_window(&mut self, depth: usize) {
+        self.window = InflightWindow::new(depth);
     }
 
     /// The configuration.
@@ -194,34 +245,40 @@ impl<B: StorageBackend> IoStack<B> {
         }
     }
 
-    /// Submit one I/O from `core` at `now`.
+    /// Assign the next host tag when the request carries none.
+    fn assign_tag(&mut self, req: &IoRequest) -> CommandId {
+        if req.tag.is_unassigned() {
+            self.next_tag += 1;
+            CommandId(self.next_tag)
+        } else {
+            req.tag
+        }
+    }
+
+    /// Index of the request queue `core` uses.
+    fn queue_of(&self, core: usize) -> usize {
+        match self.cfg.queue_mode {
+            QueueMode::Single => 0,
+            QueueMode::PerCore => core,
+        }
+    }
+
+    /// Submit one typed I/O from `core` at `now`, serialized: the caller
+    /// observes the completion before it can submit again. This is the
+    /// pre-queue-pair path, preserved bit-for-bit.
     ///
     /// # Panics
     /// Panics if `core` is out of range.
-    pub fn submit(
-        &mut self,
-        now: SimTime,
-        core: usize,
-        op: BackendOp,
-        lba: u64,
-    ) -> StackCompletion {
+    pub fn submit(&mut self, now: SimTime, core: usize, req: IoRequest) -> StackCompletion {
         assert!(core < self.cfg.cores as usize, "core out of range");
+        let tag = self.assign_tag(&req);
         let cpu = self.cfg.cpu.clone();
         let probing = self.probe.is_enabled();
-        let scope = self.probe.open_command(
-            match op {
-                BackendOp::Read => "read",
-                BackendOp::Write => "write",
-            },
-            now,
-        );
+        let scope = self.probe.open_command(req.op.as_str(), now);
         // 1. submission path on the core
         let g_submit = self.cores.get_mut(core).reserve(now, cpu.submit);
         // 2. request-queue lock (the contention point in single-queue mode)
-        let q = match self.cfg.queue_mode {
-            QueueMode::Single => 0,
-            QueueMode::PerCore => core,
-        };
+        let q = self.queue_of(core);
         let g_lock = self.queues[q].reserve(g_submit.end, cpu.queue_lock);
         // 3. doorbell
         let g_bell = self.cores.get_mut(core).reserve(g_lock.end, cpu.doorbell);
@@ -235,7 +292,7 @@ impl<B: StorageBackend> IoStack<B> {
         // 4. device — a self-reporting backend decomposes this interval
         // itself (the probe joined the open command); an opaque one gets
         // the single block-interface span the paper complains about
-        let dev_done = self.backend.submit(g_bell.end, op, lba);
+        let dev_done = self.backend.submit(g_bell.end, req).done;
         let device_time = dev_done.since(g_bell.end);
         if probing && !self.backend.self_reporting() && dev_done > g_bell.end {
             self.probe.span(
@@ -275,11 +332,186 @@ impl<B: StorageBackend> IoStack<B> {
         self.total_ns += latency.as_nanos() as u128;
         self.ios += 1;
         StackCompletion {
+            tag,
             done,
             latency,
             device_time,
             cpu_time,
         }
+    }
+
+    /// Submit a batch of typed I/Os from `core` at `now` without waiting
+    /// for any of them: the queue-pair path.
+    ///
+    /// The batch pays the submission-path CPU once **per command** but
+    /// takes the request-queue lock and rings the doorbell once **per
+    /// batch** — the blk-mq plugging optimisation. After the doorbell,
+    /// each command waits in the submission queue until the device-side
+    /// in-flight window admits it (at most `window` commands run on the
+    /// device at once; see [`IoStack::set_inflight_window`]), then runs
+    /// the device path. Completions accumulate in `core`'s completion
+    /// queue; reap them with [`IoStack::poll_completions`].
+    ///
+    /// Returns the host tag of each submitted command, in order. Probe
+    /// note: shared batch costs (lock, doorbell, IRQ) are attributed to
+    /// *each* command they cover, so per-command span tiling holds;
+    /// aggregate block-layer totals therefore count a shared interval
+    /// once per covered command.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn submit_batch(
+        &mut self,
+        now: SimTime,
+        core: usize,
+        reqs: &[IoRequest],
+    ) -> Vec<CommandId> {
+        assert!(core < self.cfg.cores as usize, "core out of range");
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let cpu = self.cfg.cpu.clone();
+        let probing = self.probe.is_enabled();
+        // 1. per-command submission path on the core (serial on the core)
+        let g_submits: Vec<_> = reqs
+            .iter()
+            .map(|_| self.cores.get_mut(core).reserve(now, cpu.submit))
+            .collect();
+        let batch_ready = g_submits.last().expect("non-empty batch").end;
+        // 2. one queue-lock acquisition for the whole batch
+        let q = self.queue_of(core);
+        let g_lock = self.queues[q].reserve(batch_ready, cpu.queue_lock);
+        // 3. one doorbell for the whole batch
+        let g_bell = self.cores.get_mut(core).reserve(g_lock.end, cpu.doorbell);
+        let core_res = format!("core{core}");
+        let q_res = format!("q{q}");
+        let mut tags = Vec::with_capacity(reqs.len());
+        for (req, g_submit) in reqs.iter().zip(&g_submits) {
+            let tag = self.assign_tag(req);
+            tags.push(tag);
+            // Open this command's probe record for the submit path …
+            let scope = self.probe.open_command(req.op.as_str(), now);
+            let probe_id = scope.id();
+            if probing {
+                // … and tile [now, bell) with its share of the batch:
+                // its own core slice, then the shared lock + doorbell.
+                self.span_stage(&core_res, now, g_submit.start, g_submit.end);
+                self.span_stage(&q_res, g_submit.end, g_lock.start, g_lock.end);
+                self.span_stage(&core_res, g_lock.end, g_bell.start, g_bell.end);
+            }
+            // 4. device-side in-flight window: SQ residency until a slot
+            // (and any same-LBA predecessor) frees up.
+            let admit = self.window.admit(g_bell.end, req.lba);
+            if probing && admit > g_bell.end {
+                self.probe
+                    .span(Layer::Block, Cause::Queue, "sq", g_bell.end, admit);
+            }
+            // 5. device path at the admit instant
+            let dev_done = self.backend.submit(admit, *req).done;
+            self.window.commit(admit, req.lba, dev_done);
+            let device_time = dev_done.since(admit);
+            if probing && !self.backend.self_reporting() && dev_done > admit {
+                self.probe.span(
+                    Layer::Block,
+                    Cause::Transfer,
+                    self.backend.label(),
+                    admit,
+                    dev_done,
+                );
+            }
+            // Leave the command open until the completion is reaped.
+            debug_assert_eq!(scope.id(), probe_id);
+            let probe_id = scope.detach();
+            self.cqs[core].push(
+                dev_done,
+                Pending {
+                    tag,
+                    probe_id,
+                    submitted: now,
+                    dev_done,
+                    device_time,
+                },
+            );
+        }
+        tags
+    }
+
+    /// Reap every completion ready on `core`'s completion queue at
+    /// `now`, earliest device-finish first (generally **not** submission
+    /// order). Interrupt mode pays one IRQ + context switch for the
+    /// whole reap (interrupt coalescing) plus the per-command completion
+    /// path; polling mode pays only the per-command completion path.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn poll_completions(&mut self, now: SimTime, core: usize) -> Vec<StackCompletion> {
+        assert!(core < self.cfg.cores as usize, "core out of range");
+        let cpu = self.cfg.cpu.clone();
+        let probing = self.probe.is_enabled();
+        let ready = self.cqs[core].drain_ready(now);
+        if ready.is_empty() {
+            return Vec::new();
+        }
+        // Interrupt coalescing: one IRQ + context switch per reap.
+        let mut cursor = match self.cfg.completion {
+            CompletionMode::Interrupt => {
+                self.cores
+                    .get_mut(core)
+                    .reserve(now, cpu.interrupt + cpu.context_switch)
+                    .end
+            }
+            CompletionMode::Polling => now,
+        };
+        let mut out = Vec::with_capacity(ready.len());
+        for (_, p) in ready {
+            let g = self.cores.get_mut(core).reserve(cursor, cpu.complete);
+            cursor = g.end;
+            let done = g.end;
+            if probing && p.probe_id != 0 {
+                let scope = self.probe.resume(p.probe_id);
+                // CQ residency (includes the shared IRQ interval — it is
+                // wait time from this command's point of view) …
+                if g.start > p.dev_done {
+                    self.probe
+                        .span(Layer::Block, Cause::Queue, "cq", p.dev_done, g.start);
+                }
+                // … then this command's completion slice.
+                if done > g.start {
+                    self.probe
+                        .span(Layer::Block, Cause::Overhead, "irq", g.start, done);
+                }
+                scope.close(done);
+            }
+            let latency = done.since(p.submitted);
+            let cpu_time = match self.cfg.completion {
+                CompletionMode::Interrupt => cpu.per_io_interrupt(),
+                CompletionMode::Polling => cpu.per_io_polling(),
+            };
+            self.latency.record_duration(latency);
+            self.device_ns += p.device_time.as_nanos() as u128;
+            self.total_ns += latency.as_nanos() as u128;
+            self.ios += 1;
+            out.push(StackCompletion {
+                tag: p.tag,
+                done,
+                latency,
+                device_time: p.device_time,
+                cpu_time,
+            });
+        }
+        out
+    }
+
+    /// Instant the earliest pending completion on `core`'s completion
+    /// queue becomes reapable (`None` when nothing is in flight).
+    pub fn next_completion_time(&self, core: usize) -> Option<SimTime> {
+        self.cqs[core].peek_done()
+    }
+
+    /// Commands submitted on `core` whose completions have not been
+    /// reaped yet.
+    pub fn in_flight(&self, core: usize) -> usize {
+        self.cqs[core].len()
     }
 
     /// Run a closed loop with one outstanding I/O **per core**, all cores
@@ -307,7 +539,7 @@ impl<B: StorageBackend> IoStack<B> {
                 continue;
             }
             let lba = next_lba(core, i);
-            let c = self.submit(t, core, op, lba);
+            let c = self.submit(t, core, IoRequest::new(op, lba));
             lat.record_duration(c.latency);
             last_done = last_done.max(c.done);
             heap.push(Reverse((c.done, core, i + 1)));
@@ -362,14 +594,14 @@ mod tests {
         let mut s = 99u64;
         for _ in 0..32 {
             s = (s.wrapping_mul(999983)) % (1 << 20);
-            t = disk_stack.submit(t, 0, BackendOp::Read, s).done;
+            t = disk_stack.submit(t, 0, IoRequest::read(s)).done;
         }
         let disk_share = disk_stack.software_share();
 
         let mut ssd_stack = ssd_stack(StackConfig::legacy(1));
         let mut t = SimTime::ZERO;
         for lba in 0..32u64 {
-            t = ssd_stack.submit(t, 0, BackendOp::Write, lba).done;
+            t = ssd_stack.submit(t, 0, IoRequest::write(lba)).done;
         }
         let ssd_share = ssd_stack.software_share();
         assert!(disk_share < 0.01, "disk software share {disk_share}");
@@ -380,8 +612,8 @@ mod tests {
     fn polling_cuts_latency_for_buffered_writes() {
         let mut irq = ssd_stack(StackConfig::blk_mq(1));
         let mut poll = ssd_stack(StackConfig::polling(1));
-        let a = irq.submit(SimTime::ZERO, 0, BackendOp::Write, 0);
-        let b = poll.submit(SimTime::ZERO, 0, BackendOp::Write, 0);
+        let a = irq.submit(SimTime::ZERO, 0, IoRequest::write(0));
+        let b = poll.submit(SimTime::ZERO, 0, IoRequest::write(0));
         assert!(
             b.latency < a.latency,
             "polling {} should beat interrupt {}",
@@ -449,6 +681,76 @@ mod tests {
     #[should_panic(expected = "core out of range")]
     fn bad_core_panics() {
         let mut st = ssd_stack(StackConfig::blk_mq(2));
-        st.submit(SimTime::ZERO, 5, BackendOp::Read, 0);
+        st.submit(SimTime::ZERO, 5, IoRequest::read(0));
+    }
+
+    #[test]
+    fn batch_path_completes_all_and_echoes_tags() {
+        let mut st = ssd_stack(StackConfig::blk_mq(1));
+        st.set_inflight_window(4);
+        let reqs: Vec<IoRequest> = (0..8u64).map(IoRequest::write).collect();
+        let tags = st.submit_batch(SimTime::ZERO, 0, &reqs);
+        assert_eq!(tags.len(), 8);
+        assert_eq!(st.in_flight(0), 8);
+        // Nothing is reapable before the first device finish.
+        assert!(st.poll_completions(SimTime::ZERO, 0).is_empty());
+        let mut got = Vec::new();
+        while st.in_flight(0) > 0 {
+            let t = st.next_completion_time(0).unwrap();
+            got.extend(st.poll_completions(t, 0));
+        }
+        assert_eq!(got.len(), 8);
+        // Completions surface in device order (non-decreasing done) and
+        // cover exactly the submitted tags.
+        for w in got.windows(2) {
+            assert!(w[0].done <= w[1].done);
+        }
+        let mut seen: Vec<CommandId> = got.iter().map(|c| c.tag).collect();
+        seen.sort();
+        let mut want = tags.clone();
+        want.sort();
+        assert_eq!(seen, want);
+        assert_eq!(st.ios(), 8);
+    }
+
+    #[test]
+    fn batch_beats_serialized_at_depth() {
+        // Same 16 reads on the same device: the queue-pair path must
+        // finish sooner than chaining on each completion.
+        let precondition = |st: &mut IoStack<Ssd>| {
+            let mut t = SimTime::ZERO;
+            for lba in 0..16u64 {
+                t = st
+                    .backend_mut()
+                    .write(t, requiem_ssd::Lpn(lba))
+                    .unwrap()
+                    .done;
+            }
+            t.max(st.backend().drain_time())
+        };
+        let mut serial = ssd_stack(StackConfig::blk_mq(1));
+        let t0 = precondition(&mut serial);
+        let mut t = t0;
+        for lba in 0..16u64 {
+            t = serial.submit(t, 0, IoRequest::read(lba)).done;
+        }
+        let serial_done = t;
+
+        let mut batched = ssd_stack(StackConfig::blk_mq(1));
+        let t0 = precondition(&mut batched);
+        batched.set_inflight_window(16);
+        let reqs: Vec<IoRequest> = (0..16u64).map(IoRequest::read).collect();
+        batched.submit_batch(t0, 0, &reqs);
+        let mut last = SimTime::ZERO;
+        while batched.in_flight(0) > 0 {
+            let t = batched.next_completion_time(0).unwrap();
+            for c in batched.poll_completions(t, 0) {
+                last = last.max(c.done);
+            }
+        }
+        assert!(
+            last < serial_done,
+            "batched ({last}) should beat serialized ({serial_done})"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! spans with the SSD controller's internal spans under a single command
 //! id — the decomposition the block device interface denies.
 
-use requiem_block::{BackendOp, IoStack, NullDevice, StackConfig};
+use requiem_block::{IoRequest, IoStack, NullDevice, StackConfig};
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Cause, Layer, Probe, SpanEvent};
 use requiem_ssd::{Ssd, SsdConfig};
@@ -35,8 +35,8 @@ fn stack_and_ssd_spans_join_into_one_command() {
     let probe = Probe::recording();
     stack.attach_probe(probe.clone());
 
-    let w = stack.submit(SimTime::ZERO, 0, BackendOp::Write, 42);
-    let r = stack.submit(w.done, 0, BackendOp::Read, 42);
+    let w = stack.submit(SimTime::ZERO, 0, IoRequest::write(42));
+    let r = stack.submit(w.done, 0, IoRequest::read(42));
 
     let cmds = probe.commands();
     assert_eq!(cmds.len(), 2, "one command per submit, joined not nested");
@@ -69,7 +69,7 @@ fn opaque_backend_collapses_device_time_into_one_span() {
     let mut stack = IoStack::new(StackConfig::blk_mq(1), dev);
     let probe = Probe::recording();
     stack.attach_probe(probe.clone());
-    let c = stack.submit(SimTime::ZERO, 0, BackendOp::Read, 5);
+    let c = stack.submit(SimTime::ZERO, 0, IoRequest::read(5));
     let cmds = probe.commands();
     assert_eq!(cmds.len(), 1);
     let spans = assert_tiles(&probe, cmds[0].id);
@@ -93,7 +93,7 @@ fn polling_and_interrupt_spans_both_tile() {
         let mut stack = IoStack::new(cfg, Ssd::new(SsdConfig::modern()));
         let probe = Probe::recording();
         stack.attach_probe(probe.clone());
-        let w = stack.submit(SimTime::ZERO, 0, BackendOp::Write, 1);
+        let w = stack.submit(SimTime::ZERO, 0, IoRequest::write(1));
         let cmds = probe.commands();
         let spans = assert_tiles(&probe, cmds[0].id);
         let total: SimDuration = spans
@@ -101,5 +101,49 @@ fn polling_and_interrupt_spans_both_tile() {
             .map(SpanEvent::duration)
             .fold(SimDuration::ZERO, |a, b| a + b);
         assert_eq!(total, w.latency);
+    }
+}
+
+#[test]
+fn batch_path_spans_tile_per_command_out_of_order() {
+    // The queue-pair path: 8 writes batched at once, completions reaped
+    // out of submission order — every command's spans must still tile
+    // its [submit, done) exactly, covering SQ wait, device interval, CQ
+    // wait, and the completion slice.
+    for cfg in [StackConfig::blk_mq(1), StackConfig::polling(1)] {
+        let mut stack = IoStack::new(cfg, Ssd::new(SsdConfig::modern()));
+        let probe = Probe::recording();
+        stack.attach_probe(probe.clone());
+        stack.set_inflight_window(4);
+        let reqs: Vec<IoRequest> = (0..8u64).map(IoRequest::write).collect();
+        let tags = stack.submit_batch(SimTime::ZERO, 0, &reqs);
+        let mut comps = Vec::new();
+        while stack.in_flight(0) > 0 {
+            let t = stack.next_completion_time(0).unwrap();
+            comps.extend(stack.poll_completions(t, 0));
+        }
+        assert_eq!(comps.len(), tags.len());
+        let cmds = probe.commands();
+        assert_eq!(cmds.len(), tags.len(), "one probe command per request");
+        for c in &cmds {
+            let spans = assert_tiles(&probe, c.id);
+            let done = c.done.expect("closed");
+            let total: SimDuration = spans
+                .iter()
+                .map(SpanEvent::duration)
+                .fold(SimDuration::ZERO, |a, b| a + b);
+            assert_eq!(total, done.since(c.submit), "span sum != latency");
+            // the device layers joined the same command id
+            assert!(spans.iter().any(|s| s.layer == Layer::Block));
+            assert!(spans.iter().any(|s| s.layer == Layer::Controller));
+        }
+        // the stack's reported latencies agree with the probe records
+        for comp in &comps {
+            let rec = cmds
+                .iter()
+                .find(|c| c.done == Some(comp.done))
+                .expect("matching record");
+            assert_eq!(comp.latency, comp.done.since(rec.submit));
+        }
     }
 }

@@ -14,7 +14,7 @@
 use requiem_iface::atomic::{double_write_journal, ExtendedSsd};
 use requiem_pcm::{PcmDimm, PcmTiming};
 use requiem_sim::time::SimTime;
-use requiem_ssd::{Lpn, Ssd, SsdConfig};
+use requiem_ssd::{IoClass, IoRequest, Lpn, Ssd, SsdConfig};
 
 use crate::page::{PageId, PAGE_SIZE};
 
@@ -154,7 +154,7 @@ impl PersistenceBackend for LegacyBackend {
             let taken = remaining.min(room);
             let c = self
                 .ssd
-                .write(t, Lpn(page_in_log))
+                .io(t, IoRequest::write(page_in_log))
                 .expect("log write failed");
             t = c.done;
             self.log_tail += taken;
@@ -169,19 +169,29 @@ impl PersistenceBackend for LegacyBackend {
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.page_writes += 1;
         let lpn = self.data_lpn(page);
-        self.ssd.write(now, lpn).expect("data write failed").done
+        // write-back: nobody waits on this completion
+        self.ssd
+            .io(now, IoRequest::write(lpn.0).class(IoClass::Background))
+            .expect("data write failed")
+            .done
     }
 
     fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.steal_writes += 1;
         let lpn = self.data_lpn(page);
-        self.ssd.write(now, lpn).expect("steal write failed").done
+        self.ssd
+            .io(now, IoRequest::write(lpn.0))
+            .expect("steal write failed")
+            .done
     }
 
     fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.page_reads += 1;
         let lpn = self.data_lpn(page);
-        self.ssd.read(now, lpn).expect("data read failed").done
+        self.ssd
+            .io(now, IoRequest::read(lpn.0))
+            .expect("data read failed")
+            .done
     }
 
     fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
@@ -202,7 +212,9 @@ impl PersistenceBackend for LegacyBackend {
         self.stats.frees += 1;
         if self.use_trim {
             let lpn = self.data_lpn(page);
-            self.ssd.trim(now, lpn).expect("trim failed");
+            self.ssd
+                .io(now, IoRequest::trim(lpn.0).class(IoClass::Background))
+                .expect("trim failed");
         }
     }
 

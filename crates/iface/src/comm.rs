@@ -71,6 +71,11 @@ impl UpcallQueue {
         self.q.drain(..).collect()
     }
 
+    /// Peek at pending messages without delivering them.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &Upcall> {
+        self.q.iter()
+    }
+
     /// Messages waiting.
     pub fn len(&self) -> usize {
         self.q.len()

@@ -19,6 +19,12 @@
 //!   *upcall* — the peer-to-peer message flow of the communication
 //!   abstraction. The FTL's RAM-hungry mapping table disappears.
 //! * [`comm::Upcall`] — the device→host message vocabulary.
+//! * [`device::DeviceInterface`] — one trait over all three interfaces
+//!   (block, extended block, nameless), in host vocabulary (tags and
+//!   handles), so experiments E5/E6/E8 can drive the *identical*
+//!   workload through each and vary nothing but the interface. Upcall
+//!   delivery is a trait method — empty for block devices, which is the
+//!   paper's complaint rendered as a type signature.
 //!
 //! Experiments E5, E6 and E8 quantify what each mechanism buys.
 
@@ -27,8 +33,10 @@
 
 pub mod atomic;
 pub mod comm;
+pub mod device;
 pub mod nameless;
 
 pub use atomic::ExtendedSsd;
 pub use comm::{Upcall, UpcallQueue};
+pub use device::{tag_churn, ChurnReport, DeviceInterface, DeviceMetrics, Relocation};
 pub use nameless::{NamelessCompletion, NamelessConfig, NamelessSsd, PhysName};

@@ -61,6 +61,12 @@ pub struct NamelessConfig {
     pub copyback: bool,
     /// Wear-aware block allocation.
     pub wear_aware: bool,
+    /// Over-provisioning ratio the host is expected to respect: the
+    /// fraction of raw pages it must leave unnamed so GC has headroom.
+    /// A block-device FTL enforces this by exporting fewer LBAs; a
+    /// nameless device can only *tell* the host (another message the
+    /// communication abstraction carries that the block interface hides).
+    pub op_ratio: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -76,6 +82,7 @@ impl From<&SsdConfig> for NamelessConfig {
             gc_threshold: c.gc.free_block_threshold,
             copyback: c.gc.copyback,
             wear_aware: c.wl.dynamic,
+            op_ratio: c.op_ratio,
             seed: c.seed,
         }
     }
@@ -180,6 +187,18 @@ impl NamelessSsd {
     /// The device→host message queue.
     pub fn upcalls(&mut self) -> &mut UpcallQueue {
         &mut self.upcalls
+    }
+
+    /// Immutable view of the device→host message queue (for metrics).
+    pub fn upcalls_pending(&self) -> &UpcallQueue {
+        &self.upcalls
+    }
+
+    /// Distinct host tags the device can keep live while honouring its
+    /// over-provisioning ratio (the analog of an FTL's exported LBA count).
+    pub fn usable_tags(&self) -> u64 {
+        let raw = self.cfg.shape.total_luns() as u64 * self.cfg.flash.geometry.total_pages();
+        (raw as f64 * (1.0 - self.cfg.op_ratio)) as u64
     }
 
     /// Controller RAM spent on logical→physical mapping: **zero** — the

@@ -35,6 +35,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cmd;
+pub mod completion;
 pub mod event;
 pub mod gantt;
 pub mod probe;
@@ -44,6 +46,8 @@ pub mod stats;
 pub mod table;
 pub mod time;
 
+pub use cmd::{CommandId, IoClass, IoCompletion, IoOp, IoRequest};
+pub use completion::{CompletionHeap, InflightWindow};
 pub use event::EventQueue;
 pub use gantt::{Gantt, Span};
 pub use probe::{BackgroundGuard, Cause, CommandScope, Layer, Probe, ProbeSummary, SpanEvent};

@@ -186,6 +186,10 @@ pub struct CommandRecord {
     pub submit: SimTime,
     /// Completion instant (`None` while open).
     pub done: Option<SimTime>,
+    /// Number of spans attributed to this command so far. Maintained
+    /// even when raw events are not retained, so queue-pair engines can
+    /// report span counts per [`crate::cmd::IoCompletion`] cheaply.
+    pub spans: u32,
 }
 
 /// Aggregate statistics for one `(layer, cause)` bucket.
@@ -287,6 +291,24 @@ pub struct CommandScope {
 impl CommandScope {
     /// The command id (0 when the probe is disabled).
     pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Detach the scope from the bus, leaving the command **open** for
+    /// later [`Probe::resume`]. Returns the command id.
+    ///
+    /// This is the out-of-order-completion hook: a queue-pair engine
+    /// opens a command at submission, detaches it so other commands can
+    /// use the bus, and resumes it when the completion is reaped to emit
+    /// the completion-path spans and close. A joined (non-owned) or
+    /// disabled scope detaches as a no-op and returns its id.
+    pub fn detach(mut self) -> u64 {
+        let owned = self.owned;
+        if let (Some(bus), true) = (self.bus.take(), owned) {
+            let mut b = bus.borrow_mut();
+            debug_assert_eq!(b.open, Some(self.id), "detach of a non-open command");
+            b.open = None;
+        }
         self.id
     }
 
@@ -400,12 +422,69 @@ impl Probe {
             kind,
             submit,
             done: None,
+            spans: 0,
         });
         CommandScope {
             bus: Some(bus.clone()),
             id,
             owned: true,
         }
+    }
+
+    /// Reattach a command previously [`CommandScope::detach`]ed. The
+    /// returned scope owns the command again: spans emitted while it is
+    /// open are attributed to it, and it must be closed (or re-detached)
+    /// like any other scope. Resuming id 0 (disabled-probe sentinel)
+    /// yields a no-op scope.
+    ///
+    /// # Panics
+    /// Debug-asserts that no other command is currently open.
+    pub fn resume(&self, id: u64) -> CommandScope {
+        let Some(bus) = &self.bus else {
+            return CommandScope {
+                bus: None,
+                id: 0,
+                owned: false,
+            };
+        };
+        if id == 0 {
+            return CommandScope {
+                bus: None,
+                id: 0,
+                owned: false,
+            };
+        }
+        let mut b = bus.borrow_mut();
+        debug_assert!(b.open.is_none(), "resume while another command is open");
+        debug_assert!(
+            b.commands
+                .iter()
+                .rev()
+                .any(|c| c.id == id && c.done.is_none()),
+            "resume of unknown or already-closed command {id}"
+        );
+        b.open = Some(id);
+        CommandScope {
+            bus: Some(bus.clone()),
+            id,
+            owned: true,
+        }
+    }
+
+    /// Number of spans attributed to command `id` so far (0 for an
+    /// unknown id or a disabled probe). Works without event retention.
+    pub fn command_span_count(&self, id: u64) -> u32 {
+        self.bus
+            .as_ref()
+            .and_then(|b| {
+                b.borrow()
+                    .commands
+                    .iter()
+                    .rev()
+                    .find(|c| c.id == id)
+                    .map(|c| c.spans)
+            })
+            .unwrap_or(0)
     }
 
     /// Emit one span. Attributed to the open command unless the bus is
@@ -421,6 +500,11 @@ impl Probe {
         let stat = b.summary.by_layer_cause.entry((layer, cause)).or_default();
         stat.count += 1;
         stat.total += end.since(start);
+        if let Some(id) = cmd {
+            if let Some(rec) = b.commands.iter_mut().rev().find(|c| c.id == id) {
+                rec.spans += 1;
+            }
+        }
         if b.retain_events {
             let resource = if resource.is_empty() {
                 None
@@ -687,6 +771,73 @@ mod tests {
         scope.close(SimTime::from_micros(2));
         // only the post-guard span is attributed
         assert_eq!(p.command_spans(id).len(), 1);
+    }
+
+    #[test]
+    fn detach_resume_interleaves_commands() {
+        let p = Probe::recording();
+        // Command A: submit-path span, then detach.
+        let a = p.open_command("read", SimTime::ZERO);
+        let a_id = a.id();
+        p.span(
+            Layer::Block,
+            Cause::Overhead,
+            "",
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+        );
+        let a_id2 = a.detach();
+        assert_eq!(a_id, a_id2);
+        // Command B runs while A is in flight.
+        let b = p.open_command("write", SimTime::ZERO);
+        let b_id = b.id();
+        assert_ne!(a_id, b_id);
+        p.span(
+            Layer::Flash,
+            Cause::CellProgram,
+            "chip0",
+            SimTime::from_micros(1),
+            SimTime::from_micros(3),
+        );
+        let b_id2 = b.detach();
+        assert_eq!(b_id, b_id2);
+        // B completes first (out of submission order).
+        let b = p.resume(b_id);
+        p.span(
+            Layer::Block,
+            Cause::Overhead,
+            "irq",
+            SimTime::from_micros(3),
+            SimTime::from_micros(4),
+        );
+        b.close(SimTime::from_micros(4));
+        // Then A.
+        let a = p.resume(a_id);
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip1",
+            SimTime::from_micros(1),
+            SimTime::from_micros(6),
+        );
+        a.close(SimTime::from_micros(6));
+        assert_eq!(p.command_span_count(a_id), 2);
+        assert_eq!(p.command_span_count(b_id), 2);
+        assert_eq!(p.command_spans(a_id).len(), 2);
+        assert_eq!(p.command_spans(b_id).len(), 2);
+        assert_eq!(p.summary().commands.get("read"), Some(&1));
+        assert_eq!(p.summary().commands.get("write"), Some(&1));
+    }
+
+    #[test]
+    fn detach_resume_noop_when_disabled() {
+        let p = Probe::disabled();
+        let s = p.open_command("read", SimTime::ZERO);
+        let id = s.detach();
+        assert_eq!(id, 0);
+        let s = p.resume(id);
+        s.close(SimTime::from_micros(1));
+        assert_eq!(p.command_span_count(0), 0);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod controller;
 pub mod device;
 pub mod mapping;
 pub mod metrics;
+pub mod qpair;
 
 pub use addr::{ArrayShape, Capacity, Lpn, LunId, PhysPage};
 pub use channel::ChannelTiming;
@@ -53,3 +54,5 @@ pub use controller::{
 };
 pub use device::{Completion, RebuildReport, Served, Ssd, SsdError};
 pub use metrics::{OpCause, SsdMetrics};
+pub use qpair::QueuePair;
+pub use requiem_sim::cmd::{CommandId, IoClass, IoCompletion, IoOp, IoRequest};

@@ -2,17 +2,22 @@
 //!
 //! The closed-loop driver maintains a fixed number of outstanding requests
 //! (queue depth) — the way uFLIP and real storage benchmarks (fio) exercise
-//! devices. Completions free a slot; the next request is submitted at the
-//! completion instant. Queue depth is how hosts *expose* device
-//! parallelism; §2.1's point that *"SSDs require a high level of
-//! parallelism"* shows up as IOPS scaling with queue depth.
+//! devices. It runs on the SSD's [`QueuePair`]: requests are submitted
+//! tagged, admitted by the device-side in-flight window, and reaped from
+//! the completion queue out of submission order; each reaped completion
+//! frees a slot and the next request is submitted at the reap instant.
+//! Queue depth is how hosts *expose* device parallelism; §2.1's point
+//! that *"SSDs require a high level of parallelism"* shows up as IOPS
+//! scaling with queue depth. At queue depth 1 the loop is bit-identical
+//! to the serialized driver ([`run_closed_loop_serialized`]), which is
+//! kept as the pre-queue-pair reference.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Histogram, SimRng};
-use requiem_ssd::{Lpn, Ssd};
+use requiem_ssd::{IoRequest, Lpn, QueuePair, Ssd};
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::AddressPattern;
@@ -77,8 +82,16 @@ impl DriverReport {
     }
 }
 
-/// Run `ops` operations against `ssd` with `queue_depth` outstanding,
-/// drawing addresses from `pattern` and read/write decisions from `mix`.
+/// Run `ops` operations against `ssd` with `queue_depth` outstanding on
+/// a [`QueuePair`], drawing addresses from `pattern` and read/write
+/// decisions from `mix`.
+///
+/// The loop keeps exactly `queue_depth` commands in flight: while below
+/// depth it submits immediately (all ramp-up commands fire at
+/// `start_at`); at full depth it reaps the earliest completion from the
+/// CQ — which is generally **not** the oldest submission — and submits
+/// the next command at the reap instant. Same-LBA hazards and the
+/// device-side window are enforced by the queue pair.
 ///
 /// Returns throughput/latency measured over the run (from `start_at` to the
 /// last completion).
@@ -87,6 +100,71 @@ impl DriverReport {
 /// Panics if `queue_depth == 0` or an I/O fails (the drivers address only
 /// exported pages, so failures indicate device exhaustion).
 pub fn run_closed_loop(
+    ssd: &mut Ssd,
+    pattern: &mut AddressPattern,
+    mix: IoMix,
+    queue_depth: usize,
+    ops: u64,
+    seed: u64,
+    start_at: SimTime,
+) -> DriverReport {
+    assert!(queue_depth > 0, "queue depth must be at least 1");
+    let mut rng = SimRng::from_seed(seed).derive("driver-mix");
+    let mut latency = Histogram::new();
+    let mut qp = QueuePair::new(queue_depth);
+    let mut in_flight = 0usize;
+    let mut issued = 0u64;
+    let mut reads = 0u64;
+    let mut last_done = start_at;
+
+    while issued < ops {
+        // when at full depth, reap the earliest completion
+        let now = if in_flight >= queue_depth {
+            let c = qp.pop().expect("completions outstanding");
+            latency.record_duration(c.latency());
+            last_done = last_done.max(c.done);
+            in_flight -= 1;
+            c.done
+        } else {
+            // ramp-up: the first `queue_depth` requests all fire at start
+            start_at
+        };
+        let lba = pattern.next_addr();
+        let is_read = rng.chance(mix.read_fraction);
+        let req = if is_read {
+            reads += 1;
+            IoRequest::read(lba)
+        } else {
+            IoRequest::write(lba)
+        };
+        qp.submit(ssd, now, req).expect("driver io failed");
+        in_flight += 1;
+        issued += 1;
+    }
+    // drain the tail
+    while let Some(c) = qp.pop() {
+        latency.record_duration(c.latency());
+        last_done = last_done.max(c.done);
+    }
+    let makespan = last_done.since(start_at);
+    let secs = makespan.as_secs_f64().max(1e-12);
+    let page = ssd.config().flash.geometry.page_size as f64;
+    DriverReport {
+        ops,
+        reads,
+        makespan,
+        iops: ops as f64 / secs,
+        mb_per_s: ops as f64 * page / (1024.0 * 1024.0) / secs,
+        latency,
+    }
+}
+
+/// The pre-queue-pair closed loop: drives the device through the
+/// serialized `read`/`write` API, tracking outstanding completions in a
+/// host-side heap. Kept as the reference implementation — at any queue
+/// depth 1 run, [`run_closed_loop`] must reproduce it bit-for-bit
+/// (asserted by `exp11_qd_sweep` and the driver tests).
+pub fn run_closed_loop_serialized(
     ssd: &mut Ssd,
     pattern: &mut AddressPattern,
     mix: IoMix,
@@ -276,6 +354,54 @@ mod tests {
         let r = run_closed_loop(&mut ssd, &mut pat, IoMix::read_only(), 2, 128, 3, t);
         assert_eq!(ssd.metrics().unmapped_reads, 0);
         assert_eq!(r.reads, 128);
+    }
+
+    /// Histogram fingerprint for bit-identity comparisons.
+    fn fingerprint(r: &DriverReport) -> (u64, u64, u64, u64, u64) {
+        let s = r.latency.summary();
+        (
+            r.latency.count(),
+            s.p50,
+            s.p99,
+            s.max,
+            r.makespan.as_nanos(),
+        )
+    }
+
+    #[test]
+    fn qd1_queue_pair_matches_serialized_driver() {
+        // The queue-pair loop at depth 1 must reproduce the serialized
+        // reference bit-for-bit: same completions, same histogram, same
+        // makespan, same device metrics.
+        for mix in [IoMix::write_only(), IoMix::mixed(0.5)] {
+            let mut a = device();
+            let ta = precondition_sequential(&mut a, 256, SimTime::ZERO);
+            let mut pa = AddressPattern::new(Pattern::UniformRandom, 256, 7);
+            let ra = run_closed_loop_serialized(&mut a, &mut pa, mix, 1, 300, 7, ta);
+
+            let mut b = device();
+            let tb = precondition_sequential(&mut b, 256, SimTime::ZERO);
+            let mut pb = AddressPattern::new(Pattern::UniformRandom, 256, 7);
+            let rb = run_closed_loop(&mut b, &mut pb, mix, 1, 300, 7, tb);
+
+            assert_eq!(fingerprint(&ra), fingerprint(&rb));
+            assert_eq!(ra.reads, rb.reads);
+            assert_eq!(a.metrics().host_reads, b.metrics().host_reads);
+            assert_eq!(a.metrics().host_writes, b.metrics().host_writes);
+            assert_eq!(a.drain_time(), b.drain_time());
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_are_identical() {
+        let run = || {
+            let mut ssd = device();
+            let t = precondition_sequential(&mut ssd, 512, SimTime::ZERO);
+            let mut pat = AddressPattern::new(Pattern::UniformRandom, 512, 11);
+            let r = run_closed_loop(&mut ssd, &mut pat, IoMix::mixed(0.6), 8, 500, 11, t);
+            (fingerprint(&r), r.reads, ssd.drain_time())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -21,5 +21,8 @@ pub mod driver;
 pub mod oltp;
 pub mod pattern;
 
-pub use driver::{run_closed_loop, run_open_loop, DriverReport, IoMix};
+pub use driver::{
+    precondition_sequential, run_closed_loop, run_closed_loop_serialized, run_open_loop,
+    DriverReport, IoMix,
+};
 pub use pattern::{AddressPattern, Pattern};

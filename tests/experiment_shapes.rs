@@ -278,20 +278,20 @@ fn e7_pcm_log_force_is_orders_faster() {
 /// E9: software share negligible on a disk, dominant on a buffered write.
 #[test]
 fn e9_software_share_flips_with_the_device() {
-    use requiem::block::{BackendOp, Disk, DiskConfig, IoStack, StackConfig};
+    use requiem::block::{Disk, DiskConfig, IoRequest, IoStack, StackConfig};
     let mut disk_stack = IoStack::new(StackConfig::legacy(1), Disk::new(DiskConfig::hdd_7200()));
     let mut t = SimTime::ZERO;
     let mut s = 99u64;
     for _ in 0..32 {
         s = (s.wrapping_mul(999983)) % (1 << 20);
-        t = disk_stack.submit(t, 0, BackendOp::Read, s).done;
+        t = disk_stack.submit(t, 0, IoRequest::read(s)).done;
     }
     assert!(disk_stack.software_share() < 0.01);
 
     let mut ssd_stack = IoStack::new(StackConfig::legacy(1), Ssd::new(SsdConfig::modern()));
     let mut t = SimTime::ZERO;
     for lba in 0..32u64 {
-        t = ssd_stack.submit(t, 0, BackendOp::Write, lba).done;
+        t = ssd_stack.submit(t, 0, IoRequest::write(lba)).done;
     }
     assert!(ssd_stack.software_share() > 0.25);
 }
