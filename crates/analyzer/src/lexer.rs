@@ -1,0 +1,493 @@
+//! A minimal Rust lexer.
+//!
+//! The build environment is offline and does not vendor `syn`, so the
+//! analyzer tokenizes source itself. The lexer understands everything a
+//! *scanner* must — line/block comments (nested), string/char/byte
+//! literals, raw strings, raw identifiers, lifetimes, numbers — and emits
+//! a flat token stream with line numbers. Rules pattern-match on that
+//! stream; they never see text inside comments or string literals, which
+//! is what makes grep-style lints misfire.
+
+/// Token category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`for`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// Single punctuation character (`+`, `<`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// String-ish literal (`"…"`, `r#"…"#`, `b"…"`, `'c'`). Text is the
+    /// raw source slice including quotes.
+    Literal,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Category.
+    pub kind: TokKind,
+    /// Source text (for `Punct` a single char; for `Ident` the name with
+    /// any `r#` prefix stripped).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated constructs are tolerated
+/// (the remainder of the file is consumed); the lexer never panics on
+/// arbitrary input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    let push = |toks: &mut Vec<Tok>, kind: TokKind, text: &str, line: u32| {
+        toks.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    };
+
+    while i < n {
+        let c = b[i];
+        // whitespace
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // raw strings / raw identifiers / byte strings: r"", r#""#, br"", b"", rb is not rust
+        if (c == b'r' || c == b'b') && i + 1 < n {
+            // b'x' byte char
+            if c == b'b' && b[i + 1] == b'\'' {
+                let start = i;
+                i += 2;
+                i = consume_char_body(b, i, &mut line);
+                push(&mut toks, TokKind::Literal, &src[start..i.min(n)], line);
+                continue;
+            }
+            let (is_raw, skip) = if c == b'r' && (b[i + 1] == b'"' || b[i + 1] == b'#') {
+                (true, 1)
+            } else if c == b'b'
+                && b[i + 1] == b'r'
+                && i + 2 < n
+                && (b[i + 2] == b'"' || b[i + 2] == b'#')
+            {
+                (true, 2)
+            } else if c == b'b' && b[i + 1] == b'"' {
+                (false, 1)
+            } else {
+                (false, 0)
+            };
+            if is_raw {
+                // raw identifier r#name (no quote after hashes)
+                let mut j = i + skip;
+                let mut hashes = 0usize;
+                while j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == b'"' {
+                    // raw string: scan for "###
+                    let start = i;
+                    j += 1;
+                    loop {
+                        if j >= n {
+                            break;
+                        }
+                        if b[j] == b'\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while k < n && h < hashes && b[k] == b'#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    push(&mut toks, TokKind::Literal, &src[start..j.min(n)], line);
+                    i = j;
+                    continue;
+                } else if hashes == 1 && c == b'r' && j < n && is_ident_start(b[j]) {
+                    // raw identifier: emit as plain ident
+                    let start = j;
+                    while j < n && is_ident_cont(b[j]) {
+                        j += 1;
+                    }
+                    push(&mut toks, TokKind::Ident, &src[start..j], line);
+                    i = j;
+                    continue;
+                }
+                // fall through: treat as normal ident below
+            } else if skip == 1 && c == b'b' {
+                // b"..." byte string
+                let start = i;
+                i += 2;
+                i = consume_str_body(b, i, &mut line);
+                push(&mut toks, TokKind::Literal, &src[start..i.min(n)], line);
+                continue;
+            }
+        }
+        // string literal
+        if c == b'"' {
+            let start = i;
+            i += 1;
+            i = consume_str_body(b, i, &mut line);
+            push(&mut toks, TokKind::Literal, &src[start..i.min(n)], line);
+            continue;
+        }
+        // lifetime or char literal
+        if c == b'\'' {
+            // lifetime: 'ident not followed by closing quote
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_cont(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == b'\'' {
+                    // char literal like 'a'
+                    push(&mut toks, TokKind::Literal, &src[i..j + 1], line);
+                    i = j + 1;
+                    continue;
+                }
+                push(&mut toks, TokKind::Lifetime, &src[i + 1..j], line);
+                i = j;
+                continue;
+            }
+            // char literal (possibly escaped)
+            let start = i;
+            i += 1;
+            i = consume_char_body(b, i, &mut line);
+            push(&mut toks, TokKind::Literal, &src[start..i.min(n)], line);
+            continue;
+        }
+        // identifier / keyword
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            push(&mut toks, TokKind::Ident, &src[start..i], line);
+            continue;
+        }
+        // number
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_cont(b[i])) {
+                i += 1;
+            }
+            // fractional part — but not `..` (range) and not `0.method()`
+            if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+            }
+            push(&mut toks, TokKind::Number, &src[start..i], line);
+            continue;
+        }
+        // punctuation: single char
+        push(&mut toks, TokKind::Punct, &src[i..i + 1], line);
+        i += 1;
+    }
+    toks
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Consume a (byte-)string body starting after the opening quote; returns
+/// the index just past the closing quote.
+fn consume_str_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Consume a (byte-)char body starting after the opening quote; returns
+/// the index just past the closing quote.
+fn consume_char_body(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Mark tokens that live inside `#[cfg(test)]` items (`mod` blocks or
+/// single `fn`s). Rules that exempt test code consult this mask. Files
+/// under `tests/`, `benches/`, or `examples/` are handled by file
+/// category instead.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // skip this attribute and any further attributes, then find
+            // the item's opening brace and mark the whole block.
+            let mut j = skip_attr(toks, i);
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attr(toks, j);
+            }
+            // find the opening brace of the item (mod / fn / impl …)
+            let mut k = j;
+            let mut depth_paren = 0i32;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    depth_paren += 1;
+                } else if t.is_punct(')') {
+                    depth_paren -= 1;
+                } else if t.is_punct('{') && depth_paren == 0 {
+                    break;
+                } else if t.is_punct(';') && depth_paren == 0 {
+                    // e.g. `#[cfg(test)] mod tests;` — nothing inline
+                    break;
+                }
+                k += 1;
+            }
+            if k < toks.len() && toks[k].is_punct('{') {
+                let end = match_brace(toks, k);
+                for slot in mask.iter_mut().take(end.min(toks.len() - 1) + 1).skip(i) {
+                    *slot = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// True when `toks[i..]` starts the exact attribute `#[cfg(test)]`.
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    let want: &[(&str, TokKind)] = &[
+        ("#", TokKind::Punct),
+        ("[", TokKind::Punct),
+        ("cfg", TokKind::Ident),
+        ("(", TokKind::Punct),
+        ("test", TokKind::Ident),
+        (")", TokKind::Punct),
+        ("]", TokKind::Punct),
+    ];
+    if i + want.len() > toks.len() {
+        return false;
+    }
+    want.iter()
+        .enumerate()
+        .all(|(k, (txt, kind))| toks[i + k].kind == *kind && toks[i + k].text == *txt)
+}
+
+/// Skip one attribute `#[...]` starting at index `i` (which must be `#`);
+/// returns the index just past the closing `]`.
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if j >= toks.len() || !(toks[j].is_punct('[') || toks[j].is_punct('!')) {
+        return i + 1;
+    }
+    if toks[j].is_punct('!') {
+        j += 1; // inner attribute #![...]
+    }
+    if j >= toks.len() || !toks[j].is_punct('[') {
+        return j;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token when
+/// unbalanced).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    toks.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        let toks = lex("let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1;");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        assert_eq!(toks.iter().filter(|t| t.is_ident("let")).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks = lex("fn f<'a>(s: &'a str) -> &'a str { r#\"Instant::now()\"#; s }");
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = lex("let c = 'x'; let nl = '\\n'; let l: &'static str = \"\";");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            3
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>(),
+            vec!["static"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 { let f = 1.5e9; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e9"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn real() { map.iter(); }\n#[cfg(test)]\nmod tests { fn t() { map.iter(); } }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let iters: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("iter"))
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(iters, vec![false, true]);
+    }
+
+    #[test]
+    fn cfg_test_fn_is_masked() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { x.drain(); }\nfn real() { }";
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let drain = toks.iter().position(|t| t.is_ident("drain")).unwrap();
+        let real = toks.iter().rposition(|t| t.is_ident("real")).unwrap();
+        assert!(mask[drain]);
+        assert!(!mask[real]);
+    }
+}

@@ -1,0 +1,152 @@
+//! # requiem-lint — domain-aware static analysis for the requiem workspace
+//!
+//! The paper's myth-busting experiments are only falsifiable because they
+//! are bit-reproducible; the workspace's architecture only mirrors
+//! Figure 2 while nothing inverts a layer. Both were conventions. This
+//! crate turns them into machine-checked rules (see [`rules`] for the
+//! full table): determinism (DET), layering (LAY), probe discipline
+//! (PRB), time hygiene (TIM), panic policy (PAN), and unsafe policy
+//! (UNS).
+//!
+//! Design constraints:
+//!
+//! * **Offline, zero dependencies.** The build environment vendors no
+//!   `syn`, so the analyzer lexes Rust itself ([`lexer`]) and pattern-
+//!   matches token streams. That is less precise than type-resolved
+//!   analysis and deliberately biased toward *no false negatives on the
+//!   patterns that have bitten this codebase* (hash-order iteration, raw
+//!   wall-clock reads, layer inversions); the checked-in allowlist
+//!   ([`allow`], `lint.allow.toml`) absorbs the rare justified exception.
+//! * **Machine-readable diagnostics.** Every finding is
+//!   `rule id, file:line, message, suggestion` ([`diag`]), with `--json`
+//!   for tooling.
+//! * **Deny by default.** Any non-allowlisted diagnostic fails the run;
+//!   CI gates on it.
+//!
+//! Run it as `cargo run -p analyzer -- --workspace`.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fs;
+use std::path::Path;
+
+use allow::AllowList;
+use diag::Diagnostic;
+use rules::FileCtx;
+use workspace::{FileCat, Workspace};
+
+/// Outcome of a whole-workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every diagnostic, paired with whether the allowlist covers it.
+    pub diagnostics: Vec<(Diagnostic, bool)>,
+    /// Allowlist entries that matched nothing (stale).
+    pub unused_allows: Vec<allow::AllowEntry>,
+}
+
+impl Report {
+    /// Diagnostics not covered by the allowlist.
+    pub fn denied(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|(_, allowed)| !allowed)
+            .map(|(d, _)| d)
+    }
+
+    /// Number of non-allowlisted diagnostics.
+    pub fn denied_count(&self) -> usize {
+        self.denied().count()
+    }
+
+    /// Number of allowlisted diagnostics.
+    pub fn allowed_count(&self) -> usize {
+        self.diagnostics.len() - self.denied_count()
+    }
+}
+
+/// Lint the workspace rooted at `root` against `allowlist`.
+pub fn run(root: &Path, mut allowlist: AllowList) -> Result<Report, String> {
+    let ws = workspace::discover(root)?;
+    let mut diags = collect_diagnostics(&ws)?;
+    // Stable output: sort by path, line, rule.
+    diags.sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    let diagnostics = diags
+        .into_iter()
+        .map(|d| {
+            let allowed = allowlist.check(&d);
+            (d, allowed)
+        })
+        .collect();
+    Ok(Report {
+        diagnostics,
+        unused_allows: allowlist.unused().into_iter().cloned().collect(),
+    })
+}
+
+fn collect_diagnostics(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for krate in &ws.crates {
+        // crate-scoped rules need the crate root's token stream
+        let root_file = krate
+            .files
+            .iter()
+            .find(|f| f.cat == FileCat::Main && f.rel.ends_with("src/lib.rs"))
+            .or_else(|| {
+                krate
+                    .files
+                    .iter()
+                    .find(|f| f.cat == FileCat::Main && f.rel.ends_with("src/main.rs"))
+            });
+        let root_toks = match root_file {
+            Some(f) => {
+                let text = fs::read_to_string(&f.abs)
+                    .map_err(|e| format!("read {}: {e}", f.abs.display()))?;
+                Some((lexer::lex(&text), f.rel.clone()))
+            }
+            None => None,
+        };
+        out.extend(rules::run_crate(
+            krate,
+            root_toks.as_ref().map(|(t, _)| t.as_slice()),
+            root_toks
+                .as_ref()
+                .map(|(_, r)| r.as_str())
+                .unwrap_or(&krate.manifest_rel),
+        ));
+        for f in &krate.files {
+            let text =
+                fs::read_to_string(&f.abs).map_err(|e| format!("read {}: {e}", f.abs.display()))?;
+            out.extend(lint_source(&krate.name, &f.rel, f.cat, &text));
+        }
+    }
+    Ok(out)
+}
+
+/// Lint a single file's source text — the unit the fixture tests drive.
+pub fn lint_source(crate_name: &str, rel: &str, cat: FileCat, text: &str) -> Vec<Diagnostic> {
+    let toks = lexer::lex(text);
+    let test_mask = lexer::test_mask(&toks);
+    let ctx = FileCtx {
+        crate_name,
+        rel,
+        cat,
+        toks: &toks,
+        test_mask: &test_mask,
+    };
+    rules::run_file(&ctx)
+}
+
+/// Load the allowlist at `path`; a missing file yields an empty list.
+pub fn load_allowlist(path: &Path) -> Result<AllowList, String> {
+    match fs::read_to_string(path) {
+        Ok(text) => AllowList::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(AllowList::empty()),
+        Err(e) => Err(format!("read {}: {e}", path.display())),
+    }
+}

@@ -1,0 +1,140 @@
+//! `requiem-lint` — CLI driver for the [`analyzer`] crate.
+//!
+//! ```text
+//! requiem-lint [--workspace] [--root PATH] [--allow PATH] [--json] [-D]
+//! ```
+//!
+//! * `--workspace` — lint every member crate (the default and only mode;
+//!   the flag is accepted for symmetry with cargo's own subcommands).
+//! * `--root PATH` — workspace root; default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`.
+//! * `--allow PATH` — allowlist file; default `<root>/lint.allow.toml`.
+//! * `--json` — one JSON object per diagnostic on stdout.
+//! * `-D` — deny allowlisted diagnostics too (audit mode).
+//!
+//! Exit status: 0 when no denied diagnostics, 1 when any diagnostic is
+//! denied, 2 on usage or I/O error. Deny-by-default: every diagnostic
+//! not covered by the allowlist fails the run.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::workspace;
+
+struct Args {
+    root: Option<PathBuf>,
+    allow: Option<PathBuf>,
+    json: bool,
+    deny_allowed: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        allow: None,
+        json: false,
+        deny_allowed: false,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => {} // the only mode; accepted for symmetry
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--allow" => {
+                let v = it.next().ok_or("--allow requires a path")?;
+                args.allow = Some(PathBuf::from(v));
+            }
+            "--json" => args.json = true,
+            "-D" => args.deny_allowed = true,
+            "--help" | "-h" => {
+                return Err("usage: requiem-lint [--workspace] [--root PATH] \
+                            [--allow PATH] [--json] [-D]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("requiem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root.or_else(|| {
+        env::current_dir()
+            .ok()
+            .and_then(|d| workspace::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("requiem-lint: no workspace root found (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let allow_path = args.allow.unwrap_or_else(|| root.join("lint.allow.toml"));
+    let allowlist = match analyzer::load_allowlist(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("requiem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyzer::run(&root, allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("requiem-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut denied = 0usize;
+    let mut allowed = 0usize;
+    for (d, was_allowed) in &report.diagnostics {
+        let deny = !*was_allowed || args.deny_allowed;
+        if *was_allowed {
+            allowed += 1;
+        }
+        if deny {
+            denied += 1;
+        }
+        if args.json {
+            println!("{}", d.to_json(*was_allowed));
+        } else if deny {
+            println!("{d}");
+        }
+    }
+    for entry in &report.unused_allows {
+        eprintln!(
+            "warning: unused allowlist entry {} {} (lint.allow.toml:{})",
+            entry.rule, entry.path, entry.line
+        );
+    }
+    if !args.json {
+        println!(
+            "requiem-lint: {} diagnostics ({} allowlisted{})",
+            report.diagnostics.len(),
+            allowed,
+            if args.deny_allowed && allowed > 0 {
+                ", denied by -D"
+            } else {
+                ""
+            }
+        );
+    }
+    if denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

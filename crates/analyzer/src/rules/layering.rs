@@ -1,0 +1,152 @@
+//! LAY01/LAY02 — the Figure-2 layering DAG.
+//!
+//! The workspace mirrors the paper's Figure 2: applications talk to a
+//! storage manager, which talks to the OS block layer, which talks to a
+//! device interface, which is implemented by a device model over a raw
+//! medium, all on one simulation kernel:
+//!
+//! ```text
+//!   db → block → iface → ssd → {flash, pcm} → sim
+//! ```
+//!
+//! A crate may depend only on layers *below* it (transitively). `bench`
+//! and `workload` are harnesses and may see everything; the root crate
+//! `requiem` re-exports the stack; `analyzer` (this crate) sees nothing.
+//! The DAG is enforced twice — against `Cargo.toml` `[dependencies]`
+//! (LAY01) and against `use requiem_*` paths in source (LAY02) — so
+//! neither a manifest edit nor a stray fully-qualified path can invert a
+//! layer. `[dev-dependencies]` are exempt: integration tests may drive a
+//! crate from above.
+
+use super::{short_name, FileCtx};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::workspace::CrateInfo;
+
+/// Allowed `requiem-*` dependencies (short names) per crate (short name).
+/// Transitively closed: listing `ssd` implies nothing extra — every edge
+/// a crate uses must appear explicitly.
+pub const ALLOWED: &[(&str, &[&str])] = &[
+    ("sim", &[]),
+    ("flash", &["sim"]),
+    ("pcm", &["sim"]),
+    ("ssd", &["sim", "flash"]),
+    ("iface", &["sim", "flash", "ssd"]),
+    ("block", &["sim", "flash", "pcm", "ssd", "iface"]),
+    ("db", &["sim", "flash", "pcm", "ssd", "iface", "block"]),
+    (
+        "workload",
+        &["sim", "flash", "pcm", "ssd", "iface", "block", "db"],
+    ),
+    (
+        "bench",
+        &[
+            "sim", "flash", "pcm", "ssd", "iface", "block", "db", "workload",
+        ],
+    ),
+    (
+        "requiem",
+        &[
+            "sim", "flash", "pcm", "ssd", "iface", "block", "db", "workload",
+        ],
+    ),
+    ("analyzer", &[]),
+];
+
+fn allowed_for(short: &str) -> Option<&'static [&'static str]> {
+    ALLOWED
+        .iter()
+        .find(|(name, _)| *name == short)
+        .map(|(_, deps)| *deps)
+}
+
+/// LAY01: manifest dependencies respect the DAG.
+pub fn check_manifest(info: &CrateInfo) -> Vec<Diagnostic> {
+    let me = short_name(&info.name);
+    let Some(allowed) = allowed_for(me) else {
+        return vec![Diagnostic {
+            rule: "LAY01",
+            path: info.manifest_rel.clone(),
+            line: 0,
+            message: format!(
+                "crate `{}` is not in the Figure-2 layering table",
+                info.name
+            ),
+            suggestion: "add it to ALLOWED in crates/analyzer/src/rules/layering.rs with its layer"
+                .to_string(),
+        }];
+    };
+    let mut out = Vec::new();
+    for dep in &info.deps {
+        if dep.dev {
+            continue; // tests may drive the crate from above
+        }
+        let Some(target) = dep.name.strip_prefix("requiem-") else {
+            continue;
+        };
+        if !allowed.contains(&target) {
+            out.push(Diagnostic {
+                rule: "LAY01",
+                path: info.manifest_rel.clone(),
+                line: dep.line,
+                message: format!(
+                    "`{}` depends on `{}`, which is not below it in the Figure-2 DAG",
+                    info.name, dep.name
+                ),
+                suggestion: format!(
+                    "route through a lower layer or move the shared type down (allowed for {me}: {})",
+                    if allowed.is_empty() {
+                        "none".to_string()
+                    } else {
+                        allowed.join(", ")
+                    }
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// LAY02: `use requiem_*` / `requiem_*::` paths respect the DAG, so a
+/// fully-qualified path cannot smuggle in an edge the manifest hides.
+pub fn check_uses(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let me = ctx.short();
+    let Some(allowed) = allowed_for(me) else {
+        return Vec::new(); // crate-level LAY01 already reports this
+    };
+    let mut out = Vec::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(target) = t.text.strip_prefix("requiem_") else {
+            continue;
+        };
+        if target == me || allowed.contains(&target) {
+            continue;
+        }
+        // dev-dependency use sites live in tests/benches/examples and in
+        // #[cfg(test)] modules — same exemption as LAY01's dev-deps.
+        if ctx.in_test(i) {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule: "LAY02",
+            path: ctx.rel.to_string(),
+            line: t.line,
+            message: format!(
+                "`{}` references `{}`, which is not below it in the Figure-2 DAG",
+                ctx.crate_name, t.text
+            ),
+            suggestion: format!(
+                "only lower layers may be named here (allowed for {me}: {})",
+                if allowed.is_empty() {
+                    "none".to_string()
+                } else {
+                    allowed.join(", ")
+                }
+            ),
+        });
+    }
+    out
+}

@@ -1,0 +1,78 @@
+//! The rule families.
+//!
+//! | id    | family        | invariant |
+//! |-------|---------------|-----------|
+//! | DET01 | determinism   | no iteration over `HashMap`/`HashSet` in sim-path code |
+//! | DET02 | determinism   | no ambient authority: `Instant`, `SystemTime`, `thread_rng`, `RandomState` |
+//! | LAY01 | layering      | `Cargo.toml` deps respect the Figure-2 DAG |
+//! | LAY02 | layering      | `use requiem_*` paths respect the Figure-2 DAG |
+//! | PRB01 | probe         | no raw `enter_background`/`exit_background` outside `sim` (RAII guard only) |
+//! | PRB02 | probe         | a file opening probe spans must also close or detach them |
+//! | TIM01 | time hygiene  | no arithmetic on raw `as_nanos()` values outside `sim` |
+//! | TIM02 | time hygiene  | no `*_ns`-suffixed raw integer/float declarations outside `sim` |
+//! | PAN01 | panic policy  | no `unwrap`/`expect`/`panic!` in controller/qpair/mapping code |
+//! | UNS01 | unsafe policy | no `unsafe` anywhere in the workspace |
+//! | UNS02 | unsafe policy | every crate root carries `#![forbid(unsafe_code)]` |
+
+pub mod determinism;
+pub mod layering;
+pub mod panic_policy;
+pub mod probe;
+pub mod timing;
+pub mod unsafety;
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::workspace::{CrateInfo, FileCat};
+
+/// Everything a file-scoped rule needs.
+pub struct FileCtx<'a> {
+    /// Package name of the owning crate (e.g. `requiem-ssd`).
+    pub crate_name: &'a str,
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// File category.
+    pub cat: FileCat,
+    /// Token stream.
+    pub toks: &'a [Tok],
+    /// Parallel mask: true where the token is inside `#[cfg(test)]`.
+    pub test_mask: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    /// True when the token at `i` is test-only code (either the whole
+    /// file is a test/bench/example, or the token sits in `#[cfg(test)]`).
+    pub fn in_test(&self, i: usize) -> bool {
+        self.cat.is_testish() || self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Short crate name: `requiem-ssd` → `ssd`, `requiem` → `requiem`.
+    pub fn short(&self) -> &str {
+        short_name(self.crate_name)
+    }
+}
+
+/// Short crate name: strip the `requiem-` prefix.
+pub fn short_name(pkg: &str) -> &str {
+    pkg.strip_prefix("requiem-").unwrap_or(pkg)
+}
+
+/// Run every file-scoped rule on one file.
+pub fn run_file(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(determinism::check(ctx));
+    out.extend(layering::check_uses(ctx));
+    out.extend(probe::check(ctx));
+    out.extend(timing::check(ctx));
+    out.extend(panic_policy::check(ctx));
+    out.extend(unsafety::check_tokens(ctx));
+    out
+}
+
+/// Run every crate-scoped rule on one crate.
+pub fn run_crate(info: &CrateInfo, root_toks: Option<&[Tok]>, root_rel: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(layering::check_manifest(info));
+    out.extend(unsafety::check_crate_root(info, root_toks, root_rel));
+    out
+}

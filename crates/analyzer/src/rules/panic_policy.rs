@@ -1,0 +1,68 @@
+//! PAN01 — panic policy for the controller core.
+//!
+//! The SSD controller, queue-pair engine, and FTL mapping schemes sit
+//! under every experiment; a stray `unwrap()` on an I/O-dependent value
+//! turns a modelling gap into a process abort halfway through a
+//! million-op run. In these files, fallible outcomes must surface as
+//! `SsdError`/`Result` so the device can report them, and *invariant*
+//! violations must use `assert!`/`debug_assert!` with a message naming
+//! the invariant (those are self-documenting and greppable).
+//!
+//! `unwrap`, `expect`, `panic!`, `todo!`, `unimplemented!` are flagged in
+//! non-test code. Documented legacy invariants are allowlisted in
+//! `lint.allow.toml` with their justification.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+
+/// Files under the panic policy.
+fn protected(rel: &str) -> bool {
+    rel.starts_with("crates/ssd/src/controller/")
+        || rel.starts_with("crates/ssd/src/mapping/")
+        || rel == "crates/ssd/src/qpair.rs"
+}
+
+/// Run PAN01 on one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !protected(ctx.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) =>
+            {
+                out.push(Diagnostic {
+                    rule: "PAN01",
+                    path: ctx.rel.to_string(),
+                    line: t.line,
+                    message: format!("`.{}()` in controller/qpair/mapping code", t.text),
+                    suggestion: "propagate an SsdError, or assert the invariant with a message"
+                        .to_string(),
+                });
+            }
+            "panic" | "todo" | "unimplemented"
+                if toks.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false) =>
+            {
+                out.push(Diagnostic {
+                    rule: "PAN01",
+                    path: ctx.rel.to_string(),
+                    line: t.line,
+                    message: format!("`{}!` in controller/qpair/mapping code", t.text),
+                    suggestion: "propagate an SsdError, or assert the invariant with a message"
+                        .to_string(),
+                });
+            }
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,78 @@
+//! PRB01/PRB02 — probe-span discipline.
+//!
+//! The observability bus (PR 1/2) has a hard invariant: spans attributed
+//! to a command must tile its `[submit, done)` interval, and a command
+//! opened on the bus must eventually be closed (or detached for
+//! out-of-order completion and resumed later). Two usage patterns defeat
+//! the RAII protections:
+//!
+//! * calling `enter_background`/`exit_background` by hand (PRB01) — an
+//!   early return between the pair wedges the bus in background mode and
+//!   silently un-attributes every later span. `Probe::background()`
+//!   returns a guard; use it.
+//! * opening command scopes in a file that never closes/detaches any
+//!   (PRB02) — the drop-aborts protection turns those commands into
+//!   discarded records, which is a bug, not a feature. Pairing is checked
+//!   at file granularity: a file with `open_command`/`resume` calls must
+//!   also contain `close` or `detach` calls.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+
+/// Run PRB01/PRB02 on one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    // The bus implementation itself manipulates background depth.
+    if ctx.rel.starts_with("crates/sim/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = ctx.toks;
+
+    let mut opens: Vec<(u32, &str)> = Vec::new();
+    let mut closes = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let called = toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+        let method = i > 0 && toks[i - 1].is_punct('.');
+        if !called {
+            continue;
+        }
+        match t.text.as_str() {
+            "enter_background" | "exit_background" => {
+                out.push(Diagnostic {
+                    rule: "PRB01",
+                    path: ctx.rel.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "raw `{}()`: an early return between the pair wedges the probe bus",
+                        t.text
+                    ),
+                    suggestion: "use the RAII guard: `let _bg = probe.background();`".to_string(),
+                });
+            }
+            "open_command" | "resume" if method => opens.push((t.line, "open")),
+            "close" | "detach" if method => closes += 1,
+            _ => {}
+        }
+    }
+    if let Some((line, _)) = opens.first() {
+        if closes == 0 {
+            out.push(Diagnostic {
+                rule: "PRB02",
+                path: ctx.rel.to_string(),
+                line: *line,
+                message: format!(
+                    "{} probe command scope(s) opened but this file never calls `close` or `detach`",
+                    opens.len()
+                ),
+                suggestion:
+                    "close the scope with its completion time, or detach it for later resume"
+                        .to_string(),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,62 @@
+//! UNS01/UNS02 — unsafe policy.
+//!
+//! The whole stack is a simulation: there is no FFI, no shared-memory
+//! concurrency, no reason for `unsafe`. UNS01 flags any `unsafe` token in
+//! workspace code; UNS02 requires every crate root to carry
+//! `#![forbid(unsafe_code)]` so the compiler enforces the same policy
+//! even when the linter is not running. A crate that ever genuinely
+//! needs unsafe documents the exception in `lint.allow.toml`.
+
+use super::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::workspace::CrateInfo;
+
+/// UNS01: no `unsafe` tokens anywhere (tests included).
+pub fn check_tokens(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in ctx.toks {
+        if t.kind == TokKind::Ident && t.text == "unsafe" {
+            out.push(Diagnostic {
+                rule: "UNS01",
+                path: ctx.rel.to_string(),
+                line: t.line,
+                message: "`unsafe` in a simulation workspace".to_string(),
+                suggestion: "remove it, or allowlist the file with a justification".to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// UNS02: the crate root (src/lib.rs, else src/main.rs) must contain
+/// `#![forbid(unsafe_code)]`.
+pub fn check_crate_root(
+    info: &CrateInfo,
+    root_toks: Option<&[Tok]>,
+    root_rel: &str,
+) -> Vec<Diagnostic> {
+    let Some(toks) = root_toks else {
+        return Vec::new(); // no lib.rs/main.rs — nothing to check
+    };
+    let has = toks.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+    });
+    if has {
+        Vec::new()
+    } else {
+        vec![Diagnostic {
+            rule: "UNS02",
+            path: root_rel.to_string(),
+            line: 1,
+            message: format!("crate `{}` root lacks `#![forbid(unsafe_code)]`", info.name),
+            suggestion: "add `#![forbid(unsafe_code)]` to the crate root attributes".to_string(),
+        }]
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: deterministic twin of det_bad.rs — BTreeMap iteration and
+// typed sim time. Never compiled — lint test data only.
+use std::collections::BTreeMap;
+
+pub struct Tracker {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Tracker {
+    pub fn dump(&self) {
+        for (k, v) in self.counts.iter() {
+            println!("{k}={v}");
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: LAY02 — a flash-layer file reaching *up* into the SSD layer.
+// Never compiled — lint test data only.
+use requiem_ssd::device::Ssd;
+
+pub fn peek(dev: &Ssd) -> u64 {
+    dev.capacity().exported_pages
+}

@@ -1,0 +1,7 @@
+// Fixture: layering twin of lay_bad.rs — flash may depend on sim.
+// Never compiled — lint test data only.
+use requiem_sim::time::SimTime;
+
+pub fn origin() -> SimTime {
+    SimTime::ZERO
+}

@@ -1,0 +1,8 @@
+// Fixture: PAN01 — unwrap/panic! in controller-path code.
+// Never compiled — lint test data only.
+pub fn pick(m: &std::collections::BTreeMap<u64, u64>) -> u64 {
+    if m.is_empty() {
+        panic!("empty map");
+    }
+    *m.get(&0).unwrap()
+}

@@ -1,0 +1,6 @@
+// Fixture: panic-policy twin of pan_bad.rs — errors surface as Results,
+// invariants as asserts with messages. Never compiled — lint test data.
+pub fn pick(m: &std::collections::BTreeMap<u64, u64>) -> Result<u64, SsdError> {
+    assert!(!m.is_empty(), "caller must seed the map before pick()");
+    m.get(&0).copied().ok_or(SsdError::Unmapped { lpn: 0 })
+}

@@ -1,0 +1,7 @@
+// Fixture: probe twin of prb_bad.rs — RAII guard, tiled span closed.
+// Never compiled — lint test data only.
+pub fn trace(probe: &Probe, t0: SimTime, t1: SimTime) {
+    let _bg = probe.background();
+    let scope = probe.open_command(0, t0);
+    scope.close(t1);
+}

@@ -1,0 +1,9 @@
+// Fixture: TIM01 (raw as_nanos arithmetic) + TIM02 (raw ns binding).
+// Never compiled — lint test data only.
+pub struct Gap {
+    pub mean_ns: u64,
+}
+
+pub fn total(a: SimDuration, b: SimDuration) -> u64 {
+    a.as_nanos() + b.as_nanos()
+}

@@ -1,0 +1,9 @@
+// Fixture: time-hygiene twin of tim_bad.rs — stay in the newtype.
+// Never compiled — lint test data only.
+pub struct Gap {
+    pub mean: SimDuration,
+}
+
+pub fn total(a: SimDuration, b: SimDuration) -> SimDuration {
+    a + b
+}

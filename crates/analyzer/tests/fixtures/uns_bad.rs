@@ -1,0 +1,5 @@
+// Fixture: UNS01 — unsafe in a pure simulation workspace.
+// Never compiled — lint test data only.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

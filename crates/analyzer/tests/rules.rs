@@ -1,0 +1,233 @@
+//! Fixture-driven rule tests plus the workspace self-check.
+//!
+//! Each rule family gets a violating fixture and a clean twin under
+//! `tests/fixtures/` (the workspace walker skips that directory — the
+//! fixtures *deliberately* break the rules and are never compiled). The
+//! final test lints the real workspace against the checked-in
+//! `lint.allow.toml` and requires zero denied diagnostics: the linter
+//! gates CI, so the tree must always be self-clean.
+
+use std::path::Path;
+
+use analyzer::workspace::{CrateInfo, FileCat};
+use analyzer::{lexer, lint_source, rules};
+
+/// Lint fixture `text` as main-crate code of `crate_name` at `rel`,
+/// returning the fired rule ids.
+fn fired(crate_name: &str, rel: &str, text: &str) -> Vec<&'static str> {
+    lint_source(crate_name, rel, FileCat::Main, text)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn det_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/det_bad.rs"),
+    );
+    assert!(bad.contains(&"DET01"), "fired: {bad:?}");
+    assert!(bad.contains(&"DET02"), "fired: {bad:?}");
+    let ok = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/det_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn det_rules_exempt_test_regions_and_test_files() {
+    let text = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() {\n        let mut m: HashMap<u64, u64> = HashMap::new();\n        for (k, v) in m.iter() { let _ = (k, v); }\n    }\n}\n";
+    let in_test_mod = fired("requiem-ssd", "crates/ssd/src/fixture.rs", text);
+    assert!(
+        in_test_mod.is_empty(),
+        "fired in #[cfg(test)]: {in_test_mod:?}"
+    );
+    let in_test_dir = lint_source(
+        "requiem-ssd",
+        "crates/ssd/tests/fixture.rs",
+        FileCat::TestDir,
+        include_str!("fixtures/det_bad.rs"),
+    );
+    // DET01 is order-hygiene (exempt in tests); DET02 ambient authority
+    // (Instant) stays flagged even in tests — wall-clock reads make
+    // test timing assertions flaky.
+    assert!(
+        in_test_dir.iter().all(|d| d.rule != "DET01"),
+        "DET01 fired in tests/: {in_test_dir:?}"
+    );
+    assert!(
+        in_test_dir.iter().any(|d| d.rule == "DET02"),
+        "DET02 should apply everywhere: {in_test_dir:?}"
+    );
+}
+
+#[test]
+fn lay_use_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-flash",
+        "crates/flash/src/fixture.rs",
+        include_str!("fixtures/lay_bad.rs"),
+    );
+    assert!(bad.contains(&"LAY02"), "fired: {bad:?}");
+    let ok = fired(
+        "requiem-flash",
+        "crates/flash/src/fixture.rs",
+        include_str!("fixtures/lay_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn lay_manifest_inversion_fires_and_legal_dep_is_clean() {
+    let toml = "[package]\nname = \"requiem-flash\"\n\n[dependencies]\nrequiem-ssd = { workspace = true }\n";
+    let (name, deps) = analyzer::workspace::parse_manifest(toml);
+    let info = CrateInfo {
+        name,
+        manifest_rel: "crates/flash/Cargo.toml".to_string(),
+        deps,
+        files: Vec::new(),
+    };
+    let diags = rules::layering::check_manifest(&info);
+    assert!(
+        diags.iter().any(|d| d.rule == "LAY01"),
+        "flash → ssd should invert the DAG: {diags:?}"
+    );
+
+    let toml = "[package]\nname = \"requiem-flash\"\n\n[dependencies]\nrequiem-sim = { workspace = true }\n\n[dev-dependencies]\nproptest = { workspace = true }\n";
+    let (name, deps) = analyzer::workspace::parse_manifest(toml);
+    let info = CrateInfo {
+        name,
+        manifest_rel: "crates/flash/Cargo.toml".to_string(),
+        deps,
+        files: Vec::new(),
+    };
+    let diags = rules::layering::check_manifest(&info);
+    assert!(diags.is_empty(), "legal dep flagged: {diags:?}");
+}
+
+#[test]
+fn prb_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-block",
+        "crates/block/src/fixture.rs",
+        include_str!("fixtures/prb_bad.rs"),
+    );
+    assert!(bad.contains(&"PRB01"), "fired: {bad:?}");
+    assert!(bad.contains(&"PRB02"), "fired: {bad:?}");
+    let ok = fired(
+        "requiem-block",
+        "crates/block/src/fixture.rs",
+        include_str!("fixtures/prb_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn tim_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/tim_bad.rs"),
+    );
+    assert!(bad.contains(&"TIM01"), "fired: {bad:?}");
+    assert!(bad.contains(&"TIM02"), "fired: {bad:?}");
+    let ok = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/tim_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn tim_rules_scope_excludes_sim_and_bench() {
+    for (pkg, rel) in [
+        ("requiem-sim", "crates/sim/src/fixture.rs"),
+        ("requiem-bench", "crates/bench/src/fixture.rs"),
+    ] {
+        let diags = fired(pkg, rel, include_str!("fixtures/tim_bad.rs"));
+        assert!(
+            diags.iter().all(|r| !r.starts_with("TIM")),
+            "{pkg} should be outside TIM scope: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn pan_fixture_fires_in_protected_paths_only() {
+    let text = include_str!("fixtures/pan_bad.rs");
+    let bad = fired("requiem-ssd", "crates/ssd/src/controller/fixture.rs", text);
+    assert_eq!(
+        bad.iter().filter(|r| **r == "PAN01").count(),
+        2,
+        "unwrap + panic! expected: {bad:?}"
+    );
+    // same text outside the protected paths: policy does not apply
+    let elsewhere = fired("requiem-ssd", "crates/ssd/src/metrics.rs", text);
+    assert!(
+        elsewhere.iter().all(|r| *r != "PAN01"),
+        "PAN01 outside protected paths: {elsewhere:?}"
+    );
+    let ok = fired(
+        "requiem-ssd",
+        "crates/ssd/src/controller/fixture.rs",
+        include_str!("fixtures/pan_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn uns_fixture_fires_and_crate_root_check_wants_forbid() {
+    let bad = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/uns_bad.rs"),
+    );
+    assert!(bad.contains(&"UNS01"), "fired: {bad:?}");
+
+    let info = CrateInfo {
+        name: "requiem-ssd".to_string(),
+        manifest_rel: "crates/ssd/Cargo.toml".to_string(),
+        deps: Vec::new(),
+        files: Vec::new(),
+    };
+    let naked = lexer::lex("pub fn f() {}\n");
+    let diags = rules::unsafety::check_crate_root(&info, Some(&naked), "crates/ssd/src/lib.rs");
+    assert!(diags.iter().any(|d| d.rule == "UNS02"), "{diags:?}");
+    let fortified = lexer::lex("#![forbid(unsafe_code)]\npub fn f() {}\n");
+    let diags = rules::unsafety::check_crate_root(&info, Some(&fortified), "crates/ssd/src/lib.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+/// The real workspace must lint clean against the checked-in allowlist —
+/// and the allowlist must carry no stale entries.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allow = analyzer::load_allowlist(&root.join("lint.allow.toml")).expect("allowlist parses");
+    let report = analyzer::run(&root, allow).expect("lint runs");
+    let denied: Vec<String> = report.denied().map(|d| d.to_string()).collect();
+    assert!(
+        denied.is_empty(),
+        "workspace has non-allowlisted diagnostics:\n{}",
+        denied.join("\n")
+    );
+    assert!(
+        !report.diagnostics.is_empty(),
+        "self-check lost its teeth: the allowlisted exceptions should still be detected"
+    );
+    let stale: Vec<String> = report
+        .unused_allows
+        .iter()
+        .map(|e| format!("{} {} ({})", e.rule, e.path, e.reason))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale allowlist entries:\n{}",
+        stale.join("\n")
+    );
+}

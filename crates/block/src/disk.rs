@@ -102,8 +102,7 @@ impl Disk {
             // seek ≈ min + (full − min) · sqrt(d / span): the classic
             // acceleration-limited seek curve
             let frac = (dist as f64 / self.cfg.sectors as f64).sqrt();
-            let extra = (self.cfg.seek_full.as_nanos() - self.cfg.seek_min.as_nanos()) as f64;
-            SimDuration::from_nanos(self.cfg.seek_min.as_nanos() + (extra * frac) as u64)
+            self.cfg.seek_min + (self.cfg.seek_full - self.cfg.seek_min).mul_f64(frac)
         };
         // deterministic rotational delay: half a revolution on any seek,
         // zero when continuing sequentially

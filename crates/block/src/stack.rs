@@ -147,8 +147,10 @@ pub struct IoStack<B: StorageBackend> {
     queues: Vec<Resource>,
     probe: Probe,
     latency: Histogram,
-    device_ns: u128,
-    total_ns: u128,
+    /// Accumulated device-side busy time across all completed I/Os.
+    device_busy: SimDuration,
+    /// Accumulated end-to-end latency across all completed I/Os.
+    total_latency: SimDuration,
     ios: u64,
     /// Device-side in-flight window for the queue-pair path.
     window: InflightWindow,
@@ -185,8 +187,8 @@ impl<B: StorageBackend> IoStack<B> {
             backend,
             probe: Probe::disabled(),
             latency: Histogram::new(),
-            device_ns: 0,
-            total_ns: 0,
+            device_busy: SimDuration::ZERO,
+            total_latency: SimDuration::ZERO,
             ios: 0,
             window: InflightWindow::new(DEFAULT_INFLIGHT_WINDOW),
             cqs,
@@ -328,8 +330,8 @@ impl<B: StorageBackend> IoStack<B> {
         scope.close(done);
         let latency = done.since(now);
         self.latency.record_duration(latency);
-        self.device_ns += device_time.as_nanos() as u128;
-        self.total_ns += latency.as_nanos() as u128;
+        self.device_busy += device_time;
+        self.total_latency += latency;
         self.ios += 1;
         StackCompletion {
             tag,
@@ -488,8 +490,8 @@ impl<B: StorageBackend> IoStack<B> {
                 CompletionMode::Polling => cpu.per_io_polling(),
             };
             self.latency.record_duration(latency);
-            self.device_ns += p.device_time.as_nanos() as u128;
-            self.total_ns += latency.as_nanos() as u128;
+            self.device_busy += p.device_time;
+            self.total_latency += latency;
             self.ios += 1;
             out.push(StackCompletion {
                 tag: p.tag,
@@ -558,10 +560,10 @@ impl<B: StorageBackend> IoStack<B> {
 
     /// Mean fraction of end-to-end latency spent outside the device.
     pub fn software_share(&self) -> f64 {
-        if self.total_ns == 0 {
+        if self.total_latency.is_zero() {
             return 0.0;
         }
-        1.0 - (self.device_ns as f64 / self.total_ns as f64)
+        1.0 - self.device_busy / self.total_latency
     }
 
     /// Total I/Os submitted.

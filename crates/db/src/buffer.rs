@@ -10,7 +10,7 @@
 //! The pool is purely in-memory; all I/O decisions surface as
 //! [`EvictOutcome`] values for the engine to act on.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::page::{PageId, SlottedPage};
 
@@ -56,7 +56,7 @@ pub struct PoolStats {
 pub struct BufferPool {
     capacity: usize,
     frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    map: BTreeMap<PageId, usize>,
     hand: usize,
     stats: PoolStats,
 }
@@ -81,7 +81,7 @@ impl BufferPool {
         BufferPool {
             capacity,
             frames: Vec::with_capacity(capacity),
-            map: HashMap::with_capacity(capacity),
+            map: BTreeMap::new(),
             hand: 0,
             stats: PoolStats::default(),
         }

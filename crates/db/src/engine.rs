@@ -12,7 +12,7 @@
 //! log's updates of committed transactions onto the durable page images,
 //! LSN-guarded for idempotence.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::Histogram;
@@ -91,7 +91,7 @@ pub struct Database<B: PersistenceBackend> {
     /// Host-side model of the page images that are durable on the device
     /// (updated when a page write completes; the devices themselves model
     /// timing and layout, the engine models the bytes).
-    durable: HashMap<PageId, SlottedPage>,
+    durable: BTreeMap<PageId, SlottedPage>,
     /// Writes in flight: (completion time, page id, image). Promoted to
     /// `durable` once `now` passes the completion.
     in_flight: Vec<(SimTime, PageId, SlottedPage)>,
@@ -123,7 +123,7 @@ impl<B: PersistenceBackend> Database<B> {
             pool: BufferPool::new(cfg.buffer_frames),
             wal: Wal::new(),
             now: SimTime::ZERO,
-            durable: HashMap::new(),
+            durable: BTreeMap::new(),
             in_flight: Vec::new(),
             txn_latency: Histogram::new(),
             commit_latency: Histogram::new(),
@@ -367,7 +367,7 @@ impl<B: PersistenceBackend> Database<B> {
     /// the durable images, LSN-guarded. Returns the number of records
     /// replayed.
     pub fn recover(&mut self) -> u64 {
-        let committed: HashSet<u64> = self
+        let committed: BTreeSet<u64> = self
             .wal
             .durable_records()
             .filter_map(|(_, r)| match r {

@@ -14,7 +14,7 @@
 //! device-placed appends; gets are exactly one flash read; deletes are
 //! exact frees (no trim ambiguity).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use requiem_iface::comm::Upcall;
 use requiem_iface::nameless::{NamelessCompletion, NamelessError, NamelessSsd, PhysName};
@@ -43,7 +43,7 @@ pub struct KvStats {
 /// interface being demonstrated).
 pub struct NamelessKv {
     dev: NamelessSsd,
-    index: HashMap<u64, PhysName>,
+    index: BTreeMap<u64, PhysName>,
     now: SimTime,
     stats: KvStats,
     get_latency: Histogram,
@@ -64,7 +64,7 @@ impl NamelessKv {
     pub fn new(dev: NamelessSsd) -> Self {
         NamelessKv {
             dev,
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             now: SimTime::ZERO,
             stats: KvStats::default(),
             get_latency: Histogram::new(),

@@ -89,9 +89,7 @@ impl FlashTiming {
         if self.pairing_stride == 0 {
             self.program_fast
         } else {
-            SimDuration::from_nanos(
-                (self.program_fast.as_nanos() + self.program_slow.as_nanos()) / 2,
-            )
+            (self.program_fast + self.program_slow) / 2
         }
     }
 }

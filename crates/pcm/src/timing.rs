@@ -46,12 +46,12 @@ impl PcmTiming {
 
     /// Time to read `n` lines back-to-back.
     pub fn read_lines(&self, n: u64) -> SimDuration {
-        SimDuration::from_nanos(self.read_line.as_nanos() * n)
+        self.read_line * n
     }
 
     /// Time to write `n` lines back-to-back.
     pub fn write_lines(&self, n: u64) -> SimDuration {
-        SimDuration::from_nanos(self.write_line.as_nanos() * n)
+        self.write_line * n
     }
 }
 

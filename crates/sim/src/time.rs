@@ -155,6 +155,18 @@ impl SimDuration {
         self.0 == 0
     }
 
+    /// Scale by a non-negative float, truncating to whole nanoseconds.
+    ///
+    /// This is the one sanctioned way to apply a fractional factor to a
+    /// duration (seek curves, utilisation shares): the rounding rule —
+    /// `(ns as f64 * factor) as u64`, i.e. truncation toward zero — is
+    /// defined *here*, once, so every call site rounds identically.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        debug_assert!(factor >= 0.0, "mul_f64 factor must be non-negative");
+        SimDuration((self.0 as f64 * factor) as u64)
+    }
+
     /// Saturating subtraction: `self - other`, or zero if `other` is longer.
     #[inline]
     pub const fn saturating_sub(self, other: SimDuration) -> SimDuration {

@@ -456,7 +456,7 @@ mod tests {
     fn full_frontier_opens_new_block() {
         let mut d = dir();
         let l = LunId(0);
-        let mut blocks_seen = std::collections::HashSet::new();
+        let mut blocks_seen = std::collections::BTreeSet::new();
         for _ in 0..8 {
             // 2 blocks worth (4 pages per block)
             let n = d.next_page(l, Stream::Host, true).unwrap();

@@ -11,7 +11,7 @@
 //! completion. Reads of still-buffered pages are served from RAM.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use requiem_sim::time::SimTime;
 
@@ -23,7 +23,9 @@ pub struct WriteBuffer {
     /// Flush-completion times of occupied slots.
     slots: BinaryHeap<Reverse<SimTime>>,
     /// lpn → flush completion time (page readable from RAM until then).
-    resident: HashMap<u64, SimTime>,
+    /// BTreeMap so the bounded-growth sweep in [`commit`](Self::commit)
+    /// visits entries in a deterministic order.
+    resident: BTreeMap<u64, SimTime>,
     read_hits: u64,
     stalls: u64,
 }
@@ -35,7 +37,7 @@ impl WriteBuffer {
         WriteBuffer {
             capacity,
             slots: BinaryHeap::with_capacity(capacity + 1),
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             read_hits: 0,
             stalls: 0,
         }

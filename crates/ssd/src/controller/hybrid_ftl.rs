@@ -172,7 +172,9 @@ impl Ssd {
         let newb = self.alloc_block_on(lun, t)?;
         let newpb = PhysBlockRef { lun, block: newb };
         let copyback = self.cfg.gc.copyback;
-        let data_live: std::collections::HashMap<u32, Lpn> = match data {
+        // BTreeMap for determinism discipline (only point lookups today,
+        // but nothing then depends on hash order if iteration is added)
+        let data_live: std::collections::BTreeMap<u32, Lpn> = match data {
             Some(pb) => self
                 .dir
                 .live_pages(pb.lun, pb.block)

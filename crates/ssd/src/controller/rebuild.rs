@@ -48,9 +48,11 @@ impl Ssd {
         self.buffer = super::buffer_policy_from(&self.cfg.buffer);
         self.repl = None;
         // scan every page of every block (OOB reads; charged as
-        // translation traffic on each LUN — LUNs scan in parallel)
-        let mut best: std::collections::HashMap<u64, (u64, PhysPage)> =
-            std::collections::HashMap::new();
+        // translation traffic on each LUN — LUNs scan in parallel).
+        // BTreeMap: the winner-per-lpn fold below replays in lpn order,
+        // so the rebuilt map is bit-identical run to run.
+        let mut best: std::collections::BTreeMap<u64, (u64, PhysPage)> =
+            std::collections::BTreeMap::new();
         let mut scanned = 0u64;
         for lun_i in 0..nluns {
             let lun = LunId(lun_i);
@@ -77,12 +79,12 @@ impl Ssd {
                     scanned += 1;
                     if let PagePayload::Oob { lpn, seq } = read.payload {
                         match best.entry(lpn) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
                                 if e.get().0 < seq {
                                     e.insert((seq, phys));
                                 }
                             }
-                            std::collections::hash_map::Entry::Vacant(e) => {
+                            std::collections::btree_map::Entry::Vacant(e) => {
                                 e.insert((seq, phys));
                             }
                         }

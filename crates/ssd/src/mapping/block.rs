@@ -17,7 +17,7 @@
 //! State only — the device executes the flash operations these schemes
 //! imply and charges their time.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::LunId;
 
@@ -110,7 +110,9 @@ impl LogBlock {
 pub struct HybridState {
     /// The underlying block map.
     pub data: BlockMap,
-    logs: HashMap<u64, LogBlock>,
+    /// BTreeMap: [`lru_log`](Self::lru_log) scans it for the min-stamp
+    /// victim, so iteration order must be deterministic.
+    logs: BTreeMap<u64, LogBlock>,
     max_logs: usize,
     next_stamp: u64,
     pages_per_block: u32,
@@ -122,7 +124,7 @@ impl HybridState {
         assert!(max_logs > 0, "hybrid FTL needs at least one log block");
         HybridState {
             data: BlockMap::new(logical_blocks),
-            logs: HashMap::with_capacity(max_logs),
+            logs: BTreeMap::new(),
             max_logs,
             next_stamp: 0,
             pages_per_block,

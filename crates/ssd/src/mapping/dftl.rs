@@ -14,7 +14,7 @@
 //! content of the translation pages) and charges the flash traffic the
 //! cache behaviour implies via [`TransIo`] records the device executes.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::addr::{Lpn, LunId, PhysPage};
 
@@ -48,8 +48,9 @@ struct CmtEntry {
 /// The demand-paged mapping table.
 pub struct DftlMap {
     truth: PageMap,
-    /// Cached entries: lpn → (dirty, LRU stamp).
-    cmt: HashMap<u64, CmtEntry>,
+    /// Cached entries: lpn → (dirty, LRU stamp). BTreeMap keeps any
+    /// future iteration deterministic; lookups stay O(log n).
+    cmt: BTreeMap<u64, CmtEntry>,
     /// LRU order: stamp → lpn.
     lru: BTreeMap<u64, u64>,
     capacity: usize,
@@ -87,7 +88,7 @@ impl DftlMap {
         assert!(cached_entries > 0, "CMT needs at least one entry");
         DftlMap {
             truth: PageMap::new(exported_pages),
-            cmt: HashMap::with_capacity(cached_entries),
+            cmt: BTreeMap::new(),
             lru: BTreeMap::new(),
             capacity: cached_entries,
             next_stamp: 0,
@@ -117,38 +118,45 @@ impl DftlMap {
     /// Make room and insert a CMT entry; returns translation write traffic
     /// if a dirty entry had to be evicted.
     fn insert(&mut self, lpn: u64, dirty: bool, ios: &mut Vec<TransIo>) {
+        self.next_stamp += 1;
+        let s = self.next_stamp;
         if let Some(e) = self.cmt.get_mut(&lpn) {
+            // already resident: refresh recency in place (cmt and lru are
+            // disjoint fields, so no second lookup is needed)
             e.dirty |= dirty;
-            let stamp = e.stamp;
-            self.lru.remove(&stamp);
-            self.next_stamp += 1;
-            let s = self.next_stamp;
-            self.cmt.get_mut(&lpn).expect("just seen").stamp = s;
+            self.lru.remove(&e.stamp);
+            e.stamp = s;
             self.lru.insert(s, lpn);
             return;
         }
         if self.cmt.len() >= self.capacity {
-            // evict LRU
-            let (&stamp, &victim) = self.lru.iter().next().expect("cmt non-empty");
-            self.lru.remove(&stamp);
-            let entry = self.cmt.remove(&victim).expect("victim cached");
-            if entry.dirty {
-                self.evictions_dirty += 1;
-                ios.push(TransIo {
-                    lun: self.tpage_lun(Lpn(victim)),
-                    kind: TransIoKind::Write,
-                });
+            // evict LRU; the stamp index mirrors the CMT 1:1
+            let lru_head = self.lru.iter().next().map(|(&st, &lp)| (st, lp));
+            assert!(
+                lru_head.is_some(),
+                "LRU index empty while CMT holds {} entries (stamp/CMT desync)",
+                self.cmt.len()
+            );
+            if let Some((stamp, victim)) = lru_head {
+                self.lru.remove(&stamp);
+                let entry = self.cmt.remove(&victim);
+                assert!(
+                    entry.is_some(),
+                    "LRU victim lpn {victim} missing from CMT (stamp/CMT desync)"
+                );
+                if let Some(entry) = entry {
+                    if entry.dirty {
+                        self.evictions_dirty += 1;
+                        ios.push(TransIo {
+                            lun: self.tpage_lun(Lpn(victim)),
+                            kind: TransIoKind::Write,
+                        });
+                    }
+                }
             }
         }
-        self.next_stamp += 1;
-        self.cmt.insert(
-            lpn,
-            CmtEntry {
-                dirty,
-                stamp: self.next_stamp,
-            },
-        );
-        self.lru.insert(self.next_stamp, lpn);
+        self.cmt.insert(lpn, CmtEntry { dirty, stamp: s });
+        self.lru.insert(s, lpn);
     }
 
     /// Look up `lpn`, recording any translation flash traffic in `ios`.

@@ -171,7 +171,7 @@ mod tests {
             },
             4,
         );
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..2500 {
             for a in g.next_txn().accesses {
                 *counts.entry(a.page).or_insert(0u32) += 1;

@@ -212,7 +212,7 @@ mod tests {
         let mut p = AddressPattern::new(Pattern::UniformRandom, 16, 2);
         let v = p.take_vec(1000);
         assert!(v.iter().all(|&a| a < 16));
-        let distinct: std::collections::HashSet<_> = v.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = v.iter().collect();
         assert_eq!(distinct.len(), 16, "1000 draws over 16 pages hit all");
     }
 
@@ -229,7 +229,7 @@ mod tests {
         let v = p.take_vec(10_000);
         assert!(v.iter().all(|&a| a < 1000));
         // the most popular page should take far more than 1/1000 of accesses
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for a in v {
             *counts.entry(a).or_insert(0u32) += 1;
         }
@@ -241,7 +241,7 @@ mod tests {
     fn zipfian_theta_zero_is_roughly_uniform() {
         let mut p = AddressPattern::new(Pattern::Zipfian { theta: 0.0 }, 100, 3);
         let v = p.take_vec(10_000);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for a in v {
             *counts.entry(a).or_insert(0u32) += 1;
         }
