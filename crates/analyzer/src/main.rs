@@ -1,7 +1,7 @@
 //! `requiem-lint` — CLI driver for the [`analyzer`] crate.
 //!
 //! ```text
-//! requiem-lint [--workspace] [--root PATH] [--allow PATH] [--json] [-D]
+//! requiem-lint [--workspace] [--root PATH] [--allow PATH] [--json] [-D] [--deny-stale]
 //! ```
 //!
 //! * `--workspace` — lint every member crate (the default and only mode;
@@ -11,6 +11,9 @@
 //! * `--allow PATH` — allowlist file; default `<root>/lint.allow.toml`.
 //! * `--json` — one JSON object per diagnostic on stdout.
 //! * `-D` — deny allowlisted diagnostics too (audit mode).
+//! * `--deny-stale` — treat stale (unused) allowlist entries as errors
+//!   instead of warnings, so a fixed exception cannot linger. CI runs
+//!   with this flag.
 //!
 //! Exit status: 0 when no denied diagnostics, 1 when any diagnostic is
 //! denied, 2 on usage or I/O error. Deny-by-default: every diagnostic
@@ -29,6 +32,7 @@ struct Args {
     allow: Option<PathBuf>,
     json: bool,
     deny_allowed: bool,
+    deny_stale: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         allow: None,
         json: false,
         deny_allowed: false,
+        deny_stale: false,
     };
     let mut it = env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,9 +57,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = true,
             "-D" => args.deny_allowed = true,
+            "--deny-stale" => args.deny_stale = true,
             "--help" | "-h" => {
                 return Err("usage: requiem-lint [--workspace] [--root PATH] \
-                            [--allow PATH] [--json] [-D]"
+                            [--allow PATH] [--json] [-D] [--deny-stale]"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -114,11 +120,27 @@ fn main() -> ExitCode {
             println!("{d}");
         }
     }
+    let mut stale_denied = 0usize;
     for entry in &report.unused_allows {
+        let severity = if args.deny_stale {
+            stale_denied += 1;
+            "error"
+        } else {
+            "warning"
+        };
         eprintln!(
-            "warning: unused allowlist entry {} {} (lint.allow.toml:{})",
+            "{severity}: unused allowlist entry {} {} (lint.allow.toml:{})",
             entry.rule, entry.path, entry.line
         );
+    }
+    if stale_denied > 0 {
+        eprintln!(
+            "requiem-lint: {stale_denied} stale allowlist entr{} denied by --deny-stale \
+             — remove {} from lint.allow.toml",
+            if stale_denied == 1 { "y" } else { "ies" },
+            if stale_denied == 1 { "it" } else { "them" },
+        );
+        denied += stale_denied;
     }
     if !args.json {
         println!(

@@ -23,6 +23,7 @@ use requiem_ssd::Ssd;
 use crate::disk::Disk;
 
 pub use requiem_sim::cmd::{CommandId, IoClass, IoCompletion, IoRequest};
+pub use requiem_sim::IoStatus;
 
 /// Operation kind at the block level.
 ///
@@ -64,7 +65,8 @@ pub trait StorageBackend {
 }
 
 /// Build the completion for a device that serves the whole command as
-/// one opaque interval (no internal probe spans).
+/// one opaque interval (no internal probe spans). Opaque devices have no
+/// fault model, so the status is always [`IoStatus::Ok`].
 fn opaque_completion(req: IoRequest, submitted: SimTime, done: SimTime) -> IoCompletion {
     IoCompletion {
         tag: req.tag,
@@ -73,6 +75,22 @@ fn opaque_completion(req: IoRequest, submitted: SimTime, done: SimTime) -> IoCom
         submitted,
         done,
         spans: 0,
+        status: IoStatus::Ok,
+    }
+}
+
+/// Build the completion for a command the device refused outright
+/// (address out of range, worn-out device, protocol violation). Rejection
+/// is instantaneous — the command never occupied device resources.
+fn rejected_completion(req: IoRequest, submitted: SimTime) -> IoCompletion {
+    IoCompletion {
+        tag: req.tag,
+        op: req.op,
+        lba: req.lba,
+        submitted,
+        done: submitted,
+        spans: 0,
+        status: IoStatus::Rejected,
     }
 }
 
@@ -98,7 +116,14 @@ impl StorageBackend for Disk {
 
 impl StorageBackend for Ssd {
     fn submit(&mut self, now: SimTime, req: IoRequest) -> IoCompletion {
-        self.io(now, req).expect("ssd command failed")
+        // An `SsdError` (worn-out device, protocol violation) surfaces as
+        // a `Rejected` completion instead of tearing the stack down: the
+        // layer above decides whether to retry, re-route, or fail the
+        // transaction — the whole point of the typed status channel.
+        match self.io(now, req) {
+            Ok(c) => c,
+            Err(_) => rejected_completion(req, now),
+        }
     }
 
     fn capacity_pages(&self) -> u64 {

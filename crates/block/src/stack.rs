@@ -29,7 +29,7 @@ use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Cause, Histogram, Layer, Probe, Resource, ResourceBank};
 use serde::{Deserialize, Serialize};
 
-use crate::backend::{BackendOp, CommandId, IoRequest, StorageBackend};
+use crate::backend::{BackendOp, CommandId, IoRequest, IoStatus, StorageBackend};
 use crate::cpu::CpuCosts;
 
 /// Request-queue structure.
@@ -110,6 +110,9 @@ pub struct StackCompletion {
     pub device_time: SimDuration,
     /// CPU time charged to the issuing core.
     pub cpu_time: SimDuration,
+    /// How the device fared: clean, recovered after retries, lost the
+    /// data, or refused the command outright.
+    pub status: IoStatus,
 }
 
 /// One command in flight between `submit_batch` and `poll_completions`:
@@ -122,6 +125,7 @@ struct Pending {
     submitted: SimTime,
     dev_done: SimTime,
     device_time: SimDuration,
+    status: IoStatus,
 }
 
 /// Aggregated result of a stack run.
@@ -294,7 +298,8 @@ impl<B: StorageBackend> IoStack<B> {
         // 4. device — a self-reporting backend decomposes this interval
         // itself (the probe joined the open command); an opaque one gets
         // the single block-interface span the paper complains about
-        let dev_done = self.backend.submit(g_bell.end, req).done;
+        let dev_c = self.backend.submit(g_bell.end, req);
+        let dev_done = dev_c.done;
         let device_time = dev_done.since(g_bell.end);
         if probing && !self.backend.self_reporting() && dev_done > g_bell.end {
             self.probe.span(
@@ -339,6 +344,7 @@ impl<B: StorageBackend> IoStack<B> {
             latency,
             device_time,
             cpu_time,
+            status: dev_c.status,
         }
     }
 
@@ -409,7 +415,8 @@ impl<B: StorageBackend> IoStack<B> {
                     .span(Layer::Block, Cause::Queue, "sq", g_bell.end, admit);
             }
             // 5. device path at the admit instant
-            let dev_done = self.backend.submit(admit, *req).done;
+            let dev_c = self.backend.submit(admit, *req);
+            let dev_done = dev_c.done;
             self.window.commit(admit, req.lba, dev_done);
             let device_time = dev_done.since(admit);
             if probing && !self.backend.self_reporting() && dev_done > admit {
@@ -432,6 +439,7 @@ impl<B: StorageBackend> IoStack<B> {
                     submitted: now,
                     dev_done,
                     device_time,
+                    status: dev_c.status,
                 },
             );
         }
@@ -499,6 +507,7 @@ impl<B: StorageBackend> IoStack<B> {
                 latency,
                 device_time: p.device_time,
                 cpu_time,
+                status: p.status,
             });
         }
         out

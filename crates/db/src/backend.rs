@@ -14,6 +14,7 @@
 use requiem_iface::atomic::{double_write_journal, ExtendedSsd};
 use requiem_pcm::{PcmDimm, PcmTiming};
 use requiem_sim::time::SimTime;
+use requiem_sim::IoStatus;
 use requiem_ssd::{IoClass, IoRequest, Lpn, Ssd, SsdConfig};
 
 use crate::page::{PageId, PAGE_SIZE};
@@ -51,8 +52,14 @@ pub trait PersistenceBackend {
     /// returns the instant the evicting request may proceed.
     fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime;
 
-    /// Synchronous read of one data page.
-    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime;
+    /// Synchronous read of one data page. Returns the completion instant
+    /// and the typed media status: [`IoStatus::Unrecoverable`] means the
+    /// device exhausted its whole recovery pipeline (retry ladder, ECC
+    /// escalation, parity rebuild) and the page image is LOST — the
+    /// engine above must reconstruct it from the durable log or surface
+    /// the error. [`IoStatus::RecoveredAfterRetry`] means the bytes are
+    /// good but the latency already includes the device's recovery work.
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus);
 
     /// Write a batch of pages that must be torn-write safe (checkpoint
     /// flush). Returns the batch completion.
@@ -185,13 +192,15 @@ impl PersistenceBackend for LegacyBackend {
             .done
     }
 
-    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime {
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
         self.stats.page_reads += 1;
         let lpn = self.data_lpn(page);
-        self.ssd
-            .io(now, IoRequest::read(lpn.0))
-            .expect("data read failed")
-            .done
+        // a refused command (worn-out device, protocol violation) surfaces
+        // as a typed Rejected status instead of tearing the engine down
+        match self.ssd.io(now, IoRequest::read(lpn.0)) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
@@ -338,10 +347,13 @@ impl PersistenceBackend for VisionBackend {
         durable
     }
 
-    fn page_read(&mut self, now: SimTime, page: PageId) -> SimTime {
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
         self.stats.page_reads += 1;
         let lpn = self.data_lpn(page);
-        self.flash.read(now, lpn).expect("data read failed").done
+        match self.flash.read(now, lpn) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
@@ -470,11 +482,13 @@ mod tests {
         let mut l = legacy();
         let mut v = vision();
         let t1 = l.page_write(SimTime::ZERO, PageId(0));
-        let t2 = l.page_read(t1, PageId(0));
+        let (t2, st) = l.page_read(t1, PageId(0));
         assert!(t2 > t1);
+        assert_eq!(st, IoStatus::Ok);
         let t1 = v.page_write(SimTime::ZERO, PageId(0));
-        let t2 = v.page_read(t1, PageId(0));
+        let (t2, st) = v.page_read(t1, PageId(0));
         assert!(t2 > t1);
+        assert_eq!(st, IoStatus::Ok);
         assert_eq!(l.stats().page_reads, 1);
         assert_eq!(v.stats().page_reads, 1);
     }

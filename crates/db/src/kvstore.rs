@@ -151,8 +151,11 @@ impl NamelessKv {
         let Some(name) = self.index.get(&key).copied() else {
             return Ok(None);
         };
-        let (done, lat) = self.dev.read(self.now, name, key)?;
+        let (done, lat, status) = self.dev.read(self.now, name, key)?;
         self.now = self.now.max(done);
+        // a parity-rebuilt page was re-homed by the device; the Migrated
+        // upcall is applied before the next operation via sync_upcalls()
+        debug_assert!(status.is_success(), "kv get hit unrecoverable media");
         self.stats.hits += 1;
         self.get_latency.record_duration(lat);
         Ok(Some(lat))

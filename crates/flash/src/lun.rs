@@ -10,7 +10,7 @@
 //! the caller's job (in `requiem-ssd`, a [`requiem_sim::Resource`] per LUN).
 
 use requiem_sim::time::SimDuration;
-use requiem_sim::SimRng;
+use requiem_sim::{FaultView, SimRng};
 
 use crate::error::FlashError;
 use crate::geometry::{BlockAddr, Geometry, PageAddr};
@@ -99,6 +99,9 @@ pub struct Lun {
     reads: u64,
     programs: u64,
     erases: u64,
+    /// Deterministic fault-injection schedules for this unit
+    /// ([`FaultView::none`] by default — bit-exact identity).
+    faults: FaultView,
 }
 
 impl std::fmt::Debug for Lun {
@@ -140,7 +143,22 @@ impl Lun {
             reads: 0,
             programs: 0,
             erases: 0,
+            faults: FaultView::none(),
         }
+    }
+
+    /// Install a deterministic fault view (from
+    /// [`requiem_sim::FaultPlan::unit_view`]). The identity view keeps
+    /// the LUN bit-identical to a fault-oblivious build: the RBER
+    /// multiplier is 1.0 (exact in IEEE-754) and the empty schedules
+    /// never match an operation index, so no extra randomness is drawn.
+    pub fn apply_faults(&mut self, view: FaultView) {
+        self.faults = view;
+    }
+
+    /// The installed fault view.
+    pub fn faults(&self) -> &FaultView {
+        &self.faults
     }
 
     /// This LUN's id.
@@ -208,7 +226,7 @@ impl Lun {
             .spec
             .cell
             .read_disturb_factor(self.block(baddr).state.reads_since_erase);
-        let rber = self.spec.cell.rber(wear) * disturb;
+        let rber = self.spec.cell.rber(wear) * disturb * self.faults.rber_multiplier;
         let page_size = self.spec.geometry.page_size;
         let (raw, correctable) = self.spec.ecc.decode(rber, page_size, &mut self.rng);
         if !correctable {
@@ -224,6 +242,67 @@ impl Lun {
             payload: block.payloads[a.page as usize].clone(),
             corrected_errors: raw,
         })
+    }
+
+    /// A calibrated recovery re-read: the controller shifts read
+    /// reference voltages (`rber_derate` < 1.0 lowers the effective raw
+    /// bit error rate) and/or falls back to a stronger soft decode
+    /// (`capability_boost` > 1.0 raises the correctable-bit budget).
+    /// Draws the same per-read randomness as [`Lun::read`]; only ever
+    /// called by recovery pipelines, so zero-fault runs that never see
+    /// an uncorrectable read consume no extra randomness.
+    pub fn recovery_read(
+        &mut self,
+        a: PageAddr,
+        rber_derate: f64,
+        capability_boost: f64,
+    ) -> Result<ReadOutcome, FlashError> {
+        if !self.spec.geometry.contains(a) {
+            return Err(FlashError::OutOfRange { addr: a });
+        }
+        let baddr = self.spec.geometry.block_of(a);
+        if self.block(baddr).state.bad {
+            return Err(FlashError::BadBlock { block: baddr });
+        }
+        self.reads += 1;
+        self.block_mut(baddr).state.reads_since_erase += 1;
+        let wear = self.wear_ratio(baddr);
+        let disturb = self
+            .spec
+            .cell
+            .read_disturb_factor(self.block(baddr).state.reads_since_erase);
+        let rber = self.spec.cell.rber(wear) * disturb * self.faults.rber_multiplier * rber_derate;
+        let page_size = self.spec.geometry.page_size;
+        let (raw, _) = self.spec.ecc.decode(rber, page_size, &mut self.rng);
+        let capability = self.spec.ecc.correctable_for_page(page_size);
+        let boosted = (capability as f64 * capability_boost) as u32;
+        if raw > boosted {
+            return Err(FlashError::UncorrectableRead {
+                addr: a,
+                raw_errors: raw,
+                correctable: boosted,
+            });
+        }
+        let block = self.block(baddr);
+        Ok(ReadOutcome {
+            duration: self.spec.timing.read,
+            payload: block.payloads[a.page as usize].clone(),
+            corrected_errors: raw,
+        })
+    }
+
+    /// The stored payload of a page, bypassing the media error model —
+    /// what a controller reconstructs when XOR parity across the stripe
+    /// resolves a page the ECC could not. Timing and failure modelling
+    /// of the rebuild is the controller's job; this accessor only hands
+    /// back the bytes the parity math would produce. Draws no
+    /// randomness.
+    pub fn parity_reconstruct(&self, a: PageAddr) -> Option<PagePayload> {
+        if !self.spec.geometry.contains(a) {
+            return None;
+        }
+        let baddr = self.spec.geometry.block_of(a);
+        Some(self.block(baddr).payloads[a.page as usize].clone())
     }
 
     /// Program one page (C1; enforces C2 and C3).
@@ -253,6 +332,17 @@ impl Lun {
                 addr: a,
                 expected: block.state.write_point,
             });
+        }
+        // scheduled fault injection: the n-th program issued to this
+        // unit fails (empty schedule = no-op, no randomness drawn)
+        if self
+            .faults
+            .program_fail
+            .binary_search(&self.programs)
+            .is_ok()
+        {
+            self.programs += 1;
+            return Err(FlashError::ProgramFailed { addr: a });
         }
         // wear-induced program failure: ramps from 0 at rated life
         if endurance_exceeded {
@@ -289,6 +379,21 @@ impl Lun {
         let endurance = self.spec.endurance();
         if self.block(b).state.bad {
             return Err(FlashError::BadBlock { block: b });
+        }
+        // scheduled fault injection: the n-th erase issued to this unit
+        // fails and retires the block (empty schedule = no-op)
+        if self.faults.erase_fail.binary_search(&self.erases).is_ok() {
+            self.erases += 1;
+            let count = {
+                let block = self.block_mut(b);
+                block.state.erase_count += 1;
+                block.state.bad = true;
+                block.state.erase_count
+            };
+            return Err(FlashError::EraseFailed {
+                block: b,
+                erase_count: count,
+            });
         }
         self.erases += 1;
         let count = {
@@ -549,5 +654,83 @@ mod tests {
         let data: Box<[u8]> = vec![0xAB; 64].into_boxed_slice();
         l.program(a, PagePayload::Bytes(data.clone())).unwrap();
         assert_eq!(l.read(a).unwrap().payload, PagePayload::Bytes(data));
+    }
+
+    #[test]
+    fn scheduled_program_fault_fires_deterministically() {
+        let run = || {
+            let mut l = lun();
+            l.apply_faults(
+                requiem_sim::FaultPlan::none()
+                    .with_program_fail(0, vec![1])
+                    .unit_view(0),
+            );
+            let g = l.geometry().clone();
+            let r0 = l.program(g.page_addr(0, 0, 0), PagePayload::Tag(0)).is_ok();
+            let r1 = l
+                .program(g.page_addr(0, 0, 1), PagePayload::Tag(1))
+                .is_err();
+            let r2 = l.program(g.page_addr(0, 0, 1), PagePayload::Tag(1)).is_ok();
+            (r0, r1, r2, l.op_counts())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault-injected runs must replay identically");
+        assert_eq!(a, (true, true, true, (0, 3, 0)));
+    }
+
+    #[test]
+    fn scheduled_erase_fault_retires_block() {
+        let mut l = lun();
+        l.apply_faults(
+            requiem_sim::FaultPlan::none()
+                .with_erase_fail(0, vec![0])
+                .unit_view(0),
+        );
+        let b = l.geometry().block_addr(0, 0);
+        assert!(matches!(l.erase(b), Err(FlashError::EraseFailed { .. })));
+        assert!(l.block_state(b).bad);
+        // the schedule named only erase 0: the next block erases fine
+        assert!(l.erase(l.geometry().block_addr(0, 1)).is_ok());
+    }
+
+    #[test]
+    fn rber_elevation_makes_reads_uncorrectable() {
+        let mut l = lun();
+        let a = l.geometry().page_addr(0, 0, 0);
+        l.program(a, PagePayload::Tag(7)).unwrap();
+        // enormous multiplier: ECC capability is exceeded on every read
+        l.apply_faults(requiem_sim::FaultPlan::uniform_rber(1e9).unit_view(0));
+        assert!(matches!(
+            l.read(a),
+            Err(FlashError::UncorrectableRead { .. })
+        ));
+        // a strong-enough recovery derate brings it back
+        let rec = l.recovery_read(a, 1e-9, 1.5).unwrap();
+        assert_eq!(rec.payload, PagePayload::Tag(7));
+        // parity reconstruction sees the bytes without the error model
+        assert_eq!(l.parity_reconstruct(a), Some(PagePayload::Tag(7)));
+    }
+
+    #[test]
+    fn identity_view_changes_nothing() {
+        let trace = |inject: bool| {
+            let mut l = lun();
+            if inject {
+                l.apply_faults(requiem_sim::FaultPlan::none().unit_view(0));
+            }
+            let g = l.geometry().clone();
+            let mut out = Vec::new();
+            for p in 0..4 {
+                out.push(format!(
+                    "{:?}",
+                    l.program(g.page_addr(0, 0, p), PagePayload::Tag(p as u64))
+                ));
+                out.push(format!("{:?}", l.read(g.page_addr(0, 0, p))));
+            }
+            out.push(format!("{:?}", l.erase(g.block_addr(0, 0))));
+            out
+        };
+        assert_eq!(trace(false), trace(true));
     }
 }

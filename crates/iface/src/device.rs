@@ -23,6 +23,7 @@
 //!   complaint rendered as a type signature.
 
 use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::IoStatus;
 use requiem_ssd::{Lpn, Ssd};
 
 use crate::atomic::{double_write_journal, ExtendedSsd};
@@ -111,8 +112,11 @@ pub trait DeviceInterface {
         prev: Option<Self::Handle>,
     ) -> (Self::Handle, SimTime);
 
-    /// Read `tag`'s page at `handle`; returns the completion instant.
-    fn fetch(&mut self, now: SimTime, tag: u64, handle: Self::Handle) -> SimTime;
+    /// Read `tag`'s page at `handle`; returns the completion instant and
+    /// how the device fared getting the data back: clean, recovered
+    /// after media retries, unrecoverable (data lost), or rejected (the
+    /// handle no longer names the page — drain relocations and retry).
+    fn fetch(&mut self, now: SimTime, tag: u64, handle: Self::Handle) -> (SimTime, IoStatus);
 
     /// Declare `tag` dead — TRIM for block devices, an exact `free` for
     /// the nameless one.
@@ -167,9 +171,12 @@ impl DeviceInterface for Ssd {
         (Lpn(tag), c.done)
     }
 
-    fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> SimTime {
+    fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
         debug_assert_eq!(handle, Lpn(tag), "block handles are the tag itself");
-        self.read(now, handle).expect("block read failed").done
+        match self.read(now, handle) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> SimTime {
@@ -230,9 +237,12 @@ impl DeviceInterface for ExtendedSsd {
         (Lpn(tag), c.done)
     }
 
-    fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> SimTime {
+    fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
         debug_assert_eq!(handle, Lpn(tag), "block handles are the tag itself");
-        self.read(now, handle).expect("extended read failed").done
+        match self.read(now, handle) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> SimTime {
@@ -306,8 +316,12 @@ impl DeviceInterface for NamelessSsd {
         (w.name, w.done)
     }
 
-    fn fetch(&mut self, now: SimTime, tag: u64, handle: PhysName) -> SimTime {
-        self.read(now, handle, tag).expect("nameless read failed").0
+    fn fetch(&mut self, now: SimTime, tag: u64, handle: PhysName) -> (SimTime, IoStatus) {
+        match self.read(now, handle, tag) {
+            Ok((done, _lat, status)) => (done, status),
+            // stale name: the host must drain its relocation upcalls
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn discard(&mut self, now: SimTime, tag: u64, handle: PhysName) -> SimTime {
@@ -468,7 +482,8 @@ mod tests {
     /// handle, fetch it back — for each interface.
     fn round_trip<D: DeviceInterface>(dev: &mut D) {
         let (h, done) = dev.update(SimTime::ZERO, 7, None);
-        let read_done = dev.fetch(done, 7, h);
+        let (read_done, status) = dev.fetch(done, 7, h);
+        assert_eq!(status, IoStatus::Ok, "{}: clean media", dev.label());
         assert!(read_done > done, "{}: fetch must take time", dev.label());
         let (h2, done2) = dev.update(read_done, 7, Some(h));
         assert!(done2 > read_done);

@@ -21,7 +21,7 @@
 
 use requiem_flash::{FlashError, FlashSpec, Lun, PageAddr, PagePayload};
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::Resource;
+use requiem_sim::{FaultPlan, IoStatus, Resource};
 use requiem_ssd::addr::{ArrayShape, LunId, PhysPage};
 use requiem_ssd::block_dir::{BlockDirectory, Stream};
 use requiem_ssd::channel::ChannelTiming;
@@ -69,6 +69,10 @@ pub struct NamelessConfig {
     pub op_ratio: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Deterministic fault-injection plan ([`FaultPlan::none`] injects
+    /// nothing and is bit-exact with the pre-fault code).
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 impl From<&SsdConfig> for NamelessConfig {
@@ -84,6 +88,7 @@ impl From<&SsdConfig> for NamelessConfig {
             wear_aware: c.wl.dynamic,
             op_ratio: c.op_ratio,
             seed: c.seed,
+            fault: c.fault.clone(),
         }
     }
 }
@@ -123,6 +128,8 @@ pub struct NamelessCompletion {
     pub done: SimTime,
     /// End-to-end latency.
     pub latency: SimDuration,
+    /// Clean, or recovered after program-fail salvage(s).
+    pub status: IoStatus,
 }
 
 /// A flash device with no FTL mapping: nameless writes + migration upcalls.
@@ -156,7 +163,11 @@ impl NamelessSsd {
         let geom = cfg.flash.geometry.clone();
         NamelessSsd {
             luns: (0..nluns)
-                .map(|i| Lun::new(i, cfg.flash.clone(), cfg.seed))
+                .map(|i| {
+                    let mut lun = Lun::new(i, cfg.flash.clone(), cfg.seed);
+                    lun.apply_faults(cfg.fault.unit_view(i));
+                    lun
+                })
                 .collect(),
             lun_res: (0..nluns)
                 .map(|i| Resource::new(format!("chip{i}")))
@@ -244,6 +255,10 @@ impl NamelessSsd {
         best
     }
 
+    /// Program one page. A worn-out or fault-scheduled program surfaces
+    /// as `Err(())`; the caller retires the block and relocates its live
+    /// pages ([`NamelessSsd::salvage_and_retire`]). The failed attempt's
+    /// program time is still charged — the chip spent it.
     fn op_program(
         &mut self,
         not_before: SimTime,
@@ -251,7 +266,7 @@ impl NamelessSsd {
         tag: u64,
         use_channel: bool,
         cause: OpCause,
-    ) -> SimTime {
+    ) -> Result<SimTime, ()> {
         let chan = self.cfg.shape.channel_of(phys.lun) as usize;
         let start = if use_channel {
             let bus = self
@@ -264,39 +279,193 @@ impl NamelessSsd {
         };
         let dur = match self.luns[phys.lun.0 as usize].program(phys.addr, PagePayload::Tag(tag)) {
             Ok(o) => o.duration,
+            Err(FlashError::ProgramFailed { .. }) => {
+                self.lun_res[phys.lun.0 as usize]
+                    .reserve(start, self.cfg.flash.timing.program(phys.addr.page));
+                return Err(());
+            }
             Err(e) => panic!("nameless controller bug: illegal program: {e}"),
         };
         let g = self.lun_res[phys.lun.0 as usize].reserve(start, dur);
         self.metrics.flash_programs.bump(cause);
-        g.end
+        Ok(g.end)
     }
 
+    /// A program failed on a worn-out block: retire it and move its live
+    /// pages somewhere safe. Every relocation is announced to the host
+    /// as [`Upcall::Migrated`] — the communication abstraction lets the
+    /// device *say* what a block-device FTL would silently absorb.
+    fn salvage_and_retire(&mut self, lun: LunId, addr: PageAddr, t: SimTime) {
+        self.metrics.recovery.program_salvages += 1;
+        self.metrics.blocks_retired += 1;
+        let geom = self.cfg.flash.geometry.clone();
+        let block_idx = geom.block_index(geom.block_of(addr));
+        // retire FIRST so relocations below can never target this block
+        self.dir.retire(lun, block_idx);
+        self.upcalls.push(Upcall::BlockRetired { at: t });
+        let live = self.dir.live_pages(lun, block_idx);
+        for (a, tag) in live {
+            let old = PhysPage { lun, addr: a };
+            let (after_read, _payload, _st) = self.op_read(t, old, false, OpCause::WearLevel, None);
+            let Some(np) = self.dir.next_page(lun, Stream::Gc, self.cfg.wear_aware) else {
+                return; // out of space: page stays readable on the retired block
+            };
+            if self
+                .op_program(after_read, np.phys, tag.0, false, OpCause::WearLevel)
+                .is_err()
+            {
+                // nested failure: leave the page where it is
+                continue;
+            }
+            self.dir.invalidate(old);
+            self.dir.mark_valid(np.phys, tag);
+            self.upcalls.push(Upcall::Migrated {
+                tag: tag.0,
+                old: PhysName {
+                    lun: old.lun,
+                    addr: old.addr,
+                },
+                new: PhysName {
+                    lun: np.phys.lun,
+                    addr: np.phys.addr,
+                },
+                at: t,
+            });
+        }
+    }
+
+    /// Read one flash page, running the recovery pipeline when the ECC
+    /// gives up: read-retry ladder → soft-decode escalation → XOR parity
+    /// rebuild across the LUN stripe. `tag` enables the nameless
+    /// device's signature move: a successful parity rebuild rewrites the
+    /// page at a fresh location and *tells the host* via
+    /// [`Upcall::Migrated`] (pass `None` on GC relocation reads, which
+    /// re-home the page themselves). Returns the completion instant, the
+    /// payload, and how hard the device had to work for it.
     fn op_read(
         &mut self,
         not_before: SimTime,
         phys: PhysPage,
         with_transfer: bool,
         cause: OpCause,
-    ) -> (SimTime, PagePayload) {
+        tag: Option<u64>,
+    ) -> (SimTime, PagePayload, IoStatus) {
         let chan = self.cfg.shape.channel_of(phys.lun) as usize;
+        let li = phys.lun.0 as usize;
         // command cycles are latency, not bus occupancy (see requiem-ssd)
         let cmd_done = not_before + self.cfg.channel.command;
-        let (dur, payload) = match self.luns[phys.lun.0 as usize].read(phys.addr) {
-            Ok(o) => (o.duration, o.payload),
+        self.metrics.flash_reads.bump(cause);
+        let finish = |slf: &mut Self, from: SimTime, payload: PagePayload, status: IoStatus| {
+            if with_transfer {
+                let xfer = slf.cfg.flash.geometry.page_size;
+                let xg = slf.chan_res[chan].reserve(from, slf.cfg.channel.transfer(xfer));
+                (xg.end, payload, status)
+            } else {
+                (from, payload, status)
+            }
+        };
+        match self.luns[li].read(phys.addr) {
+            Ok(o) => {
+                let lg = self.lun_res[li].reserve(cmd_done, o.duration);
+                finish(self, lg.end, o.payload, IoStatus::Ok)
+            }
             Err(FlashError::UncorrectableRead { .. }) => {
                 self.metrics.uncorrectable_reads += 1;
-                (self.cfg.flash.timing.read * 2, PagePayload::Empty)
+                // the failed sense still occupied the chip
+                let lg = self.lun_res[li].reserve(cmd_done, self.cfg.flash.timing.read);
+                let mut cursor = lg.end;
+                let t_read = self.cfg.flash.timing.read;
+                let mut steps = 0u32;
+                let mut payload: Option<PagePayload> = None;
+                let mut rebuilt = false;
+                // stage 1: read-retry ladder (shifted reference voltages)
+                for derate in [0.6, 0.35, 0.2] {
+                    steps += 1;
+                    self.metrics.recovery.retry_attempts += 1;
+                    self.metrics.flash_reads.bump(OpCause::Recovery);
+                    let g = self.lun_res[li].reserve(cursor, t_read);
+                    cursor = g.end;
+                    if let Ok(o) = self.luns[li].recovery_read(phys.addr, derate, 1.0) {
+                        self.metrics.recovery.retry_recovered += 1;
+                        payload = Some(o.payload);
+                        break;
+                    }
+                }
+                // stage 2: soft-decode escalation (stronger ECC mode)
+                if payload.is_none() {
+                    steps += 1;
+                    self.metrics.recovery.ecc_escalations += 1;
+                    self.metrics.flash_reads.bump(OpCause::Recovery);
+                    let g = self.lun_res[li].reserve(cursor, t_read * 4);
+                    cursor = g.end;
+                    if let Ok(o) = self.luns[li].recovery_read(phys.addr, 0.5, 1.5) {
+                        self.metrics.recovery.ecc_recovered += 1;
+                        payload = Some(o.payload);
+                    }
+                }
+                // stage 3: XOR parity rebuild across the LUN stripe
+                let nluns = self.luns.len();
+                if payload.is_none() && nluns > 1 {
+                    self.metrics.recovery.parity_rebuilds += 1;
+                    let rb_start = cursor;
+                    let mut rb_end = cursor;
+                    for peer in 0..nluns {
+                        if peer == li {
+                            continue;
+                        }
+                        steps += 1;
+                        self.metrics.recovery.rebuild_page_reads += 1;
+                        self.metrics.flash_reads.bump(OpCause::Recovery);
+                        let g = self.lun_res[peer].reserve(rb_start, t_read);
+                        rb_end = rb_end.max(g.end);
+                    }
+                    cursor = rb_end;
+                    if let Some(p) = self.luns[li].parity_reconstruct(phys.addr) {
+                        payload = Some(p);
+                        rebuilt = true;
+                    }
+                }
+                self.metrics.recovery.recovery_time += cursor.since(lg.end);
+                let Some(payload) = payload else {
+                    self.metrics.recovery.unrecoverable += 1;
+                    return finish(self, cursor, PagePayload::Empty, IoStatus::Unrecoverable);
+                };
+                // a rebuilt page sits on dying media: re-home it and tell
+                // the host its new name (block FTLs do this silently —
+                // the nameless interface has a channel to say so)
+                if rebuilt {
+                    if let Some(t) = tag {
+                        if let Some(np) =
+                            self.dir
+                                .next_page(phys.lun, Stream::Gc, self.cfg.wear_aware)
+                        {
+                            if self
+                                .op_program(cursor, np.phys, t, false, OpCause::Recovery)
+                                .is_ok()
+                            {
+                                self.metrics.recovery.rebuild_relocations += 1;
+                                self.dir.invalidate(phys);
+                                self.dir.mark_valid(np.phys, Lpn(t));
+                                self.upcalls.push(Upcall::Migrated {
+                                    tag: t,
+                                    old: PhysName {
+                                        lun: phys.lun,
+                                        addr: phys.addr,
+                                    },
+                                    new: PhysName {
+                                        lun: np.phys.lun,
+                                        addr: np.phys.addr,
+                                    },
+                                    at: cursor,
+                                });
+                            }
+                        }
+                    }
+                }
+                let status = IoStatus::RecoveredAfterRetry { steps };
+                finish(self, cursor, payload, status)
             }
             Err(e) => panic!("nameless controller bug: illegal read: {e}"),
-        };
-        let lg = self.lun_res[phys.lun.0 as usize].reserve(cmd_done, dur);
-        self.metrics.flash_reads.bump(cause);
-        if with_transfer {
-            let xfer = self.cfg.channel.transfer(self.cfg.flash.geometry.page_size);
-            let xg = self.chan_res[chan].reserve(lg.end, xfer);
-            (xg.end, payload)
-        } else {
-            (lg.end, payload)
         }
     }
 
@@ -316,20 +485,48 @@ impl NamelessSsd {
         self.gc_active = false;
     }
 
+    /// Allocate a page on `lun` and program it, salvaging and retrying
+    /// on a failed program. `None` when the device is out of space.
+    fn program_retrying(
+        &mut self,
+        t: SimTime,
+        lun: LunId,
+        stream: Stream,
+        tag: u64,
+        use_channel: bool,
+        cause: OpCause,
+    ) -> Option<(PhysPage, SimTime)> {
+        let mut tries = self.luns.len() as u32 * 4;
+        loop {
+            let np = self.dir.next_page(lun, stream, self.cfg.wear_aware)?;
+            match self.op_program(t, np.phys, tag, use_channel, cause) {
+                Ok(end) => return Some((np.phys, end)),
+                Err(()) => {
+                    self.salvage_and_retire(np.phys.lun, np.phys.addr, t);
+                    tries -= 1;
+                    if tries == 0 {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
     fn gc_collect(&mut self, lun: LunId, victim: u32, t: SimTime) {
         self.metrics.gc_runs += 1;
         let live = self.dir.live_pages(lun, victim);
         for (addr, tag) in live {
             let old = PhysPage { lun, addr };
             let copyback = self.cfg.copyback;
-            let (after_read, _payload) = self.op_read(t, old, !copyback, OpCause::Gc);
-            let np = self
-                .dir
-                .next_page(lun, Stream::Gc, self.cfg.wear_aware)
-                .expect("nameless GC out of space: raise over-provisioning");
-            let _end = self.op_program(after_read, np.phys, tag.0, !copyback, OpCause::Gc);
+            let (after_read, _payload, _st) = self.op_read(t, old, !copyback, OpCause::Gc, None);
+            let Some((newphys, _end)) =
+                self.program_retrying(after_read, lun, Stream::Gc, tag.0, !copyback, OpCause::Gc)
+            else {
+                // worn-out device: leave the page where it is
+                continue;
+            };
             self.dir.invalidate(old);
-            self.dir.mark_valid(np.phys, tag);
+            self.dir.mark_valid(newphys, tag);
             self.metrics.gc_pages_moved += 1;
             // the peer-to-peer message: tell the host where its page went
             self.upcalls.push(Upcall::Migrated {
@@ -339,8 +536,8 @@ impl NamelessSsd {
                     addr: old.addr,
                 },
                 new: PhysName {
-                    lun: np.phys.lun,
-                    addr: np.phys.addr,
+                    lun: newphys.lun,
+                    addr: newphys.addr,
                 },
                 at: t,
             });
@@ -373,31 +570,39 @@ impl NamelessSsd {
         let t = link.end + self.cfg.controller_overhead;
         let lun = self.place_lun(t);
         self.maybe_gc(lun, t);
-        let np = self
-            .dir
-            .next_page(lun, Stream::Host, self.cfg.wear_aware)
+        let salvages_before = self.metrics.recovery.program_salvages;
+        let (phys, done) = self
+            .program_retrying(t, lun, Stream::Host, tag, true, OpCause::Host)
             .ok_or(NamelessError::DeviceFull)?;
-        let done = self.op_program(t, np.phys, tag, true, OpCause::Host);
-        self.dir.mark_valid(np.phys, Lpn(tag));
+        self.dir.mark_valid(phys, Lpn(tag));
         let latency = done.since(now);
         self.metrics.write_latency.record_duration(latency);
+        let salvages = (self.metrics.recovery.program_salvages - salvages_before) as u32;
         Ok(NamelessCompletion {
             name: PhysName {
-                lun: np.phys.lun,
-                addr: np.phys.addr,
+                lun: phys.lun,
+                addr: phys.addr,
             },
             done,
             latency,
+            status: if salvages > 0 {
+                IoStatus::RecoveredAfterRetry { steps: salvages }
+            } else {
+                IoStatus::Ok
+            },
         })
     }
 
     /// Read the page at `name`, verifying it still holds `tag`'s data.
+    /// The third element reports how the media fared: clean, recovered
+    /// (a parity rebuild re-homes the page and queues a
+    /// [`Upcall::Migrated`] naming the new location), or unrecoverable.
     pub fn read(
         &mut self,
         now: SimTime,
         name: PhysName,
         tag: u64,
-    ) -> Result<(SimTime, SimDuration), NamelessError> {
+    ) -> Result<(SimTime, SimDuration, IoStatus), NamelessError> {
         self.metrics.host_reads += 1;
         let t = now + self.cfg.controller_overhead;
         let geom = &self.cfg.flash.geometry;
@@ -410,11 +615,11 @@ impl NamelessSsd {
             lun: name.lun,
             addr: name.addr,
         };
-        let (flash_done, _payload) = self.op_read(t, phys, true, OpCause::Host);
+        let (flash_done, _payload, status) = self.op_read(t, phys, true, OpCause::Host, Some(tag));
         let out = self.host_link.reserve(flash_done, self.host_link_time());
         let latency = out.end.since(now);
         self.metrics.read_latency.record_duration(latency);
-        Ok((out.end, latency))
+        Ok((out.end, latency, status))
     }
 
     /// Free the page at `name` (the trim analog — but exact, since the
@@ -456,9 +661,10 @@ mod tests {
     fn write_returns_name_and_read_round_trips() {
         let mut d = device();
         let w = d.write(SimTime::ZERO, 42).unwrap();
-        let (done, lat) = d.read(w.done, w.name, 42).unwrap();
+        let (done, lat, status) = d.read(w.done, w.name, 42).unwrap();
         assert!(done > w.done);
         assert!(lat > SimDuration::ZERO);
+        assert_eq!(status, IoStatus::Ok);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! SSD crate tracks in-flight commands by tag while the block crate sits
 //! *above* the SSD crate — the vocabulary must be below both.
 
+use crate::fault::IoStatus;
 use crate::time::{SimDuration, SimTime};
 
 /// Host-assigned identity of one in-flight command. `CommandId(0)` means
@@ -171,6 +172,9 @@ pub struct IoCompletion {
     /// so far (0 when no probe is attached). Under the span-tiling
     /// invariant these spans cover `[submitted, done)` exactly.
     pub spans: u32,
+    /// How the command fared: clean, recovered, unrecoverable, or
+    /// rejected. Infallible paths report [`IoStatus::Ok`].
+    pub status: IoStatus,
 }
 
 impl IoCompletion {
@@ -208,6 +212,7 @@ mod tests {
             submitted: SimTime::from_micros(10),
             done: SimTime::from_micros(35),
             spans: 2,
+            status: IoStatus::Ok,
         };
         assert_eq!(c.latency(), SimDuration::from_micros(25));
     }

@@ -38,6 +38,7 @@
 pub mod cmd;
 pub mod completion;
 pub mod event;
+pub mod fault;
 pub mod gantt;
 pub mod probe;
 pub mod resource;
@@ -49,6 +50,7 @@ pub mod time;
 pub use cmd::{CommandId, IoClass, IoCompletion, IoOp, IoRequest};
 pub use completion::{CompletionHeap, InflightWindow};
 pub use event::EventQueue;
+pub use fault::{FaultPlan, FaultView, IoStatus};
 pub use gantt::{Gantt, Span};
 pub use probe::{BackgroundGuard, Cause, CommandScope, Layer, Probe, ProbeSummary, SpanEvent};
 pub use resource::{Occupant, Resource, ResourceBank};

@@ -101,6 +101,12 @@ pub enum Cause {
     MergeStall,
     /// Waiting for a resource occupied by mapping-translation traffic.
     TranslationStall,
+    /// Waiting for a resource occupied by error recovery (another
+    /// command's retry ladder, parity rebuild, or salvage).
+    RecoveryStall,
+    /// Error-recovery work on the command's own critical path: retry
+    /// re-reads, ECC escalation, parity-rebuild reads.
+    Recovery,
     /// Data movement on a bus (channel or host link).
     Transfer,
     /// Flash cell read (tR).
@@ -128,6 +134,8 @@ impl Cause {
             Cause::WearStall => "wear_stall",
             Cause::MergeStall => "merge_stall",
             Cause::TranslationStall => "translation_stall",
+            Cause::RecoveryStall => "recovery_stall",
+            Cause::Recovery => "recovery",
             Cause::Transfer => "transfer",
             Cause::CellRead => "cell_read",
             Cause::CellProgram => "cell_program",
@@ -147,6 +155,7 @@ impl Cause {
             Occupant::Wear => Cause::WearStall,
             Occupant::Merge => Cause::MergeStall,
             Occupant::Translation => Cause::TranslationStall,
+            Occupant::Recovery => Cause::RecoveryStall,
         }
     }
 }
@@ -208,6 +217,11 @@ pub struct ProbeSummary {
     pub by_layer_cause: BTreeMap<(Layer, Cause), SpanStat>,
     /// Commands completed, by kind.
     pub commands: BTreeMap<&'static str, u64>,
+    /// Non-`Ok` completion statuses observed, by status name (see
+    /// [`crate::fault::IoStatus::as_str`]). Clean completions are not
+    /// counted, so a zero-fault run leaves this empty — and the JSON
+    /// summary byte-identical to a fault-oblivious build.
+    pub statuses: BTreeMap<&'static str, u64>,
 }
 
 impl ProbeSummary {
@@ -242,7 +256,20 @@ impl ProbeSummary {
             first = false;
             out.push_str(&format!("\"{kind}\":{n}"));
         }
-        out.push_str("},\"spans\":[");
+        out.push('}');
+        if !self.statuses.is_empty() {
+            out.push_str(",\"statuses\":{");
+            let mut first = true;
+            for (status, n) in &self.statuses {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{status}\":{n}"));
+            }
+            out.push('}');
+        }
+        out.push_str(",\"spans\":[");
         let mut first = true;
         for ((layer, cause), stat) in &self.by_layer_cause {
             if !first {
@@ -546,6 +573,19 @@ impl Probe {
             cursor = end;
         }
         debug_assert_eq!(cursor, to, "blame does not tile the wait interval");
+    }
+
+    /// Count a non-`Ok` completion status in the summary (see
+    /// [`ProbeSummary::statuses`]). Callers pass
+    /// [`crate::fault::IoStatus::as_str`]; `"ok"` is ignored so clean
+    /// runs leave the summary untouched.
+    pub fn note_status(&self, status: &'static str) {
+        if status == "ok" {
+            return;
+        }
+        if let Some(b) = &self.bus {
+            *b.borrow_mut().summary.statuses.entry(status).or_insert(0) += 1;
+        }
     }
 
     /// Enter a background scope: spans emitted until the matching

@@ -35,6 +35,9 @@ pub enum Occupant {
     Merge,
     /// Mapping-translation traffic (e.g. DFTL page reads/writes).
     Translation,
+    /// Error-recovery traffic (read-retry ladders, ECC escalation,
+    /// parity-rebuild reads, salvage relocations).
+    Recovery,
 }
 
 /// How many recent tagged grants a tracking resource retains for blame

@@ -16,6 +16,7 @@
 
 use requiem_flash::FlashSpec;
 use requiem_sim::time::SimDuration;
+use requiem_sim::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 use crate::addr::ArrayShape;
@@ -150,6 +151,11 @@ pub struct SsdConfig {
     /// controllers scrub around a fraction of the cell technology's
     /// disturb budget.
     pub scrub_after_reads: u64,
+    /// Deterministic fault-injection plan. [`FaultPlan::none`] (the
+    /// default) injects nothing and is bit-exact: simulation output is
+    /// byte-identical to a fault-oblivious build.
+    #[serde(default)]
+    pub fault: FaultPlan,
 }
 
 impl SsdConfig {
@@ -176,6 +182,7 @@ impl SsdConfig {
             wl: WlConfig::default(),
             seed: 0xD15C,
             scrub_after_reads: 0,
+            fault: FaultPlan::none(),
         }
     }
 
@@ -200,6 +207,7 @@ impl SsdConfig {
             wl: WlConfig::default(),
             seed: 0x2009,
             scrub_after_reads: 0,
+            fault: FaultPlan::none(),
         }
     }
 

@@ -78,11 +78,11 @@ impl Ssd {
                 continue; // gap: C3 permits skipping ahead
             };
             let src = self.block_phys(old, o);
-            let read = self.op_read(cursor, src, !copyback, OpCause::Merge);
+            let read = self.op_read(cursor, src, !copyback, OpCause::Merge)?;
             let dst = self.block_phys(new, o);
             let end = self
                 .op_program(read.end, dst, lpn_o, !copyback, OpCause::Merge)
-                .map_err(|()| SsdError::DeviceFull { lun: new.lun })?;
+                .map_err(|e| e.full_on(new.lun))?;
             self.dir.invalidate(src);
             self.dir.mark_valid(dst, lpn_o);
             cursor = end;
@@ -112,7 +112,7 @@ impl Ssd {
                 addr: a,
             });
         }
-        self.op_erase(t, ctx.old.lun, ctx.old.block, OpCause::Merge);
+        self.op_erase(t, ctx.old.lun, ctx.old.block, OpCause::Merge)?;
         match &mut self.map {
             MappingState::Block(m) => {
                 m.update(ctx.lbn, ctx.new);
@@ -153,7 +153,7 @@ impl Ssd {
                     let phys = self.block_phys(ctx.new, off);
                     let end = self
                         .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun: ctx.new.lun })?;
+                        .map_err(|e| e.full_on(ctx.new.lun))?;
                     self.dir.mark_valid(phys, lpn);
                     return Ok(end);
                 }
@@ -173,7 +173,7 @@ impl Ssd {
                 let phys = self.block_phys(pb, off);
                 let end = self
                     .op_program(t0, phys, lpn, true, OpCause::Host)
-                    .map_err(|()| SsdError::DeviceFull { lun })?;
+                    .map_err(|e| e.full_on(lun))?;
                 if let MappingState::Block(m) = &mut self.map {
                     m.update(lbn, pb);
                 }
@@ -188,7 +188,7 @@ impl Ssd {
                     let phys = self.block_phys(pb, off);
                     let end = self
                         .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun: pb.lun })?;
+                        .map_err(|e| e.full_on(pb.lun))?;
                     self.dir.mark_valid(phys, lpn);
                     Ok(end)
                 } else {
@@ -213,7 +213,7 @@ impl Ssd {
                     let phys = self.block_phys(newpb, off);
                     let end = self
                         .op_program(t0, phys, lpn, true, OpCause::Host)
-                        .map_err(|()| SsdError::DeviceFull { lun })?;
+                        .map_err(|e| e.full_on(lun))?;
                     self.dir.mark_valid(phys, lpn);
                     Ok(end)
                 }

@@ -206,7 +206,7 @@ impl Ssd {
             }];
             self.exec_trans(t, &ios);
         }
-        self.op_erase(t, lun, victim, OpCause::Gc);
+        self.op_erase(t, lun, victim, OpCause::Gc)?;
         Ok(())
     }
 
@@ -221,7 +221,7 @@ impl Ssd {
         cause: OpCause,
     ) -> Result<(), SsdError> {
         let copyback = self.cfg.gc.copyback;
-        let read = self.op_read(t, old, !copyback, cause);
+        let read = self.op_read(t, old, !copyback, cause)?;
         // consistency check: the OOB tag must match the directory — unless
         // the read itself was uncorrectable (payload lost, Empty returned),
         // in which case the relocation proceeds from assumed redundancy

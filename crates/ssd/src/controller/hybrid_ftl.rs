@@ -35,7 +35,7 @@ impl Ssd {
             let phys = self.block_phys(pbref, off);
             let end = self
                 .op_program(t0, phys, lpn, true, OpCause::Host)
-                .map_err(|()| SsdError::DeviceFull { lun })?;
+                .map_err(|e| e.full_on(lun))?;
             if let MappingState::Hybrid(h) = &mut self.map {
                 h.data.update(lbn, pbref);
             }
@@ -50,7 +50,7 @@ impl Ssd {
             let phys = self.block_phys(pb, off);
             let end = self
                 .op_program(t0, phys, lpn, true, OpCause::Host)
-                .map_err(|()| SsdError::DeviceFull { lun: pb.lun })?;
+                .map_err(|e| e.full_on(pb.lun))?;
             self.dir.mark_valid(phys, lpn);
             return Ok(end);
         }
@@ -110,7 +110,7 @@ impl Ssd {
         let phys = self.block_phys(log_pb, log_page);
         let end = self
             .op_program(t, phys, lpn, true, OpCause::Host)
-            .map_err(|()| SsdError::DeviceFull { lun: log_pb.lun })?;
+            .map_err(|e| e.full_on(log_pb.lun))?;
         self.dir.mark_valid(phys, lpn);
         Ok(end)
     }
@@ -159,7 +159,7 @@ impl Ssd {
                         addr: a,
                     });
                 }
-                end = self.op_erase(t, old.lun, old.block, OpCause::Merge);
+                end = self.op_erase(t, old.lun, old.block, OpCause::Merge)?;
             }
             if let MappingState::Hybrid(h) = &mut self.map {
                 h.data.update(lbn, log.phys);
@@ -200,11 +200,11 @@ impl Ssd {
             } else {
                 continue;
             };
-            let read = self.op_read(cursor, src, !copyback, OpCause::Merge);
+            let read = self.op_read(cursor, src, !copyback, OpCause::Merge)?;
             let dst = self.block_phys(newpb, o);
             let end = self
                 .op_program(read.end, dst, lpn_o, !copyback, OpCause::Merge)
-                .map_err(|()| SsdError::DeviceFull { lun })?;
+                .map_err(|e| e.full_on(lun))?;
             self.dir.invalidate(src);
             self.dir.mark_valid(dst, lpn_o);
             cursor = end;
@@ -214,7 +214,7 @@ impl Ssd {
         for (a, _) in stale {
             self.dir.invalidate(PhysPage { lun, addr: a });
         }
-        let mut end = self.op_erase(cursor, lun, log.phys.block, OpCause::Merge);
+        let mut end = self.op_erase(cursor, lun, log.phys.block, OpCause::Merge)?;
         if let Some(pb) = data {
             // anything left in the data block is stale now
             let stale = self.dir.live_pages(pb.lun, pb.block);
@@ -224,7 +224,7 @@ impl Ssd {
                     addr: a,
                 });
             }
-            end = self.op_erase(end, pb.lun, pb.block, OpCause::Merge);
+            end = self.op_erase(end, pb.lun, pb.block, OpCause::Merge)?;
         }
         if let MappingState::Hybrid(h) = &mut self.map {
             h.data.update(lbn, newpb);

@@ -33,7 +33,9 @@ impl Ssd {
     /// ambiguous).
     pub fn power_loss_rebuild(&mut self, at: SimTime) -> Result<RebuildReport, SsdError> {
         if !matches!(self.map, MappingState::Page(_)) {
-            return Err(SsdError::DeviceFull { lun: LunId(0) }); // unsupported
+            return Err(SsdError::Unsupported {
+                what: "power-loss rebuild",
+            });
         }
         assert!(
             at >= self.drain_time(),
@@ -75,7 +77,7 @@ impl Ssd {
                         break;
                     }
                     let phys = PhysPage { lun, addr };
-                    let read = self.op_read(at, phys, false, OpCause::Translation);
+                    let read = self.op_read(at, phys, false, OpCause::Translation)?;
                     scanned += 1;
                     if let PagePayload::Oob { lpn, seq } = read.payload {
                         match best.entry(lpn) {

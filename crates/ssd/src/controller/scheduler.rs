@@ -20,7 +20,7 @@ use requiem_sim::{Cause, Layer, Occupant, Probe, Resource};
 use crate::addr::{Lpn, LunId, PhysPage};
 use crate::block_dir::Stream;
 use crate::config::Placement;
-use crate::device::{FlashReadDone, Ssd, SsdError};
+use crate::device::{FlashReadDone, ReadRecovery, Ssd, SsdError};
 use crate::mapping::dftl::{TransIo, TransIoKind};
 use crate::metrics::OpCause;
 
@@ -32,8 +32,27 @@ pub(crate) fn occupant_of(cause: OpCause) -> Occupant {
         OpCause::WearLevel => Occupant::Wear,
         OpCause::Merge => Occupant::Merge,
         OpCause::Translation => Occupant::Translation,
+        OpCause::Recovery => Occupant::Recovery,
     }
 }
+
+/// Read-retry ladder: RBER derate per rung. Each rung re-senses the
+/// page at a shifted read voltage; later rungs shift further and
+/// recover more (lower effective RBER), at one tR + a command cycle
+/// apiece.
+const RETRY_DERATES: [f64; 3] = [0.6, 0.35, 0.2];
+
+/// RBER derate of the soft-decision ECC escalation (multiple senses
+/// feed a soft decoder).
+const ECC_ESCALATION_DERATE: f64 = 0.5;
+
+/// Correction-capability boost of the soft-decision decoder relative
+/// to the hard decoder.
+const ECC_ESCALATION_BOOST: f64 = 1.5;
+
+/// LUN time charged by the ECC escalation, in units of tR (the soft
+/// decode needs several senses of the same page).
+const ECC_ESCALATION_SENSES: u32 = 4;
 
 /// Owner of the controller's serial resource timelines (channels, LUNs,
 /// host link), the Gantt trace, and the observability probe.
@@ -153,13 +172,29 @@ impl Ssd {
     // flash op primitives (resource-timed)
     // ------------------------------------------------------------------
 
+    /// Extra transfer time injected on `chan` for the grant about to be
+    /// issued ([`FaultPlan`](requiem_sim::FaultPlan) channel hiccups).
+    /// The empty-schedule fast path adds exactly zero, keeping
+    /// zero-fault runs bit-identical.
+    fn chan_hiccup_extra(&self, chan: usize) -> SimDuration {
+        let sched = &self.chan_hiccups[chan];
+        if sched.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let next = self.sched.chan_res[chan].grant_count();
+        match sched.binary_search_by_key(&next, |&(i, _)| i) {
+            Ok(k) => SimDuration::from_nanos(sched[k].1),
+            Err(_) => SimDuration::ZERO,
+        }
+    }
+
     pub(crate) fn op_read(
         &mut self,
         not_before: SimTime,
         phys: PhysPage,
         with_transfer: bool,
         cause: OpCause,
-    ) -> FlashReadDone {
+    ) -> Result<FlashReadDone, SsdError> {
         let li = phys.lun.0 as usize;
         let chan = self.shape().channel_of(phys.lun) as usize;
         // command/address cycles (~0.2µs) are charged as latency but not
@@ -170,12 +205,18 @@ impl Ssd {
         let (dur, payload) = match self.luns[li].read(phys.addr) {
             Ok(o) => (o.duration, o.payload),
             Err(FlashError::UncorrectableRead { .. }) => {
-                // assume controller-level redundancy recovers at the cost
-                // of a re-read
+                // the first sense failed ECC decode: enter the recovery
+                // pipeline (it charges the failed sense itself)
                 self.metrics.uncorrectable_reads += 1;
-                (self.cfg.flash.timing.read * 2, PagePayload::Empty)
+                return self.recover_read(not_before, phys, with_transfer, cause);
             }
-            Err(e) => panic!("FTL bug: illegal flash read at {:?}: {e}", phys),
+            Err(e) => {
+                return Err(SsdError::FlashProtocol {
+                    op: "read",
+                    lun: phys.lun,
+                    detail: format!("at {:?}: {e}", phys.addr),
+                })
+            }
         };
         let occ = occupant_of(cause);
         let lg = self.sched.lun_res[li].reserve_tagged(cmd_done, dur, occ);
@@ -201,7 +242,7 @@ impl Ssd {
         self.sched
             .trace_span(format!("chip{}", phys.lun.0), lg.start, lg.end, 'R');
         let (end, chan_wait) = if with_transfer {
-            let xfer = self.cfg.channel.transfer(self.page_size());
+            let xfer = self.cfg.channel.transfer(self.page_size()) + self.chan_hiccup_extra(chan);
             let xg = self.sched.chan_res[chan].reserve_tagged(lg.end, xfer, occ);
             if self.sched.probe.is_enabled() {
                 self.sched.emit_chan_wait(chan, lg.end, xg.start);
@@ -219,16 +260,263 @@ impl Ssd {
         } else {
             (lg.end, SimDuration::ZERO)
         };
-        FlashReadDone {
+        Ok(FlashReadDone {
             end,
             lun_wait,
             chan_wait,
             payload,
-        }
+            status: ReadRecovery::Clean,
+        })
     }
 
-    /// Program `phys` with the tag for `lpn`. `Err(())` = wear-induced
-    /// program failure (caller retires the block and retries elsewhere).
+    /// The read-recovery pipeline (the paper's Myth-1 "error management
+    /// belongs to the controller", made mechanical). Entered after the
+    /// initial sense of `phys` failed the hard ECC decode. Charges the
+    /// failed sense, then escalates until something yields data:
+    ///
+    /// 1. **Read-retry ladder** — up to [`RETRY_DERATES`] re-senses at
+    ///    shifted read voltages, one tR plus a command cycle per rung;
+    /// 2. **ECC escalation** — one soft-decision decode over
+    ///    [`ECC_ESCALATION_SENSES`] senses with a boosted correction
+    ///    capability;
+    /// 3. **Parity rebuild** — XOR of the stripe: one tR on every
+    ///    *other* LUN in parallel, data funneling over their channels,
+    ///    reconstructing the page without ever decoding it.
+    ///
+    /// Recovery occupancy is tagged [`Occupant::Recovery`], so host
+    /// commands queued behind it see `RecoveryStall` blame spans on the
+    /// probe bus; the command that triggered recovery gets contiguous
+    /// `Recovery`-cause spans, preserving the span-tiling invariant.
+    /// If the whole pipeline fails, the read still completes — at full
+    /// cost — with [`ReadRecovery::Lost`].
+    fn recover_read(
+        &mut self,
+        not_before: SimTime,
+        phys: PhysPage,
+        with_transfer: bool,
+        cause: OpCause,
+    ) -> Result<FlashReadDone, SsdError> {
+        let li = phys.lun.0 as usize;
+        let chan = self.shape().channel_of(phys.lun) as usize;
+        let occ = occupant_of(cause);
+        let t_read = self.cfg.flash.timing.read;
+        let cmd = self.cfg.channel.command;
+        let probe_on = self.sched.probe.is_enabled();
+        let lane = format!("chip{}", phys.lun.0);
+
+        // the failed initial sense still occupied the LUN for a full tR,
+        // under the original occupant
+        let cmd_done = not_before + cmd;
+        let lg = self.sched.lun_res[li].reserve_tagged(cmd_done, t_read, occ);
+        let lun_wait = lg.start.since(cmd_done);
+        self.metrics.flash_reads.bump(cause);
+        if probe_on {
+            self.sched.probe.span(
+                Layer::Channel,
+                Cause::Command,
+                self.sched.chan_res[chan].name(),
+                not_before,
+                cmd_done,
+            );
+            self.sched.emit_lun_wait(li, cmd_done, lg.start);
+            self.sched.probe.span(
+                Layer::Flash,
+                Cause::CellRead,
+                self.sched.lun_res[li].name(),
+                lg.start,
+                lg.end,
+            );
+        }
+        self.sched.trace_span(lane.clone(), lg.start, lg.end, 'R');
+
+        let mut cursor = lg.end;
+        let mut steps = 0u32;
+        let mut rebuilt = false;
+        let mut payload: Option<PagePayload> = None;
+
+        // stage 1: the read-retry ladder
+        for derate in RETRY_DERATES {
+            steps += 1;
+            self.metrics.recovery.retry_attempts += 1;
+            self.metrics.flash_reads.bump(OpCause::Recovery);
+            let rung_cmd_done = cursor + cmd;
+            let g =
+                self.sched.lun_res[li].reserve_tagged(rung_cmd_done, t_read, Occupant::Recovery);
+            if probe_on {
+                self.sched.probe.span(
+                    Layer::Channel,
+                    Cause::Command,
+                    self.sched.chan_res[chan].name(),
+                    cursor,
+                    rung_cmd_done,
+                );
+                self.sched.emit_lun_wait(li, rung_cmd_done, g.start);
+                self.sched.probe.span(
+                    Layer::Flash,
+                    Cause::Recovery,
+                    self.sched.lun_res[li].name(),
+                    g.start,
+                    g.end,
+                );
+            }
+            self.sched.trace_span(lane.clone(), g.start, g.end, 'r');
+            cursor = g.end;
+            match self.luns[li].recovery_read(phys.addr, derate, 1.0) {
+                Ok(o) => {
+                    payload = Some(o.payload);
+                    self.metrics.recovery.retry_recovered += 1;
+                    break;
+                }
+                Err(FlashError::UncorrectableRead { .. }) => continue,
+                Err(e) => {
+                    return Err(SsdError::FlashProtocol {
+                        op: "read",
+                        lun: phys.lun,
+                        detail: format!("retry at {:?}: {e}", phys.addr),
+                    })
+                }
+            }
+        }
+
+        // stage 2: soft-decision ECC escalation
+        if payload.is_none() {
+            steps += 1;
+            self.metrics.recovery.ecc_escalations += 1;
+            self.metrics.flash_reads.bump(OpCause::Recovery);
+            let esc_cmd_done = cursor + cmd;
+            let g = self.sched.lun_res[li].reserve_tagged(
+                esc_cmd_done,
+                t_read * u64::from(ECC_ESCALATION_SENSES),
+                Occupant::Recovery,
+            );
+            if probe_on {
+                self.sched.probe.span(
+                    Layer::Channel,
+                    Cause::Command,
+                    self.sched.chan_res[chan].name(),
+                    cursor,
+                    esc_cmd_done,
+                );
+                self.sched.emit_lun_wait(li, esc_cmd_done, g.start);
+                self.sched.probe.span(
+                    Layer::Flash,
+                    Cause::Recovery,
+                    self.sched.lun_res[li].name(),
+                    g.start,
+                    g.end,
+                );
+            }
+            self.sched.trace_span(lane.clone(), g.start, g.end, 'e');
+            cursor = g.end;
+            match self.luns[li].recovery_read(
+                phys.addr,
+                ECC_ESCALATION_DERATE,
+                ECC_ESCALATION_BOOST,
+            ) {
+                Ok(o) => {
+                    payload = Some(o.payload);
+                    self.metrics.recovery.ecc_recovered += 1;
+                }
+                Err(FlashError::UncorrectableRead { .. }) => {}
+                Err(e) => {
+                    return Err(SsdError::FlashProtocol {
+                        op: "read",
+                        lun: phys.lun,
+                        detail: format!("escalation at {:?}: {e}", phys.addr),
+                    })
+                }
+            }
+        }
+
+        // stage 3: stripe parity rebuild across every other LUN
+        if payload.is_none() {
+            let nl = self.total_luns() as usize;
+            if nl > 1 {
+                self.metrics.recovery.parity_rebuilds += 1;
+                let rb_start = cursor;
+                let mut rb_end = rb_start;
+                let xfer = self.cfg.channel.transfer(self.page_size());
+                for peer in 0..nl {
+                    if peer == li {
+                        continue;
+                    }
+                    steps += 1;
+                    self.metrics.recovery.rebuild_page_reads += 1;
+                    self.metrics.flash_reads.bump(OpCause::Recovery);
+                    let peer_chan = self.shape().channel_of(LunId(peer as u32)) as usize;
+                    let pg = self.sched.lun_res[peer].reserve_tagged(
+                        rb_start + cmd,
+                        t_read,
+                        Occupant::Recovery,
+                    );
+                    let xg = self.sched.chan_res[peer_chan].reserve_tagged(
+                        pg.end,
+                        xfer,
+                        Occupant::Recovery,
+                    );
+                    rb_end = rb_end.max(xg.end);
+                }
+                if probe_on && rb_end > rb_start {
+                    // one aggregate span: the peer reads overlap each
+                    // other, so per-peer spans would break span tiling
+                    self.sched.probe.span(
+                        Layer::Controller,
+                        Cause::Recovery,
+                        "stripe",
+                        rb_start,
+                        rb_end,
+                    );
+                }
+                cursor = rb_end.max(cursor);
+                if let Some(p) = self.luns[li].parity_reconstruct(phys.addr) {
+                    payload = Some(p);
+                    rebuilt = true;
+                }
+            }
+        }
+
+        self.metrics.recovery.recovery_time += cursor.since(lg.end);
+        let (payload, status) = match payload {
+            Some(p) => (p, ReadRecovery::Recovered { steps, rebuilt }),
+            None => {
+                self.metrics.recovery.unrecoverable += 1;
+                (PagePayload::Empty, ReadRecovery::Lost)
+            }
+        };
+
+        // transfer whatever the controller ended up with
+        let (end, chan_wait) = if with_transfer {
+            let xfer = self.cfg.channel.transfer(self.page_size()) + self.chan_hiccup_extra(chan);
+            let xg = self.sched.chan_res[chan].reserve_tagged(cursor, xfer, occ);
+            if probe_on {
+                self.sched.emit_chan_wait(chan, cursor, xg.start);
+                self.sched.probe.span(
+                    Layer::Channel,
+                    Cause::Transfer,
+                    self.sched.chan_res[chan].name(),
+                    xg.start,
+                    xg.end,
+                );
+            }
+            self.sched
+                .trace_span(format!("chan{chan}"), xg.start, xg.end, 't');
+            (xg.end, xg.start.since(cursor))
+        } else {
+            (cursor, SimDuration::ZERO)
+        };
+        Ok(FlashReadDone {
+            end,
+            lun_wait,
+            chan_wait,
+            payload,
+            status,
+        })
+    }
+
+    /// Program `phys` with the tag for `lpn`.
+    /// [`SsdError::ProgramFailed`] = wear-induced program failure
+    /// (`append_page` salvages the block and retries elsewhere;
+    /// fixed-offset FTLs collapse it via [`SsdError::full_on`]).
     pub(crate) fn op_program(
         &mut self,
         not_before: SimTime,
@@ -236,12 +524,13 @@ impl Ssd {
         lpn: Lpn,
         use_channel: bool,
         cause: OpCause,
-    ) -> Result<SimTime, ()> {
+    ) -> Result<SimTime, SsdError> {
         let li = phys.lun.0 as usize;
         let chan = self.shape().channel_of(phys.lun) as usize;
         let occ = occupant_of(cause);
         let start = if use_channel {
-            let bus_time = self.cfg.channel.write_bus_time(self.page_size());
+            let bus_time =
+                self.cfg.channel.write_bus_time(self.page_size()) + self.chan_hiccup_extra(chan);
             let bus = self.sched.chan_res[chan].reserve_tagged(not_before, bus_time, occ);
             if self.sched.probe.is_enabled() {
                 self.sched.emit_chan_wait(chan, not_before, bus.start);
@@ -266,8 +555,14 @@ impl Ssd {
         };
         let dur = match self.luns[li].program(phys.addr, oob) {
             Ok(o) => o.duration,
-            Err(FlashError::ProgramFailed { .. }) => return Err(()),
-            Err(e) => panic!("FTL bug: illegal flash program at {:?}: {e}", phys),
+            Err(FlashError::ProgramFailed { .. }) => return Err(SsdError::ProgramFailed { phys }),
+            Err(e) => {
+                return Err(SsdError::FlashProtocol {
+                    op: "program",
+                    lun: phys.lun,
+                    detail: format!("at {:?}: {e}", phys.addr),
+                })
+            }
         };
         let g = self.sched.lun_res[li].reserve_tagged(start, dur, occ);
         self.metrics.flash_programs.bump(cause);
@@ -287,14 +582,15 @@ impl Ssd {
     }
 
     /// Erase a block; on wear-out failure the block is retired. Returns
-    /// the erase completion either way (the time was spent).
+    /// the erase completion either way (the time was spent); errs only
+    /// on a protocol violation (erase of a retired block).
     pub(crate) fn op_erase(
         &mut self,
         not_before: SimTime,
         lun: LunId,
         block_idx: u32,
         cause: OpCause,
-    ) -> SimTime {
+    ) -> Result<SimTime, SsdError> {
         let li = lun.0 as usize;
         let baddr = self.cfg.flash.geometry.block_from_index(block_idx);
         let cmd_done = not_before + self.cfg.channel.command;
@@ -308,7 +604,13 @@ impl Ssd {
                 self.sched.lun_res[li].reserve_tagged(cmd_done, self.cfg.flash.timing.erase, occ),
                 true,
             ),
-            Err(e) => panic!("FTL bug: illegal erase of {baddr}: {e}"),
+            Err(e) => {
+                return Err(SsdError::FlashProtocol {
+                    op: "erase",
+                    lun,
+                    detail: format!("of {baddr}: {e}"),
+                })
+            }
         };
         self.metrics.flash_erases.bump(cause);
         if self.sched.probe.is_enabled() {
@@ -331,13 +633,14 @@ impl Ssd {
         }
         if retired {
             self.metrics.blocks_retired += 1;
+            self.metrics.recovery.erase_retirements += 1;
             self.dir.retire(lun, block_idx);
         } else {
             self.sched
                 .trace_span(format!("chip{}", lun.0), g.start, g.end, 'E');
             self.dir.recycle(lun, block_idx);
         }
-        g.end
+        Ok(g.end)
     }
 
     /// Charge DFTL translation traffic, serialized after `t`. Grants are
@@ -471,11 +774,14 @@ impl Ssd {
             };
             match self.op_program(t, np.phys, lpn, use_channel, cause) {
                 Ok(end) => return Ok((np.phys, end)),
-                Err(()) => {
-                    // wear-induced failure: salvage live pages, retire block
+                Err(SsdError::ProgramFailed { .. }) => {
+                    // wear-induced failure: salvage live pages, retire
+                    // block, and retry the write in a fresh stripe
+                    self.metrics.recovery.program_salvages += 1;
                     self.salvage_and_retire(np.phys.lun, np.phys.addr, t);
                     continue;
                 }
+                Err(e) => return Err(e),
             }
         }
     }

@@ -76,7 +76,9 @@ impl Ssd {
                 return; // out of space: leave the block as-is
             }
         }
-        self.op_erase(t, lun, victim, OpCause::WearLevel);
+        // a refused erase (protocol violation) aborts the migration; the
+        // block simply stays in place with its pages already relocated
+        let _ = self.op_erase(t, lun, victim, OpCause::WearLevel);
     }
 
     /// A program failed on a worn-out block: retire the block and move its

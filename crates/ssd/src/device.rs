@@ -46,7 +46,7 @@
 use requiem_flash::{Lun, PagePayload};
 use requiem_sim::gantt::Gantt;
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::{Cause, Layer, Probe};
+use requiem_sim::{Cause, IoStatus, Layer, Probe};
 
 use crate::addr::{ArrayShape, Capacity, Lpn, LunId, PhysPage};
 use crate::block_dir::BlockDirectory;
@@ -74,6 +74,45 @@ pub enum SsdError {
         /// The LUN that ran out.
         lun: LunId,
     },
+    /// A wear-induced program failure. Largely internal: `append_page`
+    /// catches it, salvages the block, and retries elsewhere; fixed-
+    /// offset FTLs collapse it into [`SsdError::DeviceFull`] via
+    /// [`SsdError::full_on`].
+    ProgramFailed {
+        /// The page whose program failed.
+        phys: PhysPage,
+    },
+    /// The controller issued a flash command the chip refused
+    /// (out-of-range address, rewrite of a programmed page, erase of a
+    /// retired block) — an FTL invariant violation, surfaced as a typed
+    /// error instead of a controller panic.
+    FlashProtocol {
+        /// Which primitive was refused (`"read"`, `"program"`, `"erase"`).
+        op: &'static str,
+        /// The LUN addressed.
+        lun: LunId,
+        /// The chip's complaint.
+        detail: String,
+    },
+    /// The request is not supported under the active mapping scheme.
+    Unsupported {
+        /// What was requested.
+        what: &'static str,
+    },
+}
+
+impl SsdError {
+    /// Collapse a wear-induced program failure into `DeviceFull` on
+    /// `lun`. Fixed-offset FTL paths (block / hybrid mapping) cannot
+    /// retry a failed program at another location, so for them a
+    /// program failure *is* exhaustion; every other error passes
+    /// through unchanged.
+    pub(crate) fn full_on(self, lun: LunId) -> SsdError {
+        match self {
+            SsdError::ProgramFailed { .. } => SsdError::DeviceFull { lun },
+            e => e,
+        }
+    }
 }
 
 impl std::fmt::Display for SsdError {
@@ -83,6 +122,15 @@ impl std::fmt::Display for SsdError {
                 write!(f, "lpn {} out of range (exported {})", lpn.0, exported)
             }
             SsdError::DeviceFull { lun } => write!(f, "no usable space left on lun {}", lun.0),
+            SsdError::ProgramFailed { phys } => {
+                write!(f, "program failed at {:?} on lun {}", phys.addr, phys.lun.0)
+            }
+            SsdError::FlashProtocol { op, lun, detail } => {
+                write!(f, "flash {op} refused on lun {} ({detail})", lun.0)
+            }
+            SsdError::Unsupported { what } => {
+                write!(f, "{what} unsupported under the active mapping scheme")
+            }
         }
     }
 }
@@ -111,6 +159,10 @@ pub struct Completion {
     pub latency: SimDuration,
     /// What served it.
     pub served: Served,
+    /// How the command fared: clean, recovered after the controller's
+    /// recovery pipeline ran, or unrecoverable. Commands the device
+    /// refuses outright surface as [`SsdError`] instead.
+    pub status: IoStatus,
 }
 
 /// Result of [`Ssd::power_loss_rebuild`].
@@ -131,11 +183,42 @@ pub(crate) enum MappingState {
     Hybrid(HybridState),
 }
 
+/// How one flash read fared in the controller's recovery pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadRecovery {
+    /// The first sense decoded cleanly.
+    Clean,
+    /// Recovered after `steps` recovery actions (retry-ladder rungs,
+    /// an ECC escalation, parity-rebuild stripe reads). `rebuilt` marks
+    /// recoveries that went all the way to parity reconstruction — the
+    /// source page is then suspect and gets relocated.
+    Recovered {
+        /// Recovery actions on the critical path.
+        steps: u32,
+        /// Whether the data came from the stripe parity, not the page.
+        rebuilt: bool,
+    },
+    /// The full pipeline failed; the payload is not the stored data.
+    Lost,
+}
+
+impl ReadRecovery {
+    /// The host-visible status classification.
+    pub(crate) fn io_status(self) -> IoStatus {
+        match self {
+            ReadRecovery::Clean => IoStatus::Ok,
+            ReadRecovery::Recovered { steps, .. } => IoStatus::RecoveredAfterRetry { steps },
+            ReadRecovery::Lost => IoStatus::Unrecoverable,
+        }
+    }
+}
+
 pub(crate) struct FlashReadDone {
     pub(crate) end: SimTime,
     pub(crate) lun_wait: SimDuration,
     pub(crate) chan_wait: SimDuration,
     pub(crate) payload: PagePayload,
+    pub(crate) status: ReadRecovery,
 }
 
 /// The simulated SSD.
@@ -163,6 +246,10 @@ pub struct Ssd {
     pub(crate) repl: Option<ReplCtx>,
     /// Monotonic out-of-band write sequence (power-loss rebuild ordering).
     pub(crate) oob_seq: u64,
+    /// Per-channel transient-hiccup schedules from the fault plan:
+    /// `(grant index, extra ns)` pairs, sorted. All empty when no plan
+    /// is configured, in which case transfer times are untouched.
+    pub(crate) chan_hiccups: Vec<Vec<(u64, u64)>>,
 }
 
 impl std::fmt::Debug for Ssd {
@@ -185,7 +272,14 @@ impl Ssd {
         let geom = cfg.flash.geometry.clone();
         let capacity = Capacity::derive(&cfg.shape, &geom, cfg.op_ratio);
         let luns: Vec<Lun> = (0..nluns)
-            .map(|i| Lun::new(i, cfg.flash.clone(), cfg.seed))
+            .map(|i| {
+                let mut lun = Lun::new(i, cfg.flash.clone(), cfg.seed);
+                lun.apply_faults(cfg.fault.unit_view(i));
+                lun
+            })
+            .collect();
+        let chan_hiccups: Vec<Vec<(u64, u64)>> = (0..cfg.shape.channels)
+            .map(|c| cfg.fault.channel_view(c))
             .collect();
         let sched = Scheduler::new(nluns, cfg.shape.channels);
         let exported = capacity.exported_pages;
@@ -222,6 +316,7 @@ impl Ssd {
             gc_gate: GcGate::new(),
             repl: None,
             oob_seq: 0,
+            chan_hiccups,
         }
     }
 
@@ -427,6 +522,7 @@ impl Ssd {
                 done: out.end,
                 latency,
                 served: Served::Buffer,
+                status: IoStatus::Ok,
             });
         }
         // resolve mapping
@@ -445,13 +541,21 @@ impl Ssd {
                 done: t1,
                 latency,
                 served: Served::Unmapped,
+                status: IoStatus::Ok,
             });
         };
-        let done = self.op_read(t1, phys, true, OpCause::Host);
+        let done = self.op_read(t1, phys, true, OpCause::Host)?;
         self.metrics.read_lun_wait.record_duration(done.lun_wait);
         self.metrics
             .read_channel_wait
             .record_duration(done.chan_wait);
+        let status = done.status.io_status();
+        if let ReadRecovery::Recovered { rebuilt: true, .. } = done.status {
+            // parity reconstruction read around the page; the page (and
+            // its neighbourhood) is suspect — move the data somewhere
+            // healthy in the background
+            self.relocate_after_rebuild(lpn, phys, done.end);
+        }
         self.maybe_scrub(phys, done.end);
         let out = self
             .sched
@@ -460,29 +564,67 @@ impl Ssd {
         self.sched.emit_host_link_spans(done.end, out);
         let latency = out.end.since(now);
         self.metrics.read_latency.record_duration(latency);
+        self.sched.probe.note_status(status.as_str());
         scope.close(out.end);
         Ok(Completion {
             done: out.end,
             latency,
             served: Served::Flash,
+            status,
         })
     }
 
+    /// Relocate `lpn` off `old` after its data had to be reconstructed
+    /// from stripe parity: rewrite the rebuilt payload to a fresh
+    /// location and invalidate the suspect page. Background work — it
+    /// does not gate the host completion. Fixed-offset FTLs (block /
+    /// hybrid) keep data in place; their offsets are immovable.
+    fn relocate_after_rebuild(&mut self, lpn: Lpn, old: PhysPage, t: SimTime) {
+        if !matches!(self.map, MappingState::Page(_) | MappingState::Dftl(_)) {
+            return;
+        }
+        let _bg = self.sched.probe.background();
+        let Ok((new, _end)) = self.append_page(
+            t,
+            old.lun,
+            crate::block_dir::Stream::Gc,
+            lpn,
+            true,
+            OpCause::Recovery,
+        ) else {
+            // no space anywhere: leave the mapping pointing at the
+            // suspect page; subsequent reads re-run the pipeline
+            return;
+        };
+        match &mut self.map {
+            MappingState::Page(m) => {
+                m.update(lpn, new);
+            }
+            MappingState::Dftl(m) => {
+                m.relocate(lpn, new);
+            }
+            // guarded above; no other mapping state reaches here
+            _ => return,
+        }
+        self.dir.invalidate(old);
+        self.dir.mark_valid(new, lpn);
+        self.metrics.recovery.rebuild_relocations += 1;
+    }
+
     /// Resolve the physical location for a read, charging mapping traffic.
+    /// Total over every mapping state: no panic path exists.
     fn resolve_read(&mut self, lpn: Lpn, t0: SimTime) -> (Option<PhysPage>, SimTime) {
         if matches!(self.map, MappingState::Dftl(_)) {
             return self.resolve_read_dftl(lpn, t0);
         }
-        if matches!(self.map, MappingState::Block(_)) {
-            return (self.resolve_read_block(lpn), t0);
-        }
-        if matches!(self.map, MappingState::Hybrid(_)) {
-            return (self.resolve_read_hybrid(lpn), t0);
-        }
-        match &self.map {
-            MappingState::Page(m) => (m.lookup(lpn), t0),
-            _ => unreachable!(),
-        }
+        let phys = match &self.map {
+            MappingState::Page(m) => m.lookup(lpn),
+            MappingState::Block(_) => self.resolve_read_block(lpn),
+            MappingState::Hybrid(_) => self.resolve_read_hybrid(lpn),
+            // handled above; kept total so the match cannot panic
+            MappingState::Dftl(_) => None,
+        };
+        (phys, t0)
     }
 
     /// DFTL lookup: translation-page traffic is on the read's critical
@@ -494,7 +636,9 @@ impl Ssd {
                 let phys = m.lookup(lpn, &mut ios);
                 (phys, ios)
             }
-            _ => unreachable!(),
+            // only called under DFTL; any other state resolves to
+            // "unmapped" rather than a controller panic
+            _ => (None, Vec::new()),
         };
         let t1 = self.exec_trans(t0, &ios);
         (phys, t1)
@@ -510,18 +654,29 @@ impl Ssd {
         self.sched.emit_host_link_spans(now, link);
         let t0 = link.end + self.cfg.controller_overhead;
         self.span_overhead(link.end, t0);
+        let salvages_before = self.metrics.recovery.program_salvages;
         let (done, served) = match self.cfg.ftl.clone() {
             FtlKind::PageMap | FtlKind::Dftl { .. } => self.write_page_mapped(t0, lpn)?,
             FtlKind::BlockMap => (self.write_block_mapped(t0, lpn)?, Served::Flash),
             FtlKind::Hybrid { .. } => (self.write_hybrid(t0, lpn)?, Served::Flash),
         };
+        // any program salvage on this command's critical path means the
+        // write completed only through the recovery pipeline
+        let salvages = (self.metrics.recovery.program_salvages - salvages_before) as u32;
+        let status = if salvages > 0 {
+            IoStatus::RecoveredAfterRetry { steps: salvages }
+        } else {
+            IoStatus::Ok
+        };
         let latency = done.since(now);
         self.metrics.write_latency.record_duration(latency);
+        self.sched.probe.note_status(status.as_str());
         scope.close(done);
         Ok(Completion {
             done,
             latency,
             served,
+            status,
         })
     }
 
@@ -563,6 +718,7 @@ impl Ssd {
             done,
             latency,
             served: Served::Controller,
+            status: IoStatus::Ok,
         })
     }
 
@@ -576,7 +732,9 @@ impl Ssd {
                 let old = m.unmap(lpn, &mut ios);
                 (old, ios)
             }
-            _ => unreachable!(),
+            // only called for page-mapped FTLs; elsewhere a trim of an
+            // unknown page is a no-op, not a controller panic
+            _ => (None, Vec::new()),
         };
         if !ios.is_empty() {
             let _bg = self.sched.probe.background();

@@ -21,6 +21,9 @@ pub enum OpCause {
     Merge,
     /// DFTL translation-page traffic.
     Translation,
+    /// Error-recovery traffic (read-retry rungs, ECC escalation senses,
+    /// parity-rebuild stripe reads, post-rebuild relocations).
+    Recovery,
 }
 
 /// Counters for one operation type, split by cause.
@@ -36,6 +39,8 @@ pub struct CauseCounts {
     pub merge: u64,
     /// Translation-caused.
     pub translation: u64,
+    /// Recovery-caused.
+    pub recovery: u64,
 }
 
 impl CauseCounts {
@@ -47,18 +52,48 @@ impl CauseCounts {
             OpCause::WearLevel => self.wear_level += 1,
             OpCause::Merge => self.merge += 1,
             OpCause::Translation => self.translation += 1,
+            OpCause::Recovery => self.recovery += 1,
         }
     }
 
     /// Sum over all causes.
     pub fn total(&self) -> u64 {
-        self.host + self.gc + self.wear_level + self.merge + self.translation
+        self.host + self.gc + self.wear_level + self.merge + self.translation + self.recovery
     }
 
     /// Everything except `host` (the overhead traffic).
     pub fn overhead(&self) -> u64 {
         self.total() - self.host
     }
+}
+
+/// Error-recovery pipeline accounting: how often each escalation stage
+/// ran and what it salvaged. Zero-fault runs leave every field at zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryMetrics {
+    /// Read-retry rungs issued (re-senses at shifted read voltages).
+    pub retry_attempts: u64,
+    /// Reads recovered by the retry ladder alone.
+    pub retry_recovered: u64,
+    /// Soft-decision ECC escalations attempted after the ladder ran dry.
+    pub ecc_escalations: u64,
+    /// Reads recovered by ECC escalation.
+    pub ecc_recovered: u64,
+    /// Stripe parity rebuilds attempted (the last resort).
+    pub parity_rebuilds: u64,
+    /// Peer-LUN page reads issued by parity rebuilds.
+    pub rebuild_page_reads: u64,
+    /// Pages relocated off a suspect block after a parity rebuild.
+    pub rebuild_relocations: u64,
+    /// Program failures salvaged into a fresh block by `append_page`.
+    pub program_salvages: u64,
+    /// Blocks retired because an erase failed.
+    pub erase_retirements: u64,
+    /// Reads that exhausted the whole pipeline (data lost).
+    pub unrecoverable: u64,
+    /// Total device time spent inside the recovery pipeline (beyond the
+    /// initial failed sense).
+    pub recovery_time: SimDuration,
 }
 
 /// Full device metrics.
@@ -97,8 +132,11 @@ pub struct SsdMetrics {
     pub blocks_retired: u64,
     /// Read-disturb scrubs performed (block relocations).
     pub scrubs: u64,
-    /// Reads the ECC could not correct (served from assumed redundancy).
+    /// Reads whose first sense failed ECC decode (each one entered the
+    /// recovery pipeline; see [`RecoveryMetrics`] for how it fared).
     pub uncorrectable_reads: u64,
+    /// Error-recovery pipeline accounting.
+    pub recovery: RecoveryMetrics,
 
     /// End-to-end host read latency.
     pub read_latency: Histogram,

@@ -65,6 +65,7 @@ impl Ssd {
             lba: req.lba,
             submitted: now,
             done: c.done,
+            status: c.status,
             spans: self.probe().command_span_count(id),
         })
     }
@@ -151,6 +152,7 @@ impl QueuePair {
                 lba: req.lba,
                 submitted: now,
                 done: c.done,
+                status: c.status,
                 spans: probe.command_span_count(id),
             },
         );
