@@ -1,12 +1,14 @@
 //! PAN01 — panic policy for the controller core.
 //!
-//! The SSD controller, queue-pair engine, and FTL mapping schemes sit
-//! under every experiment; a stray `unwrap()` on an I/O-dependent value
-//! turns a modelling gap into a process abort halfway through a
-//! million-op run. In these files, fallible outcomes must surface as
-//! `SsdError`/`Result` so the device can report them, and *invariant*
-//! violations must use `assert!`/`debug_assert!` with a message naming
-//! the invariant (those are self-documenting and greppable).
+//! The SSD controller, queue-pair engine, FTL mapping schemes, and the
+//! database's completion-driven state machines sit under every
+//! experiment; a stray `unwrap()` on an I/O-dependent value turns a
+//! modelling gap into a process abort halfway through a million-op run.
+//! In these files, fallible outcomes must surface as
+//! `SsdError`/`Result`/`IoStatus` so the caller can report them, and
+//! *invariant* violations must use `assert!`/`debug_assert!` with a
+//! message naming the invariant (those are self-documenting and
+//! greppable).
 //!
 //! `unwrap`, `expect`, `panic!`, `todo!`, `unimplemented!` are flagged in
 //! non-test code. Documented legacy invariants are allowlisted in
@@ -17,10 +19,17 @@ use crate::diag::Diagnostic;
 use crate::lexer::TokKind;
 
 /// Files under the panic policy.
+///
+/// The db executor and prefetcher are transaction state machines driven
+/// by device completions: a panic there aborts the closed loop with
+/// transactions mid-flight, so fallible paths must surface through
+/// `IoStatus` like the controller core they sit on.
 fn protected(rel: &str) -> bool {
     rel.starts_with("crates/ssd/src/controller/")
         || rel.starts_with("crates/ssd/src/mapping/")
         || rel == "crates/ssd/src/qpair.rs"
+        || rel == "crates/db/src/exec.rs"
+        || rel == "crates/db/src/prefetch.rs"
 }
 
 /// Run PAN01 on one file.

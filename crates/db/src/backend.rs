@@ -15,9 +15,102 @@ use requiem_iface::atomic::{double_write_journal, ExtendedSsd};
 use requiem_pcm::{PcmDimm, PcmTiming};
 use requiem_sim::time::SimTime;
 use requiem_sim::IoStatus;
-use requiem_ssd::{IoClass, IoRequest, Lpn, Ssd, SsdConfig};
+use requiem_ssd::{IoClass, IoRequest, Lpn, QueuePair, Ssd, SsdConfig};
 
 use crate::page::{PageId, PAGE_SIZE};
+
+/// Host tag identifying one batched read between
+/// [`PersistenceBackend::submit_reads`] and [`PersistenceBackend::poll`].
+pub use requiem_sim::cmd::CommandId as CommandTag;
+
+/// One batched-read completion surfaced by [`PersistenceBackend::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRead {
+    /// The tag [`PersistenceBackend::submit_reads`] returned for it.
+    pub tag: CommandTag,
+    /// The page that was read.
+    pub page: PageId,
+    /// Device completion instant (may exceed the poll instant when the
+    /// host-side completion path extends past it).
+    pub done: SimTime,
+    /// Typed media status, exactly as for
+    /// [`PersistenceBackend::page_read`].
+    pub status: IoStatus,
+}
+
+/// Combine two statuses into the one the caller must act on: data loss
+/// dominates a refusal, a refusal dominates a recovered read, and
+/// recovered reads accumulate their step counts.
+pub fn worse_status(a: IoStatus, b: IoStatus) -> IoStatus {
+    use IoStatus::*;
+    match (a, b) {
+        (Unrecoverable, _) | (_, Unrecoverable) => Unrecoverable,
+        (Rejected, _) | (_, Rejected) => Rejected,
+        (RecoveredAfterRetry { steps: x }, RecoveredAfterRetry { steps: y }) => {
+            RecoveredAfterRetry { steps: x + y }
+        }
+        (s @ RecoveredAfterRetry { .. }, Ok) | (Ok, s @ RecoveredAfterRetry { .. }) => s,
+        (Ok, Ok) => Ok,
+    }
+}
+
+/// Parking space backing the trait's **default** (serialized) batched-read
+/// shim: completions produced synchronously by `page_read` wait here until
+/// the next [`PersistenceBackend::poll`]. Backends that override the
+/// batched API never need one; backends that rely on the defaults must
+/// store a `ReadShim` and return it from
+/// [`PersistenceBackend::read_shim`].
+#[derive(Debug, Default)]
+pub struct ReadShim {
+    next_tag: u64,
+    pending: Vec<PageRead>,
+}
+
+impl ReadShim {
+    /// Park one completed read; returns its tag.
+    pub fn park(&mut self, page: PageId, done: SimTime, status: IoStatus) -> CommandTag {
+        self.next_tag += 1;
+        let tag = CommandTag(self.next_tag);
+        self.pending.push(PageRead {
+            tag,
+            page,
+            done,
+            status,
+        });
+        tag
+    }
+
+    /// Drain completions with `done <= now`, earliest first (ties in
+    /// park order — deterministic).
+    pub fn drain_ready(&mut self, now: SimTime) -> Vec<PageRead> {
+        let mut ready: Vec<PageRead> = Vec::new();
+        self.pending.retain(|r| {
+            if r.done <= now {
+                ready.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort_by_key(|r| (r.done, r.tag.0));
+        ready
+    }
+
+    /// Earliest parked completion instant.
+    pub fn next_done(&self) -> Option<SimTime> {
+        self.pending.iter().map(|r| r.done).min()
+    }
+
+    /// Parked completions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
 
 /// I/O issued by a backend, by class.
 #[derive(Debug, Default, Clone)]
@@ -80,6 +173,93 @@ pub trait PersistenceBackend {
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
         let _ = probe;
     }
+
+    // -- batched asynchronous read path (completion-driven engine) ------
+    //
+    // The methods below are the queue-pair form of `page_read`: submit a
+    // batch without waiting, reap completions out of submission order.
+    // Every backend in this crate overrides them with a genuinely
+    // overlapped implementation (QueuePair / IoStack); the provided
+    // defaults are a *serialized* shim over `page_read` so existing
+    // synchronous backends keep working unchanged — each read runs to
+    // completion at submit time and its completion is parked in the
+    // backend's [`ReadShim`] until the next poll.
+
+    /// Scratch state backing the default serialized shim. Backends that
+    /// override the batched API leave this at `None`; backends that rely
+    /// on the default `submit_reads`/`poll` must store a [`ReadShim`]
+    /// and return it here.
+    fn read_shim(&mut self) -> Option<&mut ReadShim> {
+        None
+    }
+
+    /// Submit a batch of data-page reads without waiting for any of
+    /// them; returns one tag per page, in order. Completions surface
+    /// through [`PersistenceBackend::poll`].
+    ///
+    /// # Panics
+    /// The default shim panics if the backend provides no [`ReadShim`]
+    /// (completions would be silently lost otherwise).
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
+        // default shim: serialized — each read completes before the next
+        // is issued, so there is no overlap, but the completion-driven
+        // engine above still works correctly.
+        let reads: Vec<(PageId, SimTime, IoStatus)> = pages
+            .iter()
+            .map(|&p| {
+                let (done, status) = self.page_read(now, p);
+                (p, done, status)
+            })
+            .collect();
+        let shim = self.read_shim().expect(
+            "default batched-read shim needs a ReadShim (override read_shim or the batched API)",
+        );
+        reads
+            .into_iter()
+            .map(|(p, done, status)| shim.park(p, done, status))
+            .collect()
+    }
+
+    /// Reap batched-read completions whose device finish is `<= now`,
+    /// earliest finish first. A returned [`PageRead::done`] may exceed
+    /// `now` when the backend charges host-side completion work past the
+    /// poll instant — the caller processes each read at its own `done`.
+    fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
+        match self.read_shim() {
+            Some(shim) => shim.drain_ready(now),
+            None => Vec::new(),
+        }
+    }
+
+    /// Finish instant of the earliest batched read still in flight
+    /// (`None` when nothing is outstanding) — the completion-driven
+    /// engine's next wake-up time.
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        self.read_shim().and_then(|s| s.next_done())
+    }
+
+    /// Batched reads submitted but not yet reaped.
+    fn reads_in_flight(&mut self) -> usize {
+        self.read_shim().map(|s| s.len()).unwrap_or(0)
+    }
+
+    /// Configure the device-side in-flight window (queue depth) used by
+    /// the batched read path. Call only while no batched reads are in
+    /// flight. The serialized default shim ignores it (its depth is
+    /// effectively 1).
+    fn set_read_window(&mut self, depth: usize) {
+        let _ = depth;
+    }
+
+    /// Synchronous read of `bytes` of durable log starting at byte
+    /// `offset` (media-recovery and restart-recovery path). Returns the
+    /// completion instant and the combined media status of the covered
+    /// log pages. The default treats the log medium as unmodelled for
+    /// reads: free and clean.
+    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        let _ = (offset, bytes);
+        (now, IoStatus::Ok)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -100,6 +280,15 @@ pub struct LegacyBackend {
     /// Use TRIM on frees (off by default: legacy stacks rarely did).
     pub use_trim: bool,
     stats: BackendStats,
+    /// Queue pair for the batched read path (depth set by
+    /// [`PersistenceBackend::set_read_window`]).
+    qp: QueuePair,
+    /// Reads the device refused outright, completed at their submit
+    /// instant with [`IoStatus::Rejected`].
+    rejects: Vec<PageRead>,
+    /// Tag namespace for batched reads (pre-assigned so rejected
+    /// commands keep a stable tag).
+    next_tag: u64,
 }
 
 impl std::fmt::Debug for LegacyBackend {
@@ -133,6 +322,9 @@ impl LegacyBackend {
             log_tail: 0,
             use_trim: false,
             stats: BackendStats::default(),
+            qp: QueuePair::new(1),
+            rejects: Vec::new(),
+            next_tag: 0,
         }
     }
 
@@ -238,6 +430,83 @@ impl PersistenceBackend for LegacyBackend {
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
         self.ssd.attach_probe(probe);
     }
+
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
+        pages
+            .iter()
+            .map(|&p| {
+                self.stats.page_reads += 1;
+                self.next_tag += 1;
+                let tag = CommandTag(self.next_tag);
+                let lpn = self.data_lpn(p);
+                let req = IoRequest::read(lpn.0).tag(tag);
+                if self.qp.submit(&mut self.ssd, now, req).is_err() {
+                    self.rejects.push(PageRead {
+                        tag,
+                        page: p,
+                        done: now,
+                        status: IoStatus::Rejected,
+                    });
+                }
+                tag
+            })
+            .collect()
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
+        let data_base = self.data_base;
+        let mut out: Vec<PageRead> = std::mem::take(&mut self.rejects);
+        out.extend(self.qp.poll(now).into_iter().map(|c| PageRead {
+            tag: c.tag,
+            page: PageId(c.lba - data_base),
+            done: c.done,
+            status: c.status,
+        }));
+        out
+    }
+
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        let r = self.rejects.iter().map(|r| r.done).min();
+        match (r, self.qp.next_done()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn reads_in_flight(&mut self) -> usize {
+        self.rejects.len() + self.qp.pending()
+    }
+
+    fn set_read_window(&mut self, depth: usize) {
+        debug_assert!(
+            self.qp.pending() == 0 && self.rejects.is_empty(),
+            "window change with reads in flight"
+        );
+        self.qp = QueuePair::new(depth.max(1));
+    }
+
+    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        if bytes == 0 {
+            return (now, IoStatus::Ok);
+        }
+        // the durable log lives on the same flash device: read every log
+        // page the byte range covers, serialized (recovery is offline)
+        let first = offset / PAGE_SIZE as u64;
+        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
+        let mut t = now;
+        let mut status = IoStatus::Ok;
+        for p in first..=last {
+            let page_in_log = p % self.log_pages.max(1);
+            match self.ssd.io(t, IoRequest::read(page_in_log)) {
+                Ok(c) => {
+                    t = c.done;
+                    status = worse_status(status, c.status);
+                }
+                Err(_) => status = worse_status(status, IoStatus::Rejected),
+            }
+        }
+        (t, status)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -259,6 +528,12 @@ pub struct VisionBackend {
     staging_slots: u64,
     staging_next: u64,
     stats: BackendStats,
+    /// Queue pair for the batched read path (over the inner flash SSD).
+    qp: QueuePair,
+    /// Refused reads, completed at submit with [`IoStatus::Rejected`].
+    rejects: Vec<PageRead>,
+    /// Tag namespace for batched reads.
+    next_tag: u64,
 }
 
 impl std::fmt::Debug for VisionBackend {
@@ -293,6 +568,9 @@ impl VisionBackend {
             staging_slots: staging_bytes / PAGE_SIZE as u64,
             staging_next: 0,
             stats: BackendStats::default(),
+            qp: QueuePair::new(1),
+            rejects: Vec::new(),
+            next_tag: 0,
         }
     }
 
@@ -386,6 +664,75 @@ impl PersistenceBackend for VisionBackend {
 
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
         self.flash.inner_mut().attach_probe(probe);
+    }
+
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
+        pages
+            .iter()
+            .map(|&p| {
+                self.stats.page_reads += 1;
+                self.next_tag += 1;
+                let tag = CommandTag(self.next_tag);
+                let lpn = self.data_lpn(p);
+                let req = IoRequest::read(lpn.0).tag(tag);
+                if self.qp.submit(self.flash.inner_mut(), now, req).is_err() {
+                    self.rejects.push(PageRead {
+                        tag,
+                        page: p,
+                        done: now,
+                        status: IoStatus::Rejected,
+                    });
+                }
+                tag
+            })
+            .collect()
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
+        let mut out: Vec<PageRead> = std::mem::take(&mut self.rejects);
+        out.extend(self.qp.poll(now).into_iter().map(|c| PageRead {
+            tag: c.tag,
+            page: PageId(c.lba),
+            done: c.done,
+            status: c.status,
+        }));
+        out
+    }
+
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        let r = self.rejects.iter().map(|r| r.done).min();
+        match (r, self.qp.next_done()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn reads_in_flight(&mut self) -> usize {
+        self.rejects.len() + self.qp.pending()
+    }
+
+    fn set_read_window(&mut self, depth: usize) {
+        debug_assert!(
+            self.qp.pending() == 0 && self.rejects.is_empty(),
+            "window change with reads in flight"
+        );
+        self.qp = QueuePair::new(depth.max(1));
+    }
+
+    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        if bytes == 0 {
+            return (now, IoStatus::Ok);
+        }
+        // the log lives in PCM: a byte-granular load, always clean (PCM
+        // media faults are not modelled)
+        let len = u64::from(bytes).min(self.log_capacity);
+        if len == 0 {
+            return (now, IoStatus::Ok);
+        }
+        let offset = offset % self.log_capacity.max(1);
+        let offset = offset.min(self.log_capacity.saturating_sub(len));
+        let (done, _bytes) = self.pcm.load(now, offset, len as usize);
+        (done, IoStatus::Ok)
     }
 }
 

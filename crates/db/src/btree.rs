@@ -364,6 +364,36 @@ impl BTree {
         }
     }
 
+    /// The heap-page chain a key-order scan visits: the distinct data
+    /// pages referenced by the leaves, in first-touch key order.
+    ///
+    /// This is the successor order an index-order scan actually reads
+    /// heap pages in — generally *not* page-id order. Feed it to
+    /// [`crate::prefetch::PrefetchConfig::chain`] so readahead follows
+    /// the leaf chain instead of guessing `p + 1`.
+    pub fn leaf_chain(&self) -> Vec<u64> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        fn walk(node: &Node, seen: &mut std::collections::BTreeSet<u64>, out: &mut Vec<u64>) {
+            match node {
+                Node::Leaf { vals, .. } => {
+                    for v in vals {
+                        if seen.insert(v.page.0) {
+                            out.push(v.page.0);
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    for c in children {
+                        walk(c, seen, out);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut seen, &mut out);
+        out
+    }
+
     /// Depth of the tree (1 = just a leaf).
     pub fn depth(&self) -> u32 {
         let mut d = 1;
@@ -467,6 +497,51 @@ mod tests {
         t.insert(1, rid(1));
         assert_eq!(t.remove(2), None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn leaf_chain_is_first_touch_key_order_without_duplicates() {
+        let mut t = BTree::new(PageId(0));
+        // keys ascend but heap pages deliberately do not: key k lives on
+        // page (k * 7) % 40, revisiting pages as the scan proceeds
+        let n = 2_000u64;
+        for k in 0..n {
+            t.insert(
+                k,
+                Rid {
+                    page: PageId((k * 7) % 40),
+                    slot: (k % 5) as u16,
+                },
+            );
+        }
+        assert!(t.depth() >= 2, "tree should have split");
+        let chain = t.leaf_chain();
+        // every referenced page exactly once
+        let mut sorted = chain.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), chain.len(), "no duplicates in the chain");
+        assert_eq!(chain.len(), 40, "all 40 heap pages referenced");
+        // first-touch order follows key order, not page-id order: key 0
+        // → page 0, key 1 → page 7, key 2 → page 14, ...
+        assert_eq!(&chain[..4], &[0, 7, 14, 21]);
+        assert_ne!(chain, sorted, "chain order is not page-id order");
+        // feeding it to the prefetcher yields a successor map that walks
+        // the same chain
+        let cfg = crate::prefetch::PrefetchConfig::chain(2, &chain);
+        if let crate::prefetch::PrefetchMode::Chain(map) = &cfg.mode {
+            assert_eq!(map.get(&0), Some(&7));
+            assert_eq!(map.get(&7), Some(&14));
+            assert_eq!(map.len(), chain.len() - 1, "one edge per adjacent pair");
+        } else {
+            panic!("chain() must build a Chain mode");
+        }
+    }
+
+    #[test]
+    fn leaf_chain_of_empty_tree_is_empty() {
+        let t = BTree::new(PageId(0));
+        assert!(t.leaf_chain().is_empty());
     }
 
     #[test]

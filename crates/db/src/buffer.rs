@@ -50,14 +50,28 @@ pub struct PoolStats {
     pub steals: u64,
     /// Clean evictions.
     pub clean_evictions: u64,
+    /// Requests that found their page already being fetched and joined
+    /// the in-flight fetch instead of issuing a second device command.
+    pub coalesced: u64,
 }
 
 /// A clock-replacement buffer pool.
+///
+/// Besides resident frames, the pool tracks pages **in flight**: a fetch
+/// has been submitted but its completion has not installed the page yet.
+/// Concurrent requests for such a page coalesce — they register as
+/// waiters on the one outstanding device command instead of issuing
+/// their own ([`BufferPool::begin_fetch`] / [`BufferPool::add_waiter`] /
+/// [`BufferPool::complete_fetch`]). In-flight pages occupy no frame; the
+/// frame is claimed at completion time.
 pub struct BufferPool {
     capacity: usize,
     frames: Vec<Frame>,
     map: BTreeMap<PageId, usize>,
     hand: usize,
+    /// Fetches in flight: page → waiter cookies (opaque to the pool; the
+    /// engine uses transaction-slot indices).
+    in_flight: BTreeMap<PageId, Vec<u64>>,
     stats: PoolStats,
 }
 
@@ -83,6 +97,7 @@ impl BufferPool {
             frames: Vec::with_capacity(capacity),
             map: BTreeMap::new(),
             hand: 0,
+            in_flight: BTreeMap::new(),
             stats: PoolStats::default(),
         }
     }
@@ -213,6 +228,66 @@ impl BufferPool {
         outcome
     }
 
+    /// Start a fetch for `page_id` if none is in flight. Returns `true`
+    /// when this call started the fetch (the caller must submit the
+    /// device read and later call [`BufferPool::complete_fetch`]);
+    /// `false` when a fetch is already in flight (join it with
+    /// [`BufferPool::add_waiter`]).
+    ///
+    /// # Panics
+    /// Panics if the page is already resident — fetching a resident page
+    /// is an engine bug.
+    pub fn begin_fetch(&mut self, page_id: PageId) -> bool {
+        assert!(
+            !self.map.contains_key(&page_id),
+            "fetch of resident page {page_id:?}"
+        );
+        if self.in_flight.contains_key(&page_id) {
+            return false;
+        }
+        self.in_flight.insert(page_id, Vec::new());
+        true
+    }
+
+    /// True when a fetch for `page_id` is in flight.
+    pub fn fetch_in_flight(&self, page_id: PageId) -> bool {
+        self.in_flight.contains_key(&page_id)
+    }
+
+    /// Number of fetches in flight.
+    pub fn fetches_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Join the in-flight fetch of `page_id` as `waiter` (an opaque
+    /// cookie echoed back by [`BufferPool::complete_fetch`]). Counts a
+    /// coalesced request. No-op when no fetch is in flight (the caller
+    /// should have checked [`BufferPool::fetch_in_flight`]).
+    pub fn add_waiter(&mut self, page_id: PageId, waiter: u64) {
+        if let Some(ws) = self.in_flight.get_mut(&page_id) {
+            ws.push(waiter);
+            self.stats.coalesced += 1;
+        }
+    }
+
+    /// Complete the in-flight fetch of `page_id`: install the image
+    /// (evicting if needed) and return the eviction outcome together
+    /// with the waiters that coalesced onto this fetch, in registration
+    /// order.
+    ///
+    /// # Panics
+    /// Panics (inside [`BufferPool::install`]) if every frame is pinned.
+    pub fn complete_fetch(
+        &mut self,
+        page_id: PageId,
+        page: SlottedPage,
+        dirty: bool,
+    ) -> (EvictOutcome, Vec<u64>) {
+        let waiters = self.in_flight.remove(&page_id).unwrap_or_default();
+        let outcome = self.install(page_id, page, dirty);
+        (outcome, waiters)
+    }
+
     /// Mark a resident page clean (after its write-back completed).
     pub fn mark_clean(&mut self, page_id: PageId) {
         if let Some(&i) = self.map.get(&page_id) {
@@ -229,10 +304,12 @@ impl BufferPool {
             .collect()
     }
 
-    /// Drop every frame (simulated crash: volatile state vanishes).
+    /// Drop every frame (simulated crash: volatile state vanishes,
+    /// including fetches in flight — their completions are orphaned).
     pub fn crash(&mut self) {
         self.frames.clear();
         self.map.clear();
+        self.in_flight.clear();
         self.hand = 0;
     }
 }
@@ -338,8 +415,48 @@ mod tests {
     fn crash_clears_everything() {
         let mut bp = BufferPool::new(2);
         bp.install(PageId(1), page_with(b"a"), true);
+        bp.begin_fetch(PageId(7));
         bp.crash();
         assert_eq!(bp.resident(), 0);
         assert!(!bp.contains(PageId(1)));
+        assert!(!bp.fetch_in_flight(PageId(7)));
+    }
+
+    #[test]
+    fn concurrent_fetches_coalesce_onto_one_command() {
+        let mut bp = BufferPool::new(4);
+        assert!(bp.begin_fetch(PageId(9)), "first fetch starts the command");
+        assert!(!bp.begin_fetch(PageId(9)), "second request must coalesce");
+        bp.add_waiter(PageId(9), 1);
+        bp.add_waiter(PageId(9), 2);
+        assert!(bp.fetch_in_flight(PageId(9)));
+        assert_eq!(bp.stats().coalesced, 2);
+        let (out, waiters) = bp.complete_fetch(PageId(9), page_with(b"img"), false);
+        assert_eq!(out, EvictOutcome::Clean);
+        assert_eq!(waiters, vec![1, 2], "waiters wake in registration order");
+        assert!(bp.contains(PageId(9)));
+        assert!(!bp.fetch_in_flight(PageId(9)));
+    }
+
+    #[test]
+    fn in_flight_pages_occupy_no_frame() {
+        let mut bp = BufferPool::new(1);
+        bp.begin_fetch(PageId(1));
+        bp.begin_fetch(PageId(2));
+        assert_eq!(bp.resident(), 0);
+        assert_eq!(bp.fetches_in_flight(), 2);
+        bp.complete_fetch(PageId(1), page_with(b"a"), false);
+        // completing the second evicts the first (capacity 1)
+        let (out, _) = bp.complete_fetch(PageId(2), page_with(b"b"), false);
+        assert_eq!(out, EvictOutcome::Clean);
+        assert_eq!(bp.resident(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fetch of resident page")]
+    fn fetching_a_resident_page_panics() {
+        let mut bp = BufferPool::new(2);
+        bp.install(PageId(1), page_with(b"a"), false);
+        bp.begin_fetch(PageId(1));
     }
 }

@@ -67,7 +67,10 @@ pub struct TxnOutcome {
 }
 
 /// Aggregate engine statistics.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq`/`Eq` so the QD-1 identity (experiments, proptests) can
+/// assert the whole stall ledger matches at once.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct EngineStats {
     /// Transactions committed.
     pub commits: u64,
@@ -90,28 +93,36 @@ pub struct EngineStats {
 }
 
 /// The storage engine over a persistence backend.
+///
+/// Fields are `pub(crate)` so the completion-driven executor
+/// ([`crate::exec`]) can drive the same state machine without an
+/// intermediate accessor layer — the two execution modes must share
+/// every byte of engine state for the QD-1 identity to hold.
 pub struct Database<B: PersistenceBackend> {
-    cfg: DbConfig,
-    backend: B,
-    pool: BufferPool,
-    wal: Wal,
-    now: SimTime,
+    pub(crate) cfg: DbConfig,
+    pub(crate) backend: B,
+    pub(crate) pool: BufferPool,
+    pub(crate) wal: Wal,
+    pub(crate) now: SimTime,
     /// Host-side model of the page images that are durable on the device
     /// (updated when a page write completes; the devices themselves model
     /// timing and layout, the engine models the bytes).
-    durable: BTreeMap<PageId, SlottedPage>,
+    pub(crate) durable: BTreeMap<PageId, SlottedPage>,
     /// Writes in flight: (completion time, page id, image). Promoted to
     /// `durable` once `now` passes the completion.
-    in_flight: Vec<(SimTime, PageId, SlottedPage)>,
-    txn_latency: Histogram,
-    commit_latency: Histogram,
-    stats: EngineStats,
-    next_txn: u64,
-    loaded: bool,
+    pub(crate) in_flight: Vec<(SimTime, PageId, SlottedPage)>,
+    pub(crate) txn_latency: Histogram,
+    pub(crate) commit_latency: Histogram,
+    pub(crate) stats: EngineStats,
+    pub(crate) next_txn: u64,
+    pub(crate) loaded: bool,
     /// Commits since the last group force.
     unforced_commits: u32,
     /// Log bytes accumulated since the last force.
     unforced_bytes: u32,
+    /// Engine-level probe: commit spans (group wait vs shared force) are
+    /// emitted here; a clone is forwarded to the backend's devices.
+    pub(crate) probe: requiem_sim::Probe,
 }
 
 impl<B: PersistenceBackend> std::fmt::Debug for Database<B> {
@@ -142,6 +153,7 @@ impl<B: PersistenceBackend> Database<B> {
             loaded: false,
             unforced_commits: 0,
             unforced_bytes: 0,
+            probe: requiem_sim::Probe::disabled(),
         }
     }
 
@@ -157,8 +169,16 @@ impl<B: PersistenceBackend> Database<B> {
 
     /// Attach a cross-layer [`Probe`](requiem_sim::Probe) to the backend's
     /// devices so storage-manager I/O decomposes into per-layer spans.
+    /// The engine keeps a clone for its own commit-path spans (group
+    /// wait vs shared force, emitted by [`Self::run_concurrent`]).
     pub fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.probe = probe.clone();
         self.backend.attach_probe(probe);
+    }
+
+    /// The write-ahead log (read-only: for recovery-order assertions).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
     }
 
     /// Transaction latency distribution.
@@ -177,7 +197,7 @@ impl<B: PersistenceBackend> Database<B> {
     }
 
     /// Promote completed in-flight writes to the durable image set.
-    fn settle_in_flight(&mut self) {
+    pub(crate) fn settle_in_flight(&mut self) {
         let now = self.now;
         let mut settled = Vec::new();
         self.in_flight.retain(|(done, page, image)| {
@@ -193,7 +213,7 @@ impl<B: PersistenceBackend> Database<B> {
         }
     }
 
-    fn fresh_formatted_page(&self) -> SlottedPage {
+    pub(crate) fn fresh_formatted_page(&self) -> SlottedPage {
         let mut p = SlottedPage::new();
         let zeros = vec![0u8; self.cfg.record_size];
         for _ in 0..self.cfg.slots_per_page {
@@ -256,7 +276,9 @@ impl<B: PersistenceBackend> Database<B> {
                 // miniature), and refresh the durable image so a later
                 // crash does not resurrect the lost bytes
                 self.stats.media_failures += 1;
-                image = self.rebuild_page_from_log(pid);
+                let (end, img) = self.rebuild_page_from_log(self.now, pid);
+                self.now = self.now.max(end);
+                image = img;
                 self.durable.insert(pid, image.clone());
             }
         }
@@ -397,6 +419,20 @@ impl<B: PersistenceBackend> Database<B> {
     /// Redo recovery: replay committed updates from the durable log onto
     /// the durable images, LSN-guarded. Returns the number of records
     /// replayed.
+    ///
+    /// The log scan is charged to the backend through
+    /// [`PersistenceBackend::log_read`]: every durable byte from the
+    /// last checkpoint onward is read from the log medium, the clock
+    /// advances by the read, and the typed [`IoStatus`] of the scan is
+    /// folded into the engine's media counters — a device that recovered
+    /// the log bytes through its retry ladder counts a
+    /// [`EngineStats::media_recoveries`], one that lost them counts a
+    /// [`EngineStats::media_failures`] (the in-memory WAL stays
+    /// authoritative for the *bytes*, so replay proceeds either way —
+    /// this simulation models the timing and the status, not data loss
+    /// in the host's RAM copy of the log).
+    ///
+    /// [`IoStatus`]: requiem_sim::IoStatus
     pub fn recover(&mut self) -> u64 {
         let committed: BTreeSet<u64> = self
             .wal
@@ -407,6 +443,32 @@ impl<B: PersistenceBackend> Database<B> {
             })
             .collect();
         let start = self.wal.last_durable_checkpoint();
+        // charge the physical log scan: bytes before the checkpoint are
+        // skipped (their offset positions the read), bytes from the
+        // checkpoint on are read
+        let mut skip: u64 = 0;
+        let mut scan: u64 = 0;
+        for (lsn, rec) in self.wal.durable_records() {
+            let len = u64::from(rec.encoded_len());
+            if start.map(|s| *lsn < s).unwrap_or(false) {
+                skip += len;
+            } else {
+                scan += len;
+            }
+        }
+        let (end, status) =
+            self.backend
+                .log_read(self.now, skip, scan.min(u64::from(u32::MAX)) as u32);
+        self.now = self.now.max(end);
+        match status {
+            requiem_sim::IoStatus::Ok => {}
+            requiem_sim::IoStatus::RecoveredAfterRetry { .. } => {
+                self.stats.media_recoveries += 1;
+            }
+            requiem_sim::IoStatus::Unrecoverable | requiem_sim::IoStatus::Rejected => {
+                self.stats.media_failures += 1;
+            }
+        }
         let mut replayed = 0u64;
         let to_apply: Vec<(Lsn, LogRecord)> = self
             .wal
@@ -455,7 +517,38 @@ impl<B: PersistenceBackend> Database<B> {
     /// when the device reports an unrecoverable read — the WAL, not the
     /// data page, is the authoritative copy. Updates of uncommitted
     /// transactions are skipped, exactly as in [`Self::recover`].
-    fn rebuild_page_from_log(&self, pid: PageId) -> SlottedPage {
+    ///
+    /// The full durable log is scanned from the medium (there is no
+    /// per-page index into the log), charged via
+    /// [`PersistenceBackend::log_read`] starting at `at`; the scan's
+    /// typed status folds into the media counters as in
+    /// [`Self::recover`]. Returns the scan's end instant and the rebuilt
+    /// image.
+    pub(crate) fn rebuild_page_from_log(
+        &mut self,
+        at: SimTime,
+        pid: PageId,
+    ) -> (SimTime, SlottedPage) {
+        let bytes: u64 = self
+            .wal
+            .durable_records()
+            .map(|(_, r)| u64::from(r.encoded_len()))
+            .sum();
+        let (end, status) = self
+            .backend
+            .log_read(at, 0, bytes.min(u64::from(u32::MAX)) as u32);
+        match status {
+            requiem_sim::IoStatus::Ok => {}
+            requiem_sim::IoStatus::RecoveredAfterRetry { .. } => {
+                self.stats.media_recoveries += 1;
+            }
+            requiem_sim::IoStatus::Unrecoverable | requiem_sim::IoStatus::Rejected => {
+                // the log medium failed too; the in-memory WAL remains
+                // authoritative for the bytes (see `recover`), so the
+                // rebuild proceeds — but the failure is counted
+                self.stats.media_failures += 1;
+            }
+        }
         let committed: BTreeSet<u64> = self
             .wal
             .durable_records()
@@ -485,7 +578,7 @@ impl<B: PersistenceBackend> Database<B> {
                 _ => {}
             }
         }
-        img
+        (end.max(at), img)
     }
 
     /// Inspect the *visible* value of `(page, slot)`: from the buffer pool

@@ -1,0 +1,914 @@
+//! Completion-driven transaction execution.
+//!
+//! [`Database::execute`] is the paper's *synchronous* storage manager:
+//! one transaction at a time, every page miss a blocking `page_read`,
+//! every commit a private log force. This module is the same engine
+//! rebuilt around the queue-pair reality of a modern device:
+//!
+//! * **N transactions in flight** — a closed loop of executor slots,
+//!   each walking the state machine
+//!   `Run → WaitPage → Run → … → WaitCommit → Idle`;
+//! * **batched asynchronous reads** — a page miss submits the demand
+//!   page *and* its readahead successors as one
+//!   [`PersistenceBackend::submit_reads`] batch (one doorbell), and the
+//!   executor advances virtual time to the earliest completion instead
+//!   of the next submission;
+//! * **fetch coalescing** — a second transaction missing on an
+//!   in-flight page joins its waiter list instead of duplicating the
+//!   device read ([`crate::buffer::BufferPool::add_waiter`]);
+//! * **group commit** — commits enlist in a shared
+//!   [`GroupCommit`]; one force makes the whole group durable, and the
+//!   probe decomposes each commit into its *group wait* (`wal/queue`)
+//!   and the *shared force* (`wal/transfer`).
+//!
+//! ## The QD-1 identity
+//!
+//! With `concurrency = 1`, prefetching off, and
+//! [`GroupCommitPolicy::immediate`], this executor replays the
+//! serialized engine **bit for bit**: the same device commands at the
+//! same instants, the same stall accounting, the same histograms. Every
+//! observed difference at higher concurrency is therefore *caused* by
+//! overlap — the same discipline the queue-pair engine itself follows
+//! (`requiem-ssd`'s depth-1 identity), carried one layer up the stack.
+//!
+//! Panic policy (PAN01): this module is lint-protected — fallible
+//! outcomes surface as typed statuses, invariants use `assert!` with a
+//! message.
+
+use std::collections::BTreeMap;
+
+use requiem_sim::time::SimTime;
+use requiem_sim::{Cause, Histogram, IoStatus, Layer};
+
+use crate::backend::{PageRead, PersistenceBackend};
+use crate::buffer::EvictOutcome;
+use crate::engine::Database;
+use crate::page::{PageId, SlottedPage};
+use crate::prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};
+use crate::wal::{GroupCommit, GroupCommitPolicy, GroupMember, LogRecord, Lsn};
+
+/// Configuration for the completion-driven executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// Transactions kept in flight (the closed loop's population, ≥ 1).
+    pub concurrency: usize,
+    /// Readahead policy for page misses.
+    pub prefetch: PrefetchConfig,
+    /// When the shared log force happens.
+    pub group: GroupCommitPolicy,
+}
+
+impl ExecConfig {
+    /// The QD-1 identity configuration: one transaction in flight, no
+    /// readahead, a private force per commit.
+    pub fn serialized() -> Self {
+        ExecConfig {
+            concurrency: 1,
+            prefetch: PrefetchConfig::off(),
+            group: GroupCommitPolicy::immediate(),
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::serialized()
+    }
+}
+
+/// One pre-generated transaction for the closed loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnInput {
+    /// Accesses as `(page, slot, dirty)` — the same triple
+    /// [`Database::execute`] takes.
+    pub accesses: Vec<(u64, u16, bool)>,
+    /// Log payload bytes the transaction forces at commit.
+    pub log_bytes: u32,
+}
+
+/// What a closed-loop run measured.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Transactions committed.
+    pub txns: u64,
+    /// Wall-clock (virtual) span of the run.
+    pub makespan: requiem_sim::SimDuration,
+    /// Committed transactions per second of virtual time.
+    pub tps: f64,
+    /// Shared log forces performed.
+    pub forces: u64,
+    /// Mean commits per force (group effectiveness).
+    pub mean_group: f64,
+    /// Readahead outcome counters (finalized: losses resolved).
+    pub prefetch: PrefetchStats,
+    /// Demand requests that coalesced onto an in-flight fetch.
+    pub coalesced: u64,
+    /// End-to-end latency of read-only transactions.
+    pub read_only_latency: Histogram,
+    /// End-to-end latency of updating transactions.
+    pub update_latency: Histogram,
+    /// `(txn, commit LSN)` in durability order — group commit must keep
+    /// this consistent with WAL order (asserted by the proptests).
+    pub commit_order: Vec<(u64, Lsn)>,
+}
+
+/// Where one executor slot is in its transaction's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// No transaction; free to start one once `free_at` passes.
+    Idle {
+        /// When the slot's previous commit completed.
+        free_at: SimTime,
+    },
+    /// Applying accesses; runnable once `ready_at` passes.
+    Run {
+        /// When the slot's awaited work finished.
+        ready_at: SimTime,
+    },
+    /// Blocked on a demand page read.
+    WaitPage {
+        /// The page being fetched.
+        page: PageId,
+        /// When the demand was posted (read-stall accounting).
+        demand_at: SimTime,
+    },
+    /// Commit enlisted, waiting for the shared force.
+    WaitCommit,
+}
+
+/// One closed-loop slot.
+#[derive(Debug, Clone)]
+struct Slot {
+    state: SlotState,
+    txn: Option<Active>,
+}
+
+/// The transaction a slot is running.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    /// Transaction id.
+    id: u64,
+    /// Start instant (end-to-end latency base).
+    started: SimTime,
+    /// Index into the input list.
+    input: usize,
+    /// Next access to apply.
+    next: usize,
+    /// True once any access dirtied a page.
+    wrote: bool,
+}
+
+/// Host-side context of one in-flight page fetch: the image the device
+/// "returns" was chosen at submit time (exactly when the serialized
+/// engine read it), so completion order cannot change the bytes.
+#[derive(Debug)]
+struct FetchCtx {
+    image: SlottedPage,
+    /// Submitted by the readahead engine rather than a demand miss.
+    speculative: bool,
+    /// A demand request is (or was) waiting on it.
+    demanded: bool,
+}
+
+/// Mutable executor state threaded through the event loop.
+struct ExecState {
+    slots: Vec<Slot>,
+    pending: BTreeMap<PageId, FetchCtx>,
+    prefetcher: Prefetcher,
+    group: GroupCommit,
+    /// Inputs handed to slots so far.
+    issued: usize,
+    forces: u64,
+    grouped: u64,
+    commit_order: Vec<(u64, Lsn)>,
+    read_only_latency: Histogram,
+    update_latency: Histogram,
+}
+
+impl ExecState {
+    fn all_idle(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| matches!(s.state, SlotState::Idle { .. }))
+    }
+}
+
+impl<B: PersistenceBackend> Database<B> {
+    /// Run `inputs` to completion as a closed loop of
+    /// `cfg.concurrency` transactions over the batched asynchronous
+    /// read path. See the module docs for the state machine and the
+    /// QD-1 identity.
+    pub fn run_concurrent(&mut self, inputs: &[TxnInput], cfg: &ExecConfig) -> ExecReport {
+        assert!(self.loaded, "call load() before executing transactions");
+        let depth = cfg.concurrency.max(1);
+        self.backend
+            .set_read_window(depth + cfg.prefetch.depth as usize);
+        let started_at = self.now;
+        let coalesced_before = self.pool.stats().coalesced;
+        let mut st = ExecState {
+            slots: vec![
+                Slot {
+                    state: SlotState::Idle { free_at: self.now },
+                    txn: None,
+                };
+                depth
+            ],
+            pending: BTreeMap::new(),
+            prefetcher: Prefetcher::new(cfg.prefetch.clone()),
+            group: GroupCommit::new(),
+            issued: 0,
+            forces: 0,
+            grouped: 0,
+            commit_order: Vec::new(),
+            read_only_latency: Histogram::new(),
+            update_latency: Histogram::new(),
+        };
+
+        loop {
+            // 1. run everything that can run at the current instant
+            self.quiesce(inputs, cfg, &mut st);
+
+            // 2. reap completions; if any arrived, re-quiesce first
+            if self.reap(&mut st) {
+                continue;
+            }
+
+            // 3. done?
+            if st.issued == inputs.len()
+                && st.all_idle()
+                && st.pending.is_empty()
+                && st.group.is_empty()
+            {
+                break;
+            }
+
+            // 4. advance virtual time to the next event
+            let mut next: Option<SimTime> = self.backend.next_read_done();
+            let mut merge = |t: SimTime| {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            };
+            for s in &st.slots {
+                match s.state {
+                    SlotState::Idle { free_at }
+                        if st.issued < inputs.len() && free_at > self.now =>
+                    {
+                        merge(free_at)
+                    }
+                    SlotState::Run { ready_at } if ready_at > self.now => merge(ready_at),
+                    _ => {}
+                }
+            }
+            if let Some(d) = st.group.deadline(&cfg.group) {
+                if d > self.now {
+                    merge(d);
+                }
+            }
+            match next {
+                Some(t) if t > self.now => self.now = t,
+                Some(_) => {} // an event is ready at `now`: loop again
+                None => {
+                    // nothing scheduled: the only way forward is forcing
+                    // an undersized group (batched policies with too few
+                    // stragglers to fill one)
+                    if st.group.is_empty() {
+                        break; // defensive: no work, no waiters
+                    }
+                    self.force_group(self.now, &mut st);
+                }
+            }
+        }
+
+        // the run ends when the last commit force (or checkpoint) lands
+        for s in &st.slots {
+            if let SlotState::Idle { free_at } = s.state {
+                self.now = self.now.max(free_at);
+            }
+        }
+
+        let prefetch = st.prefetcher.finalize();
+        for _ in 0..prefetch.losses {
+            self.probe.note_status("prefetch-loss");
+        }
+        let makespan = self.now.since(started_at);
+        let txns = st.issued as u64;
+        let secs = makespan.as_secs_f64();
+        ExecReport {
+            txns,
+            makespan,
+            tps: if secs > 0.0 { txns as f64 / secs } else { 0.0 },
+            forces: st.forces,
+            mean_group: if st.forces > 0 {
+                st.grouped as f64 / st.forces as f64
+            } else {
+                0.0
+            },
+            prefetch,
+            coalesced: self.pool.stats().coalesced - coalesced_before,
+            read_only_latency: st.read_only_latency,
+            update_latency: st.update_latency,
+            commit_order: st.commit_order,
+        }
+    }
+
+    /// Run refills, runnable slots, and due forces until nothing can
+    /// make progress at the current instant.
+    fn quiesce(&mut self, inputs: &[TxnInput], cfg: &ExecConfig, st: &mut ExecState) {
+        loop {
+            let mut progress = false;
+            // refill idle slots in slot order (deterministic admission)
+            for i in 0..st.slots.len() {
+                if let SlotState::Idle { free_at } = st.slots[i].state {
+                    if free_at <= self.now && st.issued < inputs.len() {
+                        let id = self.next_txn;
+                        self.next_txn += 1;
+                        st.slots[i].txn = Some(Active {
+                            id,
+                            started: self.now,
+                            input: st.issued,
+                            next: 0,
+                            wrote: false,
+                        });
+                        st.slots[i].state = SlotState::Run { ready_at: self.now };
+                        st.issued += 1;
+                        progress = true;
+                    }
+                }
+            }
+            // drive runnable slots in slot order
+            for i in 0..st.slots.len() {
+                if let SlotState::Run { ready_at } = st.slots[i].state {
+                    if ready_at <= self.now {
+                        self.drive_slot(i, inputs, st);
+                        progress = true;
+                    }
+                }
+            }
+            // force the group the moment the policy says so
+            if st.group.due(&cfg.group, self.now) {
+                self.force_group(self.now, st);
+                progress = true;
+            }
+            if !progress {
+                return;
+            }
+        }
+    }
+
+    /// Advance slot `i` through its accesses until it blocks (page
+    /// miss) or commits (enlists in the group).
+    fn drive_slot(&mut self, i: usize, inputs: &[TxnInput], st: &mut ExecState) {
+        loop {
+            let Some(active) = st.slots[i].txn else {
+                return; // defensive: a Run slot always has a transaction
+            };
+            let input = &inputs[active.input];
+            if active.next >= input.accesses.len() {
+                // all accesses applied: append the commit record and
+                // enlist for the shared force
+                let commit_lsn = self.wal.append(LogRecord::Commit { txn: active.id });
+                let force_bytes = if active.wrote {
+                    input.log_bytes.max(32)
+                } else {
+                    32
+                };
+                let probe_id = if self.probe.is_enabled() {
+                    self.probe.open_command("commit", self.now).detach()
+                } else {
+                    0
+                };
+                st.group.enlist(GroupMember {
+                    slot: i,
+                    txn: active.id,
+                    lsn: commit_lsn,
+                    enlisted: self.now,
+                    started: active.started,
+                    bytes: force_bytes,
+                    probe_id,
+                    read_only: !active.wrote,
+                });
+                st.slots[i].state = SlotState::WaitCommit;
+                return;
+            }
+            let (page, slot_no, dirty) = input.accesses[active.next];
+            let pid = PageId(page % self.cfg.data_pages);
+            let slot_no = slot_no % self.cfg.slots_per_page;
+
+            if self.pool.contains(pid) {
+                // resident: was this residency bought by readahead?
+                if st.prefetcher.note_demand_resident(pid.0) {
+                    self.probe.note_status("prefetch-win");
+                }
+                self.apply_access(i, pid, slot_no, dirty, st);
+                continue;
+            }
+            if self.pool.fetch_in_flight(pid) {
+                // coalesce onto the in-flight fetch
+                self.pool.add_waiter(pid, i as u64);
+                if let Some(ctx) = st.pending.get_mut(&pid) {
+                    if ctx.speculative && !ctx.demanded {
+                        st.prefetcher.note_hit_in_flight();
+                        self.probe.note_status("prefetch-win");
+                    }
+                    ctx.demanded = true;
+                }
+                st.slots[i].state = SlotState::WaitPage {
+                    page: pid,
+                    demand_at: self.now,
+                };
+                return;
+            }
+
+            // miss: submit the demand page plus its readahead successors
+            // as ONE batch — one doorbell, image chosen at submit time
+            self.settle_in_flight();
+            let image = self.pick_image(pid);
+            st.prefetcher.note_demand_fetch(pid.0);
+            self.pool.begin_fetch(pid);
+            st.pending.insert(
+                pid,
+                FetchCtx {
+                    image,
+                    speculative: false,
+                    demanded: true,
+                },
+            );
+            let mut batch = vec![pid];
+            if !st.prefetcher.is_off() {
+                for t in st.prefetcher.targets(pid.0, self.cfg.data_pages) {
+                    let tp = PageId(t % self.cfg.data_pages);
+                    if self.pool.contains(tp) || self.pool.fetch_in_flight(tp) {
+                        continue;
+                    }
+                    let img = self.pick_image(tp);
+                    self.pool.begin_fetch(tp);
+                    st.prefetcher.note_issued(tp.0);
+                    st.pending.insert(
+                        tp,
+                        FetchCtx {
+                            image: img,
+                            speculative: true,
+                            demanded: false,
+                        },
+                    );
+                    batch.push(tp);
+                }
+            }
+            let _tags = self.backend.submit_reads(self.now, &batch);
+            st.slots[i].state = SlotState::WaitPage {
+                page: pid,
+                demand_at: self.now,
+            };
+            return;
+        }
+    }
+
+    /// Apply one access to a resident page (the serialized engine's
+    /// inner loop, verbatim).
+    fn apply_access(
+        &mut self,
+        i: usize,
+        pid: PageId,
+        slot_no: u16,
+        dirty: bool,
+        st: &mut ExecState,
+    ) {
+        let Some(active) = st.slots[i].txn.as_mut() else {
+            return; // defensive: a Run slot always has a transaction
+        };
+        if dirty {
+            // pin the frame BEFORE logging (see `Database::execute`)
+            if let Some(frame) = self.pool.get_mut(pid, true) {
+                active.wrote = true;
+                let mut after = vec![0u8; self.cfg.record_size];
+                after[..8].copy_from_slice(&active.id.to_le_bytes());
+                let lsn = self.wal.append(LogRecord::Update {
+                    txn: active.id,
+                    page: pid,
+                    slot: slot_no,
+                    after: after.clone(),
+                });
+                frame.update(slot_no, &after);
+                frame.set_lsn(lsn.0);
+            }
+        } else {
+            self.pool.get_mut(pid, false);
+        }
+        active.next += 1;
+    }
+
+    /// The image a device read "returns": the newest in-flight write if
+    /// any, else the durable image, else a freshly formatted page —
+    /// chosen at submit time, exactly like the serialized engine.
+    fn pick_image(&self, pid: PageId) -> SlottedPage {
+        self.in_flight
+            .iter()
+            .rev()
+            .find(|(_, p, _)| *p == pid)
+            .map(|(_, _, img)| img.clone())
+            .or_else(|| self.durable.get(&pid).cloned())
+            .unwrap_or_else(|| self.fresh_formatted_page())
+    }
+
+    /// Reap ready completions; the event clock advances through each
+    /// completion's instant as it is processed (device submissions must
+    /// be non-decreasing in time, so install-side work — media redo,
+    /// steal writes — happens on the advanced clock). Returns true when
+    /// anything was reaped.
+    fn reap(&mut self, st: &mut ExecState) -> bool {
+        let completions = self.backend.poll(self.now);
+        if completions.is_empty() {
+            return false;
+        }
+        for r in completions {
+            self.now = self.now.max(r.done);
+            self.finish_read(r, st);
+        }
+        true
+    }
+
+    /// Install one completed page read: typed-status handling, media
+    /// redo, eviction (with the WAL rule), waiter wake-up, and
+    /// speculation attribution — on the advanced event clock.
+    fn finish_read(&mut self, r: PageRead, st: &mut ExecState) {
+        let Some(ctx) = st.pending.remove(&r.page) else {
+            return; // orphaned completion (no fetch context): drop it
+        };
+        let mut image = ctx.image;
+        // Install-side device work starts on the advanced event clock
+        // (>= r.done): an earlier completion in the same reap batch may
+        // have pushed `now` past this read's `done`, and the device
+        // requires non-decreasing submission times.
+        let mut end = self.now;
+        match r.status {
+            IoStatus::Ok => {}
+            IoStatus::RecoveredAfterRetry { .. } => {
+                // the device saved the data itself; `done` already
+                // includes its recovery latency — just count it
+                self.stats.media_recoveries += 1;
+            }
+            IoStatus::Unrecoverable | IoStatus::Rejected => {
+                // media-failure redo from the durable log, charged as a
+                // log read starting at the failed read's completion
+                self.stats.media_failures += 1;
+                let (redo_end, img) = self.rebuild_page_from_log(self.now, r.page);
+                end = redo_end;
+                image = img;
+                self.durable.insert(r.page, image.clone());
+            }
+        }
+        let (outcome, _cookies) = self.pool.complete_fetch(r.page, image, false);
+        if let EvictOutcome::Steal { page_id, image } = outcome {
+            // synchronous steal write: WAL rule first (the victim's
+            // updates must be durable in the log before its frame turns)
+            let t0 = end;
+            let unflushed = self.wal.next_lsn();
+            if self.wal.flushed().map(|f| f < unflushed).unwrap_or(true) {
+                let done = self.backend.log_force(end, 512);
+                self.wal.mark_flushed(unflushed);
+                end = end.max(done);
+            }
+            let done = self.backend.steal_write(end, page_id);
+            end = end.max(done);
+            self.stats.steal_stall += end.since(t0);
+            self.durable.insert(page_id, *image);
+        }
+        // install-side device work (media redo, steal) drove the device
+        // to `end`; the event clock follows so no later submission can
+        // go backwards in device time
+        self.now = self.now.max(end);
+        // wake every waiter at the instant the page became usable; each
+        // charges its own read stall from its own demand instant (zero
+        // when the coalesced read had already completed before the
+        // demand arrived — the data was sitting in the completion queue)
+        let mut any_waiter = false;
+        for i in 0..st.slots.len() {
+            if let SlotState::WaitPage { page, demand_at } = st.slots[i].state {
+                if page == r.page {
+                    self.stats.read_stall += r.done.max(demand_at).since(demand_at);
+                    st.slots[i].state = SlotState::Run { ready_at: end };
+                    any_waiter = true;
+                }
+            }
+        }
+        if ctx.speculative && !ctx.demanded && !any_waiter {
+            // installed on speculation alone: a win only if a demand
+            // arrives before eviction
+            st.prefetcher.note_installed(r.page.0);
+        }
+    }
+
+    /// Force the enlisted group at `t`: one shared log force, then each
+    /// member's commit completes at the force's end — probe spans split
+    /// its wait into *group wait* and *shared force*.
+    fn force_group(&mut self, t: SimTime, st: &mut ExecState) {
+        let (members, bytes) = st.group.take();
+        if members.is_empty() {
+            return;
+        }
+        st.forces += 1;
+        st.grouped += members.len() as u64;
+        let done = self.backend.log_force(t, bytes);
+        // the force is synchronous at the engine interface: a spilling
+        // force submits device writes up to `done`, so the event clock
+        // follows (reads already in flight still overlap the force —
+        // their completions are reaped afterwards with done <= now)
+        self.now = self.now.max(done);
+        if let Some(horizon) = members.iter().map(|m| m.lsn).max() {
+            self.wal.mark_flushed(horizon);
+        }
+        for m in &members {
+            if m.probe_id != 0 {
+                let scope = self.probe.resume(m.probe_id);
+                if t > m.enlisted {
+                    self.probe
+                        .span(Layer::Wal, Cause::Queue, "group-wait", m.enlisted, t);
+                }
+                self.probe
+                    .span(Layer::Wal, Cause::Transfer, "log-force", t, done);
+                scope.close(done);
+            }
+            let commit_force = done.since(m.enlisted);
+            self.stats.commit_stall += commit_force;
+            self.stats.commits += 1;
+            let latency = done.since(m.started);
+            self.txn_latency.record_duration(latency);
+            self.commit_latency.record_duration(commit_force);
+            if m.read_only {
+                st.read_only_latency.record_duration(latency);
+            } else {
+                st.update_latency.record_duration(latency);
+            }
+            st.commit_order.push((m.txn, m.lsn));
+            st.slots[m.slot].state = SlotState::Idle { free_at: done };
+            st.slots[m.slot].txn = None;
+            if self.cfg.checkpoint_every > 0 && self.stats.commits % self.cfg.checkpoint_every == 0
+            {
+                // a sharp checkpoint quiesces the engine (global pause),
+                // exactly as in the serialized path
+                self.now = self.now.max(done);
+                self.checkpoint();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LegacyBackend, VisionBackend};
+    use crate::engine::DbConfig;
+    use crate::stack_backend::BlockStackBackend;
+    use requiem_block::StackConfig;
+    use requiem_ssd::SsdConfig;
+
+    fn mixed_inputs(n: u64, pages: u64, write_every: u64) -> Vec<TxnInput> {
+        (0..n)
+            .map(|i| TxnInput {
+                accesses: vec![
+                    (
+                        (i * 7) % pages,
+                        (i % 16) as u16,
+                        write_every > 0 && i % write_every == 0,
+                    ),
+                    ((i * 13 + 3) % pages, ((i + 5) % 16) as u16, false),
+                ],
+                log_bytes: 128,
+            })
+            .collect()
+    }
+
+    fn legacy_db(frames: usize) -> Database<LegacyBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: frames,
+            ..DbConfig::default()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let be = LegacyBackend::new(ssd_cfg, cfg.data_pages, 64);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    fn vision_db(frames: usize) -> Database<VisionBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: frames,
+            ..DbConfig::default()
+        };
+        let be = VisionBackend::new(SsdConfig::modern(), cfg.data_pages, 1 << 22);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    fn stack_db(frames: usize) -> Database<BlockStackBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: frames,
+            ..DbConfig::default()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let be = BlockStackBackend::new(StackConfig::blk_mq(1), ssd_cfg, cfg.data_pages, 64);
+        let mut db = Database::new(cfg, be);
+        db.load();
+        db
+    }
+
+    /// The tentpole invariant: concurrency 1 + prefetch off + immediate
+    /// forces replays the serialized engine bit for bit.
+    #[test]
+    fn qd1_identity_legacy() {
+        let inputs = mixed_inputs(60, 256, 3);
+        let mut serial = legacy_db(32);
+        for t in &inputs {
+            serial.execute(&t.accesses, t.log_bytes);
+        }
+        let mut conc = legacy_db(32);
+        let report = conc.run_concurrent(&inputs, &ExecConfig::serialized());
+        assert_eq!(report.txns, 60);
+        assert_eq!(conc.now(), serial.now(), "clocks must agree");
+        assert_eq!(conc.stats().commits, serial.stats().commits);
+        assert_eq!(conc.stats().read_stall, serial.stats().read_stall);
+        assert_eq!(conc.stats().steal_stall, serial.stats().steal_stall);
+        assert_eq!(conc.stats().commit_stall, serial.stats().commit_stall);
+        assert_eq!(
+            conc.backend().stats().log_forces,
+            serial.backend().stats().log_forces
+        );
+        assert_eq!(
+            conc.backend().stats().page_reads,
+            serial.backend().stats().page_reads
+        );
+        assert_eq!(conc.txn_latency(), serial.txn_latency(), "histograms");
+        assert_eq!(conc.commit_latency(), serial.commit_latency());
+        assert_eq!(report.coalesced, 0);
+        assert_eq!(report.prefetch.issued, 0);
+    }
+
+    #[test]
+    fn qd1_identity_vision() {
+        let inputs = mixed_inputs(40, 256, 2);
+        let mut serial = vision_db(32);
+        for t in &inputs {
+            serial.execute(&t.accesses, t.log_bytes);
+        }
+        let mut conc = vision_db(32);
+        conc.run_concurrent(&inputs, &ExecConfig::serialized());
+        assert_eq!(conc.now(), serial.now(), "clocks must agree");
+        assert_eq!(conc.txn_latency(), serial.txn_latency());
+    }
+
+    #[test]
+    fn concurrency_overlaps_reads_and_beats_serial() {
+        let inputs = mixed_inputs(120, 256, 0); // read-only: misses dominate
+        let mut serial = stack_db(16);
+        let r1 = serial.run_concurrent(&inputs, &ExecConfig::serialized());
+        let mut conc = stack_db(16);
+        let r8 = conc.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 8,
+                prefetch: PrefetchConfig::off(),
+                group: GroupCommitPolicy::batched(8),
+            },
+        );
+        assert!(
+            r8.makespan < r1.makespan,
+            "8-deep loop {} should beat serial {}",
+            r8.makespan,
+            r1.makespan
+        );
+        assert!(r8.tps > r1.tps);
+    }
+
+    #[test]
+    fn coalescing_counts_and_returns_same_bytes() {
+        // every transaction hammers the same page: with N in flight the
+        // fetch must coalesce, and all of them see the installed image
+        let inputs: Vec<TxnInput> = (0..8)
+            .map(|i| TxnInput {
+                accesses: vec![(7, i as u16, true)],
+                log_bytes: 64,
+            })
+            .collect();
+        let mut db = legacy_db(32);
+        let report = db.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 4,
+                prefetch: PrefetchConfig::off(),
+                group: GroupCommitPolicy::batched(4),
+            },
+        );
+        assert!(report.coalesced > 0, "same-page misses must coalesce");
+        // all eight updates landed on the one page
+        for i in 0..8u64 {
+            assert_eq!(db.visible_owner(7, i as u16), i + 1);
+        }
+    }
+
+    #[test]
+    fn sequential_prefetch_wins_on_a_scan() {
+        // a pure sequential scan over more pages than the pool holds:
+        // readahead should convert most misses into wins
+        let inputs: Vec<TxnInput> = (0..128u64)
+            .map(|p| TxnInput {
+                accesses: vec![(p, 0, false)],
+                log_bytes: 32,
+            })
+            .collect();
+        let mut plain = stack_db(16);
+        let r0 = plain.run_concurrent(&inputs, &ExecConfig::serialized());
+        let mut ra = stack_db(16);
+        let r4 = ra.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 1,
+                prefetch: PrefetchConfig::sequential(4),
+                group: GroupCommitPolicy::immediate(),
+            },
+        );
+        assert!(r4.prefetch.issued > 0);
+        assert!(
+            r4.prefetch.wins * 2 > r4.prefetch.issued,
+            "sequential scan should win most speculations: {:?}",
+            r4.prefetch
+        );
+        assert!(
+            r4.makespan < r0.makespan,
+            "readahead {} should beat demand-only {}",
+            r4.makespan,
+            r0.makespan
+        );
+    }
+
+    #[test]
+    fn group_commit_amortizes_forces_in_the_loop() {
+        let inputs = mixed_inputs(64, 64, 1); // all writers
+        let mut single = legacy_db(64);
+        let r1 = single.run_concurrent(&inputs, &ExecConfig::serialized());
+        let mut grouped = legacy_db(64);
+        let r8 = grouped.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 8,
+                prefetch: PrefetchConfig::off(),
+                group: GroupCommitPolicy::batched(8),
+            },
+        );
+        assert!(r8.forces < r1.forces / 4, "{} vs {}", r8.forces, r1.forces);
+        assert!(r8.mean_group > 4.0);
+        assert!(r8.makespan < r1.makespan, "grouping should be faster");
+    }
+
+    #[test]
+    fn commit_probe_spans_tile_wait_and_force() {
+        let inputs = mixed_inputs(24, 64, 1);
+        let mut db = legacy_db(64);
+        let probe = requiem_sim::Probe::recording();
+        db.attach_probe(probe.clone());
+        db.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 4,
+                prefetch: PrefetchConfig::off(),
+                group: GroupCommitPolicy::batched(4),
+            },
+        );
+        let summary = probe.summary();
+        let force = summary
+            .by_layer_cause
+            .get(&(Layer::Wal, Cause::Transfer))
+            .copied()
+            .unwrap_or_default();
+        assert!(force.count >= 24, "every commit carries a force span");
+        let wait = summary
+            .by_layer_cause
+            .get(&(Layer::Wal, Cause::Queue))
+            .copied()
+            .unwrap_or_default();
+        assert!(wait.count > 0, "grouped commits must show group-wait spans");
+    }
+
+    #[test]
+    fn checkpoints_fire_in_the_concurrent_loop() {
+        let inputs = mixed_inputs(40, 64, 1);
+        let mut db = legacy_db(64);
+        db.cfg.checkpoint_every = 10;
+        db.run_concurrent(
+            &inputs,
+            &ExecConfig {
+                concurrency: 4,
+                prefetch: PrefetchConfig::off(),
+                group: GroupCommitPolicy::batched(4),
+            },
+        );
+        assert_eq!(db.stats().checkpoints, 4);
+    }
+}

@@ -35,12 +35,21 @@ pub mod backend;
 pub mod btree;
 pub mod buffer;
 pub mod engine;
+pub mod exec;
 pub mod heap;
 pub mod kvstore;
 pub mod page;
+pub mod prefetch;
+pub mod stack_backend;
 pub mod wal;
 
-pub use backend::{LegacyBackend, PersistenceBackend, VisionBackend};
+pub use backend::{
+    CommandTag, LegacyBackend, PageRead, PersistenceBackend, ReadShim, VisionBackend,
+};
 pub use engine::{Database, DbConfig, TxnOutcome};
+pub use exec::{ExecConfig, ExecReport, TxnInput};
 pub use kvstore::NamelessKv;
 pub use page::{PageId, Rid, SlottedPage, PAGE_SIZE};
+pub use prefetch::{PrefetchConfig, PrefetchMode, PrefetchStats};
+pub use stack_backend::BlockStackBackend;
+pub use wal::GroupCommitPolicy;

@@ -1,0 +1,404 @@
+//! A persistence backend routed through the composed block-layer
+//! [`IoStack`]: the storage manager's traffic pays the OS submission
+//! path, queue locks, doorbells, and IRQ/polling completion costs that
+//! [`LegacyBackend`](crate::backend::LegacyBackend) (which talks to the
+//! bare device) leaves out.
+//!
+//! This is the backend the completion-driven engine showcases: its
+//! batched read path is implemented directly over
+//! [`IoStack::submit_batch`] / [`IoStack::poll_completions`], so a DB
+//! queue depth of N turns into N commands resident in the device-side
+//! in-flight window — the paper's Figure-1 parallelism finally reaching
+//! transaction throughput. Layout and traffic classes are identical to
+//! the legacy backend (circular log + data + double-write journal on one
+//! flash SSD behind the block interface).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use requiem_block::{IoStack, StackConfig};
+use requiem_sim::time::SimTime;
+use requiem_sim::IoStatus;
+use requiem_ssd::{IoClass, IoRequest, Lpn, Ssd, SsdConfig};
+
+use crate::backend::{worse_status, BackendStats, CommandTag, PageRead, PersistenceBackend};
+use crate::page::{PageId, PAGE_SIZE};
+
+/// The block-stack backend: one flash SSD behind the full OS I/O stack.
+pub struct BlockStackBackend {
+    stack: IoStack<Ssd>,
+    /// LBA layout (log, data, journal), as in the legacy backend.
+    log_pages: u64,
+    data_base: u64,
+    journal_base: u64,
+    data_pages: u64,
+    /// Circular log tail (byte offset).
+    log_tail: u64,
+    /// Use TRIM on frees (off by default, like the legacy stack).
+    pub use_trim: bool,
+    /// Batched reads in flight: host tag → page.
+    pending: BTreeMap<u64, PageId>,
+    /// Read completions reaped early (while draining a synchronous
+    /// journal batch), waiting for the next poll.
+    ready: Vec<PageRead>,
+    /// Tag namespace for everything that goes through `submit_batch`.
+    next_tag: u64,
+    stats: BackendStats,
+}
+
+impl std::fmt::Debug for BlockStackBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStackBackend")
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl BlockStackBackend {
+    /// Lay out `data_pages` of data, `log_pages` of circular log, and an
+    /// equal-size journal area on one device behind `stack_cfg`.
+    ///
+    /// # Panics
+    /// Panics if the device is too small for the layout.
+    pub fn new(
+        stack_cfg: StackConfig,
+        ssd_cfg: SsdConfig,
+        data_pages: u64,
+        log_pages: u64,
+    ) -> Self {
+        let ssd = Ssd::new(ssd_cfg);
+        let exported = ssd.capacity().exported_pages;
+        let needed = log_pages + 2 * data_pages;
+        assert!(
+            needed <= exported,
+            "device too small: need {needed} pages, exported {exported}"
+        );
+        BlockStackBackend {
+            stack: IoStack::new(stack_cfg, ssd),
+            log_pages,
+            data_base: log_pages,
+            journal_base: log_pages + data_pages,
+            data_pages,
+            log_tail: 0,
+            use_trim: false,
+            pending: BTreeMap::new(),
+            ready: Vec::new(),
+            next_tag: 0,
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// The block stack (for software-share reporting).
+    pub fn stack(&self) -> &IoStack<Ssd> {
+        &self.stack
+    }
+
+    /// The underlying device (for write-amplification reporting).
+    pub fn ssd(&self) -> &Ssd {
+        self.stack.backend()
+    }
+
+    fn data_lpn(&self, page: PageId) -> Lpn {
+        assert!(page.0 < self.data_pages, "page id beyond data region");
+        Lpn(self.data_base + page.0)
+    }
+
+    fn fresh_tag(&mut self) -> CommandTag {
+        self.next_tag += 1;
+        CommandTag(self.next_tag)
+    }
+
+    /// Submit `reqs` as one batch and drain the completion queue until
+    /// every one of them has been reaped; returns the latest completion
+    /// instant. Read completions that happen to become ready while we
+    /// drain are buffered into `self.ready` for the next poll — the
+    /// batch must not swallow them.
+    fn run_batch_to_completion(&mut self, now: SimTime, reqs: &[IoRequest]) -> SimTime {
+        if reqs.is_empty() {
+            return now;
+        }
+        let batch: BTreeSet<u64> = reqs.iter().map(|r| r.tag.0).collect();
+        self.stack.submit_batch(now, 0, reqs);
+        let mut outstanding = batch;
+        let mut t = now;
+        while !outstanding.is_empty() {
+            let Some(next) = self.stack.next_completion_time(0) else {
+                // nothing left in flight but tags unaccounted — a batch
+                // member was dropped by the stack; stop honestly rather
+                // than spin (cannot happen with the current stack)
+                break;
+            };
+            for c in self.stack.poll_completions(next, 0) {
+                if outstanding.remove(&c.tag.0) {
+                    t = t.max(c.done);
+                } else if let Some(page) = self.pending.remove(&c.tag.0) {
+                    self.ready.push(PageRead {
+                        tag: c.tag,
+                        page,
+                        done: c.done,
+                        status: c.status,
+                    });
+                }
+            }
+        }
+        t
+    }
+}
+
+impl PersistenceBackend for BlockStackBackend {
+    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.stats.log_forces += 1;
+        self.stats.log_bytes += u64::from(bytes);
+        // identical layout policy to the legacy backend: rewrite the tail
+        // page on every force, spill full pages — but every write pays
+        // the block-layer path
+        let mut remaining = u64::from(bytes);
+        let mut t = now;
+        loop {
+            let page_in_log = (self.log_tail / PAGE_SIZE as u64) % self.log_pages;
+            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
+            let taken = remaining.min(room);
+            let c = self.stack.submit(t, 0, IoRequest::write(page_in_log));
+            t = c.done;
+            self.log_tail += taken;
+            remaining -= taken;
+            if remaining == 0 {
+                break;
+            }
+        }
+        t
+    }
+
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_writes += 1;
+        let lpn = self.data_lpn(page);
+        self.stack
+            .submit(now, 0, IoRequest::write(lpn.0).class(IoClass::Background))
+            .done
+    }
+
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.steal_writes += 1;
+        let lpn = self.data_lpn(page);
+        self.stack.submit(now, 0, IoRequest::write(lpn.0)).done
+    }
+
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
+        self.stats.page_reads += 1;
+        let lpn = self.data_lpn(page);
+        let c = self.stack.submit(now, 0, IoRequest::read(lpn.0));
+        (c.done, c.status)
+    }
+
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
+        if pages.is_empty() {
+            return now;
+        }
+        self.stats.batches += 1;
+        self.stats.page_writes += pages.len() as u64;
+        // torn-write safety through the block interface = double-write
+        // journal, but both phases ride the queue-pair path: journal
+        // copies as one batch, barrier (drain), then in-place writes as a
+        // second batch
+        let journal: Vec<IoRequest> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let tag = self.fresh_tag();
+                IoRequest::write(self.journal_base + i as u64).tag(tag)
+            })
+            .collect();
+        let t1 = self.run_batch_to_completion(now, &journal);
+        let in_place: Vec<IoRequest> = pages
+            .iter()
+            .map(|&p| {
+                let tag = self.fresh_tag();
+                IoRequest::write(self.data_lpn(p).0).tag(tag)
+            })
+            .collect();
+        self.run_batch_to_completion(t1, &in_place)
+    }
+
+    fn free_page(&mut self, now: SimTime, page: PageId) {
+        self.stats.frees += 1;
+        if self.use_trim {
+            let lpn = self.data_lpn(page);
+            self.stack
+                .submit(now, 0, IoRequest::trim(lpn.0).class(IoClass::Background));
+        }
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn label(&self) -> &'static str {
+        "stack-block"
+    }
+
+    fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.stack.attach_probe(probe);
+    }
+
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
+        let reqs: Vec<IoRequest> = pages
+            .iter()
+            .map(|&p| {
+                self.stats.page_reads += 1;
+                let tag = self.fresh_tag();
+                self.pending.insert(tag.0, p);
+                IoRequest::read(self.data_lpn(p).0).tag(tag)
+            })
+            .collect();
+        self.stack.submit_batch(now, 0, &reqs)
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
+        let mut out: Vec<PageRead> = Vec::new();
+        // early-reaped completions first (they finished before `now`)
+        self.ready.retain(|r| {
+            if r.done <= now {
+                out.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        out.sort_by_key(|r| (r.done, r.tag.0));
+        for c in self.stack.poll_completions(now, 0) {
+            if let Some(page) = self.pending.remove(&c.tag.0) {
+                out.push(PageRead {
+                    tag: c.tag,
+                    page,
+                    done: c.done,
+                    status: c.status,
+                });
+            }
+        }
+        out
+    }
+
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        let r = self.ready.iter().map(|r| r.done).min();
+        match (r, self.stack.next_completion_time(0)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn reads_in_flight(&mut self) -> usize {
+        self.pending.len() + self.ready.len()
+    }
+
+    fn set_read_window(&mut self, depth: usize) {
+        debug_assert!(
+            self.pending.is_empty() && self.ready.is_empty(),
+            "window change with reads in flight"
+        );
+        self.stack.set_inflight_window(depth.max(1));
+    }
+
+    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        if bytes == 0 {
+            return (now, IoStatus::Ok);
+        }
+        let first = offset / PAGE_SIZE as u64;
+        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
+        let mut t = now;
+        let mut status = IoStatus::Ok;
+        for p in first..=last {
+            let page_in_log = p % self.log_pages.max(1);
+            let c = self.stack.submit(t, 0, IoRequest::read(page_in_log));
+            t = c.done;
+            status = worse_status(status, c.status);
+        }
+        (t, status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> BlockStackBackend {
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        BlockStackBackend::new(StackConfig::blk_mq(1), ssd_cfg, 1024, 64)
+    }
+
+    #[test]
+    fn sync_ops_advance_time_and_count() {
+        let mut b = backend();
+        let t1 = b.page_write(SimTime::ZERO, PageId(0));
+        let (t2, st) = b.page_read(t1, PageId(0));
+        assert!(t2 > t1);
+        assert_eq!(st, IoStatus::Ok);
+        let t3 = b.log_force(t2, 256);
+        assert!(t3 > t2);
+        assert_eq!(b.stats().page_writes, 1);
+        assert_eq!(b.stats().page_reads, 1);
+        assert_eq!(b.stats().log_forces, 1);
+    }
+
+    #[test]
+    fn page_batch_journals_then_writes_in_place() {
+        let mut b = backend();
+        let pages: Vec<PageId> = (0..8).map(PageId).collect();
+        let done = b.page_batch(SimTime::ZERO, &pages);
+        assert!(done > SimTime::ZERO);
+        assert_eq!(
+            b.ssd().metrics().host_writes,
+            16,
+            "double-write journal writes twice"
+        );
+        assert_eq!(b.reads_in_flight(), 0);
+    }
+
+    #[test]
+    fn batched_reads_overlap_on_the_device() {
+        let mut b = backend();
+        // precondition: write the pages so reads hit mapped LPNs
+        let mut t = SimTime::ZERO;
+        for p in 0..16u64 {
+            t = b.page_write(t, PageId(p));
+        }
+        // serialized reference
+        let mut serial = t;
+        for p in 0..16u64 {
+            let (done, _) = b.page_read(serial, PageId(p));
+            serial = done;
+        }
+        // batched at depth 8 over the same (now warmer) device state
+        b.set_read_window(8);
+        let pages: Vec<PageId> = (0..16).map(PageId).collect();
+        let tags = b.submit_reads(serial, &pages);
+        assert_eq!(tags.len(), 16);
+        assert_eq!(b.reads_in_flight(), 16);
+        let mut last = serial;
+        let mut got = 0;
+        while b.reads_in_flight() > 0 {
+            let next = b.next_read_done().expect("reads in flight");
+            for r in PersistenceBackend::poll(&mut b, next) {
+                last = last.max(r.done);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 16);
+        let batched_span = last.since(serial);
+        let serial_span = serial.since(t);
+        assert!(
+            batched_span < serial_span,
+            "batched {batched_span} should beat serialized {serial_span}"
+        );
+    }
+
+    #[test]
+    fn log_read_covers_the_byte_range() {
+        let mut b = backend();
+        let t1 = b.log_force(SimTime::ZERO, 10 * 1024);
+        let reads_before = b.ssd().metrics().host_reads;
+        let (t2, st) = b.log_read(t1, 0, 10 * 1024);
+        assert!(t2 > t1);
+        assert_eq!(st, IoStatus::Ok);
+        assert_eq!(b.ssd().metrics().host_reads - reads_before, 3);
+    }
+}

@@ -6,6 +6,7 @@
 //! job — which is precisely where the legacy and vision designs diverge
 //! (§3 P1: log writes are the canonical synchronous pattern).
 
+use requiem_sim::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::page::PageId;
@@ -149,6 +150,156 @@ impl Wal {
     }
 }
 
+// ---------------------------------------------------------------------
+// Group commit: shared log forces with a deterministic flush policy
+// ---------------------------------------------------------------------
+
+/// When the next shared log force happens. All three triggers are
+/// deterministic functions of enlisted state and virtual time — no
+/// wall-clock timers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupCommitPolicy {
+    /// Force once this many commits are enlisted (≥ 1).
+    pub max_txns: u32,
+    /// Force once the enlisted force bytes reach this size
+    /// (0 disables the size trigger).
+    pub max_bytes: u32,
+    /// Force once the oldest enlisted commit has waited this long
+    /// ([`SimDuration::ZERO`] disables the deadline trigger).
+    pub max_wait: SimDuration,
+}
+
+impl GroupCommitPolicy {
+    /// Force on every commit — the serialized engine's behaviour, and
+    /// the policy under which the QD-1 identity holds.
+    pub fn immediate() -> Self {
+        GroupCommitPolicy {
+            max_txns: 1,
+            max_bytes: 0,
+            max_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// Batch up to `n` commits per force, with no size or deadline
+    /// trigger (idle engines still force: the executor forces an
+    /// undersized group whenever nothing else can make progress).
+    pub fn batched(n: u32) -> Self {
+        GroupCommitPolicy {
+            max_txns: n.max(1),
+            max_bytes: 0,
+            max_wait: SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> Self {
+        Self::immediate()
+    }
+}
+
+/// One commit enlisted for the next shared force.
+#[derive(Debug, Clone)]
+pub struct GroupMember {
+    /// Executor slot cookie (opaque to the WAL).
+    pub slot: usize,
+    /// The committing transaction.
+    pub txn: u64,
+    /// Its commit record's LSN.
+    pub lsn: Lsn,
+    /// When the commit record was appended (per-txn wait starts here).
+    pub enlisted: SimTime,
+    /// When the transaction started (for end-to-end latency).
+    pub started: SimTime,
+    /// Force bytes this commit contributes.
+    pub bytes: u32,
+    /// Detached probe command id for the commit span (0 = not probed).
+    pub probe_id: u64,
+    /// True when the transaction dirtied nothing.
+    pub read_only: bool,
+}
+
+/// Commits waiting for the next shared log force.
+#[derive(Debug, Default)]
+pub struct GroupCommit {
+    members: Vec<GroupMember>,
+    bytes: u32,
+}
+
+impl GroupCommit {
+    /// Empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enlist one commit.
+    pub fn enlist(&mut self, member: GroupMember) {
+        self.bytes = self.bytes.saturating_add(member.bytes);
+        self.members.push(member);
+    }
+
+    /// Enlisted commits.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when nothing is enlisted.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Accumulated force bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bytes
+    }
+
+    /// Enlist instant of the oldest member.
+    pub fn oldest(&self) -> Option<SimTime> {
+        self.members.iter().map(|m| m.enlisted).min()
+    }
+
+    /// Highest enlisted commit LSN — the durability horizon the shared
+    /// force establishes.
+    pub fn max_lsn(&self) -> Option<Lsn> {
+        self.members.iter().map(|m| m.lsn).max()
+    }
+
+    /// True when `policy` wants a force at `now`.
+    pub fn due(&self, policy: &GroupCommitPolicy, now: SimTime) -> bool {
+        if self.members.is_empty() {
+            return false;
+        }
+        if self.members.len() as u32 >= policy.max_txns.max(1) {
+            return true;
+        }
+        if policy.max_bytes > 0 && self.bytes >= policy.max_bytes {
+            return true;
+        }
+        if policy.max_wait > SimDuration::ZERO {
+            if let Some(oldest) = self.oldest() {
+                return now.since(oldest) >= policy.max_wait;
+            }
+        }
+        false
+    }
+
+    /// Instant the deadline trigger will fire (`None` when disabled or
+    /// empty).
+    pub fn deadline(&self, policy: &GroupCommitPolicy) -> Option<SimTime> {
+        if policy.max_wait == SimDuration::ZERO {
+            return None;
+        }
+        self.oldest().map(|t| t + policy.max_wait)
+    }
+
+    /// Take the whole group for forcing; leaves the group empty.
+    pub fn take(&mut self) -> (Vec<GroupMember>, u32) {
+        let bytes = self.bytes;
+        self.bytes = 0;
+        (std::mem::take(&mut self.members), bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +350,56 @@ mod tests {
         w.append(LogRecord::Commit { txn: 2 });
         assert_eq!(w.records_after(None).count(), 2);
         assert_eq!(w.records_after(Some(l1)).count(), 1);
+    }
+
+    fn member(slot: usize, lsn: u64, enlisted: u64, bytes: u32) -> GroupMember {
+        GroupMember {
+            slot,
+            txn: slot as u64,
+            lsn: Lsn(lsn),
+            enlisted: SimTime::ZERO + SimDuration::from_nanos(enlisted),
+            started: SimTime::ZERO,
+            bytes,
+            probe_id: 0,
+            read_only: false,
+        }
+    }
+
+    #[test]
+    fn group_triggers_on_count_bytes_and_deadline() {
+        let mut g = GroupCommit::new();
+        let by_count = GroupCommitPolicy::batched(2);
+        let by_bytes = GroupCommitPolicy {
+            max_txns: 100,
+            max_bytes: 300,
+            max_wait: SimDuration::ZERO,
+        };
+        let by_wait = GroupCommitPolicy {
+            max_txns: 100,
+            max_bytes: 0,
+            max_wait: SimDuration::from_micros(10),
+        };
+        let t = |ns: u64| SimTime::ZERO + SimDuration::from_nanos(ns);
+        assert!(!g.due(&by_count, t(0)), "empty group is never due");
+        g.enlist(member(0, 10, 100, 200));
+        assert!(!g.due(&by_count, t(100)));
+        assert!(!g.due(&by_bytes, t(100)));
+        assert!(!g.due(&by_wait, t(100)));
+        assert_eq!(
+            g.deadline(&by_wait),
+            Some(t(100) + SimDuration::from_micros(10))
+        );
+        g.enlist(member(1, 20, 200, 200));
+        assert!(g.due(&by_count, t(200)), "two commits hit max_txns=2");
+        assert!(g.due(&by_bytes, t(200)), "400 bytes hit max_bytes=300");
+        assert!(!g.due(&by_wait, t(200)));
+        assert!(g.due(&by_wait, t(100 + 10_000)), "oldest member ages out");
+        assert_eq!(g.max_lsn(), Some(Lsn(20)));
+        let (members, bytes) = g.take();
+        assert_eq!(members.len(), 2);
+        assert_eq!(bytes, 400);
+        assert!(g.is_empty());
+        assert_eq!(g.bytes(), 0);
     }
 
     #[test]

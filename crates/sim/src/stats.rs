@@ -17,7 +17,11 @@ const MAGNITUDES: usize = 64;
 const BUCKETS: usize = MAGNITUDES * SUB_BUCKETS;
 
 /// A log-linear histogram over `u64` values (typically nanoseconds).
-#[derive(Clone)]
+///
+/// Equality is exact bucket-state equality: two histograms compare equal
+/// iff they recorded the same multiset of values — what the database
+/// layer's QD-1 identity tests assert.
+#[derive(Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -384,6 +388,54 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 10);
         assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merged_quantiles_equal_rerecorded_quantiles() {
+        // E13 combines per-txn-class histograms (read-only + update)
+        // with merge() instead of re-recording samples; the merged
+        // histogram must be bucket-for-bucket what recording the union
+        // would have produced — quantiles, mean, extrema, equality.
+        let fast: Vec<u64> = (0..600).map(|i| 40_000 + i * 37).collect();
+        let slow: Vec<u64> = (0..60).map(|i| 2_500_000 + i * 11_113).collect();
+        let mut a = Histogram::new();
+        for &v in &fast {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for &v in &slow {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut union = Histogram::new();
+        for &v in fast.iter().chain(&slow) {
+            union.record(v);
+        }
+        assert_eq!(merged, union, "merge must equal re-recording the union");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), union.quantile(q), "quantile {q}");
+        }
+        assert_eq!(merged.count(), 660);
+        assert_eq!(merged.min(), union.min());
+        assert_eq!(merged.max(), union.max());
+        assert!((merged.mean() - union.mean()).abs() < 1e-9);
+        // the bimodal split survives the merge: median stays in the fast
+        // mode, p99 lands in the slow mode
+        assert!(merged.p50() < 100_000);
+        assert!(merged.p99() >= 2_500_000);
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(77);
+        a.merge(&b);
+        assert_eq!(a, b, "empty.merge(x) == x");
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "x.merge(empty) is a no-op");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Closed-loop OLTP driver over the completion-driven database engine.
+//!
+//! [`crate::driver`] pushes raw page I/O into an [`requiem_ssd::Ssd`];
+//! this module is the same closed-loop discipline one layer up: it feeds
+//! a TPC-B-flavoured transaction mix ([`crate::oltp`]) into
+//! [`requiem_db::Database::run_concurrent`], which keeps N transactions
+//! in flight over the batched read path and the shared group commit.
+//! Transaction *concurrency* is the database's queue depth — the §2.1
+//! argument ("SSDs require a high level of parallelism") restated at the
+//! storage-manager interface.
+//!
+//! Everything is pre-generated before the run so the device timeline is
+//! a pure function of `(seed, config)` — the determinism CI job diffs
+//! experiment output byte-for-byte.
+
+use requiem_db::{Database, ExecConfig, ExecReport, PersistenceBackend, TxnInput};
+
+use crate::oltp::{OltpGen, Txn};
+
+/// Record slots per page assumed by the `(page, slot)` mapping — matches
+/// `DbConfig::slots_per_page` in every experiment that uses this driver.
+pub const DRIVER_SLOTS_PER_PAGE: u16 = 16;
+
+/// Map one generated transaction onto the engine's access triples. The
+/// record slot is derived from the page id (`page % 16`) — the same
+/// convention the synergy experiment (E7) uses, so workloads are
+/// comparable across the serialized and completion-driven paths.
+pub fn txn_to_input(txn: &Txn) -> TxnInput {
+    TxnInput {
+        accesses: txn
+            .accesses
+            .iter()
+            .map(|a| {
+                (
+                    a.page,
+                    (a.page % u64::from(DRIVER_SLOTS_PER_PAGE)) as u16,
+                    a.dirty,
+                )
+            })
+            .collect(),
+        log_bytes: txn.log_bytes,
+    }
+}
+
+/// Pre-generate `count` transactions as executor inputs.
+pub fn oltp_inputs(gen: &mut OltpGen, count: u64) -> Vec<TxnInput> {
+    (0..count).map(|_| txn_to_input(&gen.next_txn())).collect()
+}
+
+/// Run `count` OLTP transactions through `db` as a closed loop of
+/// `cfg.concurrency` in-flight transactions. The database must already
+/// be loaded.
+pub fn run_oltp_closed_loop<B: PersistenceBackend>(
+    db: &mut Database<B>,
+    gen: &mut OltpGen,
+    count: u64,
+    cfg: &ExecConfig,
+) -> ExecReport {
+    let inputs = oltp_inputs(gen, count);
+    db.run_concurrent(&inputs, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oltp::OltpConfig;
+    use requiem_db::{DbConfig, LegacyBackend};
+    use requiem_ssd::SsdConfig;
+
+    fn small_db() -> Database<LegacyBackend> {
+        let cfg = DbConfig {
+            data_pages: 256,
+            buffer_frames: 64,
+            ..DbConfig::default()
+        };
+        let mut ssd_cfg = SsdConfig::modern();
+        ssd_cfg.buffer.capacity_pages = 0;
+        let mut db = Database::new(cfg, LegacyBackend::new(ssd_cfg, 256, 64));
+        db.load();
+        db
+    }
+
+    fn oltp() -> OltpGen {
+        OltpGen::new(
+            OltpConfig {
+                data_pages: 256,
+                ..OltpConfig::default()
+            },
+            13,
+        )
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_well_formed() {
+        let a = oltp_inputs(&mut oltp(), 50);
+        let b = oltp_inputs(&mut oltp(), 50);
+        assert_eq!(a, b, "same seed, same inputs");
+        assert!(a.iter().all(|t| t
+            .accesses
+            .iter()
+            .all(|&(p, s, _)| p < 256 && s < DRIVER_SLOTS_PER_PAGE)));
+    }
+
+    #[test]
+    fn closed_loop_runs_the_mix_to_completion() {
+        let mut db = small_db();
+        let report = run_oltp_closed_loop(
+            &mut db,
+            &mut oltp(),
+            40,
+            &ExecConfig {
+                concurrency: 4,
+                ..ExecConfig::serialized()
+            },
+        );
+        assert_eq!(report.txns, 40);
+        assert_eq!(db.stats().commits, 40);
+        assert!(report.tps > 0.0);
+        assert_eq!(
+            report.read_only_latency.count() + report.update_latency.count(),
+            40,
+            "every txn lands in exactly one class histogram"
+        );
+    }
+
+    #[test]
+    fn closed_loop_qd1_matches_serialized_execute() {
+        let inputs = oltp_inputs(&mut oltp(), 40);
+        let mut serial = small_db();
+        for t in &inputs {
+            serial.execute(&t.accesses, t.log_bytes);
+        }
+        let mut conc = small_db();
+        run_oltp_closed_loop(&mut conc, &mut oltp(), 40, &ExecConfig::serialized());
+        assert_eq!(conc.now(), serial.now(), "QD-1 identity through the driver");
+        assert_eq!(conc.txn_latency(), serial.txn_latency());
+    }
+}

@@ -13,14 +13,19 @@
 //!   throughput/latency.
 //! * [`oltp`] — a TPC-B-flavoured transaction mix used by the §3
 //!   experiments (log writes + data page reads/writes per transaction).
+//! * [`dbdriver`] — a closed-loop driver feeding the OLTP mix into
+//!   `requiem-db`'s completion-driven executor (N transactions in
+//!   flight — queue depth at the storage-manager interface).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dbdriver;
 pub mod driver;
 pub mod oltp;
 pub mod pattern;
 
+pub use dbdriver::{oltp_inputs, run_oltp_closed_loop, txn_to_input};
 pub use driver::{
     precondition_sequential, run_closed_loop, run_closed_loop_serialized, run_open_loop,
     DriverReport, IoMix,
