@@ -23,10 +23,15 @@ use crate::lexer::TokKind;
 /// The db executor and prefetcher are transaction state machines driven
 /// by device completions: a panic there aborts the closed loop with
 /// transactions mid-flight, so fallible paths must surface through
-/// `IoStatus` like the controller core they sit on.
+/// `IoStatus` like the controller core they sit on. The whole of
+/// `crates/iface` joined the set when the cooperating-logs storage
+/// manager started driving the nameless device under OLTP load: a
+/// device-full or stale-name condition there must come back as a typed
+/// `IoStatus`/`NamelessError`, never a host abort.
 fn protected(rel: &str) -> bool {
     rel.starts_with("crates/ssd/src/controller/")
         || rel.starts_with("crates/ssd/src/mapping/")
+        || rel.starts_with("crates/iface/src")
         || rel == "crates/ssd/src/qpair.rs"
         || rel == "crates/db/src/exec.rs"
         || rel == "crates/db/src/prefetch.rs"

@@ -138,7 +138,7 @@ fn sweep_json(points: &[SweepPoint]) -> String {
             let ro = p.report.read_only_latency.summary();
             let up = p.report.update_latency.summary();
             format!(
-                "{{\"qd\":{},\"tps\":{:.1},\"forces\":{},\"mean_group\":{:.2},\"coalesced\":{},\"ro_p50_ns\":{},\"ro_p99_ns\":{},\"upd_p50_ns\":{},\"upd_p99_ns\":{}}}",
+                "{{\"qd\":{},\"tps\":{:.1},\"forces\":{},\"mean_group\":{:.2},\"coalesced\":{},\"ro_p50_ns\":{},\"ro_p99_ns\":{},\"ro_p999_ns\":{},\"upd_p50_ns\":{},\"upd_p99_ns\":{},\"upd_p999_ns\":{}}}",
                 p.qd,
                 p.report.tps,
                 p.report.forces,
@@ -146,8 +146,10 @@ fn sweep_json(points: &[SweepPoint]) -> String {
                 p.report.coalesced,
                 ro.p50,
                 ro.p99,
+                p.report.read_only_latency.quantile(0.999),
                 up.p50,
-                up.p99
+                up.p99,
+                p.report.update_latency.quantile(0.999)
             )
         })
         .collect();

@@ -38,9 +38,9 @@ fn churn<D: DeviceInterface>(dev: &mut D, tell_device: bool) -> (f64, f64, u64, 
     let mut handles: Vec<Option<D::Handle>> = vec![None; pages as usize];
     let mut t = SimTime::ZERO;
     for tag in 0..files * file_pages {
-        let (h, done) = dev.update(t, tag, None);
-        handles[tag as usize] = Some(h);
-        t = done;
+        let out = dev.update(t, tag, None);
+        handles[tag as usize] = Some(out.handle.expect("fill write accepted"));
+        t = out.done;
     }
     // delete every 3rd file; these tags are never used again — the host
     // knows they are dead, the device only learns it if told
@@ -54,7 +54,9 @@ fn churn<D: DeviceInterface>(dev: &mut D, tell_device: bool) -> (f64, f64, u64, 
         for p in 0..file_pages {
             let tag = f * file_pages + p;
             let h = handles[tag as usize].take().expect("live file page");
-            t = dev.discard(t, tag, h);
+            let (done, status) = dev.discard(t, tag, h);
+            assert!(status.is_success(), "discard of a live page accepted");
+            t = done;
         }
     }
     // now churn the *surviving* files: random overwrites, 2 drive-fills
@@ -75,9 +77,9 @@ fn churn<D: DeviceInterface>(dev: &mut D, tell_device: bool) -> (f64, f64, u64, 
                 handles[r.tag as usize] = Some(r.new);
             }
         }
-        let (h, done) = dev.update(t, tag, handles[tag as usize]);
-        handles[tag as usize] = Some(h);
-        t = done;
+        let out = dev.update(t, tag, handles[tag as usize]);
+        handles[tag as usize] = Some(out.handle.expect("churn rewrite accepted"));
+        t = out.done;
     }
     let d = dev.device_metrics().since(&before);
     let makespan = t.since(t0);

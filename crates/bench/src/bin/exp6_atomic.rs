@@ -24,9 +24,10 @@ use requiem_ssd::Ssd;
 fn one_commit<D: DeviceInterface>(dev: &mut D, batch: u64) -> (SimDuration, u64) {
     let tags: Vec<u64> = (0..batch).collect();
     let prev: Vec<Option<D::Handle>> = vec![None; batch as usize];
-    let (_handles, done) = dev.commit_batch(SimTime::ZERO, &tags, &prev);
+    let c = dev.commit_batch(SimTime::ZERO, &tags, &prev);
+    assert!(c.status.is_success(), "commit accepted on a fresh device");
     (
-        done.since(SimTime::ZERO),
+        c.done.since(SimTime::ZERO),
         dev.device_metrics().flash_programs,
     )
 }
@@ -45,8 +46,9 @@ fn sustained<D: DeviceInterface>(
     for ck in 0..checkpoints {
         let tags: Vec<u64> = (0..batch).map(|i| (ck * batch + i) % working).collect();
         let prev: Vec<Option<D::Handle>> = tags.iter().map(|&tg| handles[tg as usize]).collect();
-        let (new, done) = dev.commit_batch(t, &tags, &prev);
-        for (&tg, h) in tags.iter().zip(new) {
+        let c = dev.commit_batch(t, &tags, &prev);
+        assert!(c.status.is_success(), "sustained commit accepted");
+        for (&tg, h) in tags.iter().zip(c.handles) {
             handles[tg as usize] = Some(h);
         }
         for r in dev.drain_relocations() {
@@ -54,7 +56,7 @@ fn sustained<D: DeviceInterface>(
                 handles[r.tag as usize] = Some(r.new);
             }
         }
-        t = done;
+        t = c.done;
     }
     let m = dev.device_metrics();
     (

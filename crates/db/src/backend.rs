@@ -40,18 +40,10 @@ pub struct PageRead {
 
 /// Combine two statuses into the one the caller must act on: data loss
 /// dominates a refusal, a refusal dominates a recovered read, and
-/// recovered reads accumulate their step counts.
+/// recovered reads accumulate their step counts. Thin name for
+/// [`IoStatus::combine`], kept because every backend folds statuses.
 pub fn worse_status(a: IoStatus, b: IoStatus) -> IoStatus {
-    use IoStatus::*;
-    match (a, b) {
-        (Unrecoverable, _) | (_, Unrecoverable) => Unrecoverable,
-        (Rejected, _) | (_, Rejected) => Rejected,
-        (RecoveredAfterRetry { steps: x }, RecoveredAfterRetry { steps: y }) => {
-            RecoveredAfterRetry { steps: x + y }
-        }
-        (s @ RecoveredAfterRetry { .. }, Ok) | (Ok, s @ RecoveredAfterRetry { .. }) => s,
-        (Ok, Ok) => Ok,
-    }
+    a.combine(b)
 }
 
 /// Parking space backing the trait's **default** (serialized) batched-read
@@ -129,6 +121,16 @@ pub struct BackendStats {
     pub frees: u64,
     /// Checkpoint batches.
     pub batches: u64,
+    /// WAL segments released by checkpoint truncation
+    /// ([`PersistenceBackend::truncate_log`]).
+    pub log_trims: u64,
+    /// Page images the manager *meant* to persist: data page writes
+    /// (including batch members) plus WAL segment images. Excludes
+    /// interface-imposed copies — the double-write journal's first
+    /// phase is not a logical write, it is the block interface's tax.
+    /// Denominator of end-to-end write amplification
+    /// (`flash programs / logical_writes`).
+    pub logical_writes: u64,
 }
 
 /// The persistence service a storage manager runs on.
@@ -160,6 +162,18 @@ pub trait PersistenceBackend {
 
     /// Tell the device a page's contents are dead.
     fn free_page(&mut self, now: SimTime, page: PageId);
+
+    /// Checkpoint truncation: every log byte below `up_to_byte` is
+    /// outside the redo horizon and will never be read again. The
+    /// backend releases the segments that carried them — TRIM on a block
+    /// device, an exact name free on a nameless one — so the device's
+    /// collector stops copying dead WAL forever (the stacked-log
+    /// pathology of §2). Background work: the caller's clock does not
+    /// advance, and repeated calls at the same horizon are free. The
+    /// default ignores it (a log on PCM has no collector to inform).
+    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
+        let _ = (now, up_to_byte);
+    }
 
     /// Traffic statistics.
     fn stats(&self) -> &BackendStats;
@@ -277,6 +291,9 @@ pub struct LegacyBackend {
     data_pages: u64,
     /// Circular log tail (byte offset).
     log_tail: u64,
+    /// Absolute log page index below which checkpoint truncation has
+    /// already released the log.
+    log_trimmed: u64,
     /// Use TRIM on frees (off by default: legacy stacks rarely did).
     pub use_trim: bool,
     stats: BackendStats,
@@ -320,6 +337,7 @@ impl LegacyBackend {
             journal_base: log_pages + data_pages,
             data_pages,
             log_tail: 0,
+            log_trimmed: 0,
             use_trim: false,
             stats: BackendStats::default(),
             qp: QueuePair::new(1),
@@ -331,6 +349,11 @@ impl LegacyBackend {
     /// The underlying device (for write-amplification reporting).
     pub fn ssd(&self) -> &Ssd {
         &self.ssd
+    }
+
+    /// First LBA of the data region (the static page → LBA arithmetic).
+    pub fn data_base(&self) -> u64 {
+        self.data_base
     }
 
     fn data_lpn(&self, page: PageId) -> Lpn {
@@ -356,6 +379,7 @@ impl PersistenceBackend for LegacyBackend {
                 .io(t, IoRequest::write(page_in_log))
                 .expect("log write failed");
             t = c.done;
+            self.stats.logical_writes += 1;
             self.log_tail += taken;
             remaining -= taken;
             if remaining == 0 {
@@ -367,6 +391,7 @@ impl PersistenceBackend for LegacyBackend {
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.page_writes += 1;
+        self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         // write-back: nobody waits on this completion
         self.ssd
@@ -377,6 +402,7 @@ impl PersistenceBackend for LegacyBackend {
 
     fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.steal_writes += 1;
+        self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.ssd
             .io(now, IoRequest::write(lpn.0))
@@ -401,6 +427,7 @@ impl PersistenceBackend for LegacyBackend {
         }
         self.stats.batches += 1;
         self.stats.page_writes += pages.len() as u64;
+        self.stats.logical_writes += pages.len() as u64;
         // torn-write safety through the block interface = double-write
         // journal: journal copies, barrier, then in-place writes
         let lpns: Vec<Lpn> = pages.iter().map(|&p| self.data_lpn(p)).collect();
@@ -416,6 +443,34 @@ impl PersistenceBackend for LegacyBackend {
             self.ssd
                 .io(now, IoRequest::trim(lpn.0).class(IoClass::Background))
                 .expect("trim failed");
+        }
+    }
+
+    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
+        // the block-backed path honors the trim contract too: every log
+        // page wholly below the redo horizon is TRIMed so the FTL stops
+        // treating dead WAL as live. An explicit truncation is a trim
+        // *request*, so it is not gated on `use_trim` (which governs the
+        // optional per-page frees legacy stacks rarely sent).
+        let dead_end = up_to_byte / PAGE_SIZE as u64;
+        let tail_page = self.log_tail / PAGE_SIZE as u64;
+        while self.log_trimmed < dead_end {
+            let abs = self.log_trimmed;
+            self.log_trimmed += 1;
+            // a lap of the circular log reuses the LBA: only the newest
+            // writer of a slot may trim it, older occupants were already
+            // superseded by the overwrite itself
+            if abs + self.log_pages <= tail_page {
+                continue;
+            }
+            let page_in_log = abs % self.log_pages;
+            if self
+                .ssd
+                .io(now, IoRequest::trim(page_in_log).class(IoClass::Background))
+                .is_ok()
+            {
+                self.stats.log_trims += 1;
+            }
         }
     }
 
@@ -605,12 +660,14 @@ impl PersistenceBackend for VisionBackend {
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.page_writes += 1;
+        self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.flash.write(now, lpn).expect("data write failed").done
     }
 
     fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.steal_writes += 1;
+        self.stats.logical_writes += 1;
         // stage the dirty page in PCM (synchronous, ~20 µs for 4 KiB)…
         let slot = self.staging_next % self.staging_slots.max(1);
         self.staging_next += 1;
@@ -640,6 +697,7 @@ impl PersistenceBackend for VisionBackend {
         }
         self.stats.batches += 1;
         self.stats.page_writes += pages.len() as u64;
+        self.stats.logical_writes += pages.len() as u64;
         // torn-write safety is a device guarantee: atomic batch, 1× I/O
         let lpns: Vec<Lpn> = pages.iter().map(|&p| self.data_lpn(p)).collect();
         self.flash
@@ -756,6 +814,62 @@ mod tests {
 
     fn vision() -> VisionBackend {
         VisionBackend::new(small_cfg(), 1024, 1 << 20)
+    }
+
+    /// Fill data and WAL to ~56% of one LUN's physical capacity,
+    /// checkpoint (optionally truncating), then churn the data pages
+    /// with uniform random overwrites. Without truncation the
+    /// dead-in-WAL segments stay FTL-valid — they shrink the effective
+    /// spare area and the collector drags them along on every pass;
+    /// with truncation they are reclaimed for free. Returns
+    /// `(gc_pages_moved, host_writes, log_trims)`.
+    fn log_churn(truncate: bool) -> (u64, u64, u64) {
+        let mut cfg = small_cfg();
+        cfg.shape.channels = 1;
+        cfg.shape.chips_per_channel = 1;
+        let mut b = LegacyBackend::new(cfg, 600, 550);
+        let mut t = SimTime::ZERO;
+        for p in 0..600u64 {
+            t = b.page_write(t, PageId(p));
+        }
+        for _ in 0..700u64 {
+            t = b.log_force(t, PAGE_SIZE as u32);
+        }
+        if truncate {
+            // the checkpoint horizon sits just below the tail: all but
+            // the newest segments are outside redo and die in bulk
+            let horizon = b.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
+            b.truncate_log(t, horizon);
+        }
+        let mut x = 42u64;
+        for _ in 0..3000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t = b.page_write(t, PageId(x % 600));
+        }
+        let m = b.ssd().metrics();
+        (m.gc_pages_moved, m.host_writes, b.stats().log_trims)
+    }
+
+    #[test]
+    fn checkpoint_truncation_reclaims_log_without_host_copy() {
+        // satellite contract: the block-backed path honors the trim
+        // contract too — truncated WAL segments are reclaimed by the
+        // device's collector for free, not carried as live data, and the
+        // host never writes a byte to make that happen
+        let (moved_plain, writes_plain, trims_plain) = log_churn(false);
+        let (moved_trim, writes_trim, trims) = log_churn(true);
+        assert_eq!(trims_plain, 0);
+        assert!(trims > 0, "truncation sent trims");
+        assert_eq!(
+            writes_plain, writes_trim,
+            "reclaim costs zero host copies — the command stream is unchanged"
+        );
+        assert!(
+            moved_trim < moved_plain,
+            "collector stops copying dead WAL: moved {moved_trim} vs {moved_plain}"
+        );
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! The cooperating-logs storage manager: the database's log-structured
+//! layout running directly on a [`NamelessSsd`] — no FTL log underneath,
+//! so there is exactly **one** garbage collector in the stack.
+//!
+//! The stacked-log pathology (§2 of the paper, measured by E13's legacy
+//! rows): the database writes its WAL and page images log-structured for
+//! crash safety, and the FTL underneath writes *everything* log-
+//! structured again for flash physics. Two logs, two collectors, each
+//! blind to the other — the FTL copies pages the database already
+//! superseded, and the database cannot tell it otherwise beyond coarse
+//! TRIM. This manager removes the lower log instead of hinting at it:
+//!
+//! * **Placement is the device's.** Every page image and WAL segment
+//!   goes down as a nameless write; the device returns a [`PhysName`]
+//!   and the host stores it in a [`PageTable`] — the paper's "host
+//!   stores names instead of maintaining a redundant logical map".
+//! * **Death is declared eagerly.** The moment a write supersedes a
+//!   version, the old name is freed; checkpoint truncation frees every
+//!   WAL segment below the redo horizon ([`truncate_log`]
+//!   (PersistenceBackend::truncate_log)). The device's collector
+//!   therefore relocates almost nothing: victims are already dead.
+//! * **Migrations patch, not copy.** When device GC does move a live
+//!   page, the [`Migrated`](Upcall::Migrated) upcall — drained at every
+//!   operation and every poll — patches the page table in RAM. No host
+//!   I/O, no second copy.
+//! * **Checkpoints are native atomic writes.** New versions are written
+//!   out of place while every old name stays valid; the index swap in
+//!   RAM is the commit point, then the old names are freed. 1× the I/O
+//!   of the double-write journal's 2×.
+//!
+//! Reads at queue depth ride a [`NamelessQueuePair`]; a read that loses
+//! the race with a migration comes back [`IoStatus::Rejected`], is
+//! patched from the upcall stream, and is resubmitted at its completion
+//! instant — the retry is visible in [`CoopLogBackend::read_retries`],
+//! never a panic.
+
+use std::collections::BTreeMap;
+
+use requiem_iface::nameless::{NamelessConfig, NamelessError, NamelessSsd, PhysName};
+use requiem_iface::qpair::{NamelessCmd, NamelessQueuePair};
+use requiem_iface::Upcall;
+use requiem_sim::time::SimTime;
+use requiem_sim::IoStatus;
+
+use crate::backend::{BackendStats, CommandTag, PageRead, PersistenceBackend};
+use crate::page::{PageId, PAGE_SIZE};
+use crate::pagetable::PageTable;
+
+/// Tag namespace split: data pages carry their page id, WAL segments
+/// carry `LOG_TAG_BASE + absolute segment index`. The device echoes the
+/// tag in migration upcalls, so the split routes each patch to the right
+/// table.
+pub const LOG_TAG_BASE: u64 = 1 << 48;
+
+/// The cooperating-logs storage manager over one nameless flash device.
+pub struct CoopLogBackend {
+    dev: NamelessSsd,
+    data_pages: u64,
+    /// Redo-log capacity in segments (pages); the circular-capacity
+    /// contract matches the block backends even though placement is the
+    /// device's.
+    log_pages: u64,
+    /// Bytes ever appended to the log (absolute, never wraps).
+    log_tail: u64,
+    /// Absolute segment index below which the log is truncated.
+    log_trimmed: u64,
+    /// Data page id → current name.
+    table: PageTable<PhysName>,
+    /// Absolute WAL segment index → current name.
+    segs: PageTable<PhysName>,
+    stats: BackendStats,
+    /// Queue pair for the batched read path.
+    qp: NamelessQueuePair,
+    /// Batched reads in flight: queue-pair command id → (engine tag, page).
+    inflight: BTreeMap<u64, (CommandTag, PageId)>,
+    /// Reads refused before reaching the device (no binding), completed
+    /// at submit with [`IoStatus::Rejected`].
+    rejects: Vec<PageRead>,
+    /// Tag namespace for batched reads.
+    next_tag: u64,
+    /// Writes the device refused (full); the superseded version is kept.
+    rejected_writes: u64,
+    /// Batched reads resubmitted after losing a race with a migration.
+    read_retries: u64,
+}
+
+impl std::fmt::Debug for CoopLogBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoopLogBackend")
+            .field("stats", &self.stats)
+            .field("live_pages", &self.table.len())
+            .field("live_segs", &self.segs.len())
+            .finish()
+    }
+}
+
+impl CoopLogBackend {
+    /// A manager for `data_pages` of data and a `log_pages`-segment redo
+    /// log on one nameless device. No journal region: atomicity is free
+    /// out of place.
+    ///
+    /// # Panics
+    /// Panics if the device cannot hold `data_pages + log_pages` live
+    /// pages.
+    pub fn new(cfg: NamelessConfig, data_pages: u64, log_pages: u64) -> Self {
+        let dev = NamelessSsd::new(cfg);
+        let usable = dev.usable_tags();
+        let needed = data_pages + log_pages;
+        assert!(
+            needed <= usable,
+            "device too small: need {needed} live pages, usable {usable}"
+        );
+        CoopLogBackend {
+            dev,
+            data_pages,
+            log_pages,
+            log_tail: 0,
+            log_trimmed: 0,
+            table: PageTable::new(),
+            segs: PageTable::new(),
+            stats: BackendStats::default(),
+            qp: NamelessQueuePair::new(1),
+            inflight: BTreeMap::new(),
+            rejects: Vec::new(),
+            next_tag: 0,
+            rejected_writes: 0,
+            read_retries: 0,
+        }
+    }
+
+    /// The underlying device (for write-amplification reporting).
+    pub fn dev(&self) -> &NamelessSsd {
+        &self.dev
+    }
+
+    /// The data page table (for invariant checks in tests).
+    pub fn table(&self) -> &PageTable<PhysName> {
+        &self.table
+    }
+
+    /// Live WAL segment names (for invariant checks in tests).
+    pub fn segs(&self) -> &PageTable<PhysName> {
+        &self.segs
+    }
+
+    /// Migration upcalls applied to either table.
+    pub fn relocations_patched(&self) -> u64 {
+        self.table.patched() + self.segs.patched()
+    }
+
+    /// Writes refused by a full device (old version kept, never lost).
+    pub fn rejected_writes(&self) -> u64 {
+        self.rejected_writes
+    }
+
+    /// Batched reads resubmitted after a migration race.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    fn check_page(&self, page: PageId) {
+        assert!(page.0 < self.data_pages, "page id beyond data region");
+    }
+
+    /// Drain pending migration upcalls into the tables. `staging` holds
+    /// versions written but not yet bound (mid-batch): the device may
+    /// migrate one of those before the index swap, and the patch must
+    /// land on the staged name, not the table's superseded one.
+    fn apply_upcalls(&mut self, staging: &mut [(PageId, Option<PhysName>)]) {
+        if self.dev.upcalls_pending().is_empty() {
+            return;
+        }
+        for u in self.dev.upcalls().drain() {
+            let Upcall::Migrated { tag, old, new, .. } = u else {
+                continue;
+            };
+            if tag >= LOG_TAG_BASE {
+                self.segs.patch(tag - LOG_TAG_BASE, old, new);
+                continue;
+            }
+            if let Some(slot) = staging
+                .iter_mut()
+                .find(|(p, n)| p.0 == tag && *n == Some(old))
+            {
+                slot.1 = Some(new);
+                continue;
+            }
+            self.table.patch(tag, old, new);
+        }
+    }
+
+    /// Drain migration upcalls with no staged versions outstanding.
+    fn drain_upcalls(&mut self) {
+        self.apply_upcalls(&mut []);
+    }
+
+    /// Free the superseded version of `tag` at `handle`, riding out one
+    /// migration race: if the name went stale, drain the upcalls that
+    /// explain it and free wherever the routing table now points.
+    /// Returns the free's completion (controller overhead only).
+    fn free_version(&mut self, now: SimTime, tag: u64, handle: PhysName) -> SimTime {
+        match self.dev.free(now, handle, tag) {
+            Ok(done) => done,
+            Err(NamelessError::StaleName { .. }) => {
+                self.drain_upcalls();
+                let current = if tag >= LOG_TAG_BASE {
+                    self.segs.lookup(tag - LOG_TAG_BASE)
+                } else {
+                    self.table.lookup(tag)
+                };
+                match current {
+                    Some(h) if h != handle => self.dev.free(now, h, tag).unwrap_or(now),
+                    // the version is simply gone (freed concurrently by
+                    // an earlier truncation pass): nothing to release
+                    _ => now,
+                }
+            }
+            Err(NamelessError::DeviceFull) => now,
+        }
+    }
+
+    /// Write one data page out of place and swap the index: write the
+    /// new version (old name stays valid — crash safe), bind it, free
+    /// the superseded version eagerly. A refused write keeps the old
+    /// binding: the page is stale in RAM terms but never lost.
+    fn data_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.check_page(page);
+        self.drain_upcalls();
+        match self.dev.write(now, page.0) {
+            Ok(c) => {
+                // the write may have run GC, migrating the *old* version;
+                // patch before reading the superseded name out
+                self.drain_upcalls();
+                let old = self.table.bind(page.0, c.name);
+                if let Some(old) = old {
+                    self.free_version(c.done, page.0, old);
+                }
+                c.done
+            }
+            Err(_) => {
+                self.rejected_writes += 1;
+                now
+            }
+        }
+    }
+}
+
+impl PersistenceBackend for CoopLogBackend {
+    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
+        self.stats.log_forces += 1;
+        self.stats.log_bytes += u64::from(bytes);
+        // same append discipline as the block backends — the tail
+        // segment is rewritten on every force, full segments spill —
+        // but each rewrite is a nameless write and the superseded
+        // version is freed the moment the new one is durable, so the
+        // device's collector never copies dead WAL bytes.
+        let mut remaining = u64::from(bytes);
+        let mut t = now;
+        loop {
+            let seg = self.log_tail / PAGE_SIZE as u64;
+            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
+            let taken = remaining.min(room);
+            // intent-based accounting: the segment image counts whether
+            // or not the device accepted it, so the WA denominator is
+            // trace-determined and identical across managers
+            self.stats.logical_writes += 1;
+            self.drain_upcalls();
+            match self.dev.write(t, LOG_TAG_BASE + seg) {
+                Ok(c) => {
+                    t = c.done;
+                    self.drain_upcalls();
+                    if let Some(old) = self.segs.bind(seg, c.name) {
+                        self.free_version(t, LOG_TAG_BASE + seg, old);
+                    }
+                    // circular-capacity contract: reusing the slot
+                    // retires the segment one lap behind, as a block
+                    // log's overwrite would
+                    if seg >= self.log_pages {
+                        if let Some(lapped) = self.segs.unbind(seg - self.log_pages) {
+                            self.free_version(t, LOG_TAG_BASE + (seg - self.log_pages), lapped);
+                        }
+                    }
+                }
+                Err(_) => self.rejected_writes += 1,
+            }
+            self.log_tail += taken;
+            remaining -= taken;
+            if remaining == 0 {
+                break;
+            }
+        }
+        t
+    }
+
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.page_writes += 1;
+        self.stats.logical_writes += 1;
+        self.data_write(now, page)
+    }
+
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.stats.steal_writes += 1;
+        self.stats.logical_writes += 1;
+        self.data_write(now, page)
+    }
+
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
+        self.check_page(page);
+        self.stats.page_reads += 1;
+        self.drain_upcalls();
+        let Some(name) = self.table.lookup(page.0) else {
+            return (now, IoStatus::Rejected);
+        };
+        match self.dev.read(now, name, page.0) {
+            Ok((done, _lat, status)) => (done, status),
+            Err(NamelessError::StaleName { .. }) => {
+                // migration raced the lookup; the upcall explains it
+                self.drain_upcalls();
+                match self.table.lookup(page.0) {
+                    Some(cur) if cur != name => match self.dev.read(now, cur, page.0) {
+                        Ok((done, _lat, status)) => (done, status),
+                        Err(_) => (now, IoStatus::Rejected),
+                    },
+                    _ => (now, IoStatus::Rejected),
+                }
+            }
+            Err(NamelessError::DeviceFull) => (now, IoStatus::Rejected),
+        }
+    }
+
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
+        if pages.is_empty() {
+            return now;
+        }
+        self.stats.batches += 1;
+        self.stats.page_writes += pages.len() as u64;
+        self.stats.logical_writes += pages.len() as u64;
+        // native atomic batch: write every new version out of place
+        // while all old names stay valid, swap the index in RAM (the
+        // commit point), then free the superseded versions. 1x the I/O;
+        // a crash mid-batch leaves the old versions untouched.
+        let mut staging: Vec<(PageId, Option<PhysName>)> = Vec::with_capacity(pages.len());
+        let mut t = now;
+        for &p in pages {
+            self.check_page(p);
+            match self.dev.write(t, p.0) {
+                Ok(c) => {
+                    t = c.done;
+                    staging.push((p, Some(c.name)));
+                }
+                Err(_) => {
+                    self.rejected_writes += 1;
+                    staging.push((p, None));
+                }
+            }
+            // a later write's GC may migrate an earlier *staged* (still
+            // unbound) version — patch the staging slots, not the table
+            let mut stage = std::mem::take(&mut staging);
+            self.apply_upcalls(&mut stage);
+            staging = stage;
+        }
+        for (p, name) in staging {
+            let Some(name) = name else { continue };
+            if let Some(old) = self.table.bind(p.0, name) {
+                t = t.max(self.free_version(t, p.0, old));
+            }
+        }
+        t
+    }
+
+    fn free_page(&mut self, now: SimTime, page: PageId) {
+        self.check_page(page);
+        self.stats.frees += 1;
+        self.drain_upcalls();
+        // eager by construction: a dropped page's name goes back to the
+        // device immediately — there is no "optional TRIM" tier here.
+        // Free before unbinding: if the version migrated under us, the
+        // stale-name drain patches the still-present binding and the
+        // free lands on the moved copy instead of leaking it.
+        if let Some(name) = self.table.lookup(page.0) {
+            self.free_version(now, page.0, name);
+            self.table.unbind(page.0);
+        }
+    }
+
+    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
+        // every segment wholly below the redo horizon is dead; free its
+        // name so the device collector never copies it. Background work:
+        // the caller's clock does not advance.
+        let dead_end = up_to_byte / PAGE_SIZE as u64;
+        self.drain_upcalls();
+        while self.log_trimmed < dead_end {
+            let seg = self.log_trimmed;
+            // free before unbinding (same stale-race discipline as
+            // free_page): a mid-drain patch must find the binding
+            if let Some(name) = self.segs.lookup(seg) {
+                self.free_version(now, LOG_TAG_BASE + seg, name);
+                self.segs.unbind(seg);
+                self.stats.log_trims += 1;
+            }
+            self.log_trimmed += 1;
+        }
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn label(&self) -> &'static str {
+        "coop-logs"
+    }
+
+    fn attach_probe(&mut self, probe: requiem_sim::Probe) {
+        self.dev.attach_probe(probe);
+    }
+
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
+        self.drain_upcalls();
+        pages
+            .iter()
+            .map(|&p| {
+                self.check_page(p);
+                self.stats.page_reads += 1;
+                self.next_tag += 1;
+                let tag = CommandTag(self.next_tag);
+                match self.table.lookup(p.0) {
+                    Some(name) => {
+                        let id = self.qp.submit(
+                            &mut self.dev,
+                            now,
+                            NamelessCmd::Read { name, tag: p.0 },
+                        );
+                        self.inflight.insert(id.0, (tag, p));
+                    }
+                    None => self.rejects.push(PageRead {
+                        tag,
+                        page: p,
+                        done: now,
+                        status: IoStatus::Rejected,
+                    }),
+                }
+                tag
+            })
+            .collect()
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
+        // the upcall drain on every poll is the cooperating-logs
+        // contract: migrations patch the page table before any completion
+        // is interpreted, so a Rejected read can be retried at the
+        // page's *current* name
+        self.drain_upcalls();
+        let mut out: Vec<PageRead> = std::mem::take(&mut self.rejects);
+        for c in self.qp.poll(now) {
+            let Some((tag, page)) = self.inflight.remove(&c.id.0) else {
+                continue;
+            };
+            if c.status == IoStatus::Rejected {
+                if let Some(name) = self.table.lookup(page.0) {
+                    // lost the race with a migration: resubmit at the
+                    // patched name, completing later — never silently
+                    // dropping the engine's tag
+                    let id = self.qp.submit(
+                        &mut self.dev,
+                        c.done,
+                        NamelessCmd::Read { name, tag: page.0 },
+                    );
+                    self.inflight.insert(id.0, (tag, page));
+                    self.read_retries += 1;
+                    continue;
+                }
+            }
+            out.push(PageRead {
+                tag,
+                page,
+                done: c.done,
+                status: c.status,
+            });
+        }
+        out
+    }
+
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        let r = self.rejects.iter().map(|r| r.done).min();
+        match (r, self.qp.next_done()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn reads_in_flight(&mut self) -> usize {
+        self.rejects.len() + self.qp.pending()
+    }
+
+    fn set_read_window(&mut self, depth: usize) {
+        debug_assert!(
+            self.qp.pending() == 0 && self.rejects.is_empty(),
+            "window change with reads in flight"
+        );
+        self.qp = NamelessQueuePair::new(depth.max(1));
+    }
+
+    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        if bytes == 0 {
+            return (now, IoStatus::Ok);
+        }
+        self.drain_upcalls();
+        let first = offset / PAGE_SIZE as u64;
+        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
+        let mut t = now;
+        let mut status = IoStatus::Ok;
+        for seg in first..=last {
+            // segments below the truncation horizon were freed — they
+            // are never needed for redo, so they cost nothing
+            let Some(name) = self.segs.lookup(seg) else {
+                continue;
+            };
+            match self.dev.read(t, name, LOG_TAG_BASE + seg) {
+                Ok((done, _lat, s)) => {
+                    t = done;
+                    status = status.combine(s);
+                }
+                Err(NamelessError::StaleName { .. }) => {
+                    self.drain_upcalls();
+                    if let Some(cur) = self.segs.lookup(seg) {
+                        if let Ok((done, _lat, s)) = self.dev.read(t, cur, LOG_TAG_BASE + seg) {
+                            t = done;
+                            status = status.combine(s);
+                            continue;
+                        }
+                    }
+                    status = status.combine(IoStatus::Rejected);
+                }
+                Err(NamelessError::DeviceFull) => {
+                    status = status.combine(IoStatus::Rejected);
+                }
+            }
+        }
+        (t, status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use requiem_ssd::SsdConfig;
+
+    fn small_cfg() -> NamelessConfig {
+        let mut cfg = SsdConfig::modern();
+        cfg.shape.channels = 1;
+        cfg.shape.chips_per_channel = 2;
+        NamelessConfig::from(&cfg)
+    }
+
+    fn backend(data_pages: u64, log_pages: u64) -> CoopLogBackend {
+        CoopLogBackend::new(small_cfg(), data_pages, log_pages)
+    }
+
+    #[test]
+    fn write_read_roundtrip_binds_names() {
+        let mut b = backend(64, 16);
+        let t1 = b.page_write(SimTime::ZERO, PageId(3));
+        assert!(t1 > SimTime::ZERO);
+        assert!(b.table().lookup(3).is_some(), "write bound a name");
+        let (t2, status) = b.page_read(t1, PageId(3));
+        assert!(t2 > t1);
+        assert!(status.is_success());
+        assert_eq!(b.stats().page_writes, 1);
+        assert_eq!(b.stats().page_reads, 1);
+    }
+
+    #[test]
+    fn rewrite_frees_superseded_version_eagerly() {
+        let mut b = backend(64, 16);
+        let t1 = b.page_write(SimTime::ZERO, PageId(5));
+        let first = b.table().lookup(5).expect("bound");
+        let t2 = b.page_write(t1, PageId(5));
+        let second = b.table().lookup(5).expect("rebound");
+        assert_ne!(first, second, "out-of-place: new version, new name");
+        assert!(t2 > t1);
+        assert_eq!(
+            b.dev().metrics().host_trims,
+            1,
+            "the superseded version was freed at rebind, not left to GC"
+        );
+    }
+
+    #[test]
+    fn log_force_retires_superseded_tail_segment() {
+        let mut b = backend(16, 8);
+        let mut t = SimTime::ZERO;
+        // two sub-page forces rewrite the same tail segment: the first
+        // version must be freed when the second lands
+        t = b.log_force(t, 512);
+        assert_eq!(b.dev().metrics().host_trims, 0, "first version is live");
+        let _ = b.log_force(t, 512);
+        assert_eq!(
+            b.dev().metrics().host_trims,
+            1,
+            "tail rewrite freed the superseded segment"
+        );
+        assert_eq!(b.segs().len(), 1, "one live segment");
+    }
+
+    #[test]
+    fn truncate_log_frees_dead_segments_without_host_copy() {
+        let mut b = backend(16, 64);
+        let mut t = SimTime::ZERO;
+        // fill 8 full segments
+        for _ in 0..8 {
+            t = b.log_force(t, PAGE_SIZE as u32);
+        }
+        assert_eq!(b.segs().len(), 8);
+        let writes_before = b.dev().metrics().host_writes;
+        let trims_before = b.dev().metrics().host_trims;
+        // redo horizon at byte 6 pages: segments 0..6 are dead
+        b.truncate_log(t, 6 * PAGE_SIZE as u64);
+        assert_eq!(b.segs().len(), 2, "segments below the horizon released");
+        assert_eq!(b.stats().log_trims, 6);
+        assert_eq!(
+            b.dev().metrics().host_trims - trims_before,
+            6,
+            "each dead segment freed on the device"
+        );
+        assert_eq!(
+            b.dev().metrics().host_writes,
+            writes_before,
+            "truncation reclaims without a single host copy"
+        );
+        // idempotent: a second truncation at the same horizon is free
+        b.truncate_log(t, 6 * PAGE_SIZE as u64);
+        assert_eq!(b.stats().log_trims, 6);
+    }
+
+    #[test]
+    fn batch_is_atomic_and_single_cost() {
+        let mut b = backend(64, 16);
+        let mut t = SimTime::ZERO;
+        for p in 0..8u64 {
+            t = b.page_write(t, PageId(p));
+        }
+        let programs_before = b.dev().metrics().flash_programs.total();
+        let pages: Vec<PageId> = (0..8).map(PageId).collect();
+        let t2 = b.page_batch(t, &pages);
+        assert!(t2 > t);
+        let paid = b.dev().metrics().flash_programs.total() - programs_before;
+        assert_eq!(paid, 8, "native atomic batch pays 1x, not the journal's 2x");
+        assert_eq!(
+            b.dev().metrics().host_trims,
+            8,
+            "all superseded versions freed after the index swap"
+        );
+    }
+
+    #[test]
+    fn batched_reads_complete_out_of_order_and_tagged() {
+        let mut b = backend(64, 16);
+        let mut t = SimTime::ZERO;
+        for p in 0..8u64 {
+            t = b.page_write(t, PageId(p));
+        }
+        b.set_read_window(4);
+        let pages: Vec<PageId> = (0..8).map(PageId).collect();
+        let tags = b.submit_reads(t, &pages);
+        assert_eq!(tags.len(), 8);
+        let mut got = Vec::new();
+        let mut guard = 0;
+        while b.reads_in_flight() > 0 {
+            let next = b.next_read_done().expect("reads in flight have a finish");
+            got.extend(b.poll(next));
+            guard += 1;
+            assert!(guard < 64, "poll loop must terminate");
+        }
+        assert_eq!(got.len(), 8, "every tag came back exactly once");
+        for r in &got {
+            assert!(r.status.is_success());
+        }
+        let mut seen: Vec<u64> = got.iter().map(|r| r.page.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn log_read_skips_truncated_segments() {
+        let mut b = backend(16, 64);
+        let mut t = SimTime::ZERO;
+        for _ in 0..4 {
+            t = b.log_force(t, PAGE_SIZE as u32);
+        }
+        b.truncate_log(t, 2 * PAGE_SIZE as u64);
+        // a scan over the whole range only pays for the two live segments
+        let reads_before = b.dev().metrics().host_reads;
+        let (done, status) = b.log_read(t, 0, 4 * PAGE_SIZE as u32);
+        assert!(status.is_success());
+        assert!(done > t);
+        assert_eq!(b.dev().metrics().host_reads - reads_before, 2);
+    }
+}

@@ -393,6 +393,13 @@ impl<B: PersistenceBackend> Database<B> {
         self.unforced_commits = 0;
         self.unforced_bytes = 0;
         self.stats.checkpoints += 1;
+        // every log byte before the checkpoint record is now outside the
+        // redo horizon: release those segments eagerly so the device's
+        // collector never copies dead WAL (background — the clock does
+        // not advance, so QD-1 replays stay bit-identical)
+        let ck_len = u64::from(LogRecord::Checkpoint.encoded_len());
+        let horizon = self.backend.stats().log_bytes.saturating_sub(ck_len);
+        self.backend.truncate_log(self.now, horizon);
         self.settle_in_flight();
     }
 

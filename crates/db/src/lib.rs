@@ -22,6 +22,17 @@
 //!     journal) and trim on free.
 //! * [`engine`] — transaction execution over all of the above, with
 //!   crash/recovery (redo replay) support and group commit;
+//! * [`manager`] — the pluggable [`StorageManager`] layer: the trait is
+//!   generic over the device's handle type, so the block-backed heap
+//!   manager (handles are LBAs, relocations structurally silent) and the
+//!   cooperating-logs manager (handles are device-chosen
+//!   [`PhysName`](requiem_iface::PhysName)s, patched by upcalls) plug
+//!   into the same engine;
+//! * [`coop`] — the cooperating-logs manager itself: nameless writes,
+//!   eager frees, upcall-patched [`pagetable`], checkpoints as native
+//!   atomic batches, WAL truncation as exact name frees — one garbage
+//!   collector in the whole stack (E14 measures what the second one
+//!   cost);
 //! * [`kvstore`] — a SILT-flavoured key-value store over nameless writes
 //!   (the paper's ref [14] rebuilt on the §3 interface).
 //!
@@ -34,11 +45,14 @@
 pub mod backend;
 pub mod btree;
 pub mod buffer;
+pub mod coop;
 pub mod engine;
 pub mod exec;
 pub mod heap;
 pub mod kvstore;
+pub mod manager;
 pub mod page;
+pub mod pagetable;
 pub mod prefetch;
 pub mod stack_backend;
 pub mod wal;
@@ -46,10 +60,13 @@ pub mod wal;
 pub use backend::{
     CommandTag, LegacyBackend, PageRead, PersistenceBackend, ReadShim, VisionBackend,
 };
+pub use coop::CoopLogBackend;
 pub use engine::{Database, DbConfig, TxnOutcome};
 pub use exec::{ExecConfig, ExecReport, TxnInput};
 pub use kvstore::NamelessKv;
+pub use manager::StorageManager;
 pub use page::{PageId, Rid, SlottedPage, PAGE_SIZE};
+pub use pagetable::PageTable;
 pub use prefetch::{PrefetchConfig, PrefetchMode, PrefetchStats};
 pub use stack_backend::BlockStackBackend;
 pub use wal::GroupCommitPolicy;

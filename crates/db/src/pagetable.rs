@@ -1,0 +1,145 @@
+//! The host-side page table of a nameless storage manager — generic over
+//! the device's handle type.
+//!
+//! §3 of the paper: with nameless writes *"the host stores names instead
+//! of maintaining a redundant logical map"*. This table IS that stored
+//! name set: one handle per live tag, patched in place when the device's
+//! garbage collector migrates a page and sends a
+//! [`Migrated`](requiem_iface::Upcall::Migrated) upcall. The table is
+//! deliberately generic over the handle type `H` so the same structure
+//! serves the block manager (where `H` is an LBA and migrations never
+//! happen) and the cooperating-logs manager (where `H` is a
+//! [`PhysName`](requiem_iface::PhysName) and migrations are routine).
+//!
+//! Patches are **old-value guarded**: a migration names the location it
+//! moved *from*, and the patch applies only if the table still points
+//! there. This makes upcall application idempotent and safe under the
+//! one legal race — the host rebinding a tag (new write) while a
+//! migration message for the *previous* version is still in flight. The
+//! guarded miss is counted, never dropped silently.
+
+use std::collections::BTreeMap;
+
+/// Host-side tag → handle map with old-value-guarded migration patching.
+#[derive(Debug, Clone)]
+pub struct PageTable<H> {
+    map: BTreeMap<u64, H>,
+    patched: u64,
+    unmatched: u64,
+}
+
+impl<H> Default for PageTable<H> {
+    fn default() -> Self {
+        PageTable {
+            map: BTreeMap::new(),
+            patched: 0,
+            unmatched: 0,
+        }
+    }
+}
+
+impl<H: Copy + PartialEq> PageTable<H> {
+    /// New, empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `tag` to `handle`; returns the previous binding (the caller
+    /// owns freeing the superseded version).
+    pub fn bind(&mut self, tag: u64, handle: H) -> Option<H> {
+        self.map.insert(tag, handle)
+    }
+
+    /// Current handle of `tag`.
+    pub fn lookup(&self, tag: u64) -> Option<H> {
+        self.map.get(&tag).copied()
+    }
+
+    /// Remove `tag`'s binding; returns it (the caller owns the free).
+    pub fn unbind(&mut self, tag: u64) -> Option<H> {
+        self.map.remove(&tag)
+    }
+
+    /// Apply one migration: if `tag` is bound to exactly `old`, rebind it
+    /// to `new` and return `true`. A guarded miss (tag unbound, or bound
+    /// elsewhere because the host already superseded that version) is
+    /// counted and returns `false` — the message was about a version this
+    /// table no longer points at.
+    pub fn patch(&mut self, tag: u64, old: H, new: H) -> bool {
+        match self.map.get_mut(&tag) {
+            Some(h) if *h == old => {
+                *h = new;
+                self.patched += 1;
+                true
+            }
+            _ => {
+                self.unmatched += 1;
+                false
+            }
+        }
+    }
+
+    /// Live bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no tag is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Migrations applied (table pointed at the old location).
+    pub fn patched(&self) -> u64 {
+        self.patched
+    }
+
+    /// Migrations that missed the guard (version already superseded).
+    pub fn unmatched(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Iterate live `(tag, handle)` bindings in tag order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, H)> + '_ {
+        self.map.iter().map(|(&t, &h)| (t, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_lookup_unbind_roundtrip() {
+        let mut t: PageTable<u32> = PageTable::new();
+        assert_eq!(t.bind(7, 100), None);
+        assert_eq!(t.lookup(7), Some(100));
+        assert_eq!(t.bind(7, 200), Some(100), "rebind returns superseded");
+        assert_eq!(t.unbind(7), Some(200));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn patch_is_old_value_guarded() {
+        let mut t: PageTable<u32> = PageTable::new();
+        t.bind(1, 10);
+        assert!(t.patch(1, 10, 11), "matching old applies");
+        assert_eq!(t.lookup(1), Some(11));
+        assert!(!t.patch(1, 10, 12), "stale migration must not apply");
+        assert_eq!(t.lookup(1), Some(11), "binding unchanged by stale patch");
+        assert!(!t.patch(2, 0, 1), "unbound tag is a guarded miss");
+        assert_eq!((t.patched(), t.unmatched()), (1, 2));
+    }
+
+    #[test]
+    fn patch_chains_compose() {
+        // two migrations of the same version, delivered in order, both
+        // apply; replayed out of order, the second is refused
+        let mut t: PageTable<u32> = PageTable::new();
+        t.bind(3, 10);
+        assert!(t.patch(3, 10, 20));
+        assert!(t.patch(3, 20, 30));
+        assert!(!t.patch(3, 10, 20), "replay of the first hop is refused");
+        assert_eq!(t.lookup(3), Some(30));
+    }
+}

@@ -33,6 +33,9 @@ pub struct BlockStackBackend {
     data_pages: u64,
     /// Circular log tail (byte offset).
     log_tail: u64,
+    /// Absolute log page index below which checkpoint truncation has
+    /// already released the log.
+    log_trimmed: u64,
     /// Use TRIM on frees (off by default, like the legacy stack).
     pub use_trim: bool,
     /// Batched reads in flight: host tag → page.
@@ -79,6 +82,7 @@ impl BlockStackBackend {
             journal_base: log_pages + data_pages,
             data_pages,
             log_tail: 0,
+            log_trimmed: 0,
             use_trim: false,
             pending: BTreeMap::new(),
             ready: Vec::new(),
@@ -159,6 +163,7 @@ impl PersistenceBackend for BlockStackBackend {
             let taken = remaining.min(room);
             let c = self.stack.submit(t, 0, IoRequest::write(page_in_log));
             t = c.done;
+            self.stats.logical_writes += 1;
             self.log_tail += taken;
             remaining -= taken;
             if remaining == 0 {
@@ -170,6 +175,7 @@ impl PersistenceBackend for BlockStackBackend {
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.page_writes += 1;
+        self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.stack
             .submit(now, 0, IoRequest::write(lpn.0).class(IoClass::Background))
@@ -178,6 +184,7 @@ impl PersistenceBackend for BlockStackBackend {
 
     fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.stats.steal_writes += 1;
+        self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.stack.submit(now, 0, IoRequest::write(lpn.0)).done
     }
@@ -195,6 +202,7 @@ impl PersistenceBackend for BlockStackBackend {
         }
         self.stats.batches += 1;
         self.stats.page_writes += pages.len() as u64;
+        self.stats.logical_writes += pages.len() as u64;
         // torn-write safety through the block interface = double-write
         // journal, but both phases ride the queue-pair path: journal
         // copies as one batch, barrier (drain), then in-place writes as a
@@ -224,6 +232,27 @@ impl PersistenceBackend for BlockStackBackend {
             let lpn = self.data_lpn(page);
             self.stack
                 .submit(now, 0, IoRequest::trim(lpn.0).class(IoClass::Background));
+        }
+    }
+
+    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
+        // same trim contract as the legacy backend, paid through the
+        // block-layer submission path like every other command here
+        let dead_end = up_to_byte / PAGE_SIZE as u64;
+        let tail_page = self.log_tail / PAGE_SIZE as u64;
+        while self.log_trimmed < dead_end {
+            let abs = self.log_trimmed;
+            self.log_trimmed += 1;
+            if abs + self.log_pages <= tail_page {
+                continue;
+            }
+            let page_in_log = abs % self.log_pages;
+            self.stack.submit(
+                now,
+                0,
+                IoRequest::trim(page_in_log).class(IoClass::Background),
+            );
+            self.stats.log_trims += 1;
         }
     }
 

@@ -11,6 +11,7 @@
 //! data I/O. Experiment E6 measures exactly that gap.
 
 use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::IoStatus;
 use requiem_ssd::{Completion, Lpn, Ssd, SsdError};
 
 /// An SSD exposing the extended command set on top of [`Ssd`].
@@ -42,6 +43,9 @@ pub struct AtomicCompletion {
     pub latency: SimDuration,
     /// Pages written.
     pub pages: u32,
+    /// Worst media status across the batch's writes (a batch is as
+    /// healthy as its sickest page).
+    pub status: IoStatus,
 }
 
 impl ExtendedSsd {
@@ -96,9 +100,11 @@ impl ExtendedSsd {
         // pages of one batch are submitted back-to-back at the same
         // instant; the device's channels and LUNs spread them in parallel
         let mut last_done = now;
+        let mut status = IoStatus::Ok;
         for &lpn in lpns {
             let c = self.inner.write(now, lpn)?;
             last_done = last_done.max(c.done);
+            status = status.combine(c.status);
         }
         self.atomic_batches += 1;
         self.atomic_pages += lpns.len() as u64;
@@ -106,6 +112,7 @@ impl ExtendedSsd {
             done: last_done,
             latency: last_done.since(now),
             pages: lpns.len() as u32,
+            status,
         })
     }
 
@@ -138,11 +145,13 @@ pub fn double_write_journal(
     journal_base: Lpn,
 ) -> Result<AtomicCompletion, SsdError> {
     assert!(!lpns.is_empty(), "batch must be non-empty");
+    let mut status = IoStatus::Ok;
     // phase 1: journal copies, submitted together
     let mut phase1_done = now;
     for (i, _) in lpns.iter().enumerate() {
         let c = ssd.write(now, Lpn(journal_base.0 + i as u64))?;
         phase1_done = phase1_done.max(c.done);
+        status = status.combine(c.status);
     }
     // barrier: journal must be durable before in-place writes begin
     let t = phase1_done.max(ssd.drain_time());
@@ -151,11 +160,13 @@ pub fn double_write_journal(
     for &lpn in lpns {
         let c = ssd.write(t, lpn)?;
         done = done.max(c.done);
+        status = status.combine(c.status);
     }
     Ok(AtomicCompletion {
         done,
         latency: done.since(now),
         pages: lpns.len() as u32,
+        status,
     })
 }
 

@@ -41,6 +41,38 @@ pub struct Relocation<H> {
     pub at: SimTime,
 }
 
+/// Outcome of an [`update`](DeviceInterface::update): the new handle
+/// (absent exactly when the command never reached the media), the
+/// durable instant, and the typed media status. This used to be an
+/// `expect()` — a rejected or failed write now surfaces as data the
+/// storage manager can act on instead of a host panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOutcome<H> {
+    /// The page's new handle; `None` iff `status == Rejected` (device
+    /// full / illegal address — nothing was written, keep the old one).
+    pub handle: Option<H>,
+    /// Instant the write was durable (== `now` on rejection: no media
+    /// time was charged).
+    pub done: SimTime,
+    /// Clean, recovered after salvage, or rejected.
+    pub status: IoStatus,
+}
+
+/// Outcome of a [`commit_batch`](DeviceInterface::commit_batch).
+/// All-or-nothing: on success `handles[i]` is `tags[i]`'s new handle;
+/// on rejection `handles` is empty and every old handle is still valid
+/// (the whole point of an atomic commit — a refused batch must leave
+/// the previous versions intact).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitOutcome<H> {
+    /// New handles, parallel to the submitted tags; empty on rejection.
+    pub handles: Vec<H>,
+    /// Instant the batch was durable and visible.
+    pub done: SimTime,
+    /// Worst status across the batch's operations.
+    pub status: IoStatus,
+}
+
 /// Interface-agnostic device counters, diffable across a measured phase.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DeviceMetrics {
@@ -103,14 +135,15 @@ pub trait DeviceInterface {
 
     /// Write (or overwrite) `tag`'s page. `prev` is the handle from the
     /// last update, if any; interfaces that relocate on write use it to
-    /// release the old version. Returns the new handle and the durable
-    /// instant.
+    /// release the old version. The outcome carries the new handle, the
+    /// durable instant, and the typed media status — a full device or
+    /// illegal tag comes back as [`IoStatus::Rejected`], not a panic.
     fn update(
         &mut self,
         now: SimTime,
         tag: u64,
         prev: Option<Self::Handle>,
-    ) -> (Self::Handle, SimTime);
+    ) -> UpdateOutcome<Self::Handle>;
 
     /// Read `tag`'s page at `handle`; returns the completion instant and
     /// how the device fared getting the data back: clean, recovered
@@ -119,8 +152,10 @@ pub trait DeviceInterface {
     fn fetch(&mut self, now: SimTime, tag: u64, handle: Self::Handle) -> (SimTime, IoStatus);
 
     /// Declare `tag` dead — TRIM for block devices, an exact `free` for
-    /// the nameless one.
-    fn discard(&mut self, now: SimTime, tag: u64, handle: Self::Handle) -> SimTime;
+    /// the nameless one. A stale handle (the page already moved or was
+    /// already released) reports [`IoStatus::Rejected`]; the page's live
+    /// copy, if any, is untouched.
+    fn discard(&mut self, now: SimTime, tag: u64, handle: Self::Handle) -> (SimTime, IoStatus);
 
     /// Durably commit a batch of updates with all-or-nothing visibility.
     /// `prev[i]` is tag `tags[i]`'s current handle, if any. Each
@@ -134,7 +169,7 @@ pub trait DeviceInterface {
         now: SimTime,
         tags: &[u64],
         prev: &[Option<Self::Handle>],
-    ) -> (Vec<Self::Handle>, SimTime);
+    ) -> CommitOutcome<Self::Handle>;
 
     /// Deliver pending page-relocation upcalls in handle vocabulary.
     /// Block interfaces return nothing — not because nothing moved, but
@@ -166,9 +201,19 @@ impl DeviceInterface for Ssd {
         self.capacity().exported_pages
     }
 
-    fn update(&mut self, now: SimTime, tag: u64, _prev: Option<Lpn>) -> (Lpn, SimTime) {
-        let c = self.write(now, Lpn(tag)).expect("block write failed");
-        (Lpn(tag), c.done)
+    fn update(&mut self, now: SimTime, tag: u64, _prev: Option<Lpn>) -> UpdateOutcome<Lpn> {
+        match self.write(now, Lpn(tag)) {
+            Ok(c) => UpdateOutcome {
+                handle: Some(Lpn(tag)),
+                done: c.done,
+                status: c.status,
+            },
+            Err(_) => UpdateOutcome {
+                handle: None,
+                done: now,
+                status: IoStatus::Rejected,
+            },
+        }
     }
 
     fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
@@ -179,8 +224,11 @@ impl DeviceInterface for Ssd {
         }
     }
 
-    fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> SimTime {
-        self.trim(now, handle).expect("trim failed").done
+    fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
+        match self.trim(now, handle) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn commit_batch(
@@ -188,14 +236,26 @@ impl DeviceInterface for Ssd {
         now: SimTime,
         tags: &[u64],
         _prev: &[Option<Lpn>],
-    ) -> (Vec<Lpn>, SimTime) {
+    ) -> CommitOutcome<Lpn> {
         // No atomic primitive: emulate with a double-write journal in the
         // top of the LBA space (hosts using commit_batch must keep tags
         // below `usable_tags - batch`).
         let journal_base = Lpn(self.capacity().exported_pages - tags.len() as u64);
         let lpns: Vec<Lpn> = tags.iter().map(|&t| Lpn(t)).collect();
-        let c = double_write_journal(self, now, &lpns, journal_base).expect("journal commit");
-        (lpns, c.done)
+        match double_write_journal(self, now, &lpns, journal_base) {
+            Ok(c) => CommitOutcome {
+                handles: lpns,
+                done: c.done,
+                status: c.status,
+            },
+            // refused before any in-place write became visible: the
+            // journal copies are garbage, the old versions are intact
+            Err(_) => CommitOutcome {
+                handles: Vec::new(),
+                done: now,
+                status: IoStatus::Rejected,
+            },
+        }
     }
 
     fn drain_time(&self) -> SimTime {
@@ -232,9 +292,19 @@ impl DeviceInterface for ExtendedSsd {
         self.inner().capacity().exported_pages
     }
 
-    fn update(&mut self, now: SimTime, tag: u64, _prev: Option<Lpn>) -> (Lpn, SimTime) {
-        let c = self.write(now, Lpn(tag)).expect("extended write failed");
-        (Lpn(tag), c.done)
+    fn update(&mut self, now: SimTime, tag: u64, _prev: Option<Lpn>) -> UpdateOutcome<Lpn> {
+        match self.write(now, Lpn(tag)) {
+            Ok(c) => UpdateOutcome {
+                handle: Some(Lpn(tag)),
+                done: c.done,
+                status: c.status,
+            },
+            Err(_) => UpdateOutcome {
+                handle: None,
+                done: now,
+                status: IoStatus::Rejected,
+            },
+        }
     }
 
     fn fetch(&mut self, now: SimTime, tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
@@ -245,8 +315,11 @@ impl DeviceInterface for ExtendedSsd {
         }
     }
 
-    fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> SimTime {
-        self.trim(now, handle).expect("trim failed").done
+    fn discard(&mut self, now: SimTime, _tag: u64, handle: Lpn) -> (SimTime, IoStatus) {
+        match self.trim(now, handle) {
+            Ok(c) => (c.done, c.status),
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn commit_batch(
@@ -254,10 +327,22 @@ impl DeviceInterface for ExtendedSsd {
         now: SimTime,
         tags: &[u64],
         _prev: &[Option<Lpn>],
-    ) -> (Vec<Lpn>, SimTime) {
+    ) -> CommitOutcome<Lpn> {
         let lpns: Vec<Lpn> = tags.iter().map(|&t| Lpn(t)).collect();
-        let c = self.write_atomic(now, &lpns).expect("atomic commit");
-        (lpns, c.done)
+        match self.write_atomic(now, &lpns) {
+            Ok(c) => CommitOutcome {
+                handles: lpns,
+                done: c.done,
+                status: c.status,
+            },
+            // the FTL defers the mapping switch until the whole batch is
+            // durable, so a refused batch leaves the old versions visible
+            Err(_) => CommitOutcome {
+                handles: Vec::new(),
+                done: now,
+                status: IoStatus::Rejected,
+            },
+        }
     }
 
     fn drain_time(&self) -> SimTime {
@@ -294,26 +379,41 @@ impl DeviceInterface for NamelessSsd {
         NamelessSsd::usable_tags(self)
     }
 
-    fn update(&mut self, now: SimTime, tag: u64, prev: Option<PhysName>) -> (PhysName, SimTime) {
+    fn update(
+        &mut self,
+        now: SimTime,
+        tag: u64,
+        prev: Option<PhysName>,
+    ) -> UpdateOutcome<PhysName> {
         // release the old version first; the host's handle may be stale
         // if GC moved it, in which case the pending upcall names the
-        // current location — apply it and retry once.
+        // current location — apply it and free that instead. No pending
+        // upcall means the old version is already gone (freed by an
+        // earlier drain, or its block was retired): the free is
+        // idempotent-by-intent and skipping it is the correct action.
         if let Some(old) = prev {
             if self.free(now, old, tag).is_err() {
-                let cur = self
-                    .upcalls_pending()
-                    .iter()
-                    .rev()
-                    .find_map(|u| match u {
-                        Upcall::Migrated { tag: t, new, .. } if *t == tag => Some(*new),
-                        _ => None,
-                    })
-                    .expect("stale handle with no migration upcall");
-                self.free(now, cur, tag).expect("free of migrated name");
+                let cur = self.upcalls_pending().iter().rev().find_map(|u| match u {
+                    Upcall::Migrated { tag: t, new, .. } if *t == tag => Some(*new),
+                    _ => None,
+                });
+                if let Some(cur) = cur {
+                    let _ = self.free(now, cur, tag);
+                }
             }
         }
-        let w = self.write(now, tag).expect("nameless write failed");
-        (w.name, w.done)
+        match self.write(now, tag) {
+            Ok(w) => UpdateOutcome {
+                handle: Some(w.name),
+                done: w.done,
+                status: w.status,
+            },
+            Err(_) => UpdateOutcome {
+                handle: None,
+                done: now,
+                status: IoStatus::Rejected,
+            },
+        }
     }
 
     fn fetch(&mut self, now: SimTime, tag: u64, handle: PhysName) -> (SimTime, IoStatus) {
@@ -324,8 +424,13 @@ impl DeviceInterface for NamelessSsd {
         }
     }
 
-    fn discard(&mut self, now: SimTime, tag: u64, handle: PhysName) -> SimTime {
-        self.free(now, handle, tag).expect("nameless free failed")
+    fn discard(&mut self, now: SimTime, tag: u64, handle: PhysName) -> (SimTime, IoStatus) {
+        match self.free(now, handle, tag) {
+            Ok(done) => (done, IoStatus::Ok),
+            // stale name: the page already moved; the live copy (named
+            // by a pending upcall) is untouched
+            Err(_) => (now, IoStatus::Rejected),
+        }
     }
 
     fn commit_batch(
@@ -333,23 +438,42 @@ impl DeviceInterface for NamelessSsd {
         now: SimTime,
         tags: &[u64],
         prev: &[Option<PhysName>],
-    ) -> (Vec<PhysName>, SimTime) {
+    ) -> CommitOutcome<PhysName> {
         // out-of-place by construction: write every new version first
         // (old names stay valid — a crash before the index swap leaves
-        // the old batch intact), then release the old versions.
+        // the old batch intact), then release the old versions. A write
+        // refusal mid-batch aborts before any old version is freed, so
+        // the previous batch stays fully intact: atomicity holds even
+        // on failure.
         let mut names = Vec::with_capacity(tags.len());
         let mut done = now;
+        let mut status = IoStatus::Ok;
         for &tag in tags {
-            let w = self.write(now, tag).expect("nameless commit write");
-            done = done.max(w.done);
-            names.push(w.name);
+            match self.write(now, tag) {
+                Ok(w) => {
+                    done = done.max(w.done);
+                    status = status.combine(w.status);
+                    names.push(w.name);
+                }
+                Err(_) => {
+                    return CommitOutcome {
+                        handles: Vec::new(),
+                        done,
+                        status: IoStatus::Rejected,
+                    };
+                }
+            }
         }
         for (i, &tag) in tags.iter().enumerate() {
             if let Some(old) = prev[i] {
                 let _ = self.free(done, old, tag); // stale = already moved
             }
         }
-        (names, done)
+        CommitOutcome {
+            handles: names,
+            done,
+            status,
+        }
     }
 
     fn drain_relocations(&mut self) -> Vec<Relocation<PhysName>> {
@@ -399,6 +523,9 @@ pub struct ChurnReport {
     pub delta: DeviceMetrics,
     /// Host MB/s during churn (4 KiB pages).
     pub throughput_mbs: f64,
+    /// Rewrites the device refused (`IoStatus::Rejected`) — 0 on a
+    /// healthy run; a nonzero count means the device ran out of space.
+    pub rejected: u64,
 }
 
 fn lcg(x: u64) -> u64 {
@@ -421,10 +548,15 @@ pub fn tag_churn<D: DeviceInterface>(
     assert!(live > 0, "empty live set");
     let mut handles: Vec<Option<D::Handle>> = vec![None; live as usize];
     let mut t = SimTime::ZERO;
+    let mut rejected = 0u64;
     for tag in 0..live {
-        let (h, done) = dev.update(t, tag, None);
-        handles[tag as usize] = Some(h);
-        t = done;
+        let out = dev.update(t, tag, None);
+        if let Some(h) = out.handle {
+            handles[tag as usize] = Some(h);
+        } else {
+            rejected += 1;
+        }
+        t = out.done;
     }
     let t0 = t;
     let before = dev.device_metrics();
@@ -438,9 +570,13 @@ pub fn tag_churn<D: DeviceInterface>(
                 handles[r.tag as usize] = Some(r.new);
             }
         }
-        let (h, done) = dev.update(t, tag, handles[tag as usize]);
-        handles[tag as usize] = Some(h);
-        t = done;
+        let out = dev.update(t, tag, handles[tag as usize]);
+        if let Some(h) = out.handle {
+            handles[tag as usize] = Some(h);
+        } else {
+            rejected += 1;
+        }
+        t = out.done;
     }
     for r in dev.drain_relocations() {
         if r.tag < live {
@@ -460,6 +596,7 @@ pub fn tag_churn<D: DeviceInterface>(
         } else {
             0.0
         },
+        rejected,
     }
 }
 
@@ -481,14 +618,18 @@ mod tests {
     /// The generic loop a host would actually run: update, remember the
     /// handle, fetch it back — for each interface.
     fn round_trip<D: DeviceInterface>(dev: &mut D) {
-        let (h, done) = dev.update(SimTime::ZERO, 7, None);
-        let (read_done, status) = dev.fetch(done, 7, h);
+        let w = dev.update(SimTime::ZERO, 7, None);
+        assert_eq!(w.status, IoStatus::Ok, "{}: clean write", dev.label());
+        let h = w.handle.expect("clean write returns a handle");
+        let (read_done, status) = dev.fetch(w.done, 7, h);
         assert_eq!(status, IoStatus::Ok, "{}: clean media", dev.label());
-        assert!(read_done > done, "{}: fetch must take time", dev.label());
-        let (h2, done2) = dev.update(read_done, 7, Some(h));
-        assert!(done2 > read_done);
-        let end = dev.discard(done2, 7, h2);
-        assert!(end >= done2);
+        assert!(read_done > w.done, "{}: fetch must take time", dev.label());
+        let w2 = dev.update(read_done, 7, Some(h));
+        assert!(w2.done > read_done);
+        let h2 = w2.handle.expect("clean rewrite returns a handle");
+        let (end, st) = dev.discard(w2.done, 7, h2);
+        assert_eq!(st, IoStatus::Ok, "{}: live discard accepted", dev.label());
+        assert!(end >= w2.done);
         let m = dev.device_metrics();
         assert_eq!(m.host_writes, 2);
         assert_eq!(m.host_reads, 1);
@@ -507,12 +648,17 @@ mod tests {
         let prev: Vec<Option<Lpn>> = vec![None; 8];
 
         let mut blk = Ssd::new(small_cfg());
-        blk.commit_batch(SimTime::ZERO, &tags, &prev);
+        let cb = blk.commit_batch(SimTime::ZERO, &tags, &prev);
+        assert_eq!(cb.status, IoStatus::Ok);
+        assert_eq!(cb.handles.len(), 8);
         let mut ext = ExtendedSsd::new(Ssd::new(small_cfg()));
-        ext.commit_batch(SimTime::ZERO, &tags, &prev);
+        let ce = ext.commit_batch(SimTime::ZERO, &tags, &prev);
+        assert_eq!(ce.status, IoStatus::Ok);
         let mut nl = NamelessSsd::new(NamelessConfig::from(&small_cfg()));
         let nprev: Vec<Option<PhysName>> = vec![None; 8];
-        nl.commit_batch(SimTime::ZERO, &tags, &nprev);
+        let cn = nl.commit_batch(SimTime::ZERO, &tags, &nprev);
+        assert_eq!(cn.status, IoStatus::Ok);
+        assert_eq!(cn.handles.len(), 8);
 
         // journal pays 2x; the other two pay 1x
         assert_eq!(blk.device_metrics().flash_programs, 16);
@@ -521,9 +667,30 @@ mod tests {
     }
 
     #[test]
+    fn device_full_surfaces_as_rejected_not_panic() {
+        let mut d = NamelessSsd::new(NamelessConfig::from(&small_cfg()));
+        let raw = d.config().shape.total_luns() as u64 * d.config().flash.geometry.total_pages();
+        let mut t = SimTime::ZERO;
+        let mut saw_reject = false;
+        // distinct tags, never freed: the device must eventually refuse
+        // with a typed status instead of panicking (satellite 1)
+        for tag in 0..raw * 2 {
+            let out = d.update(t, tag, None);
+            t = out.done;
+            if out.handle.is_none() {
+                assert_eq!(out.status, IoStatus::Rejected);
+                saw_reject = true;
+                break;
+            }
+        }
+        assert!(saw_reject, "overfilled device must reject");
+    }
+
+    #[test]
     fn churn_applies_relocations_and_stays_consistent() {
         let mut dev = NamelessSsd::new(NamelessConfig::from(&small_cfg()));
         let r = tag_churn(&mut dev, 0.9, 2, 99);
+        assert_eq!(r.rejected, 0, "healthy churn rejects nothing");
         assert!(r.delta.gc_runs > 0, "churn must trigger GC");
         assert!(
             r.delta.upcalls_delivered > 0,

@@ -25,8 +25,12 @@
 //!   workload through each and vary nothing but the interface. Upcall
 //!   delivery is a trait method — empty for block devices, which is the
 //!   paper's complaint rendered as a type signature.
+//! * [`qpair::NamelessQueuePair`] — nameless commands through the
+//!   batched-doorbell discipline of the queue-pair engine, so the
+//!   cooperating-logs storage manager (E14) drives the device at queue
+//!   depth with typed [`requiem_sim::IoStatus`] on every completion.
 //!
-//! Experiments E5, E6 and E8 quantify what each mechanism buys.
+//! Experiments E5, E6, E8 and E14 quantify what each mechanism buys.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +39,13 @@ pub mod atomic;
 pub mod comm;
 pub mod device;
 pub mod nameless;
+pub mod qpair;
 
 pub use atomic::ExtendedSsd;
 pub use comm::{Upcall, UpcallQueue};
-pub use device::{tag_churn, ChurnReport, DeviceInterface, DeviceMetrics, Relocation};
-pub use nameless::{NamelessCompletion, NamelessConfig, NamelessSsd, PhysName};
+pub use device::{
+    tag_churn, ChurnReport, CommitOutcome, DeviceInterface, DeviceMetrics, Relocation,
+    UpdateOutcome,
+};
+pub use nameless::{NamelessCompletion, NamelessConfig, NamelessError, NamelessSsd, PhysName};
+pub use qpair::{NamelessCmd, NamelessCqe, NamelessQueuePair};

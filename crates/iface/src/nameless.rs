@@ -20,8 +20,9 @@
 //! machinery as `requiem-ssd` — only the mapping is gone.
 
 use requiem_flash::{FlashError, FlashSpec, Lun, PageAddr, PagePayload};
+use requiem_sim::probe::{Cause, Layer, Probe};
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::{FaultPlan, IoStatus, Resource};
+use requiem_sim::{FaultPlan, IoStatus, Occupant, Resource};
 use requiem_ssd::addr::{ArrayShape, LunId, PhysPage};
 use requiem_ssd::block_dir::{BlockDirectory, Stream};
 use requiem_ssd::channel::ChannelTiming;
@@ -31,6 +32,20 @@ use requiem_ssd::Lpn;
 use serde::{Deserialize, Serialize};
 
 use crate::comm::{Upcall, UpcallQueue};
+
+/// The resource occupant tag for a flash operation cause (the nameless
+/// twin of the block controller's mapping — kept local because the
+/// scheduler's helper is crate-private to `requiem-ssd`).
+fn occupant_of(cause: OpCause) -> Occupant {
+    match cause {
+        OpCause::Host => Occupant::Host,
+        OpCause::Gc => Occupant::Gc,
+        OpCause::WearLevel => Occupant::Wear,
+        OpCause::Merge => Occupant::Merge,
+        OpCause::Translation => Occupant::Translation,
+        OpCause::Recovery => Occupant::Recovery,
+    }
+}
 
 /// The physical name of a written page — the device-chosen location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -144,6 +159,7 @@ pub struct NamelessSsd {
     metrics: SsdMetrics,
     rr: u32,
     gc_active: bool,
+    probe: Probe,
 }
 
 impl std::fmt::Debug for NamelessSsd {
@@ -181,8 +197,28 @@ impl NamelessSsd {
             metrics: SsdMetrics::new(),
             rr: 0,
             gc_active: false,
+            probe: Probe::disabled(),
             cfg,
         }
+    }
+
+    /// Attach an observability probe. An enabled probe turns on occupant
+    /// tracking for every resource, so a host command stalled behind GC
+    /// relocations gets the wait blamed as `GcStall` spans — the same
+    /// discipline the block controller follows, which is what lets E14
+    /// compare stall blame across the two interfaces.
+    pub fn attach_probe(&mut self, probe: Probe) {
+        let on = probe.is_enabled();
+        self.probe = probe;
+        for r in self.lun_res.iter_mut().chain(self.chan_res.iter_mut()) {
+            r.track_occupants(on);
+        }
+        self.host_link.track_occupants(on);
+    }
+
+    /// The attached probe (disabled handle when none was attached).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
     }
 
     /// The configuration.
@@ -268,25 +304,65 @@ impl NamelessSsd {
         cause: OpCause,
     ) -> Result<SimTime, ()> {
         let chan = self.cfg.shape.channel_of(phys.lun) as usize;
+        let occ = occupant_of(cause);
         let start = if use_channel {
             let bus = self
                 .cfg
                 .channel
                 .write_bus_time(self.cfg.flash.geometry.page_size);
-            self.chan_res[chan].reserve(not_before, bus).end
+            let cg = self.chan_res[chan].reserve_tagged(not_before, bus, occ);
+            if self.probe.is_enabled() {
+                let blame = self.chan_res[chan].blame(not_before, cg.start);
+                self.probe.wait_spans(
+                    Layer::Channel,
+                    self.chan_res[chan].name(),
+                    not_before,
+                    cg.start,
+                    &blame,
+                );
+                self.probe.span(
+                    Layer::Channel,
+                    Cause::Transfer,
+                    self.chan_res[chan].name(),
+                    cg.start,
+                    cg.end,
+                );
+            }
+            cg.end
         } else {
             not_before
         };
         let dur = match self.luns[phys.lun.0 as usize].program(phys.addr, PagePayload::Tag(tag)) {
             Ok(o) => o.duration,
             Err(FlashError::ProgramFailed { .. }) => {
-                self.lun_res[phys.lun.0 as usize]
-                    .reserve(start, self.cfg.flash.timing.program(phys.addr.page));
+                self.lun_res[phys.lun.0 as usize].reserve_tagged(
+                    start,
+                    self.cfg.flash.timing.program(phys.addr.page),
+                    occ,
+                );
                 return Err(());
             }
             Err(e) => panic!("nameless controller bug: illegal program: {e}"),
         };
-        let g = self.lun_res[phys.lun.0 as usize].reserve(start, dur);
+        let g = self.lun_res[phys.lun.0 as usize].reserve_tagged(start, dur, occ);
+        if self.probe.is_enabled() {
+            let li = phys.lun.0 as usize;
+            let blame = self.lun_res[li].blame(start, g.start);
+            self.probe.wait_spans(
+                Layer::Flash,
+                self.lun_res[li].name(),
+                start,
+                g.start,
+                &blame,
+            );
+            self.probe.span(
+                Layer::Flash,
+                Cause::CellProgram,
+                self.lun_res[li].name(),
+                g.start,
+                g.end,
+            );
+        }
         self.metrics.flash_programs.bump(cause);
         Ok(g.end)
     }
@@ -352,13 +428,41 @@ impl NamelessSsd {
     ) -> (SimTime, PagePayload, IoStatus) {
         let chan = self.cfg.shape.channel_of(phys.lun) as usize;
         let li = phys.lun.0 as usize;
+        let occ = occupant_of(cause);
         // command cycles are latency, not bus occupancy (see requiem-ssd)
         let cmd_done = not_before + self.cfg.channel.command;
         self.metrics.flash_reads.bump(cause);
+        if self.probe.is_enabled() {
+            self.probe.span(
+                Layer::Channel,
+                Cause::Command,
+                self.chan_res[chan].name(),
+                not_before,
+                cmd_done,
+            );
+        }
         let finish = |slf: &mut Self, from: SimTime, payload: PagePayload, status: IoStatus| {
             if with_transfer {
                 let xfer = slf.cfg.flash.geometry.page_size;
-                let xg = slf.chan_res[chan].reserve(from, slf.cfg.channel.transfer(xfer));
+                let xg =
+                    slf.chan_res[chan].reserve_tagged(from, slf.cfg.channel.transfer(xfer), occ);
+                if slf.probe.is_enabled() {
+                    let blame = slf.chan_res[chan].blame(from, xg.start);
+                    slf.probe.wait_spans(
+                        Layer::Channel,
+                        slf.chan_res[chan].name(),
+                        from,
+                        xg.start,
+                        &blame,
+                    );
+                    slf.probe.span(
+                        Layer::Channel,
+                        Cause::Transfer,
+                        slf.chan_res[chan].name(),
+                        xg.start,
+                        xg.end,
+                    );
+                }
                 (xg.end, payload, status)
             } else {
                 (from, payload, status)
@@ -366,13 +470,30 @@ impl NamelessSsd {
         };
         match self.luns[li].read(phys.addr) {
             Ok(o) => {
-                let lg = self.lun_res[li].reserve(cmd_done, o.duration);
+                let lg = self.lun_res[li].reserve_tagged(cmd_done, o.duration, occ);
+                if self.probe.is_enabled() {
+                    let blame = self.lun_res[li].blame(cmd_done, lg.start);
+                    self.probe.wait_spans(
+                        Layer::Flash,
+                        self.lun_res[li].name(),
+                        cmd_done,
+                        lg.start,
+                        &blame,
+                    );
+                    self.probe.span(
+                        Layer::Flash,
+                        Cause::CellRead,
+                        self.lun_res[li].name(),
+                        lg.start,
+                        lg.end,
+                    );
+                }
                 finish(self, lg.end, o.payload, IoStatus::Ok)
             }
             Err(FlashError::UncorrectableRead { .. }) => {
                 self.metrics.uncorrectable_reads += 1;
                 // the failed sense still occupied the chip
-                let lg = self.lun_res[li].reserve(cmd_done, self.cfg.flash.timing.read);
+                let lg = self.lun_res[li].reserve_tagged(cmd_done, self.cfg.flash.timing.read, occ);
                 let mut cursor = lg.end;
                 let t_read = self.cfg.flash.timing.read;
                 let mut steps = 0u32;
@@ -383,7 +504,7 @@ impl NamelessSsd {
                     steps += 1;
                     self.metrics.recovery.retry_attempts += 1;
                     self.metrics.flash_reads.bump(OpCause::Recovery);
-                    let g = self.lun_res[li].reserve(cursor, t_read);
+                    let g = self.lun_res[li].reserve_tagged(cursor, t_read, Occupant::Recovery);
                     cursor = g.end;
                     if let Ok(o) = self.luns[li].recovery_read(phys.addr, derate, 1.0) {
                         self.metrics.recovery.retry_recovered += 1;
@@ -396,7 +517,7 @@ impl NamelessSsd {
                     steps += 1;
                     self.metrics.recovery.ecc_escalations += 1;
                     self.metrics.flash_reads.bump(OpCause::Recovery);
-                    let g = self.lun_res[li].reserve(cursor, t_read * 4);
+                    let g = self.lun_res[li].reserve_tagged(cursor, t_read * 4, Occupant::Recovery);
                     cursor = g.end;
                     if let Ok(o) = self.luns[li].recovery_read(phys.addr, 0.5, 1.5) {
                         self.metrics.recovery.ecc_recovered += 1;
@@ -416,7 +537,8 @@ impl NamelessSsd {
                         steps += 1;
                         self.metrics.recovery.rebuild_page_reads += 1;
                         self.metrics.flash_reads.bump(OpCause::Recovery);
-                        let g = self.lun_res[peer].reserve(rb_start, t_read);
+                        let g =
+                            self.lun_res[peer].reserve_tagged(rb_start, t_read, Occupant::Recovery);
                         rb_end = rb_end.max(g.end);
                     }
                     cursor = rb_end;
@@ -426,6 +548,15 @@ impl NamelessSsd {
                     }
                 }
                 self.metrics.recovery.recovery_time += cursor.since(lg.end);
+                if self.probe.is_enabled() {
+                    self.probe.span(
+                        Layer::Flash,
+                        Cause::Recovery,
+                        self.lun_res[li].name(),
+                        lg.end,
+                        cursor,
+                    );
+                }
                 let Some(payload) = payload else {
                     self.metrics.recovery.unrecoverable += 1;
                     return finish(self, cursor, PagePayload::Empty, IoStatus::Unrecoverable);
@@ -473,6 +604,10 @@ impl NamelessSsd {
         if self.gc_active {
             return;
         }
+        // GC runs on device time off the host command's critical path:
+        // its spans are background (`cmd: None`); its cost reaches host
+        // commands only as occupant-blamed queueing delay (`GcStall`).
+        let _bg = self.probe.background();
         self.gc_active = true;
         let mut guard = self.cfg.flash.geometry.total_blocks();
         while self.dir.free_blocks(lun) <= self.cfg.gc_threshold && guard > 0 {
@@ -547,12 +682,16 @@ impl NamelessSsd {
         let cmd_done = t + self.cfg.channel.command;
         match self.luns[lun.0 as usize].erase(baddr) {
             Ok(o) => {
-                self.lun_res[lun.0 as usize].reserve(cmd_done, o.duration);
+                self.lun_res[lun.0 as usize].reserve_tagged(cmd_done, o.duration, Occupant::Gc);
                 self.metrics.flash_erases.bump(OpCause::Gc);
                 self.dir.recycle(lun, victim);
             }
             Err(FlashError::EraseFailed { .. }) => {
-                self.lun_res[lun.0 as usize].reserve(cmd_done, self.cfg.flash.timing.erase);
+                self.lun_res[lun.0 as usize].reserve_tagged(
+                    cmd_done,
+                    self.cfg.flash.timing.erase,
+                    Occupant::Gc,
+                );
                 self.metrics.blocks_retired += 1;
                 self.dir.retire(lun, victim);
                 self.upcalls.push(Upcall::BlockRetired { at: t });
@@ -566,18 +705,52 @@ impl NamelessSsd {
     /// in migration upcalls).
     pub fn write(&mut self, now: SimTime, tag: u64) -> Result<NamelessCompletion, NamelessError> {
         self.metrics.host_writes += 1;
-        let link = self.host_link.reserve(now, self.host_link_time());
+        let scope = self.probe.open_command("write", now);
+        let link = self
+            .host_link
+            .reserve_tagged(now, self.host_link_time(), Occupant::Host);
         let t = link.end + self.cfg.controller_overhead;
+        if self.probe.is_enabled() {
+            let blame = self.host_link.blame(now, link.start);
+            self.probe.wait_spans(
+                Layer::HostLink,
+                self.host_link.name(),
+                now,
+                link.start,
+                &blame,
+            );
+            self.probe.span(
+                Layer::HostLink,
+                Cause::Transfer,
+                self.host_link.name(),
+                link.start,
+                link.end,
+            );
+            self.probe
+                .span(Layer::Controller, Cause::Overhead, "ctrl", link.end, t);
+        }
         let lun = self.place_lun(t);
         self.maybe_gc(lun, t);
         let salvages_before = self.metrics.recovery.program_salvages;
-        let (phys, done) = self
-            .program_retrying(t, lun, Stream::Host, tag, true, OpCause::Host)
-            .ok_or(NamelessError::DeviceFull)?;
+        let Some((phys, done)) =
+            self.program_retrying(t, lun, Stream::Host, tag, true, OpCause::Host)
+        else {
+            // dropping the scope aborts the probe command — a rejected
+            // write has no completion instant to close with
+            drop(scope);
+            return Err(NamelessError::DeviceFull);
+        };
         self.dir.mark_valid(phys, Lpn(tag));
         let latency = done.since(now);
         self.metrics.write_latency.record_duration(latency);
         let salvages = (self.metrics.recovery.program_salvages - salvages_before) as u32;
+        let status = if salvages > 0 {
+            IoStatus::RecoveredAfterRetry { steps: salvages }
+        } else {
+            IoStatus::Ok
+        };
+        scope.close(done);
+        self.probe.note_status(status.as_str());
         Ok(NamelessCompletion {
             name: PhysName {
                 lun: phys.lun,
@@ -585,11 +758,7 @@ impl NamelessSsd {
             },
             done,
             latency,
-            status: if salvages > 0 {
-                IoStatus::RecoveredAfterRetry { steps: salvages }
-            } else {
-                IoStatus::Ok
-            },
+            status,
         })
     }
 
@@ -604,19 +773,45 @@ impl NamelessSsd {
         tag: u64,
     ) -> Result<(SimTime, SimDuration, IoStatus), NamelessError> {
         self.metrics.host_reads += 1;
-        let t = now + self.cfg.controller_overhead;
         let geom = &self.cfg.flash.geometry;
         let bidx = geom.block_index(geom.block_of(name.addr));
         let info = self.dir.block_info(name.lun, bidx);
         if info.backptrs[name.addr.page as usize] != Some(Lpn(tag)) {
             return Err(NamelessError::StaleName { name });
         }
+        let scope = self.probe.open_command("read", now);
+        let t = now + self.cfg.controller_overhead;
+        if self.probe.is_enabled() {
+            self.probe
+                .span(Layer::Controller, Cause::Overhead, "ctrl", now, t);
+        }
         let phys = PhysPage {
             lun: name.lun,
             addr: name.addr,
         };
         let (flash_done, _payload, status) = self.op_read(t, phys, true, OpCause::Host, Some(tag));
-        let out = self.host_link.reserve(flash_done, self.host_link_time());
+        let out = self
+            .host_link
+            .reserve_tagged(flash_done, self.host_link_time(), Occupant::Host);
+        if self.probe.is_enabled() {
+            let blame = self.host_link.blame(flash_done, out.start);
+            self.probe.wait_spans(
+                Layer::HostLink,
+                self.host_link.name(),
+                flash_done,
+                out.start,
+                &blame,
+            );
+            self.probe.span(
+                Layer::HostLink,
+                Cause::Transfer,
+                self.host_link.name(),
+                out.start,
+                out.end,
+            );
+        }
+        scope.close(out.end);
+        self.probe.note_status(status.as_str());
         let latency = out.end.since(now);
         self.metrics.read_latency.record_duration(latency);
         Ok((out.end, latency, status))
@@ -641,7 +836,14 @@ impl NamelessSsd {
             lun: name.lun,
             addr: name.addr,
         });
-        Ok(now + self.cfg.controller_overhead)
+        let done = now + self.cfg.controller_overhead;
+        let scope = self.probe.open_command("free", now);
+        if self.probe.is_enabled() {
+            self.probe
+                .span(Layer::Controller, Cause::Overhead, "ctrl", now, done);
+        }
+        scope.close(done);
+        Ok(done)
     }
 }
 

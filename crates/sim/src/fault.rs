@@ -76,6 +76,25 @@ impl IoStatus {
             _ => 0,
         }
     }
+
+    /// Fold two statuses into the worse one — the status of a compound
+    /// operation (a batch, a multi-phase commit) is the worst status of
+    /// its parts. `Unrecoverable` dominates `Rejected` (time was burned
+    /// *and* data was lost), any failure dominates recovery, and two
+    /// recoveries add their step counts (both ladders ran on the
+    /// compound command's critical path).
+    pub fn combine(self, other: IoStatus) -> IoStatus {
+        use IoStatus::*;
+        match (self, other) {
+            (Unrecoverable, _) | (_, Unrecoverable) => Unrecoverable,
+            (Rejected, _) | (_, Rejected) => Rejected,
+            (RecoveredAfterRetry { steps: a }, RecoveredAfterRetry { steps: b }) => {
+                RecoveredAfterRetry { steps: a + b }
+            }
+            (s @ RecoveredAfterRetry { .. }, Ok) | (Ok, s @ RecoveredAfterRetry { .. }) => s,
+            (Ok, Ok) => Ok,
+        }
+    }
 }
 
 /// Fault schedules for one media unit (one LUN), extracted from a
