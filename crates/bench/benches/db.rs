@@ -15,6 +15,7 @@ fn db_cfg() -> DbConfig {
         record_size: 100,
         checkpoint_every: 0,
         group_commit: 1,
+        ..DbConfig::default()
     }
 }
 

@@ -27,7 +27,7 @@
 
 use requiem_bench::{note, section};
 use requiem_db::{
-    BlockStackBackend, Database, DbConfig, ExecConfig, ExecReport, GroupCommitPolicy,
+    BlockStackBackend, Database, DbBuilder, DbConfig, ExecConfig, ExecReport, GroupCommitPolicy,
     LegacyBackend, PersistenceBackend, PrefetchConfig,
 };
 use requiem_sim::table::Align;
@@ -61,24 +61,17 @@ fn figure1_device() -> SsdConfig {
     }
 }
 
-fn db_config() -> DbConfig {
-    DbConfig {
-        data_pages: DATA_PAGES,
-        buffer_frames: BUFFER_FRAMES,
-        ..DbConfig::default()
-    }
+/// Every section shares this builder: the knobs that must agree (pages,
+/// frames, WAL medium) are stated once.
+fn builder() -> DbBuilder {
+    DbConfig::builder()
+        .data_pages(DATA_PAGES)
+        .log_pages(LOG_PAGES)
+        .buffer_frames(BUFFER_FRAMES)
 }
 
 fn stack_db() -> Database<BlockStackBackend> {
-    let backend = BlockStackBackend::new(
-        requiem_block::StackConfig::blk_mq(1),
-        figure1_device(),
-        DATA_PAGES,
-        LOG_PAGES,
-    );
-    let mut db = Database::new(db_config(), backend);
-    db.load();
-    db
+    builder().build_stack(requiem_block::StackConfig::blk_mq(1), figure1_device())
 }
 
 fn oltp(read_only_fraction: f64) -> OltpGen {
@@ -359,35 +352,18 @@ fn main() {
     // ------------------------------------------------------------------
     section("13d. QD 1: completion-driven executor vs serialized engine");
     let inputs = oltp_inputs(&mut oltp(0.5), 200);
-    let mut serial: Database<LegacyBackend> = {
-        let mut ssd_cfg = figure1_device();
-        ssd_cfg.buffer.capacity_pages = 0;
-        let mut db = Database::new(
-            db_config(),
-            LegacyBackend::new(ssd_cfg, DATA_PAGES, LOG_PAGES),
-        );
-        db.load();
-        db
-    };
+    let mut serial: Database<LegacyBackend> = builder().build_legacy(figure1_device());
     for t in &inputs {
         serial.execute(&t.accesses, t.log_bytes);
     }
-    let mut conc: Database<LegacyBackend> = {
-        let mut ssd_cfg = figure1_device();
-        ssd_cfg.buffer.capacity_pages = 0;
-        let mut db = Database::new(
-            db_config(),
-            LegacyBackend::new(ssd_cfg, DATA_PAGES, LOG_PAGES),
-        );
-        db.load();
-        db
-    };
+    let mut conc: Database<LegacyBackend> = builder().build_legacy(figure1_device());
     conc.run_concurrent(&inputs, &ExecConfig::serialized());
     let identical = conc.now() == serial.now()
         && conc.txn_latency() == serial.txn_latency()
         && conc.commit_latency() == serial.commit_latency()
         && conc.stats() == serial.stats()
-        && conc.backend().stats().log_forces == serial.backend().stats().log_forces
+        && conc.wal_backend().stats().log_forces == serial.wal_backend().stats().log_forces
+        && conc.wal_backend().stats().log_bytes == serial.wal_backend().stats().log_bytes
         && conc.backend().stats().page_reads == serial.backend().stats().page_reads;
     let mut tbl =
         Table::new(["engine", "final clock", "commits", "bit-identical"]).align(0, Align::Left);

@@ -32,8 +32,8 @@
 
 use requiem_bench::{note, section};
 use requiem_db::{
-    CoopLogBackend, Database, DbConfig, ExecConfig, ExecReport, GroupCommitPolicy, LegacyBackend,
-    PersistenceBackend, PrefetchConfig, StorageManager,
+    CoopLogBackend, Database, DbBuilder, DbConfig, ExecConfig, ExecReport, GroupCommitPolicy,
+    LegacyBackend, PersistenceBackend, PrefetchConfig, StorageManager,
 };
 use requiem_iface::nameless::NamelessConfig;
 use requiem_sim::table::Align;
@@ -69,13 +69,14 @@ fn pressured_device() -> SsdConfig {
     }
 }
 
-fn db_config() -> DbConfig {
-    DbConfig {
-        data_pages: DATA_PAGES,
-        buffer_frames: BUFFER_FRAMES,
-        checkpoint_every: CHECKPOINT_EVERY,
-        ..DbConfig::default()
-    }
+/// Both managers share this builder: only the backend constructor
+/// differs, so 14a–c compare interfaces, not configurations.
+fn builder() -> DbBuilder {
+    DbConfig::builder()
+        .data_pages(DATA_PAGES)
+        .log_pages(LOG_PAGES)
+        .buffer_frames(BUFFER_FRAMES)
+        .checkpoint_every(CHECKPOINT_EVERY)
 }
 
 fn oltp(read_only_fraction: f64) -> OltpGen {
@@ -95,23 +96,11 @@ fn oltp(read_only_fraction: f64) -> OltpGen {
 }
 
 fn block_db() -> Database<LegacyBackend> {
-    let mut db = Database::new(
-        db_config(),
-        LegacyBackend::new(pressured_device(), DATA_PAGES, LOG_PAGES),
-    );
-    db.load();
-    db
+    builder().build_legacy(pressured_device())
 }
 
 fn coop_db() -> Database<CoopLogBackend> {
-    let backend = CoopLogBackend::new(
-        NamelessConfig::from(&pressured_device()),
-        DATA_PAGES,
-        LOG_PAGES,
-    );
-    let mut db = Database::new(db_config(), backend);
-    db.load();
-    db
+    builder().build_coop(NamelessConfig::from(&pressured_device()))
 }
 
 /// Device+manager counters at one instant; runs report deltas over the
@@ -129,14 +118,17 @@ struct Snapshot {
 
 fn snapshot<M: StorageManager>(db: &Database<M>) -> Snapshot {
     let b = db.backend();
+    let w = db.wal_backend().stats();
     Snapshot {
-        logical: b.stats().logical_writes,
+        // page images from the backend plus segment images from the WAL
+        // port: the same logical-write total the fused interface counted
+        logical: b.stats().logical_writes + w.logical_writes,
         host_writes: b.device_host_writes(),
         programs: b.device_programs(),
         gc_runs: b.device_gc_runs(),
         gc_moved: b.device_gc_moved(),
         relocations: b.relocations_patched(),
-        log_trims: b.stats().log_trims,
+        log_trims: w.log_trims,
     }
 }
 
@@ -348,8 +340,9 @@ fn main() {
         && conc.txn_latency() == serial.txn_latency()
         && conc.commit_latency() == serial.commit_latency()
         && conc.stats() == serial.stats()
-        && conc.backend().stats().log_forces == serial.backend().stats().log_forces
-        && conc.backend().stats().log_trims == serial.backend().stats().log_trims
+        && conc.wal_backend().stats().log_forces == serial.wal_backend().stats().log_forces
+        && conc.wal_backend().stats().log_bytes == serial.wal_backend().stats().log_bytes
+        && conc.wal_backend().stats().log_trims == serial.wal_backend().stats().log_trims
         && conc.backend().stats().page_reads == serial.backend().stats().page_reads;
     let mut tbl = Table::new([
         "engine",
@@ -363,14 +356,14 @@ fn main() {
         "serialized execute()".to_string(),
         format!("{}", serial.now()),
         format!("{}", serial.stats().commits),
-        format!("{}", serial.backend().stats().log_trims),
+        format!("{}", serial.wal_backend().stats().log_trims),
         String::new(),
     ]);
     tbl.row([
         "run_concurrent QD 1".to_string(),
         format!("{}", conc.now()),
         format!("{}", conc.stats().commits),
-        format!("{}", conc.backend().stats().log_trims),
+        format!("{}", conc.wal_backend().stats().log_trims),
         format!("{identical}"),
     ]);
     println!("{tbl}");

@@ -73,6 +73,7 @@ fn main() {
         record_size: 100,
         checkpoint_every: 500,
         group_commit: 1,
+        ..DbConfig::default()
     };
 
     section("OLTP (2 000 txns, zipf 0.8, 4 pages/txn, 50% dirty, checkpoint every 500)");
@@ -145,7 +146,7 @@ fn main() {
     let small = DbConfig {
         buffer_frames: 32,
         checkpoint_every: 0,
-        ..db_cfg
+        ..db_cfg.clone()
     };
     let mut tbl = Table::new(["backend", "txns/s", "steals", "steal stall"]).align(0, Align::Left);
     let mut ssd_cfg = SsdConfig::modern();

@@ -1,15 +1,24 @@
 //! The persistence boundary: where the legacy and vision designs diverge.
 //!
 //! The storage manager above this trait is **identical** in both designs;
-//! only the routing of its four traffic classes changes:
+//! only the routing of its traffic classes changes:
 //!
 //! | traffic               | class        | Legacy                     | Vision (§3 P1/P2)            |
 //! |-----------------------|--------------|----------------------------|------------------------------|
-//! | log force (commit)    | synchronous  | flash SSD page write       | PCM memory-bus persist       |
 //! | buffer steal          | synchronous  | flash SSD page write       | PCM staging persist          |
 //! | data write-back       | asynchronous | flash SSD page write       | flash SSD page write         |
 //! | checkpoint batch      | asynchronous | double-write journal (2×)  | device atomic write (1×)     |
 //! | page free             | —            | nothing (device unaware)   | TRIM                         |
+//!
+//! The *synchronous log path* (force / truncate / recovery scan) is no
+//! longer here: it lives behind [`WalBackend`](crate::walbackend) — page
+//! backends do page I/O only, and [`PersistenceBackend::make_wal`] hands
+//! the engine a WAL port onto whatever medium the design routes log
+//! durability to (the same flash device for legacy, a PCM DIMM for the
+//! vision).
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
 
 use requiem_iface::atomic::{double_write_journal, ExtendedSsd};
 use requiem_pcm::{PcmDimm, PcmTiming};
@@ -18,6 +27,7 @@ use requiem_sim::IoStatus;
 use requiem_ssd::{IoClass, IoRequest, Lpn, QueuePair, Ssd, SsdConfig};
 
 use crate::page::{PageId, PAGE_SIZE};
+use crate::walbackend::{BareSsdLog, FlashWal, PcmWal, WalBackend};
 
 /// Host tag identifying one batched read between
 /// [`PersistenceBackend::submit_reads`] and [`PersistenceBackend::poll`].
@@ -104,13 +114,10 @@ impl ReadShim {
     }
 }
 
-/// I/O issued by a backend, by class.
+/// Page I/O issued by a backend, by class. Log-path counters live in
+/// [`WalStats`](crate::walbackend::WalStats) since the API split.
 #[derive(Debug, Default, Clone)]
 pub struct BackendStats {
-    /// Log forces performed.
-    pub log_forces: u64,
-    /// Bytes of log forced.
-    pub log_bytes: u64,
     /// Data page writes (async write-back).
     pub page_writes: u64,
     /// Synchronous steal writes.
@@ -121,23 +128,26 @@ pub struct BackendStats {
     pub frees: u64,
     /// Checkpoint batches.
     pub batches: u64,
-    /// WAL segments released by checkpoint truncation
-    /// ([`PersistenceBackend::truncate_log`]).
-    pub log_trims: u64,
-    /// Page images the manager *meant* to persist: data page writes
-    /// (including batch members) plus WAL segment images. Excludes
-    /// interface-imposed copies — the double-write journal's first
-    /// phase is not a logical write, it is the block interface's tax.
-    /// Denominator of end-to-end write amplification
-    /// (`flash programs / logical_writes`).
+    /// Page images the manager *meant* to persist: data page writes,
+    /// including batch members. Excludes interface-imposed copies — the
+    /// double-write journal's first phase is not a logical write, it is
+    /// the block interface's tax. Together with the WAL's
+    /// `logical_writes` this is the denominator of end-to-end write
+    /// amplification (`flash programs / logical_writes`).
     pub logical_writes: u64,
 }
 
-/// The persistence service a storage manager runs on.
+/// The *page* persistence service a storage manager runs on. Log
+/// durability is not a side effect of this trait: the engine obtains a
+/// [`WalBackend`] from [`PersistenceBackend::make_wal`] and talks to it
+/// directly.
 pub trait PersistenceBackend {
-    /// Force `bytes` of log; returns the instant the log is durable
-    /// (synchronous — the committer waits).
-    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime;
+    /// Build the WAL backend this design routes synchronous log
+    /// persistence to, sharing the backend's device where the design
+    /// calls for it (the stacked-log pathology only exists when log and
+    /// data compete for the same flash). Called once by the engine at
+    /// construction.
+    fn make_wal(&mut self) -> Box<dyn WalBackend>;
 
     /// Asynchronous write-back of one data page; returns its completion
     /// (the caller does not have to wait).
@@ -162,18 +172,6 @@ pub trait PersistenceBackend {
 
     /// Tell the device a page's contents are dead.
     fn free_page(&mut self, now: SimTime, page: PageId);
-
-    /// Checkpoint truncation: every log byte below `up_to_byte` is
-    /// outside the redo horizon and will never be read again. The
-    /// backend releases the segments that carried them — TRIM on a block
-    /// device, an exact name free on a nameless one — so the device's
-    /// collector stops copying dead WAL forever (the stacked-log
-    /// pathology of §2). Background work: the caller's clock does not
-    /// advance, and repeated calls at the same horizon are free. The
-    /// default ignores it (a log on PCM has no collector to inform).
-    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
-        let _ = (now, up_to_byte);
-    }
 
     /// Traffic statistics.
     fn stats(&self) -> &BackendStats;
@@ -264,16 +262,6 @@ pub trait PersistenceBackend {
     fn set_read_window(&mut self, depth: usize) {
         let _ = depth;
     }
-
-    /// Synchronous read of `bytes` of durable log starting at byte
-    /// `offset` (media-recovery and restart-recovery path). Returns the
-    /// completion instant and the combined media status of the covered
-    /// log pages. The default treats the log medium as unmodelled for
-    /// reads: free and clean.
-    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
-        let _ = (offset, bytes);
-        (now, IoStatus::Ok)
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -283,17 +271,14 @@ pub trait PersistenceBackend {
 /// The conservative design: one flash SSD behind the block interface
 /// carries the log, the data, and a double-write journal.
 pub struct LegacyBackend {
-    ssd: Ssd,
+    /// Shared with the WAL port ([`make_wal`](PersistenceBackend::make_wal)):
+    /// log forces land on the same device as the page traffic.
+    ssd: Rc<RefCell<Ssd>>,
     /// LBA layout.
     log_pages: u64,
     data_base: u64,
     journal_base: u64,
     data_pages: u64,
-    /// Circular log tail (byte offset).
-    log_tail: u64,
-    /// Absolute log page index below which checkpoint truncation has
-    /// already released the log.
-    log_trimmed: u64,
     /// Use TRIM on frees (off by default: legacy stacks rarely did).
     pub use_trim: bool,
     stats: BackendStats,
@@ -331,13 +316,11 @@ impl LegacyBackend {
             "device too small: need {needed} pages, exported {exported}"
         );
         LegacyBackend {
-            ssd,
+            ssd: Rc::new(RefCell::new(ssd)),
             log_pages,
             data_base: log_pages,
             journal_base: log_pages + data_pages,
             data_pages,
-            log_tail: 0,
-            log_trimmed: 0,
             use_trim: false,
             stats: BackendStats::default(),
             qp: QueuePair::new(1),
@@ -347,8 +330,8 @@ impl LegacyBackend {
     }
 
     /// The underlying device (for write-amplification reporting).
-    pub fn ssd(&self) -> &Ssd {
-        &self.ssd
+    pub fn ssd(&self) -> Ref<'_, Ssd> {
+        self.ssd.borrow()
     }
 
     /// First LBA of the data region (the static page → LBA arithmetic).
@@ -363,30 +346,14 @@ impl LegacyBackend {
 }
 
 impl PersistenceBackend for LegacyBackend {
-    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        self.stats.log_forces += 1;
-        self.stats.log_bytes += u64::from(bytes);
-        // the tail page is rewritten on every force (the classic small-
-        // synchronous-write problem on flash); additional full pages spill
-        let mut remaining = u64::from(bytes);
-        let mut t = now;
-        loop {
-            let page_in_log = (self.log_tail / PAGE_SIZE as u64) % self.log_pages;
-            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
-            let taken = remaining.min(room);
-            let c = self
-                .ssd
-                .io(t, IoRequest::write(page_in_log))
-                .expect("log write failed");
-            t = c.done;
-            self.stats.logical_writes += 1;
-            self.log_tail += taken;
-            remaining -= taken;
-            if remaining == 0 {
-                break;
-            }
-        }
-        t
+    fn make_wal(&mut self) -> Box<dyn WalBackend> {
+        // the log shares the device with the page traffic: the classic
+        // small-synchronous-write problem, and the FTL drags dead WAL
+        // through GC until truncation trims it
+        Box::new(FlashWal::new(
+            BareSsdLog::new(Rc::clone(&self.ssd), self.log_pages),
+            self.log_pages,
+        ))
     }
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
@@ -395,6 +362,7 @@ impl PersistenceBackend for LegacyBackend {
         let lpn = self.data_lpn(page);
         // write-back: nobody waits on this completion
         self.ssd
+            .borrow_mut()
             .io(now, IoRequest::write(lpn.0).class(IoClass::Background))
             .expect("data write failed")
             .done
@@ -405,6 +373,7 @@ impl PersistenceBackend for LegacyBackend {
         self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.ssd
+            .borrow_mut()
             .io(now, IoRequest::write(lpn.0))
             .expect("steal write failed")
             .done
@@ -415,7 +384,7 @@ impl PersistenceBackend for LegacyBackend {
         let lpn = self.data_lpn(page);
         // a refused command (worn-out device, protocol violation) surfaces
         // as a typed Rejected status instead of tearing the engine down
-        match self.ssd.io(now, IoRequest::read(lpn.0)) {
+        match self.ssd.borrow_mut().io(now, IoRequest::read(lpn.0)) {
             Ok(c) => (c.done, c.status),
             Err(_) => (now, IoStatus::Rejected),
         }
@@ -431,9 +400,14 @@ impl PersistenceBackend for LegacyBackend {
         // torn-write safety through the block interface = double-write
         // journal: journal copies, barrier, then in-place writes
         let lpns: Vec<Lpn> = pages.iter().map(|&p| self.data_lpn(p)).collect();
-        double_write_journal(&mut self.ssd, now, &lpns, Lpn(self.journal_base))
-            .expect("journal batch failed")
-            .done
+        double_write_journal(
+            &mut self.ssd.borrow_mut(),
+            now,
+            &lpns,
+            Lpn(self.journal_base),
+        )
+        .expect("journal batch failed")
+        .done
     }
 
     fn free_page(&mut self, now: SimTime, page: PageId) {
@@ -441,36 +415,9 @@ impl PersistenceBackend for LegacyBackend {
         if self.use_trim {
             let lpn = self.data_lpn(page);
             self.ssd
+                .borrow_mut()
                 .io(now, IoRequest::trim(lpn.0).class(IoClass::Background))
                 .expect("trim failed");
-        }
-    }
-
-    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
-        // the block-backed path honors the trim contract too: every log
-        // page wholly below the redo horizon is TRIMed so the FTL stops
-        // treating dead WAL as live. An explicit truncation is a trim
-        // *request*, so it is not gated on `use_trim` (which governs the
-        // optional per-page frees legacy stacks rarely sent).
-        let dead_end = up_to_byte / PAGE_SIZE as u64;
-        let tail_page = self.log_tail / PAGE_SIZE as u64;
-        while self.log_trimmed < dead_end {
-            let abs = self.log_trimmed;
-            self.log_trimmed += 1;
-            // a lap of the circular log reuses the LBA: only the newest
-            // writer of a slot may trim it, older occupants were already
-            // superseded by the overwrite itself
-            if abs + self.log_pages <= tail_page {
-                continue;
-            }
-            let page_in_log = abs % self.log_pages;
-            if self
-                .ssd
-                .io(now, IoRequest::trim(page_in_log).class(IoClass::Background))
-                .is_ok()
-            {
-                self.stats.log_trims += 1;
-            }
         }
     }
 
@@ -483,7 +430,7 @@ impl PersistenceBackend for LegacyBackend {
     }
 
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
-        self.ssd.attach_probe(probe);
+        self.ssd.borrow_mut().attach_probe(probe);
     }
 
     fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
@@ -495,7 +442,11 @@ impl PersistenceBackend for LegacyBackend {
                 let tag = CommandTag(self.next_tag);
                 let lpn = self.data_lpn(p);
                 let req = IoRequest::read(lpn.0).tag(tag);
-                if self.qp.submit(&mut self.ssd, now, req).is_err() {
+                if self
+                    .qp
+                    .submit(&mut self.ssd.borrow_mut(), now, req)
+                    .is_err()
+                {
                     self.rejects.push(PageRead {
                         tag,
                         page: p,
@@ -539,29 +490,6 @@ impl PersistenceBackend for LegacyBackend {
         );
         self.qp = QueuePair::new(depth.max(1));
     }
-
-    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
-        if bytes == 0 {
-            return (now, IoStatus::Ok);
-        }
-        // the durable log lives on the same flash device: read every log
-        // page the byte range covers, serialized (recovery is offline)
-        let first = offset / PAGE_SIZE as u64;
-        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
-        let mut t = now;
-        let mut status = IoStatus::Ok;
-        for p in first..=last {
-            let page_in_log = p % self.log_pages.max(1);
-            match self.ssd.io(t, IoRequest::read(page_in_log)) {
-                Ok(c) => {
-                    t = c.done;
-                    status = worse_status(status, c.status);
-                }
-                Err(_) => status = worse_status(status, IoStatus::Rejected),
-            }
-        }
-        (t, status)
-    }
 }
 
 // ---------------------------------------------------------------------
@@ -572,12 +500,13 @@ impl PersistenceBackend for LegacyBackend {
 /// memory bus; data traffic goes to flash through an extended interface
 /// (atomic batches instead of a journal, TRIM on frees).
 pub struct VisionBackend {
-    pcm: PcmDimm,
+    /// Shared with the PCM WAL ([`make_wal`](PersistenceBackend::make_wal)):
+    /// one DIMM carries the log region and the steal-staging region.
+    pcm: Rc<RefCell<PcmDimm>>,
     flash: ExtendedSsd,
     data_pages: u64,
-    /// Circular log region in PCM (bytes).
+    /// Circular log region in PCM (bytes), handed to the WAL.
     log_capacity: u64,
-    log_tail: u64,
     /// Staging region base for steal writes (after the log region).
     staging_base: u64,
     staging_slots: u64,
@@ -614,11 +543,14 @@ impl VisionBackend {
         let log_capacity = pcm_bytes * 3 / 4;
         let staging_bytes = pcm_bytes - log_capacity;
         VisionBackend {
-            pcm: PcmDimm::new(pcm_bytes, PcmTiming::gen1(), 100),
+            pcm: Rc::new(RefCell::new(PcmDimm::new(
+                pcm_bytes,
+                PcmTiming::gen1(),
+                100,
+            ))),
             flash,
             data_pages,
             log_capacity,
-            log_tail: 0,
             staging_base: log_capacity,
             staging_slots: staging_bytes / PAGE_SIZE as u64,
             staging_next: 0,
@@ -629,9 +561,9 @@ impl VisionBackend {
         }
     }
 
-    /// The PCM module (for latency reporting).
-    pub fn pcm(&self) -> &PcmDimm {
-        &self.pcm
+    /// The PCM module (for latency and wear reporting).
+    pub fn pcm(&self) -> Ref<'_, PcmDimm> {
+        self.pcm.borrow()
     }
 
     /// The flash device (for write-amplification reporting).
@@ -646,16 +578,14 @@ impl VisionBackend {
 }
 
 impl PersistenceBackend for VisionBackend {
-    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        self.stats.log_forces += 1;
-        self.stats.log_bytes += u64::from(bytes);
-        // a byte-granular persist — no 4 KiB rounding, no flash program
-        let len = u64::from(bytes).min(self.log_capacity);
-        let offset = self.log_tail % self.log_capacity.max(1);
-        let offset = offset.min(self.log_capacity.saturating_sub(len));
-        self.log_tail += u64::from(bytes);
-        let data = vec![0xA5u8; len as usize];
-        self.pcm.persist(now, offset, &data)
+    fn make_wal(&mut self) -> Box<dyn WalBackend> {
+        // P1: synchronous log persistence goes to the memory bus. The
+        // WAL owns the DIMM's log region; steals keep staging above it.
+        Box::new(PcmWal::with_dimm(
+            Rc::clone(&self.pcm),
+            0,
+            self.log_capacity,
+        ))
     }
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
@@ -672,10 +602,10 @@ impl PersistenceBackend for VisionBackend {
         let slot = self.staging_next % self.staging_slots.max(1);
         self.staging_next += 1;
         let offset = self.staging_base + slot * PAGE_SIZE as u64;
-        let durable = self.pcm.persist(now, offset, &[0u8; 64]); // header line
-        let durable = self
-            .pcm
-            .persist(durable, offset, &vec![0xEEu8; PAGE_SIZE - 64]);
+        let mut pcm = self.pcm.borrow_mut();
+        let durable = pcm.persist(now, offset, &[0u8; 64]); // header line
+        let durable = pcm.persist(durable, offset, &vec![0xEEu8; PAGE_SIZE - 64]);
+        drop(pcm);
         // …then write back to flash lazily (does not block the caller)
         let lpn = self.data_lpn(page);
         let _bg = self.flash.write(durable, lpn).expect("write-back failed");
@@ -776,27 +706,12 @@ impl PersistenceBackend for VisionBackend {
         );
         self.qp = QueuePair::new(depth.max(1));
     }
-
-    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
-        if bytes == 0 {
-            return (now, IoStatus::Ok);
-        }
-        // the log lives in PCM: a byte-granular load, always clean (PCM
-        // media faults are not modelled)
-        let len = u64::from(bytes).min(self.log_capacity);
-        if len == 0 {
-            return (now, IoStatus::Ok);
-        }
-        let offset = offset % self.log_capacity.max(1);
-        let offset = offset.min(self.log_capacity.saturating_sub(len));
-        let (done, _bytes) = self.pcm.load(now, offset, len as usize);
-        (done, IoStatus::Ok)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::Lsn;
     use requiem_sim::time::SimDuration;
 
     fn small_cfg() -> SsdConfig {
@@ -828,18 +743,20 @@ mod tests {
         cfg.shape.channels = 1;
         cfg.shape.chips_per_channel = 1;
         let mut b = LegacyBackend::new(cfg, 600, 550);
+        let mut w = b.make_wal();
         let mut t = SimTime::ZERO;
         for p in 0..600u64 {
             t = b.page_write(t, PageId(p));
         }
-        for _ in 0..700u64 {
-            t = b.log_force(t, PAGE_SIZE as u32);
+        for i in 0..700u64 {
+            w.append(Lsn(i + 1), PAGE_SIZE as u32);
+            t = w.force(t, Lsn(i + 1)).done;
         }
         if truncate {
             // the checkpoint horizon sits just below the tail: all but
             // the newest segments are outside redo and die in bulk
-            let horizon = b.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
-            b.truncate_log(t, horizon);
+            let horizon = w.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
+            w.truncate(t, horizon);
         }
         let mut x = 42u64;
         for _ in 0..3000u64 {
@@ -848,8 +765,9 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             t = b.page_write(t, PageId(x % 600));
         }
-        let m = b.ssd().metrics();
-        (m.gc_pages_moved, m.host_writes, b.stats().log_trims)
+        let ssd = b.ssd();
+        let m = ssd.metrics();
+        (m.gc_pages_moved, m.host_writes, w.stats().log_trims)
     }
 
     #[test]
@@ -878,8 +796,12 @@ mod tests {
         // magnitude faster on the PCM path
         let mut l = legacy();
         let mut v = vision();
-        let tl = l.log_force(SimTime::ZERO, 256).since(SimTime::ZERO);
-        let tv = v.log_force(SimTime::ZERO, 256).since(SimTime::ZERO);
+        let mut wl = l.make_wal();
+        let mut wv = v.make_wal();
+        wl.append(Lsn(1), 256);
+        wv.append(Lsn(1), 256);
+        let tl = wl.force(SimTime::ZERO, Lsn(1)).done.since(SimTime::ZERO);
+        let tv = wv.force(SimTime::ZERO, Lsn(1)).done.since(SimTime::ZERO);
         assert!(
             tl.as_nanos() > 10 * tv.as_nanos(),
             "legacy {tl} vs vision {tv}"
@@ -888,11 +810,14 @@ mod tests {
     }
 
     #[test]
-    fn legacy_log_force_spills_across_pages() {
+    fn legacy_wal_spills_onto_the_shared_device() {
         let mut l = legacy();
+        let mut w = l.make_wal();
         let before = l.ssd().metrics().host_writes;
-        // 10 KiB of log = 3 page writes
-        l.log_force(SimTime::ZERO, 10 * 1024);
+        // 10 KiB of log = 3 page writes, visible on the *backend's* SSD:
+        // the WAL port shares the device with the page traffic
+        w.append(Lsn(1), 10 * 1024);
+        w.force(SimTime::ZERO, Lsn(1));
         let after = l.ssd().metrics().host_writes;
         assert_eq!(after - before, 3);
     }
@@ -955,11 +880,17 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate() {
+    fn wal_stats_accumulate_on_the_vision_path() {
         let mut v = vision();
-        v.log_force(SimTime::ZERO, 100);
-        v.log_force(SimTime::ZERO, 100);
-        assert_eq!(v.stats().log_forces, 2);
-        assert_eq!(v.stats().log_bytes, 200);
+        let mut w = v.make_wal();
+        w.append(Lsn(1), 100);
+        let f = w.force(SimTime::ZERO, Lsn(1));
+        w.append(Lsn(2), 100);
+        w.force(f.done, Lsn(2));
+        assert_eq!(w.stats().log_forces, 2);
+        assert_eq!(w.stats().log_bytes, 200);
+        assert_eq!(w.label(), "pcm-wal");
+        // the wal's persists land on the backend's shared DIMM
+        assert_eq!(v.pcm().persisted_bytes(), 200);
     }
 }

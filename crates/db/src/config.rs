@@ -1,0 +1,203 @@
+//! One front door for database construction: [`DbBuilder`].
+//!
+//! Experiment binaries used to assemble a database from four loose
+//! pieces — a [`DbConfig`], a backend constructor, an [`ExecConfig`],
+//! and (since the WAL split) a [`WalConfig`] — and every binary
+//! duplicated the same glue. The builder bundles the knobs that must
+//! agree (group-commit policy, WAL medium, prefetch, concurrency) and
+//! hands back a loaded [`Database`] for any of the four storage
+//! managers, plus the matching [`ExecConfig`] for the closed loop.
+
+use requiem_block::StackConfig;
+use requiem_iface::nameless::NamelessConfig;
+use requiem_ssd::SsdConfig;
+
+use crate::backend::{LegacyBackend, VisionBackend};
+use crate::coop::CoopLogBackend;
+use crate::engine::{Database, DbConfig};
+use crate::exec::ExecConfig;
+use crate::prefetch::PrefetchConfig;
+use crate::stack_backend::BlockStackBackend;
+use crate::wal::GroupCommitPolicy;
+use crate::walbackend::WalConfig;
+
+/// Builder bundling every engine-level knob; see the module docs.
+/// Construct via [`DbConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct DbBuilder {
+    data_pages: u64,
+    log_pages: u64,
+    buffer_frames: usize,
+    checkpoint_every: u64,
+    group: GroupCommitPolicy,
+    prefetch: PrefetchConfig,
+    concurrency: usize,
+    wal: WalConfig,
+}
+
+impl DbConfig {
+    /// Start a [`DbBuilder`] with this crate's defaults (1024 data
+    /// pages, 512-segment log, 128 frames, immediate commit, prefetch
+    /// off, flash WAL).
+    pub fn builder() -> DbBuilder {
+        DbBuilder {
+            data_pages: 1024,
+            log_pages: 512,
+            buffer_frames: 128,
+            checkpoint_every: 0,
+            group: GroupCommitPolicy::immediate(),
+            prefetch: PrefetchConfig::off(),
+            concurrency: 1,
+            wal: WalConfig::Flash,
+        }
+    }
+}
+
+impl DbBuilder {
+    /// Data pages in the database.
+    pub fn data_pages(mut self, pages: u64) -> Self {
+        self.data_pages = pages;
+        self
+    }
+
+    /// Redo-log capacity in segments (block/nameless backends).
+    pub fn log_pages(mut self, pages: u64) -> Self {
+        self.log_pages = pages;
+        self
+    }
+
+    /// Buffer pool frames.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.buffer_frames = frames;
+        self
+    }
+
+    /// Checkpoint every N commits (0 = never).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Group-commit policy for the closed loop ([`ExecConfig::group`]);
+    /// the serialized path forces every `max_txns` commits to match.
+    pub fn group(mut self, group: GroupCommitPolicy) -> Self {
+        self.group = group;
+        self
+    }
+
+    /// Readahead policy for the closed loop.
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Transactions kept in flight by the closed loop.
+    pub fn concurrency(mut self, depth: usize) -> Self {
+        self.concurrency = depth;
+        self
+    }
+
+    /// Which medium carries the WAL (see [`WalConfig`]).
+    pub fn wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// The [`ExecConfig`] matching this builder's loop knobs.
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            concurrency: self.concurrency,
+            prefetch: self.prefetch.clone(),
+            group: self.group.clone(),
+        }
+    }
+
+    /// The engine config this builder describes.
+    pub fn db_config(&self) -> DbConfig {
+        DbConfig {
+            data_pages: self.data_pages,
+            buffer_frames: self.buffer_frames,
+            checkpoint_every: self.checkpoint_every,
+            group_commit: self.group.max_txns.max(1),
+            wal: self.wal.clone(),
+            ..DbConfig::default()
+        }
+    }
+
+    /// A loaded database over the legacy backend (bare block SSD,
+    /// double-write journal).
+    pub fn build_legacy(&self, ssd: SsdConfig) -> Database<LegacyBackend> {
+        let be = LegacyBackend::new(ssd, self.data_pages, self.log_pages);
+        let mut db = Database::new(self.db_config(), be);
+        db.load();
+        db
+    }
+
+    /// A loaded database over the composed block-layer stack.
+    pub fn build_stack(&self, stack: StackConfig, ssd: SsdConfig) -> Database<BlockStackBackend> {
+        let be = BlockStackBackend::new(stack, ssd, self.data_pages, self.log_pages);
+        let mut db = Database::new(self.db_config(), be);
+        db.load();
+        db
+    }
+
+    /// A loaded database over the cooperating-logs manager (nameless
+    /// device, one collector in the stack).
+    pub fn build_coop(&self, cfg: NamelessConfig) -> Database<CoopLogBackend> {
+        let be = CoopLogBackend::new(cfg, self.data_pages, self.log_pages);
+        let mut db = Database::new(self.db_config(), be);
+        db.load();
+        db
+    }
+
+    /// A loaded database over the vision backend (PCM DIMM for the
+    /// synchronous path, flash atomic writes for data); `pcm_bytes` is
+    /// the DIMM's log-region capacity.
+    pub fn build_vision(&self, ssd: SsdConfig, pcm_bytes: u64) -> Database<VisionBackend> {
+        let be = VisionBackend::new(ssd, self.data_pages, pcm_bytes);
+        let mut db = Database::new(self.db_config(), be);
+        db.load();
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_bundles_the_knobs_that_must_agree() {
+        let b = DbConfig::builder()
+            .data_pages(256)
+            .log_pages(64)
+            .buffer_frames(32)
+            .group(GroupCommitPolicy::batched(8))
+            .concurrency(8)
+            .wal(WalConfig::pcm());
+        let exec = b.exec_config();
+        assert_eq!(exec.concurrency, 8);
+        assert_eq!(exec.group.max_txns, 8);
+        let cfg = b.db_config();
+        assert_eq!(cfg.group_commit, 8, "serialized path follows the policy");
+        assert!(matches!(cfg.wal, WalConfig::Pcm(_)));
+    }
+
+    #[test]
+    fn built_databases_are_loaded_and_route_the_wal() {
+        let mut ssd = SsdConfig::modern();
+        ssd.buffer.capacity_pages = 0;
+        let b = DbConfig::builder()
+            .data_pages(64)
+            .log_pages(16)
+            .buffer_frames(16);
+        let mut flash = b.build_legacy(ssd.clone());
+        assert_eq!(flash.wal_backend().label(), "flash-wal");
+        let mut pcm = b.clone().wal(WalConfig::pcm()).build_legacy(ssd);
+        assert_eq!(pcm.wal_backend().label(), "pcm-wal");
+        // both are loaded and immediately executable
+        flash.execute(&[(1, 0, true)], 128);
+        pcm.execute(&[(1, 0, true)], 128);
+        assert_eq!(flash.stats().commits, 1);
+        assert_eq!(pcm.stats().commits, 1);
+    }
+}

@@ -16,9 +16,10 @@
 //!   stores names instead of maintaining a redundant logical map".
 //! * **Death is declared eagerly.** The moment a write supersedes a
 //!   version, the old name is freed; checkpoint truncation frees every
-//!   WAL segment below the redo horizon ([`truncate_log`]
-//!   (PersistenceBackend::truncate_log)). The device's collector
-//!   therefore relocates almost nothing: victims are already dead.
+//!   WAL segment below the redo horizon (the [`WalBackend`] built by
+//!   [`make_wal`](PersistenceBackend::make_wal) trims exact names). The
+//!   device's collector therefore relocates almost nothing: victims are
+//!   already dead.
 //! * **Migrations patch, not copy.** When device GC does move a live
 //!   page, the [`Migrated`](Upcall::Migrated) upcall — drained at every
 //!   operation and every poll — patches the page table in RAM. No host
@@ -34,7 +35,9 @@
 //! instant — the retry is visible in [`CoopLogBackend::read_retries`],
 //! never a panic.
 
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use requiem_iface::nameless::{NamelessConfig, NamelessError, NamelessSsd, PhysName};
 use requiem_iface::qpair::{NamelessCmd, NamelessQueuePair};
@@ -43,8 +46,9 @@ use requiem_sim::time::SimTime;
 use requiem_sim::IoStatus;
 
 use crate::backend::{BackendStats, CommandTag, PageRead, PersistenceBackend};
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::PageId;
 use crate::pagetable::PageTable;
+use crate::walbackend::{FlashWal, LogDevice, WalBackend};
 
 /// Tag namespace split: data pages carry their page id, WAL segments
 /// carry `LOG_TAG_BASE + absolute segment index`. The device echoes the
@@ -52,22 +56,87 @@ use crate::pagetable::PageTable;
 /// table.
 pub const LOG_TAG_BASE: u64 = 1 << 48;
 
+/// Drain pending migration upcalls into the tables. `staging` holds
+/// versions written but not yet bound (mid-batch): the device may
+/// migrate one of those before the index swap, and the patch must land
+/// on the staged name, not the table's superseded one. Shared by the
+/// backend and the WAL port — migrations must patch whichever path sees
+/// them first.
+fn apply_upcalls_on(
+    dev: &mut NamelessSsd,
+    table: &mut PageTable<PhysName>,
+    segs: &mut PageTable<PhysName>,
+    staging: &mut [(PageId, Option<PhysName>)],
+) {
+    if dev.upcalls_pending().is_empty() {
+        return;
+    }
+    for u in dev.upcalls().drain() {
+        let Upcall::Migrated { tag, old, new, .. } = u else {
+            continue;
+        };
+        if tag >= LOG_TAG_BASE {
+            segs.patch(tag - LOG_TAG_BASE, old, new);
+            continue;
+        }
+        if let Some(slot) = staging
+            .iter_mut()
+            .find(|(p, n)| p.0 == tag && *n == Some(old))
+        {
+            slot.1 = Some(new);
+            continue;
+        }
+        table.patch(tag, old, new);
+    }
+}
+
+/// Free the superseded version of `tag` at `handle`, riding out one
+/// migration race: if the name went stale, drain the upcalls that
+/// explain it and free wherever the routing table now points. Returns
+/// the free's completion (controller overhead only).
+fn free_version_on(
+    dev: &mut NamelessSsd,
+    table: &mut PageTable<PhysName>,
+    segs: &mut PageTable<PhysName>,
+    now: SimTime,
+    tag: u64,
+    handle: PhysName,
+) -> SimTime {
+    match dev.free(now, handle, tag) {
+        Ok(done) => done,
+        Err(NamelessError::StaleName { .. }) => {
+            apply_upcalls_on(dev, table, segs, &mut []);
+            let current = if tag >= LOG_TAG_BASE {
+                segs.lookup(tag - LOG_TAG_BASE)
+            } else {
+                table.lookup(tag)
+            };
+            match current {
+                Some(h) if h != handle => dev.free(now, h, tag).unwrap_or(now),
+                // the version is simply gone (freed concurrently by
+                // an earlier truncation pass): nothing to release
+                _ => now,
+            }
+        }
+        Err(NamelessError::DeviceFull) => now,
+    }
+}
+
 /// The cooperating-logs storage manager over one nameless flash device.
 pub struct CoopLogBackend {
-    dev: NamelessSsd,
+    /// Shared with the WAL port ([`make_wal`](PersistenceBackend::make_wal)):
+    /// log segments are nameless writes on the same device as the pages.
+    dev: Rc<RefCell<NamelessSsd>>,
     data_pages: u64,
     /// Redo-log capacity in segments (pages); the circular-capacity
     /// contract matches the block backends even though placement is the
     /// device's.
     log_pages: u64,
-    /// Bytes ever appended to the log (absolute, never wraps).
-    log_tail: u64,
-    /// Absolute segment index below which the log is truncated.
-    log_trimmed: u64,
-    /// Data page id → current name.
-    table: PageTable<PhysName>,
-    /// Absolute WAL segment index → current name.
-    segs: PageTable<PhysName>,
+    /// Data page id → current name. Shared with the WAL port: an upcall
+    /// drained on either path must be able to patch both tables.
+    table: Rc<RefCell<PageTable<PhysName>>>,
+    /// Absolute WAL segment index → current name (shared likewise).
+    segs: Rc<RefCell<PageTable<PhysName>>>,
     stats: BackendStats,
     /// Queue pair for the batched read path.
     qp: NamelessQueuePair,
@@ -79,7 +148,8 @@ pub struct CoopLogBackend {
     /// Tag namespace for batched reads.
     next_tag: u64,
     /// Writes the device refused (full); the superseded version is kept.
-    rejected_writes: u64,
+    /// Shared with the WAL port so the count covers both paths.
+    rejected: Rc<Cell<u64>>,
     /// Batched reads resubmitted after losing a race with a migration.
     read_retries: u64,
 }
@@ -88,8 +158,8 @@ impl std::fmt::Debug for CoopLogBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoopLogBackend")
             .field("stats", &self.stats)
-            .field("live_pages", &self.table.len())
-            .field("live_segs", &self.segs.len())
+            .field("live_pages", &self.table.borrow().len())
+            .field("live_segs", &self.segs.borrow().len())
             .finish()
     }
 }
@@ -111,46 +181,45 @@ impl CoopLogBackend {
             "device too small: need {needed} live pages, usable {usable}"
         );
         CoopLogBackend {
-            dev,
+            dev: Rc::new(RefCell::new(dev)),
             data_pages,
             log_pages,
-            log_tail: 0,
-            log_trimmed: 0,
-            table: PageTable::new(),
-            segs: PageTable::new(),
+            table: Rc::new(RefCell::new(PageTable::new())),
+            segs: Rc::new(RefCell::new(PageTable::new())),
             stats: BackendStats::default(),
             qp: NamelessQueuePair::new(1),
             inflight: BTreeMap::new(),
             rejects: Vec::new(),
             next_tag: 0,
-            rejected_writes: 0,
+            rejected: Rc::new(Cell::new(0)),
             read_retries: 0,
         }
     }
 
     /// The underlying device (for write-amplification reporting).
-    pub fn dev(&self) -> &NamelessSsd {
-        &self.dev
+    pub fn dev(&self) -> Ref<'_, NamelessSsd> {
+        self.dev.borrow()
     }
 
     /// The data page table (for invariant checks in tests).
-    pub fn table(&self) -> &PageTable<PhysName> {
-        &self.table
+    pub fn table(&self) -> Ref<'_, PageTable<PhysName>> {
+        self.table.borrow()
     }
 
     /// Live WAL segment names (for invariant checks in tests).
-    pub fn segs(&self) -> &PageTable<PhysName> {
-        &self.segs
+    pub fn segs(&self) -> Ref<'_, PageTable<PhysName>> {
+        self.segs.borrow()
     }
 
     /// Migration upcalls applied to either table.
     pub fn relocations_patched(&self) -> u64 {
-        self.table.patched() + self.segs.patched()
+        self.table.borrow().patched() + self.segs.borrow().patched()
     }
 
     /// Writes refused by a full device (old version kept, never lost).
+    /// Covers both the page path and the WAL port.
     pub fn rejected_writes(&self) -> u64 {
-        self.rejected_writes
+        self.rejected.get()
     }
 
     /// Batched reads resubmitted after a migration race.
@@ -167,26 +236,12 @@ impl CoopLogBackend {
     /// migrate one of those before the index swap, and the patch must
     /// land on the staged name, not the table's superseded one.
     fn apply_upcalls(&mut self, staging: &mut [(PageId, Option<PhysName>)]) {
-        if self.dev.upcalls_pending().is_empty() {
-            return;
-        }
-        for u in self.dev.upcalls().drain() {
-            let Upcall::Migrated { tag, old, new, .. } = u else {
-                continue;
-            };
-            if tag >= LOG_TAG_BASE {
-                self.segs.patch(tag - LOG_TAG_BASE, old, new);
-                continue;
-            }
-            if let Some(slot) = staging
-                .iter_mut()
-                .find(|(p, n)| p.0 == tag && *n == Some(old))
-            {
-                slot.1 = Some(new);
-                continue;
-            }
-            self.table.patch(tag, old, new);
-        }
+        apply_upcalls_on(
+            &mut self.dev.borrow_mut(),
+            &mut self.table.borrow_mut(),
+            &mut self.segs.borrow_mut(),
+            staging,
+        );
     }
 
     /// Drain migration upcalls with no staged versions outstanding.
@@ -195,28 +250,17 @@ impl CoopLogBackend {
     }
 
     /// Free the superseded version of `tag` at `handle`, riding out one
-    /// migration race: if the name went stale, drain the upcalls that
-    /// explain it and free wherever the routing table now points.
-    /// Returns the free's completion (controller overhead only).
+    /// migration race. Returns the free's completion (controller
+    /// overhead only).
     fn free_version(&mut self, now: SimTime, tag: u64, handle: PhysName) -> SimTime {
-        match self.dev.free(now, handle, tag) {
-            Ok(done) => done,
-            Err(NamelessError::StaleName { .. }) => {
-                self.drain_upcalls();
-                let current = if tag >= LOG_TAG_BASE {
-                    self.segs.lookup(tag - LOG_TAG_BASE)
-                } else {
-                    self.table.lookup(tag)
-                };
-                match current {
-                    Some(h) if h != handle => self.dev.free(now, h, tag).unwrap_or(now),
-                    // the version is simply gone (freed concurrently by
-                    // an earlier truncation pass): nothing to release
-                    _ => now,
-                }
-            }
-            Err(NamelessError::DeviceFull) => now,
-        }
+        free_version_on(
+            &mut self.dev.borrow_mut(),
+            &mut self.table.borrow_mut(),
+            &mut self.segs.borrow_mut(),
+            now,
+            tag,
+            handle,
+        )
     }
 
     /// Write one data page out of place and swap the index: write the
@@ -226,70 +270,146 @@ impl CoopLogBackend {
     fn data_write(&mut self, now: SimTime, page: PageId) -> SimTime {
         self.check_page(page);
         self.drain_upcalls();
-        match self.dev.write(now, page.0) {
+        let res = self.dev.borrow_mut().write(now, page.0);
+        match res {
             Ok(c) => {
                 // the write may have run GC, migrating the *old* version;
                 // patch before reading the superseded name out
                 self.drain_upcalls();
-                let old = self.table.bind(page.0, c.name);
+                let old = self.table.borrow_mut().bind(page.0, c.name);
                 if let Some(old) = old {
                     self.free_version(c.done, page.0, old);
                 }
                 c.done
             }
             Err(_) => {
-                self.rejected_writes += 1;
+                self.rejected.set(self.rejected.get() + 1);
                 now
             }
         }
     }
 }
 
+/// [`LogDevice`] port exposing the nameless device's WAL namespace to a
+/// [`FlashWal`]: each segment image is a nameless write tagged
+/// `LOG_TAG_BASE + seg`, the superseded version is freed the moment the
+/// new one is durable, and reusing a slot retires the segment one lap
+/// behind (the circular-capacity contract a block log gets by
+/// overwriting in place). Truncation frees exact names — the device's
+/// collector never copies dead WAL bytes.
+pub struct NamelessLog {
+    dev: Rc<RefCell<NamelessSsd>>,
+    table: Rc<RefCell<PageTable<PhysName>>>,
+    segs: Rc<RefCell<PageTable<PhysName>>>,
+    log_pages: u64,
+    rejected: Rc<Cell<u64>>,
+}
+
+impl LogDevice for NamelessLog {
+    fn write_seg(&mut self, now: SimTime, seg: u64) -> (SimTime, IoStatus) {
+        let mut dev = self.dev.borrow_mut();
+        let mut table = self.table.borrow_mut();
+        let mut segs = self.segs.borrow_mut();
+        apply_upcalls_on(&mut dev, &mut table, &mut segs, &mut []);
+        match dev.write(now, LOG_TAG_BASE + seg) {
+            Ok(c) => {
+                let t = c.done;
+                apply_upcalls_on(&mut dev, &mut table, &mut segs, &mut []);
+                if let Some(old) = segs.bind(seg, c.name) {
+                    free_version_on(&mut dev, &mut table, &mut segs, t, LOG_TAG_BASE + seg, old);
+                }
+                // circular-capacity contract: reusing the slot retires
+                // the segment one lap behind, as a block log's
+                // overwrite would
+                if seg >= self.log_pages {
+                    if let Some(lapped) = segs.unbind(seg - self.log_pages) {
+                        free_version_on(
+                            &mut dev,
+                            &mut table,
+                            &mut segs,
+                            t,
+                            LOG_TAG_BASE + (seg - self.log_pages),
+                            lapped,
+                        );
+                    }
+                }
+                (t, IoStatus::Ok)
+            }
+            Err(_) => {
+                self.rejected.set(self.rejected.get() + 1);
+                (now, IoStatus::Rejected)
+            }
+        }
+    }
+
+    fn read_seg(&mut self, now: SimTime, seg: u64) -> Option<(SimTime, IoStatus)> {
+        let mut dev = self.dev.borrow_mut();
+        let mut table = self.table.borrow_mut();
+        let mut segs = self.segs.borrow_mut();
+        apply_upcalls_on(&mut dev, &mut table, &mut segs, &mut []);
+        // segments below the truncation horizon were freed — they are
+        // never needed for redo, so they cost nothing
+        let name = segs.lookup(seg)?;
+        match dev.read(now, name, LOG_TAG_BASE + seg) {
+            Ok((done, _lat, s)) => Some((done, s)),
+            Err(NamelessError::StaleName { .. }) => {
+                apply_upcalls_on(&mut dev, &mut table, &mut segs, &mut []);
+                if let Some(cur) = segs.lookup(seg) {
+                    if let Ok((done, _lat, s)) = dev.read(now, cur, LOG_TAG_BASE + seg) {
+                        return Some((done, s));
+                    }
+                }
+                Some((now, IoStatus::Rejected))
+            }
+            Err(NamelessError::DeviceFull) => Some((now, IoStatus::Rejected)),
+        }
+    }
+
+    fn trim_seg(&mut self, now: SimTime, seg: u64) -> bool {
+        let mut dev = self.dev.borrow_mut();
+        let mut table = self.table.borrow_mut();
+        let mut segs = self.segs.borrow_mut();
+        apply_upcalls_on(&mut dev, &mut table, &mut segs, &mut []);
+        // free before unbinding (same stale-race discipline as
+        // free_page): a mid-drain patch must find the binding
+        if let Some(name) = segs.lookup(seg) {
+            free_version_on(
+                &mut dev,
+                &mut table,
+                &mut segs,
+                now,
+                LOG_TAG_BASE + seg,
+                name,
+            );
+            segs.unbind(seg);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "nameless-wal"
+    }
+}
+
 impl PersistenceBackend for CoopLogBackend {
-    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        self.stats.log_forces += 1;
-        self.stats.log_bytes += u64::from(bytes);
+    fn make_wal(&mut self) -> Box<dyn WalBackend> {
         // same append discipline as the block backends — the tail
         // segment is rewritten on every force, full segments spill —
         // but each rewrite is a nameless write and the superseded
         // version is freed the moment the new one is durable, so the
         // device's collector never copies dead WAL bytes.
-        let mut remaining = u64::from(bytes);
-        let mut t = now;
-        loop {
-            let seg = self.log_tail / PAGE_SIZE as u64;
-            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
-            let taken = remaining.min(room);
-            // intent-based accounting: the segment image counts whether
-            // or not the device accepted it, so the WA denominator is
-            // trace-determined and identical across managers
-            self.stats.logical_writes += 1;
-            self.drain_upcalls();
-            match self.dev.write(t, LOG_TAG_BASE + seg) {
-                Ok(c) => {
-                    t = c.done;
-                    self.drain_upcalls();
-                    if let Some(old) = self.segs.bind(seg, c.name) {
-                        self.free_version(t, LOG_TAG_BASE + seg, old);
-                    }
-                    // circular-capacity contract: reusing the slot
-                    // retires the segment one lap behind, as a block
-                    // log's overwrite would
-                    if seg >= self.log_pages {
-                        if let Some(lapped) = self.segs.unbind(seg - self.log_pages) {
-                            self.free_version(t, LOG_TAG_BASE + (seg - self.log_pages), lapped);
-                        }
-                    }
-                }
-                Err(_) => self.rejected_writes += 1,
-            }
-            self.log_tail += taken;
-            remaining -= taken;
-            if remaining == 0 {
-                break;
-            }
-        }
-        t
+        Box::new(FlashWal::new(
+            NamelessLog {
+                dev: Rc::clone(&self.dev),
+                table: Rc::clone(&self.table),
+                segs: Rc::clone(&self.segs),
+                log_pages: self.log_pages,
+                rejected: Rc::clone(&self.rejected),
+            },
+            self.log_pages,
+        ))
     }
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
@@ -308,19 +428,22 @@ impl PersistenceBackend for CoopLogBackend {
         self.check_page(page);
         self.stats.page_reads += 1;
         self.drain_upcalls();
-        let Some(name) = self.table.lookup(page.0) else {
+        let Some(name) = self.table.borrow().lookup(page.0) else {
             return (now, IoStatus::Rejected);
         };
-        match self.dev.read(now, name, page.0) {
+        let res = self.dev.borrow_mut().read(now, name, page.0);
+        match res {
             Ok((done, _lat, status)) => (done, status),
             Err(NamelessError::StaleName { .. }) => {
                 // migration raced the lookup; the upcall explains it
                 self.drain_upcalls();
-                match self.table.lookup(page.0) {
-                    Some(cur) if cur != name => match self.dev.read(now, cur, page.0) {
-                        Ok((done, _lat, status)) => (done, status),
-                        Err(_) => (now, IoStatus::Rejected),
-                    },
+                match self.table.borrow().lookup(page.0) {
+                    Some(cur) if cur != name => {
+                        match self.dev.borrow_mut().read(now, cur, page.0) {
+                            Ok((done, _lat, status)) => (done, status),
+                            Err(_) => (now, IoStatus::Rejected),
+                        }
+                    }
                     _ => (now, IoStatus::Rejected),
                 }
             }
@@ -343,13 +466,14 @@ impl PersistenceBackend for CoopLogBackend {
         let mut t = now;
         for &p in pages {
             self.check_page(p);
-            match self.dev.write(t, p.0) {
+            let res = self.dev.borrow_mut().write(t, p.0);
+            match res {
                 Ok(c) => {
                     t = c.done;
                     staging.push((p, Some(c.name)));
                 }
                 Err(_) => {
-                    self.rejected_writes += 1;
+                    self.rejected.set(self.rejected.get() + 1);
                     staging.push((p, None));
                 }
             }
@@ -361,7 +485,8 @@ impl PersistenceBackend for CoopLogBackend {
         }
         for (p, name) in staging {
             let Some(name) = name else { continue };
-            if let Some(old) = self.table.bind(p.0, name) {
+            let old = self.table.borrow_mut().bind(p.0, name);
+            if let Some(old) = old {
                 t = t.max(self.free_version(t, p.0, old));
             }
         }
@@ -377,28 +502,10 @@ impl PersistenceBackend for CoopLogBackend {
         // Free before unbinding: if the version migrated under us, the
         // stale-name drain patches the still-present binding and the
         // free lands on the moved copy instead of leaking it.
-        if let Some(name) = self.table.lookup(page.0) {
+        let name = self.table.borrow().lookup(page.0);
+        if let Some(name) = name {
             self.free_version(now, page.0, name);
-            self.table.unbind(page.0);
-        }
-    }
-
-    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
-        // every segment wholly below the redo horizon is dead; free its
-        // name so the device collector never copies it. Background work:
-        // the caller's clock does not advance.
-        let dead_end = up_to_byte / PAGE_SIZE as u64;
-        self.drain_upcalls();
-        while self.log_trimmed < dead_end {
-            let seg = self.log_trimmed;
-            // free before unbinding (same stale-race discipline as
-            // free_page): a mid-drain patch must find the binding
-            if let Some(name) = self.segs.lookup(seg) {
-                self.free_version(now, LOG_TAG_BASE + seg, name);
-                self.segs.unbind(seg);
-                self.stats.log_trims += 1;
-            }
-            self.log_trimmed += 1;
+            self.table.borrow_mut().unbind(page.0);
         }
     }
 
@@ -411,7 +518,7 @@ impl PersistenceBackend for CoopLogBackend {
     }
 
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
-        self.dev.attach_probe(probe);
+        self.dev.borrow_mut().attach_probe(probe);
     }
 
     fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
@@ -423,10 +530,10 @@ impl PersistenceBackend for CoopLogBackend {
                 self.stats.page_reads += 1;
                 self.next_tag += 1;
                 let tag = CommandTag(self.next_tag);
-                match self.table.lookup(p.0) {
+                match self.table.borrow().lookup(p.0) {
                     Some(name) => {
                         let id = self.qp.submit(
-                            &mut self.dev,
+                            &mut self.dev.borrow_mut(),
                             now,
                             NamelessCmd::Read { name, tag: p.0 },
                         );
@@ -456,12 +563,12 @@ impl PersistenceBackend for CoopLogBackend {
                 continue;
             };
             if c.status == IoStatus::Rejected {
-                if let Some(name) = self.table.lookup(page.0) {
+                if let Some(name) = self.table.borrow().lookup(page.0) {
                     // lost the race with a migration: resubmit at the
                     // patched name, completing later — never silently
                     // dropping the engine's tag
                     let id = self.qp.submit(
-                        &mut self.dev,
+                        &mut self.dev.borrow_mut(),
                         c.done,
                         NamelessCmd::Read { name, tag: page.0 },
                     );
@@ -499,50 +606,13 @@ impl PersistenceBackend for CoopLogBackend {
         );
         self.qp = NamelessQueuePair::new(depth.max(1));
     }
-
-    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
-        if bytes == 0 {
-            return (now, IoStatus::Ok);
-        }
-        self.drain_upcalls();
-        let first = offset / PAGE_SIZE as u64;
-        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
-        let mut t = now;
-        let mut status = IoStatus::Ok;
-        for seg in first..=last {
-            // segments below the truncation horizon were freed — they
-            // are never needed for redo, so they cost nothing
-            let Some(name) = self.segs.lookup(seg) else {
-                continue;
-            };
-            match self.dev.read(t, name, LOG_TAG_BASE + seg) {
-                Ok((done, _lat, s)) => {
-                    t = done;
-                    status = status.combine(s);
-                }
-                Err(NamelessError::StaleName { .. }) => {
-                    self.drain_upcalls();
-                    if let Some(cur) = self.segs.lookup(seg) {
-                        if let Ok((done, _lat, s)) = self.dev.read(t, cur, LOG_TAG_BASE + seg) {
-                            t = done;
-                            status = status.combine(s);
-                            continue;
-                        }
-                    }
-                    status = status.combine(IoStatus::Rejected);
-                }
-                Err(NamelessError::DeviceFull) => {
-                    status = status.combine(IoStatus::Rejected);
-                }
-            }
-        }
-        (t, status)
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::page::PAGE_SIZE;
+    use crate::wal::Lsn;
     use requiem_ssd::SsdConfig;
 
     fn small_cfg() -> NamelessConfig {
@@ -586,14 +656,17 @@ mod tests {
     }
 
     #[test]
-    fn log_force_retires_superseded_tail_segment() {
+    fn wal_force_retires_superseded_tail_segment() {
         let mut b = backend(16, 8);
+        let mut w = b.make_wal();
         let mut t = SimTime::ZERO;
         // two sub-page forces rewrite the same tail segment: the first
         // version must be freed when the second lands
-        t = b.log_force(t, 512);
+        w.append(Lsn(512), 512);
+        t = w.force(t, Lsn(512)).done;
         assert_eq!(b.dev().metrics().host_trims, 0, "first version is live");
-        let _ = b.log_force(t, 512);
+        w.append(Lsn(1024), 512);
+        let _ = w.force(t, Lsn(1024));
         assert_eq!(
             b.dev().metrics().host_trims,
             1,
@@ -603,20 +676,23 @@ mod tests {
     }
 
     #[test]
-    fn truncate_log_frees_dead_segments_without_host_copy() {
+    fn wal_truncation_frees_dead_segments_without_host_copy() {
         let mut b = backend(16, 64);
+        let mut w = b.make_wal();
         let mut t = SimTime::ZERO;
         // fill 8 full segments
-        for _ in 0..8 {
-            t = b.log_force(t, PAGE_SIZE as u32);
+        for i in 0..8u64 {
+            let lsn = Lsn((i + 1) * PAGE_SIZE as u64);
+            w.append(lsn, PAGE_SIZE as u32);
+            t = w.force(t, lsn).done;
         }
         assert_eq!(b.segs().len(), 8);
         let writes_before = b.dev().metrics().host_writes;
         let trims_before = b.dev().metrics().host_trims;
         // redo horizon at byte 6 pages: segments 0..6 are dead
-        b.truncate_log(t, 6 * PAGE_SIZE as u64);
+        w.truncate(t, 6 * PAGE_SIZE as u64);
         assert_eq!(b.segs().len(), 2, "segments below the horizon released");
-        assert_eq!(b.stats().log_trims, 6);
+        assert_eq!(w.stats().log_trims, 6);
         assert_eq!(
             b.dev().metrics().host_trims - trims_before,
             6,
@@ -628,8 +704,8 @@ mod tests {
             "truncation reclaims without a single host copy"
         );
         // idempotent: a second truncation at the same horizon is free
-        b.truncate_log(t, 6 * PAGE_SIZE as u64);
-        assert_eq!(b.stats().log_trims, 6);
+        w.truncate(t, 6 * PAGE_SIZE as u64);
+        assert_eq!(w.stats().log_trims, 6);
     }
 
     #[test]
@@ -681,16 +757,19 @@ mod tests {
     }
 
     #[test]
-    fn log_read_skips_truncated_segments() {
+    fn recover_scan_skips_truncated_segments() {
         let mut b = backend(16, 64);
+        let mut w = b.make_wal();
         let mut t = SimTime::ZERO;
-        for _ in 0..4 {
-            t = b.log_force(t, PAGE_SIZE as u32);
+        for i in 0..4u64 {
+            let lsn = Lsn((i + 1) * PAGE_SIZE as u64);
+            w.append(lsn, PAGE_SIZE as u32);
+            t = w.force(t, lsn).done;
         }
-        b.truncate_log(t, 2 * PAGE_SIZE as u64);
+        w.truncate(t, 2 * PAGE_SIZE as u64);
         // a scan over the whole range only pays for the two live segments
         let reads_before = b.dev().metrics().host_reads;
-        let (done, status) = b.log_read(t, 0, 4 * PAGE_SIZE as u32);
+        let (done, status) = w.recover_scan(t, 0, 4 * PAGE_SIZE as u32);
         assert!(status.is_success());
         assert!(done > t);
         assert_eq!(b.dev().metrics().host_reads - reads_before, 2);

@@ -21,6 +21,7 @@ use crate::backend::PersistenceBackend;
 use crate::buffer::{BufferPool, EvictOutcome};
 use crate::page::{PageId, SlottedPage};
 use crate::wal::{LogRecord, Lsn, Wal};
+use crate::walbackend::{PcmWal, WalBackend, WalConfig};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +41,14 @@ pub struct DbConfig {
     /// durable until the group force — a crash loses them (recovery
     /// honestly reflects this).
     pub group_commit: u32,
+    /// Which medium carries the WAL: [`WalConfig::Flash`] asks the page
+    /// backend for a port onto its own device
+    /// ([`PersistenceBackend::make_wal`] — flash for the block backends,
+    /// the shared DIMM for the vision backend), [`WalConfig::Pcm`]
+    /// routes the synchronous-persistence path to a standalone
+    /// byte-addressable PCM DIMM (the paper's P1) while page data keeps
+    /// streaming to flash.
+    pub wal: WalConfig,
 }
 
 impl Default for DbConfig {
@@ -51,6 +60,7 @@ impl Default for DbConfig {
             record_size: 100,
             checkpoint_every: 0,
             group_commit: 1,
+            wal: WalConfig::Flash,
         }
     }
 }
@@ -90,6 +100,11 @@ pub struct EngineStats {
     /// Page reads the device could NOT recover: the engine rebuilt the
     /// page image from the durable log (media-failure redo).
     pub media_failures: u64,
+    /// Log forces whose combined device status was a failure. The stall
+    /// was still paid and the in-memory ledger advances (this simulation
+    /// models timing and status, not host-RAM data loss) — the counter
+    /// makes the broken durability promise visible.
+    pub wal_force_failures: u64,
 }
 
 /// The storage engine over a persistence backend.
@@ -101,6 +116,10 @@ pub struct EngineStats {
 pub struct Database<B: PersistenceBackend> {
     pub(crate) cfg: DbConfig,
     pub(crate) backend: B,
+    /// The synchronous-persistence path: log durability is a service of
+    /// its own, no longer a side effect of the page backend. Built from
+    /// [`DbConfig::wal`] at construction.
+    pub(crate) wal_dev: Box<dyn WalBackend>,
     pub(crate) pool: BufferPool,
     pub(crate) wal: Wal,
     pub(crate) now: SimTime,
@@ -116,10 +135,9 @@ pub struct Database<B: PersistenceBackend> {
     pub(crate) stats: EngineStats,
     pub(crate) next_txn: u64,
     pub(crate) loaded: bool,
-    /// Commits since the last group force.
+    /// Commits since the last group force. The bytes themselves are
+    /// enlisted in the [`WalBackend`]'s pending ledger as they happen.
     unforced_commits: u32,
-    /// Log bytes accumulated since the last force.
-    unforced_bytes: u32,
     /// Engine-level probe: commit spans (group wait vs shared force) are
     /// emitted here; a clone is forwarded to the backend's devices.
     pub(crate) probe: requiem_sim::Probe,
@@ -136,8 +154,14 @@ impl<B: PersistenceBackend> std::fmt::Debug for Database<B> {
 }
 
 impl<B: PersistenceBackend> Database<B> {
-    /// Create an engine over `backend`.
-    pub fn new(cfg: DbConfig, backend: B) -> Self {
+    /// Create an engine over `backend`. [`DbConfig::wal`] picks the
+    /// synchronous-persistence path: `Flash` asks the backend for a port
+    /// onto its own device, `Pcm` builds a standalone DIMM-backed WAL.
+    pub fn new(cfg: DbConfig, mut backend: B) -> Self {
+        let wal_dev: Box<dyn WalBackend> = match &cfg.wal {
+            WalConfig::Flash => backend.make_wal(),
+            WalConfig::Pcm(pcfg) => Box::new(PcmWal::new(pcfg)),
+        };
         Database {
             pool: BufferPool::new(cfg.buffer_frames),
             wal: Wal::new(),
@@ -150,9 +174,9 @@ impl<B: PersistenceBackend> Database<B> {
             next_txn: 1,
             cfg,
             backend,
+            wal_dev,
             loaded: false,
             unforced_commits: 0,
-            unforced_bytes: 0,
             probe: requiem_sim::Probe::disabled(),
         }
     }
@@ -165,6 +189,18 @@ impl<B: PersistenceBackend> Database<B> {
     /// The backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// The synchronous-persistence path (WAL traffic stats, wear).
+    pub fn wal_backend(&self) -> &dyn WalBackend {
+        &*self.wal_dev
+    }
+
+    /// Count a completed force's status into the engine ledger.
+    pub(crate) fn note_force(&mut self, status: requiem_sim::IoStatus) {
+        if !status.is_success() {
+            self.stats.wal_force_failures += 1;
+        }
     }
 
     /// Attach a cross-layer [`Probe`](requiem_sim::Probe) to the backend's
@@ -235,11 +271,12 @@ impl<B: PersistenceBackend> Database<B> {
             self.now = self.now.max(done);
         }
         let lsn = self.wal.append(LogRecord::Checkpoint);
-        let done = self
-            .backend
-            .log_force(self.now, LogRecord::Checkpoint.encoded_len());
+        self.wal_dev
+            .append(lsn, LogRecord::Checkpoint.encoded_len());
+        let f = self.wal_dev.force(self.now, lsn);
+        self.note_force(f.status);
         self.wal.mark_flushed(lsn);
-        self.now = self.now.max(done);
+        self.now = self.now.max(f.done);
         self.loaded = true;
     }
 
@@ -290,9 +327,11 @@ impl<B: PersistenceBackend> Database<B> {
                 let t0 = self.now;
                 let unflushed = self.wal.next_lsn();
                 if self.wal.flushed().map(|f| f < unflushed).unwrap_or(true) {
-                    let done = self.backend.log_force(self.now, 512);
+                    self.wal_dev.append(unflushed, 512);
+                    let f = self.wal_dev.force(self.now, unflushed);
+                    self.note_force(f.status);
                     self.wal.mark_flushed(unflushed);
-                    self.now = self.now.max(done);
+                    self.now = self.now.max(f.done);
                 }
                 let done = self.backend.steal_write(self.now, page_id);
                 self.now = self.now.max(done);
@@ -345,13 +384,13 @@ impl<B: PersistenceBackend> Database<B> {
         let commit_lsn = self.wal.append(LogRecord::Commit { txn });
         let force_bytes = if wrote { log_bytes.max(32) } else { 32 };
         self.unforced_commits += 1;
-        self.unforced_bytes = self.unforced_bytes.saturating_add(force_bytes);
+        self.wal_dev.append(commit_lsn, force_bytes);
         if self.unforced_commits >= self.cfg.group_commit.max(1) {
-            let done = self.backend.log_force(self.now, self.unforced_bytes);
+            let f = self.wal_dev.force(self.now, commit_lsn);
+            self.note_force(f.status);
             self.wal.mark_flushed(commit_lsn);
-            self.now = self.now.max(done);
+            self.now = self.now.max(f.done);
             self.unforced_commits = 0;
-            self.unforced_bytes = 0;
         }
         let commit_force = self.now.since(commit_started);
         self.stats.commit_stall += commit_force;
@@ -384,22 +423,23 @@ impl<B: PersistenceBackend> Database<B> {
             }
         }
         let lsn = self.wal.append(LogRecord::Checkpoint);
-        let done = self.backend.log_force(
-            self.now,
-            LogRecord::Checkpoint.encoded_len() + self.unforced_bytes,
-        );
+        // the force drains every still-pending commit record along with
+        // the checkpoint record itself — a checkpoint flushes the group
+        self.wal_dev
+            .append(lsn, LogRecord::Checkpoint.encoded_len());
+        let f = self.wal_dev.force(self.now, lsn);
+        self.note_force(f.status);
         self.wal.mark_flushed(lsn);
-        self.now = self.now.max(done);
+        self.now = self.now.max(f.done);
         self.unforced_commits = 0;
-        self.unforced_bytes = 0;
         self.stats.checkpoints += 1;
         // every log byte before the checkpoint record is now outside the
         // redo horizon: release those segments eagerly so the device's
         // collector never copies dead WAL (background — the clock does
         // not advance, so QD-1 replays stay bit-identical)
         let ck_len = u64::from(LogRecord::Checkpoint.encoded_len());
-        let horizon = self.backend.stats().log_bytes.saturating_sub(ck_len);
-        self.backend.truncate_log(self.now, horizon);
+        let horizon = self.wal_dev.stats().log_bytes.saturating_sub(ck_len);
+        self.wal_dev.truncate(self.now, horizon);
         self.settle_in_flight();
     }
 
@@ -427,8 +467,8 @@ impl<B: PersistenceBackend> Database<B> {
     /// the durable images, LSN-guarded. Returns the number of records
     /// replayed.
     ///
-    /// The log scan is charged to the backend through
-    /// [`PersistenceBackend::log_read`]: every durable byte from the
+    /// The log scan is charged to the WAL backend through
+    /// [`WalBackend::recover_scan`]: every durable byte from the
     /// last checkpoint onward is read from the log medium, the clock
     /// advances by the read, and the typed [`IoStatus`] of the scan is
     /// folded into the engine's media counters — a device that recovered
@@ -464,8 +504,8 @@ impl<B: PersistenceBackend> Database<B> {
             }
         }
         let (end, status) =
-            self.backend
-                .log_read(self.now, skip, scan.min(u64::from(u32::MAX)) as u32);
+            self.wal_dev
+                .recover_scan(self.now, skip, scan.min(u64::from(u32::MAX)) as u32);
         self.now = self.now.max(end);
         match status {
             requiem_sim::IoStatus::Ok => {}
@@ -527,7 +567,7 @@ impl<B: PersistenceBackend> Database<B> {
     ///
     /// The full durable log is scanned from the medium (there is no
     /// per-page index into the log), charged via
-    /// [`PersistenceBackend::log_read`] starting at `at`; the scan's
+    /// [`WalBackend::recover_scan`] starting at `at`; the scan's
     /// typed status folds into the media counters as in
     /// [`Self::recover`]. Returns the scan's end instant and the rebuilt
     /// image.
@@ -542,8 +582,8 @@ impl<B: PersistenceBackend> Database<B> {
             .map(|(_, r)| u64::from(r.encoded_len()))
             .sum();
         let (end, status) = self
-            .backend
-            .log_read(at, 0, bytes.min(u64::from(u32::MAX)) as u32);
+            .wal_dev
+            .recover_scan(at, 0, bytes.min(u64::from(u32::MAX)) as u32);
         match status {
             requiem_sim::IoStatus::Ok => {}
             requiem_sim::IoStatus::RecoveredAfterRetry { .. } => {
@@ -762,8 +802,8 @@ mod tests {
     }
 
     impl PersistenceBackend for FlakyBackend {
-        fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
-            self.inner.log_force(now, bytes)
+        fn make_wal(&mut self) -> Box<dyn crate::walbackend::WalBackend> {
+            self.inner.make_wal()
         }
         fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
             self.inner.page_write(now, page)
@@ -896,8 +936,8 @@ mod group_commit_tests {
             single.execute(&[(i % 32, 0, true)], 128);
             grouped.execute(&[(i % 32, 0, true)], 128);
         }
-        let f1 = single.backend().stats().log_forces;
-        let f8 = grouped.backend().stats().log_forces;
+        let f1 = single.wal_backend().stats().log_forces;
+        let f8 = grouped.wal_backend().stats().log_forces;
         assert!(f8 * 4 < f1, "grouped {f8} vs single {f1} forces");
         assert!(grouped.now() < single.now(), "grouping should be faster");
     }

@@ -374,6 +374,10 @@ impl<B: PersistenceBackend> Database<B> {
                 } else {
                     32
                 };
+                // enlist the force-accounting cost with the WAL backend
+                // now; the shared force drains everything at or below
+                // the group's horizon in one device interaction
+                self.wal_dev.append(commit_lsn, force_bytes);
                 let probe_id = if self.probe.is_enabled() {
                     self.probe.open_command("commit", self.now).detach()
                 } else {
@@ -566,9 +570,11 @@ impl<B: PersistenceBackend> Database<B> {
             let t0 = end;
             let unflushed = self.wal.next_lsn();
             if self.wal.flushed().map(|f| f < unflushed).unwrap_or(true) {
-                let done = self.backend.log_force(end, 512);
+                self.wal_dev.append(unflushed, 512);
+                let f = self.wal_dev.force(end, unflushed);
+                self.note_force(f.status);
                 self.wal.mark_flushed(unflushed);
-                end = end.max(done);
+                end = end.max(f.done);
             }
             let done = self.backend.steal_write(end, page_id);
             end = end.max(done);
@@ -604,21 +610,25 @@ impl<B: PersistenceBackend> Database<B> {
     /// member's commit completes at the force's end — probe spans split
     /// its wait into *group wait* and *shared force*.
     fn force_group(&mut self, t: SimTime, st: &mut ExecState) {
-        let (members, bytes) = st.group.take();
+        let (members, _bytes) = st.group.take();
         if members.is_empty() {
             return;
         }
         st.forces += 1;
         st.grouped += members.len() as u64;
-        let done = self.backend.log_force(t, bytes);
+        // one shared force to the group's horizon drains every member's
+        // enlisted bytes in one device interaction
+        let horizon = members.iter().map(|m| m.lsn).max().unwrap_or(Lsn(0));
+        let f = self.wal_dev.force(t, horizon);
+        self.note_force(f.status);
+        let done = f.done;
         // the force is synchronous at the engine interface: a spilling
         // force submits device writes up to `done`, so the event clock
         // follows (reads already in flight still overlap the force —
         // their completions are reaped afterwards with done <= now)
         self.now = self.now.max(done);
-        if let Some(horizon) = members.iter().map(|m| m.lsn).max() {
-            self.wal.mark_flushed(horizon);
-        }
+        self.wal.mark_flushed(horizon);
+        let force_cause = self.wal_dev.force_cause();
         for m in &members {
             if m.probe_id != 0 {
                 let scope = self.probe.resume(m.probe_id);
@@ -627,7 +637,7 @@ impl<B: PersistenceBackend> Database<B> {
                         .span(Layer::Wal, Cause::Queue, "group-wait", m.enlisted, t);
                 }
                 self.probe
-                    .span(Layer::Wal, Cause::Transfer, "log-force", t, done);
+                    .span(Layer::Wal, force_cause, "log-force", t, done);
                 scope.close(done);
             }
             let commit_force = done.since(m.enlisted);
@@ -738,8 +748,12 @@ mod tests {
         assert_eq!(conc.stats().steal_stall, serial.stats().steal_stall);
         assert_eq!(conc.stats().commit_stall, serial.stats().commit_stall);
         assert_eq!(
-            conc.backend().stats().log_forces,
-            serial.backend().stats().log_forces
+            conc.wal_backend().stats().log_forces,
+            serial.wal_backend().stats().log_forces
+        );
+        assert_eq!(
+            conc.wal_backend().stats().log_bytes,
+            serial.wal_backend().stats().log_bytes
         );
         assert_eq!(
             conc.backend().stats().page_reads,

@@ -45,6 +45,7 @@
 pub mod backend;
 pub mod btree;
 pub mod buffer;
+pub mod config;
 pub mod coop;
 pub mod engine;
 pub mod exec;
@@ -56,10 +57,12 @@ pub mod pagetable;
 pub mod prefetch;
 pub mod stack_backend;
 pub mod wal;
+pub mod walbackend;
 
 pub use backend::{
     CommandTag, LegacyBackend, PageRead, PersistenceBackend, ReadShim, VisionBackend,
 };
+pub use config::DbBuilder;
 pub use coop::CoopLogBackend;
 pub use engine::{Database, DbConfig, TxnOutcome};
 pub use exec::{ExecConfig, ExecReport, TxnInput};
@@ -70,3 +73,4 @@ pub use pagetable::PageTable;
 pub use prefetch::{PrefetchConfig, PrefetchMode, PrefetchStats};
 pub use stack_backend::BlockStackBackend;
 pub use wal::GroupCommitPolicy;
+pub use walbackend::{FlashWal, PcmWal, PcmWalConfig, WalBackend, WalConfig, WalForce, WalStats};

@@ -13,29 +13,29 @@
 //! the legacy backend (circular log + data + double-write journal on one
 //! flash SSD behind the block interface).
 
+use std::cell::{Ref, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 use requiem_block::{IoStack, StackConfig};
 use requiem_sim::time::SimTime;
 use requiem_sim::IoStatus;
 use requiem_ssd::{IoClass, IoRequest, Lpn, Ssd, SsdConfig};
 
-use crate::backend::{worse_status, BackendStats, CommandTag, PageRead, PersistenceBackend};
-use crate::page::{PageId, PAGE_SIZE};
+use crate::backend::{BackendStats, CommandTag, PageRead, PersistenceBackend};
+use crate::page::PageId;
+use crate::walbackend::{FlashWal, StackLog, WalBackend};
 
 /// The block-stack backend: one flash SSD behind the full OS I/O stack.
 pub struct BlockStackBackend {
-    stack: IoStack<Ssd>,
+    /// Shared with the WAL port ([`make_wal`](PersistenceBackend::make_wal)):
+    /// log forces pay the same block-layer path as the page traffic.
+    stack: Rc<RefCell<IoStack<Ssd>>>,
     /// LBA layout (log, data, journal), as in the legacy backend.
     log_pages: u64,
     data_base: u64,
     journal_base: u64,
     data_pages: u64,
-    /// Circular log tail (byte offset).
-    log_tail: u64,
-    /// Absolute log page index below which checkpoint truncation has
-    /// already released the log.
-    log_trimmed: u64,
     /// Use TRIM on frees (off by default, like the legacy stack).
     pub use_trim: bool,
     /// Batched reads in flight: host tag → page.
@@ -76,13 +76,11 @@ impl BlockStackBackend {
             "device too small: need {needed} pages, exported {exported}"
         );
         BlockStackBackend {
-            stack: IoStack::new(stack_cfg, ssd),
+            stack: Rc::new(RefCell::new(IoStack::new(stack_cfg, ssd))),
             log_pages,
             data_base: log_pages,
             journal_base: log_pages + data_pages,
             data_pages,
-            log_tail: 0,
-            log_trimmed: 0,
             use_trim: false,
             pending: BTreeMap::new(),
             ready: Vec::new(),
@@ -92,13 +90,13 @@ impl BlockStackBackend {
     }
 
     /// The block stack (for software-share reporting).
-    pub fn stack(&self) -> &IoStack<Ssd> {
-        &self.stack
+    pub fn stack(&self) -> Ref<'_, IoStack<Ssd>> {
+        self.stack.borrow()
     }
 
     /// The underlying device (for write-amplification reporting).
-    pub fn ssd(&self) -> &Ssd {
-        self.stack.backend()
+    pub fn ssd(&self) -> Ref<'_, Ssd> {
+        Ref::map(self.stack.borrow(), |s| s.backend())
     }
 
     fn data_lpn(&self, page: PageId) -> Lpn {
@@ -121,17 +119,17 @@ impl BlockStackBackend {
             return now;
         }
         let batch: BTreeSet<u64> = reqs.iter().map(|r| r.tag.0).collect();
-        self.stack.submit_batch(now, 0, reqs);
+        self.stack.borrow_mut().submit_batch(now, 0, reqs);
         let mut outstanding = batch;
         let mut t = now;
         while !outstanding.is_empty() {
-            let Some(next) = self.stack.next_completion_time(0) else {
+            let Some(next) = self.stack.borrow().next_completion_time(0) else {
                 // nothing left in flight but tags unaccounted — a batch
                 // member was dropped by the stack; stop honestly rather
                 // than spin (cannot happen with the current stack)
                 break;
             };
-            for c in self.stack.poll_completions(next, 0) {
+            for c in self.stack.borrow_mut().poll_completions(next, 0) {
                 if outstanding.remove(&c.tag.0) {
                     t = t.max(c.done);
                 } else if let Some(page) = self.pending.remove(&c.tag.0) {
@@ -149,28 +147,13 @@ impl BlockStackBackend {
 }
 
 impl PersistenceBackend for BlockStackBackend {
-    fn log_force(&mut self, now: SimTime, bytes: u32) -> SimTime {
-        self.stats.log_forces += 1;
-        self.stats.log_bytes += u64::from(bytes);
-        // identical layout policy to the legacy backend: rewrite the tail
-        // page on every force, spill full pages — but every write pays
-        // the block-layer path
-        let mut remaining = u64::from(bytes);
-        let mut t = now;
-        loop {
-            let page_in_log = (self.log_tail / PAGE_SIZE as u64) % self.log_pages;
-            let room = PAGE_SIZE as u64 - (self.log_tail % PAGE_SIZE as u64);
-            let taken = remaining.min(room);
-            let c = self.stack.submit(t, 0, IoRequest::write(page_in_log));
-            t = c.done;
-            self.stats.logical_writes += 1;
-            self.log_tail += taken;
-            remaining -= taken;
-            if remaining == 0 {
-                break;
-            }
-        }
-        t
+    fn make_wal(&mut self) -> Box<dyn WalBackend> {
+        // identical layout policy to the legacy backend, but every log
+        // write pays the block-layer path like the page traffic around it
+        Box::new(FlashWal::new(
+            StackLog::new(Rc::clone(&self.stack), self.log_pages),
+            self.log_pages,
+        ))
     }
 
     fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
@@ -178,6 +161,7 @@ impl PersistenceBackend for BlockStackBackend {
         self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
         self.stack
+            .borrow_mut()
             .submit(now, 0, IoRequest::write(lpn.0).class(IoClass::Background))
             .done
     }
@@ -186,13 +170,19 @@ impl PersistenceBackend for BlockStackBackend {
         self.stats.steal_writes += 1;
         self.stats.logical_writes += 1;
         let lpn = self.data_lpn(page);
-        self.stack.submit(now, 0, IoRequest::write(lpn.0)).done
+        self.stack
+            .borrow_mut()
+            .submit(now, 0, IoRequest::write(lpn.0))
+            .done
     }
 
     fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
         self.stats.page_reads += 1;
         let lpn = self.data_lpn(page);
-        let c = self.stack.submit(now, 0, IoRequest::read(lpn.0));
+        let c = self
+            .stack
+            .borrow_mut()
+            .submit(now, 0, IoRequest::read(lpn.0));
         (c.done, c.status)
     }
 
@@ -230,29 +220,11 @@ impl PersistenceBackend for BlockStackBackend {
         self.stats.frees += 1;
         if self.use_trim {
             let lpn = self.data_lpn(page);
-            self.stack
-                .submit(now, 0, IoRequest::trim(lpn.0).class(IoClass::Background));
-        }
-    }
-
-    fn truncate_log(&mut self, now: SimTime, up_to_byte: u64) {
-        // same trim contract as the legacy backend, paid through the
-        // block-layer submission path like every other command here
-        let dead_end = up_to_byte / PAGE_SIZE as u64;
-        let tail_page = self.log_tail / PAGE_SIZE as u64;
-        while self.log_trimmed < dead_end {
-            let abs = self.log_trimmed;
-            self.log_trimmed += 1;
-            if abs + self.log_pages <= tail_page {
-                continue;
-            }
-            let page_in_log = abs % self.log_pages;
-            self.stack.submit(
+            self.stack.borrow_mut().submit(
                 now,
                 0,
-                IoRequest::trim(page_in_log).class(IoClass::Background),
+                IoRequest::trim(lpn.0).class(IoClass::Background),
             );
-            self.stats.log_trims += 1;
         }
     }
 
@@ -265,7 +237,7 @@ impl PersistenceBackend for BlockStackBackend {
     }
 
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
-        self.stack.attach_probe(probe);
+        self.stack.borrow_mut().attach_probe(probe);
     }
 
     fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
@@ -278,7 +250,7 @@ impl PersistenceBackend for BlockStackBackend {
                 IoRequest::read(self.data_lpn(p).0).tag(tag)
             })
             .collect();
-        self.stack.submit_batch(now, 0, &reqs)
+        self.stack.borrow_mut().submit_batch(now, 0, &reqs)
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
@@ -293,7 +265,7 @@ impl PersistenceBackend for BlockStackBackend {
             }
         });
         out.sort_by_key(|r| (r.done, r.tag.0));
-        for c in self.stack.poll_completions(now, 0) {
+        for c in self.stack.borrow_mut().poll_completions(now, 0) {
             if let Some(page) = self.pending.remove(&c.tag.0) {
                 out.push(PageRead {
                     tag: c.tag,
@@ -308,7 +280,7 @@ impl PersistenceBackend for BlockStackBackend {
 
     fn next_read_done(&mut self) -> Option<SimTime> {
         let r = self.ready.iter().map(|r| r.done).min();
-        match (r, self.stack.next_completion_time(0)) {
+        match (r, self.stack.borrow().next_completion_time(0)) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
@@ -323,30 +295,14 @@ impl PersistenceBackend for BlockStackBackend {
             self.pending.is_empty() && self.ready.is_empty(),
             "window change with reads in flight"
         );
-        self.stack.set_inflight_window(depth.max(1));
-    }
-
-    fn log_read(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
-        if bytes == 0 {
-            return (now, IoStatus::Ok);
-        }
-        let first = offset / PAGE_SIZE as u64;
-        let last = (offset + u64::from(bytes) - 1) / PAGE_SIZE as u64;
-        let mut t = now;
-        let mut status = IoStatus::Ok;
-        for p in first..=last {
-            let page_in_log = p % self.log_pages.max(1);
-            let c = self.stack.submit(t, 0, IoRequest::read(page_in_log));
-            t = c.done;
-            status = worse_status(status, c.status);
-        }
-        (t, status)
+        self.stack.borrow_mut().set_inflight_window(depth.max(1));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::Lsn;
 
     fn backend() -> BlockStackBackend {
         let mut ssd_cfg = SsdConfig::modern();
@@ -357,15 +313,18 @@ mod tests {
     #[test]
     fn sync_ops_advance_time_and_count() {
         let mut b = backend();
+        let mut w = b.make_wal();
         let t1 = b.page_write(SimTime::ZERO, PageId(0));
         let (t2, st) = b.page_read(t1, PageId(0));
         assert!(t2 > t1);
         assert_eq!(st, IoStatus::Ok);
-        let t3 = b.log_force(t2, 256);
+        w.append(Lsn(1), 256);
+        let t3 = w.force(t2, Lsn(1)).done;
         assert!(t3 > t2);
         assert_eq!(b.stats().page_writes, 1);
         assert_eq!(b.stats().page_reads, 1);
-        assert_eq!(b.stats().log_forces, 1);
+        assert_eq!(w.stats().log_forces, 1);
+        assert_eq!(w.label(), "stack-wal");
     }
 
     #[test]
@@ -421,11 +380,13 @@ mod tests {
     }
 
     #[test]
-    fn log_read_covers_the_byte_range() {
+    fn recover_scan_covers_the_byte_range() {
         let mut b = backend();
-        let t1 = b.log_force(SimTime::ZERO, 10 * 1024);
+        let mut w = b.make_wal();
+        w.append(Lsn(1), 10 * 1024);
+        let t1 = w.force(SimTime::ZERO, Lsn(1)).done;
         let reads_before = b.ssd().metrics().host_reads;
-        let (t2, st) = b.log_read(t1, 0, 10 * 1024);
+        let (t2, st) = w.recover_scan(t1, 0, 10 * 1024);
         assert!(t2 > t1);
         assert_eq!(st, IoStatus::Ok);
         assert_eq!(b.ssd().metrics().host_reads - reads_before, 3);

@@ -16,9 +16,10 @@
 //!    meaningful for the nameless path too.
 
 use proptest::prelude::*;
+use requiem_db::wal::Lsn;
 use requiem_db::{
     CoopLogBackend, Database, DbConfig, ExecConfig, GroupCommitPolicy, PageId, PersistenceBackend,
-    PrefetchConfig, StorageManager, TxnInput, PAGE_SIZE,
+    PrefetchConfig, StorageManager, TxnInput, WalBackend, PAGE_SIZE,
 };
 use requiem_iface::nameless::NamelessConfig;
 use requiem_sim::time::SimTime;
@@ -39,25 +40,49 @@ fn one_lun() -> NamelessConfig {
     NamelessConfig::from(&cfg)
 }
 
+/// A churned manager plus its WAL port and the running LSN ledger the
+/// force protocol needs (appends must arrive in LSN order).
+struct Churned {
+    b: CoopLogBackend,
+    w: Box<dyn WalBackend>,
+    lsn: u64,
+    t: SimTime,
+}
+
+impl Churned {
+    /// Enlist `bytes` at the next LSN and force to it.
+    fn force(&mut self, bytes: u32) {
+        self.lsn += u64::from(bytes);
+        self.w.append(Lsn(self.lsn), bytes);
+        self.t = self.w.force(self.t, Lsn(self.lsn)).done;
+    }
+}
+
 /// A backend churned to the GC edge: every data page written once, then
 /// a deterministic uniform rewrite storm with periodic log traffic.
-fn churned_backend() -> (CoopLogBackend, SimTime) {
+fn churned_backend() -> Churned {
     let mut b = CoopLogBackend::new(one_lun(), DATA_PAGES, LOG_PAGES);
-    let mut t = SimTime::ZERO;
+    let w = b.make_wal();
+    let mut c = Churned {
+        b,
+        w,
+        lsn: 0,
+        t: SimTime::ZERO,
+    };
     for p in 0..DATA_PAGES {
-        t = b.page_write(t, PageId(p));
+        c.t = c.b.page_write(c.t, PageId(p));
     }
     let mut x = 0x1234_5678_9abc_def0u64;
     for i in 0..1500u64 {
         x = x
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        t = b.page_write(t, PageId((x >> 33) % DATA_PAGES));
+        c.t = c.b.page_write(c.t, PageId((x >> 33) % DATA_PAGES));
         if i % 8 == 0 {
-            t = b.log_force(t, PAGE_SIZE as u32);
+            c.force(PAGE_SIZE as u32);
         }
     }
-    (b, t)
+    c
 }
 
 #[derive(Debug, Clone)]
@@ -90,57 +115,57 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 }
 
 /// Drive one op sequence; returns the host's model of which pages
-/// should be bound, and the clock after the last operation.
-fn drive(b: &mut CoopLogBackend, mut t: SimTime, ops: &[Op]) -> (BTreeSet<u64>, SimTime) {
+/// should be bound. The clock advances in `c.t`.
+fn drive(c: &mut Churned, ops: &[Op]) -> BTreeSet<u64> {
     let mut bound: BTreeSet<u64> = (0..DATA_PAGES).collect();
     for op in ops {
         match op {
             Op::Write(p) => {
-                t = b.page_write(t, PageId(*p));
+                c.t = c.b.page_write(c.t, PageId(*p));
                 bound.insert(*p);
             }
             Op::Steal(p) => {
-                t = b.steal_write(t, PageId(*p));
+                c.t = c.b.steal_write(c.t, PageId(*p));
                 bound.insert(*p);
             }
             Op::Batch(ps) => {
                 let pages: Vec<PageId> = ps.iter().map(|&p| PageId(p)).collect();
-                t = b.page_batch(t, &pages);
+                c.t = c.b.page_batch(c.t, &pages);
                 bound.extend(ps.iter().copied());
             }
             Op::Free(p) => {
-                b.free_page(t, PageId(*p));
+                c.b.free_page(c.t, PageId(*p));
                 bound.remove(p);
             }
             Op::Force(bytes) => {
-                t = b.log_force(t, *bytes);
+                c.force(*bytes);
             }
             Op::Truncate => {
                 // everything but the last two segments is outside the
                 // redo horizon — the checkpoint shape
-                let horizon = b.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
-                b.truncate_log(t, horizon);
+                let horizon = c.w.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
+                c.w.truncate(c.t, horizon);
             }
             Op::Read(p) => {
-                let (done, _status) = b.page_read(t, PageId(*p));
-                t = t.max(done);
+                let (done, _status) = c.b.page_read(c.t, PageId(*p));
+                c.t = c.t.max(done);
             }
             Op::BatchedReads(ps) => {
                 let pages: Vec<PageId> = ps.iter().map(|&p| PageId(p)).collect();
-                let tags = b.submit_reads(t, &pages);
+                let tags = c.b.submit_reads(c.t, &pages);
                 let mut seen = 0usize;
                 while seen < tags.len() {
-                    if let Some(next) = b.next_read_done() {
-                        t = t.max(next);
+                    if let Some(next) = c.b.next_read_done() {
+                        c.t = c.t.max(next);
                     }
-                    let drained = b.poll(t).len();
+                    let drained = c.b.poll(c.t).len();
                     assert!(drained > 0, "batched reads must all complete");
                     seen += drained;
                 }
             }
         }
     }
-    (bound, t)
+    bound
 }
 
 proptest! {
@@ -151,24 +176,23 @@ proptest! {
     /// page.
     #[test]
     fn no_page_lost_or_misdirected(ops in arb_ops()) {
-        let (mut b, t) = churned_backend();
-        let (bound, t) = drive(&mut b, t, &ops);
+        let mut c = churned_backend();
+        let bound = drive(&mut c, &ops);
         prop_assert_eq!(
-            b.rejected_writes(),
+            c.b.rejected_writes(),
             0,
             "eager frees must keep the device out of DeviceFull"
         );
         prop_assert_eq!(
-            b.table().len() as u64,
+            c.b.table().len() as u64,
             bound.len() as u64,
             "host model and page table must agree on what is bound"
         );
-        let mut t = t;
         for &p in &bound {
-            let handle = b.handle_of(PageId(p));
+            let handle = c.b.handle_of(PageId(p));
             prop_assert!(handle.is_some(), "page {} lost its handle", p);
-            let (done, status) = b.page_read(t, PageId(p));
-            t = t.max(done);
+            let (done, status) = c.b.page_read(c.t, PageId(p));
+            c.t = c.t.max(done);
             prop_assert!(
                 status != IoStatus::Rejected,
                 "page {} unreadable at its current handle: the upcall \
@@ -183,14 +207,15 @@ proptest! {
     #[test]
     fn fixed_seed_replay_is_bit_identical(ops in arb_ops()) {
         let run = || {
-            let (mut b, t) = churned_backend();
-            drive(&mut b, t, &ops);
+            let mut c = churned_backend();
+            drive(&mut c, &ops);
             (
-                format!("{:?}", b.dev().metrics()),
-                format!("{:?}", b.table().iter().collect::<Vec<_>>()),
-                format!("{:?}", b.segs().iter().collect::<Vec<_>>()),
-                format!("{:?}", b.stats()),
-                b.relocations_patched(),
+                format!("{:?}", c.b.dev().metrics()),
+                format!("{:?}", c.b.table().iter().collect::<Vec<_>>()),
+                format!("{:?}", c.b.segs().iter().collect::<Vec<_>>()),
+                format!("{:?}", c.b.stats()),
+                format!("{:?}", c.w.stats()),
+                c.b.relocations_patched(),
             )
         };
         let a = run();
@@ -204,33 +229,33 @@ proptest! {
 /// (a run where `relocations_patched` is provably non-zero).
 #[test]
 fn migrations_actually_happen_and_patch_cleanly() {
-    let (mut b, mut t) = churned_backend();
+    let mut c = churned_backend();
     let mut x = 7u64;
     for i in 0..1200u64 {
         x = x
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        t = b.page_write(t, PageId((x >> 33) % DATA_PAGES));
+        c.t = c.b.page_write(c.t, PageId((x >> 33) % DATA_PAGES));
         if i % 16 == 0 {
-            t = b.log_force(t, PAGE_SIZE as u32);
+            c.force(PAGE_SIZE as u32);
         }
         if i % 300 == 299 {
-            let horizon = b.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
-            b.truncate_log(t, horizon);
+            let horizon = c.w.stats().log_bytes.saturating_sub(2 * PAGE_SIZE as u64);
+            c.w.truncate(c.t, horizon);
         }
     }
     assert!(
-        b.relocations_patched() > 0,
+        c.b.relocations_patched() > 0,
         "the churn must provoke device GC into migrating live pages"
     );
-    assert_eq!(b.rejected_writes(), 0);
+    assert_eq!(c.b.rejected_writes(), 0);
     for p in 0..DATA_PAGES {
-        let (done, status) = b.page_read(t, PageId(p));
-        t = t.max(done);
+        let (done, status) = c.b.page_read(c.t, PageId(p));
+        c.t = c.t.max(done);
         assert!(
             status != IoStatus::Rejected,
             "page {p} unreadable after {} patched migrations",
-            b.relocations_patched()
+            c.b.relocations_patched()
         );
     }
 }

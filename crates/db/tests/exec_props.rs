@@ -149,8 +149,12 @@ proptest! {
         prop_assert_eq!(conc.txn_latency(), serial.txn_latency());
         prop_assert_eq!(conc.commit_latency(), serial.commit_latency());
         prop_assert_eq!(
-            conc.backend().stats().log_forces,
-            serial.backend().stats().log_forces
+            conc.wal_backend().stats().log_forces,
+            serial.wal_backend().stats().log_forces
+        );
+        prop_assert_eq!(
+            conc.wal_backend().stats().log_bytes,
+            serial.wal_backend().stats().log_bytes
         );
         prop_assert_eq!(
             conc.backend().stats().page_reads,

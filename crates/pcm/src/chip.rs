@@ -114,6 +114,12 @@ impl PcmChip {
         self.writes[line as usize]
     }
 
+    /// Per-line write counts for every physical line (index = physical
+    /// line number, including any spare the caller reserved).
+    pub fn line_write_counts(&self) -> &[u64] {
+        &self.writes
+    }
+
     /// Maximum per-line write count.
     pub fn max_line_writes(&self) -> u64 {
         self.writes.iter().copied().max().unwrap_or(0)

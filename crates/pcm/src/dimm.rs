@@ -16,11 +16,45 @@
 
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Histogram, Resource};
+use serde::{Deserialize, Serialize};
 
 use crate::chip::PcmChip;
 use crate::timing::PcmTiming;
 use crate::wear::StartGap;
 use crate::LINE_BYTES;
+
+/// A typed snapshot of the DIMM's wear state: per-line write counts plus
+/// the Start-Gap rotation bookkeeping. This is the public face of wear for
+/// experiments (E15's wear table) and future endurance studies — callers
+/// never reach into [`PcmChip`] or [`StartGap`] internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearSnapshot {
+    /// Logical lines in the DIMM (physical slots = `lines + 1` for the gap).
+    pub lines: u64,
+    /// Total line writes the chip absorbed (user writes + gap-move copies).
+    pub total_line_writes: u64,
+    /// Hottest physical slot's write count.
+    pub max_line_writes: u64,
+    /// Mean write count across physical slots.
+    pub mean_line_writes: f64,
+    /// Start-Gap rotations performed (each is one extra line copy).
+    pub gap_moves: u64,
+    /// Asymptotic extra-writes-per-user-write of the leveling scheme.
+    pub gap_overhead_ratio: f64,
+    /// Write count per *physical* slot, including the gap spare.
+    pub per_line_writes: Vec<u64>,
+}
+
+impl WearSnapshot {
+    /// Max/mean wear skew; 1.0 would be perfectly level. 0 when unwritten.
+    pub fn skew(&self) -> f64 {
+        if self.mean_line_writes == 0.0 {
+            0.0
+        } else {
+            self.max_line_writes as f64 / self.mean_line_writes
+        }
+    }
+}
 
 /// A byte-addressable persistent memory module on the memory bus.
 pub struct PcmDimm {
@@ -153,6 +187,20 @@ impl PcmDimm {
         self.chip.mean_line_writes()
     }
 
+    /// Typed wear snapshot: per-line writes + Start-Gap rotation state.
+    pub fn wear_snapshot(&self) -> WearSnapshot {
+        let per_line = self.chip.line_write_counts().to_vec();
+        WearSnapshot {
+            lines: self.remap.len(),
+            total_line_writes: self.chip.op_counts().1,
+            max_line_writes: self.chip.max_line_writes(),
+            mean_line_writes: self.chip.mean_line_writes(),
+            gap_moves: self.remap.moves(),
+            gap_overhead_ratio: self.remap.overhead_ratio(),
+            per_line_writes: per_line,
+        }
+    }
+
     /// Typical cost of persisting `bytes` (no queueing): lines × write + barrier.
     pub fn persist_cost(&self, bytes: u64) -> SimDuration {
         let lines = bytes.div_ceil(LINE_BYTES as u64);
@@ -242,6 +290,27 @@ mod tests {
         d.persist(SimTime::ZERO, 64, &[0u8; 64]);
         assert_eq!(d.persisted_bytes(), 128);
         assert_eq!(d.persist_latency().count(), 2);
+    }
+
+    #[test]
+    fn wear_snapshot_is_consistent_with_chip_state() {
+        let mut d = PcmDimm::new(4096, PcmTiming::gen1(), 4);
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            t = d.persist(t, 0, &[7u8; 64]);
+        }
+        let snap = d.wear_snapshot();
+        assert_eq!(snap.lines, 64);
+        assert_eq!(snap.per_line_writes.len(), 65); // + gap spare
+        assert_eq!(snap.max_line_writes, d.max_line_writes());
+        assert_eq!(
+            snap.per_line_writes.iter().sum::<u64>(),
+            snap.total_line_writes
+        );
+        // 100 user writes at interval 4 → 25 gap moves, each one copy write
+        assert_eq!(snap.gap_moves, 25);
+        assert_eq!(snap.total_line_writes, 125);
+        assert!(snap.skew() >= 1.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod timing;
 pub mod wear;
 
 pub use chip::PcmChip;
-pub use dimm::PcmDimm;
+pub use dimm::{PcmDimm, WearSnapshot};
 pub use ssd::PcmSsd;
 pub use timing::PcmTiming;
 pub use wear::StartGap;

@@ -44,6 +44,19 @@ impl PcmTiming {
         }
     }
 
+    /// Zero-latency model: every access is free and endurance is
+    /// unbounded. Used by tests that want PCM as a pure *ordering* device
+    /// (e.g. proving a zero-cost `PcmWal` is an ordering identity for the
+    /// immediate-commit flash path).
+    pub fn zero() -> Self {
+        PcmTiming {
+            read_line: SimDuration::ZERO,
+            write_line: SimDuration::ZERO,
+            persist_barrier: SimDuration::ZERO,
+            endurance_writes: u64::MAX,
+        }
+    }
+
     /// Time to read `n` lines back-to-back.
     pub fn read_lines(&self, n: u64) -> SimDuration {
         self.read_line * n

@@ -121,6 +121,10 @@ pub enum Cause {
     BufferStall,
     /// Mapping translation traffic (DFTL page reads/writes, boot scan).
     Translation,
+    /// Byte-granular persist to PCM on the memory bus: line writes plus
+    /// the persist barrier (the paper's §3 synchronous-persistence path,
+    /// distinct from `Transfer` which is a block-device bus).
+    PcmPersist,
 }
 
 impl Cause {
@@ -143,6 +147,7 @@ impl Cause {
             Cause::BufferHit => "buffer_hit",
             Cause::BufferStall => "buffer_stall",
             Cause::Translation => "translation",
+            Cause::PcmPersist => "pcm_persist",
         }
     }
 

@@ -49,6 +49,7 @@ fn main() {
         record_size: 100,
         checkpoint_every: 0,
         group_commit: 1,
+        ..DbConfig::default()
     };
     let mut flash_cfg = SsdConfig::modern();
     flash_cfg.buffer.capacity_pages = 0;

@@ -44,6 +44,7 @@ fn main() {
         record_size: 100,
         checkpoint_every: 400,
         group_commit: 1,
+        ..DbConfig::default()
     };
 
     println!("# one storage manager, two persistence worlds\n");
