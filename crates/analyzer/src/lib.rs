@@ -30,7 +30,9 @@
 pub mod allow;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 pub mod workspace;
 
 use std::fs;
@@ -38,7 +40,9 @@ use std::path::Path;
 
 use allow::AllowList;
 use diag::Diagnostic;
-use rules::FileCtx;
+use parser::ParsedFile;
+use rules::{FileCtx, SemCtx};
+use symbols::SymbolTable;
 use workspace::{FileCat, Workspace};
 
 /// Outcome of a whole-workspace run.
@@ -89,11 +93,46 @@ pub fn run(root: &Path, mut allowlist: AllowList) -> Result<Report, String> {
     })
 }
 
+/// One in-memory source file for [`lint_files`]: the multi-file entry
+/// point fixtures and the workspace run share.
+pub struct FileInput {
+    /// Package name of the owning crate (e.g. `requiem-ssd`).
+    pub crate_name: String,
+    /// Workspace-relative path.
+    pub rel: String,
+    /// File category.
+    pub cat: FileCat,
+    /// Source text.
+    pub text: String,
+}
+
+/// A lexed + parsed file, ready for both rule passes.
+struct PreparedFile<'a> {
+    input: &'a FileInput,
+    toks: Vec<lexer::Tok>,
+    test_mask: Vec<bool>,
+    parsed: ParsedFile,
+}
+
 fn collect_diagnostics(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
-    let mut out = Vec::new();
+    // pass 0: read every file once
+    let mut inputs = Vec::new();
     for krate in &ws.crates {
-        // crate-scoped rules need the crate root's token stream
-        let root_file = krate
+        for f in &krate.files {
+            let text =
+                fs::read_to_string(&f.abs).map_err(|e| format!("read {}: {e}", f.abs.display()))?;
+            inputs.push(FileInput {
+                crate_name: krate.name.clone(),
+                rel: f.rel.clone(),
+                cat: f.cat,
+                text,
+            });
+        }
+    }
+    let mut out = lint_files(&inputs);
+    // crate-scoped rules need the crate root's token stream
+    for krate in &ws.crates {
+        let root = krate
             .files
             .iter()
             .find(|f| f.cat == FileCat::Main && f.rel.ends_with("src/lib.rs"))
@@ -102,44 +141,78 @@ fn collect_diagnostics(ws: &Workspace) -> Result<Vec<Diagnostic>, String> {
                     .files
                     .iter()
                     .find(|f| f.cat == FileCat::Main && f.rel.ends_with("src/main.rs"))
-            });
-        let root_toks = match root_file {
-            Some(f) => {
-                let text = fs::read_to_string(&f.abs)
-                    .map_err(|e| format!("read {}: {e}", f.abs.display()))?;
-                Some((lexer::lex(&text), f.rel.clone()))
-            }
-            None => None,
-        };
+            })
+            .and_then(|f| inputs.iter().find(|i| i.rel == f.rel));
+        let root_toks = root.map(|f| lexer::lex(&f.text));
         out.extend(rules::run_crate(
             krate,
-            root_toks.as_ref().map(|(t, _)| t.as_slice()),
-            root_toks
-                .as_ref()
-                .map(|(_, r)| r.as_str())
-                .unwrap_or(&krate.manifest_rel),
+            root_toks.as_deref(),
+            root.map(|f| f.rel.as_str()).unwrap_or(&krate.manifest_rel),
         ));
-        for f in &krate.files {
-            let text =
-                fs::read_to_string(&f.abs).map_err(|e| format!("read {}: {e}", f.abs.display()))?;
-            out.extend(lint_source(&krate.name, &f.rel, f.cat, &text));
-        }
     }
     Ok(out)
 }
 
-/// Lint a single file's source text — the unit the fixture tests drive.
+/// Lint a set of in-memory files as one workspace: pass 1 parses
+/// everything and builds the symbol table from `Main` files; pass 2 runs
+/// the token rules and the parser-backed semantic rules on each file.
+pub fn lint_files(inputs: &[FileInput]) -> Vec<Diagnostic> {
+    let prepared: Vec<PreparedFile<'_>> = inputs
+        .iter()
+        .map(|input| {
+            let toks = lexer::lex(&input.text);
+            let test_mask = lexer::test_mask(&toks);
+            let parsed = parser::parse(&toks);
+            PreparedFile {
+                input,
+                toks,
+                test_mask,
+                parsed,
+            }
+        })
+        .collect();
+    let table = SymbolTable::build(
+        prepared
+            .iter()
+            .filter(|p| p.input.cat == FileCat::Main)
+            .map(|p| {
+                (
+                    rules::short_name(&p.input.crate_name),
+                    p.input.rel.as_str(),
+                    &p.parsed,
+                )
+            }),
+    );
+    let mut out = Vec::new();
+    for p in &prepared {
+        let ctx = FileCtx {
+            crate_name: &p.input.crate_name,
+            rel: &p.input.rel,
+            cat: p.input.cat,
+            toks: &p.toks,
+            test_mask: &p.test_mask,
+        };
+        out.extend(rules::run_file(&ctx));
+        let sem = SemCtx {
+            file: &ctx,
+            parsed: &p.parsed,
+            symbols: &table,
+        };
+        out.extend(rules::run_sem(&sem));
+    }
+    out
+}
+
+/// Lint a single file's source text — the unit the token-rule fixture
+/// tests drive. Symbol resolution sees only this file; multi-crate
+/// fixtures use [`lint_files`].
 pub fn lint_source(crate_name: &str, rel: &str, cat: FileCat, text: &str) -> Vec<Diagnostic> {
-    let toks = lexer::lex(text);
-    let test_mask = lexer::test_mask(&toks);
-    let ctx = FileCtx {
-        crate_name,
-        rel,
+    lint_files(&[FileInput {
+        crate_name: crate_name.to_string(),
+        rel: rel.to_string(),
         cat,
-        toks: &toks,
-        test_mask: &test_mask,
-    };
-    rules::run_file(&ctx)
+        text: text.to_string(),
+    }])
 }
 
 /// Load the allowlist at `path`; a missing file yields an empty list.

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! requiem-lint [--workspace] [--root PATH] [--allow PATH] [--json] [-D] [--deny-stale]
+//! requiem-lint --explain RULE
 //! ```
 //!
 //! * `--workspace` — lint every member crate (the default and only mode;
 //!   the flag is accepted for symmetry with cargo's own subcommands).
+//! * `--explain RULE` — print one rule's full entry (summary, rationale,
+//!   bad/ok examples) from the same table that drives the checks, then
+//!   exit. `--explain all` lists every rule.
 //! * `--root PATH` — workspace root; default: walk up from the current
 //!   directory to the first `Cargo.toml` containing `[workspace]`.
 //! * `--allow PATH` — allowlist file; default `<root>/lint.allow.toml`.
@@ -25,6 +29,7 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use analyzer::rules;
 use analyzer::workspace;
 
 struct Args {
@@ -33,6 +38,7 @@ struct Args {
     json: bool,
     deny_allowed: bool,
     deny_stale: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         deny_allowed: false,
         deny_stale: false,
+        explain: None,
     };
     let mut it = env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,17 +63,50 @@ fn parse_args() -> Result<Args, String> {
                 args.allow = Some(PathBuf::from(v));
             }
             "--json" => args.json = true,
+            "--explain" => {
+                let v = it.next().ok_or("--explain requires a rule id (or `all`)")?;
+                args.explain = Some(v);
+            }
             "-D" => args.deny_allowed = true,
             "--deny-stale" => args.deny_stale = true,
             "--help" | "-h" => {
                 return Err("usage: requiem-lint [--workspace] [--root PATH] \
-                            [--allow PATH] [--json] [-D] [--deny-stale]"
+                            [--allow PATH] [--json] [-D] [--deny-stale] \
+                            | --explain RULE"
                     .to_string());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
     Ok(args)
+}
+
+/// Print one rule's table entry (or all of them).
+fn explain(id: &str) -> ExitCode {
+    if id.eq_ignore_ascii_case("all") {
+        for r in rules::RULES {
+            println!("{:6} [{}] {}", r.id, r.family, r.summary);
+        }
+        println!("\nrun `requiem-lint --explain RULE` for one rule's rationale and examples");
+        return ExitCode::SUCCESS;
+    }
+    let Some(r) = rules::rule(id) else {
+        eprintln!(
+            "requiem-lint: unknown rule `{id}` — known: {}",
+            rules::RULES
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} — {}", r.id, r.summary);
+    println!("family: {}\n", r.family);
+    println!("{}\n", r.rationale);
+    println!("bad:\n{}\n", r.bad);
+    println!("ok:\n{}", r.ok);
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -77,6 +117,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(id) = &args.explain {
+        return explain(id);
+    }
     let root = match args.root.or_else(|| {
         env::current_dir()
             .ok()

@@ -1,0 +1,259 @@
+//! LAY03 — the *call graph* respects the Figure-2 DAG.
+//!
+//! LAY01 polices `Cargo.toml` and LAY02 polices `requiem_*` tokens, but
+//! neither sees an edge that arrives through a re-export (the root
+//! crate `requiem` re-exports the whole stack and its name carries no
+//! `requiem_` prefix) or through a method call on a value handed down
+//! from above. LAY03 closes that hole: every call site in `Main`,
+//! non-test code is resolved against the workspace symbol table
+//! ([`crate::symbols`]) and the resulting cross-crate edge must point
+//! *down* the DAG.
+//!
+//! Resolution is deliberately conservative (deny-by-default linters
+//! cannot afford false positives):
+//!
+//! * `Type::assoc(…)` / `Enum::Variant(…)` — resolved when the type is
+//!   defined by exactly one workspace crate.
+//! * `recv.method(…)` — resolved when every workspace fn of that name
+//!   lives in one crate, takes `self`, and the name is not on the
+//!   common-method stoplist (`new`, `len`, `push`, … collide with std).
+//! * `func(…)` — resolved through this file's `use` imports, else like
+//!   methods.
+//! * `requiem_x::…` paths are *skipped* — LAY02 already flags every
+//!   such token, and double-reporting helps no one.
+
+use std::collections::BTreeSet;
+
+use super::layering::allowed_for;
+use super::SemCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::parser::Call;
+
+/// Method/function names too generic to attribute to a crate by name
+/// alone: they collide with std or appear on unrelated local types.
+const STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "clear",
+    "drain",
+    "fmt",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "abs",
+    "entry",
+    "keys",
+    "values",
+    "append",
+    "extend",
+    "sort",
+    "retain",
+    "split",
+    "join",
+    "write",
+    "read",
+    "flush",
+    "reset",
+    "start",
+    "stop",
+    "run",
+    "id",
+    "name",
+    "init",
+    "build",
+    "open",
+    "close",
+    "apply",
+    "merge",
+    "update",
+    "add",
+    "sub",
+    "total",
+    "count",
+    "sum",
+    "clamp",
+    "checked_sub",
+    "saturating_sub",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "send",
+    "recv",
+    "lock",
+    "borrow",
+    "borrow_mut",
+];
+
+/// Run LAY03 on one file's parsed tree.
+pub fn check(sem: &SemCtx<'_>) -> Vec<Diagnostic> {
+    let ctx = sem.file;
+    if !ctx.cat.is_main() {
+        return Vec::new();
+    }
+    let me = ctx.short();
+    let Some(allowed) = allowed_for(me) else {
+        return Vec::new(); // LAY01 reports unknown crates
+    };
+    // Idents visible in this file: a method edge is only trusted when a
+    // receiver type of that method is at least *named* here.
+    let idents: BTreeSet<&str> = ctx
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    let mut out = Vec::new();
+    for f in &sem.parsed.fns {
+        if sem.fn_in_test(f) {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        body.for_each_expr(&mut |e| {
+            for call in &e.calls {
+                let Some((target, how)) = resolve(sem, call, &idents) else {
+                    continue;
+                };
+                if target == me || allowed.contains(&target.as_str()) {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    rule: "LAY03",
+                    path: ctx.rel.to_string(),
+                    line: call.line,
+                    message: format!(
+                        "call `{}` resolves to crate `{}` ({how}), which is not below `{me}` in the Figure-2 DAG",
+                        call.path_str(),
+                        target
+                    ),
+                    suggestion: format!(
+                        "route through a lower layer or move the callee down (allowed for {me}: {})",
+                        if allowed.is_empty() {
+                            "none".to_string()
+                        } else {
+                            allowed.join(", ")
+                        }
+                    ),
+                });
+            }
+        });
+    }
+    out
+}
+
+/// Resolve a call site to the crate that owns the callee, with a short
+/// description of *how* it resolved (for the diagnostic). `None` means
+/// unresolvable — no edge is recorded.
+fn resolve(
+    sem: &SemCtx<'_>,
+    call: &Call,
+    idents: &BTreeSet<&str>,
+) -> Option<(String, &'static str)> {
+    let name = call.name();
+    let first = call.path.first().map(|s| s.as_str()).unwrap_or("");
+    // `requiem_x::…` — LAY02's territory.
+    if first.starts_with("requiem_") {
+        return None;
+    }
+    // `requiem::…` — the root re-export: resolve the second segment as a
+    // workspace type.
+    if first == "requiem" && call.path.len() >= 3 {
+        return resolve_type(sem, &call.path[1]).map(|c| (c, "via the `requiem` re-export"));
+    }
+    if call.path.len() >= 2 {
+        // `Type::assoc(…)` / `Enum::Variant(…)`: the segment before the
+        // callee names the owner.
+        let qual = &call.path[call.path.len() - 2];
+        if qual.chars().next().map(|c| c.is_ascii_uppercase()) == Some(true) {
+            return resolve_type(sem, qual).map(|c| (c, "type owner"));
+        }
+        // `module::func(…)`: resolve the head through this file's
+        // imports.
+        if let Some(c) = resolve_import(sem, first) {
+            return Some((c, "imported module"));
+        }
+        return None;
+    }
+    // Single-segment *plain* calls reach another crate only through an
+    // import (a bare `helper()` otherwise names something in this crate),
+    // so they resolve via `use` declarations or not at all.
+    if !call.method {
+        if let Some(c) = resolve_import(sem, name) {
+            return Some((c, "imported fn"));
+        }
+        return None;
+    }
+    // Method calls: workspace-unique name, off the stoplist, every def a
+    // method, and at least one receiver type named in this file —
+    // otherwise the receiver is far more likely a std or local type that
+    // happens to share a method name.
+    if STOPLIST.contains(&name) {
+        return None;
+    }
+    let defs = sem.symbols.defs(name);
+    if defs.is_empty() || !defs.iter().all(|d| d.has_self) {
+        return None;
+    }
+    if !defs
+        .iter()
+        .any(|d| d.self_ty.as_deref().is_some_and(|t| idents.contains(t)))
+    {
+        return None;
+    }
+    sem.symbols
+        .sole_crate(name)
+        .map(|c| (c.to_string(), "sole defining crate"))
+}
+
+/// The single crate defining type `ty`, if unambiguous.
+fn resolve_type(sem: &SemCtx<'_>, ty: &str) -> Option<String> {
+    let crates = sem.symbols.types.get(ty)?;
+    if crates.len() == 1 {
+        crates.iter().next().cloned()
+    } else {
+        None
+    }
+}
+
+/// Resolve `head` through this file's `use` declarations to a workspace
+/// crate (short name): `use requiem_flash::array;` makes `array` an
+/// import of `flash`; `use requiem::Ssd;` resolves `Ssd` through the
+/// symbol table.
+fn resolve_import(sem: &SemCtx<'_>, head: &str) -> Option<String> {
+    for u in &sem.parsed.uses {
+        if u.alias != head {
+            continue;
+        }
+        let root = u.segs.first()?;
+        if let Some(short) = root.strip_prefix("requiem_") {
+            return Some(short.to_string());
+        }
+        if root == "requiem" {
+            // re-export: resolve the imported name as a type
+            return resolve_type(sem, u.segs.last()?);
+        }
+    }
+    None
+}

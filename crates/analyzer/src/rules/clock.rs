@@ -1,0 +1,396 @@
+//! CLK01 — clock discipline on the device-driving path.
+//!
+//! The completion-driven executor (PR 5) runs on an *event clock*: every
+//! synchronous device interaction returns the time at which the device
+//! finished, and the caller must fold that result into its clock
+//! (`self.now = self.now.max(done)`, `end = end.max(f.done)`) before
+//! driving the device again — `exec.rs` calls this "pulling now
+//! forward". Forgetting the fold submits the next command *in the
+//! device's past*, which silently breaks global submission monotonicity
+//! and, with it, deterministic replay.
+//!
+//! CLK01 automates the convention: inside a fn, once a time binding
+//! (`now`/`end`/any `SimTime` parameter or snapshot, including
+//! `self.now`) has been passed to a *device-driving* call — one whose
+//! return type establishes a new time head (`SimTime`, `WalForce`,
+//! `IoCompletion`, `ReadDone`) — the binding is **stale** until
+//! reassigned. Passing a stale binding to another device-driving call is
+//! the flagged hazard. Measurement uses stay legal: probe spans,
+//! `since()`, histograms and plain arithmetic never flag, because only
+//! device-driving calls are checked.
+//!
+//! The rule is **opt-in per fn**: it only fires inside a fn that
+//! *rebinds* a clock somewhere (`now = …`, `end = end.max(…)`,
+//! `self.now = …`) — i.e. a fn that demonstrably follows the
+//! pull-now-forward convention. Fns that never rebind (a submit shim
+//! that stamps every completion with its single `now` argument, a
+//! same-instant retry loop) use one instant *by design*, and flagging
+//! them would police a convention they never adopted.
+//!
+//! Branches are analyzed path-locally and merged optimistically (a
+//! binding is stale after an `if` only if both arms left it stale), and
+//! loop bodies are analyzed once — first-iteration semantics. Both
+//! choices trade false negatives for zero false positives, the right
+//! trade for a deny-by-default gate.
+
+use super::SemCtx;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{ArmBody, Block, Call, ExprInfo, Stmt};
+use std::collections::BTreeMap;
+
+/// Crates on the device-driving path.
+const SCOPE: &[&str] = &["db", "block", "iface", "ssd"];
+
+/// Time-arithmetic / accessor methods that *combine* clocks rather than
+/// drive the device — never treated as device-driving even though they
+/// return `SimTime`.
+const TIME_ARITH: &[&str] = &[
+    "max",
+    "min",
+    "since",
+    "elapsed",
+    "saturating_sub",
+    "checked_sub",
+    "mul_f64",
+    "from_nanos",
+    "from_micros",
+    "from_millis",
+    "from_secs",
+    "clamp",
+    "plus",
+    "add",
+    "sub",
+    "zero",
+    "now",
+];
+
+/// Staleness state of one clock binding.
+#[derive(Clone, Debug)]
+struct ClockVar {
+    stale: Option<Staleness>,
+}
+
+/// Why a binding is stale.
+#[derive(Clone, Debug)]
+struct Staleness {
+    /// The device-driving call that produced a newer head.
+    by: String,
+    /// Its line.
+    line: u32,
+}
+
+type State = BTreeMap<String, ClockVar>;
+
+/// Run CLK01 on one file's parsed tree.
+pub fn check(sem: &SemCtx<'_>) -> Vec<Diagnostic> {
+    let ctx = sem.file;
+    if !ctx.cat.is_main() || !SCOPE.contains(&ctx.short()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &sem.parsed.fns {
+        if sem.fn_in_test(f) {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut state: State = State::new();
+        for p in &f.params {
+            if p.ty.len() == 1 && p.ty[0] == "SimTime" && !p.name.is_empty() {
+                state.insert(p.name.clone(), ClockVar { stale: None });
+            }
+        }
+        // `self.now` is always a candidate clock head
+        state.insert("self.now".to_string(), ClockVar { stale: None });
+        let mut fn_out = Vec::new();
+        let mut rebinds = false;
+        walk(sem, body, &mut state, &mut fn_out, &mut rebinds);
+        // opt-in: only fns that rebind a clock follow the convention
+        if rebinds {
+            out.append(&mut fn_out);
+        }
+    }
+    out
+}
+
+/// True when the call's return type establishes a new time head, by the
+/// all-definitions rule (type-qualified calls prefer exact-type defs).
+fn device_driving(sem: &SemCtx<'_>, call: &Call) -> bool {
+    let name = call.name();
+    if TIME_ARITH.contains(&name) {
+        return false;
+    }
+    if call.path.len() >= 2 {
+        let qual = &call.path[call.path.len() - 2];
+        let typed: Vec<_> = sem
+            .symbols
+            .defs(name)
+            .iter()
+            .filter(|d| d.self_ty.as_deref() == Some(qual.as_str()))
+            .cloned()
+            .collect();
+        if !typed.is_empty() {
+            return typed
+                .iter()
+                .all(|d| crate::symbols::time_returning_ret(&d.ret));
+        }
+    }
+    sem.symbols.all_defs_time_returning(name)
+}
+
+/// Clock bindings (including `self.now`) appearing in `toks[lo..hi]`.
+fn clocks_in(toks: &[Tok], lo: usize, hi: usize, state: &State) -> Vec<String> {
+    let hi = hi.min(toks.len());
+    let mut found = Vec::new();
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            if t.text == "self"
+                && toks.get(i + 1).map(|n| n.is_punct('.')).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_ident("now")).unwrap_or(false)
+            {
+                if state.contains_key("self.now") && !found.iter().any(|f| f == "self.now") {
+                    found.push("self.now".to_string());
+                }
+                i += 3;
+                continue;
+            }
+            // a bare clock ident — but not a field of something else
+            // (`f.done` where `done` is a clock name would mislead)
+            let preceded_by_dot = i > 0 && toks[i - 1].is_punct('.');
+            if !preceded_by_dot
+                && state.contains_key(&t.text)
+                && !found.iter().any(|f| f == &t.text)
+            {
+                found.push(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    found
+}
+
+/// Process one expression: flag stale clock uses in device-driving
+/// calls, then mark clocks passed to device-driving calls stale.
+fn scan_expr(
+    sem: &SemCtx<'_>,
+    e: &ExprInfo,
+    state: &mut State,
+    out: &mut Vec<Diagnostic>,
+    rebinds: &mut bool,
+) {
+    let toks = sem.file.toks;
+    for call in &e.calls {
+        if !device_driving(sem, call) {
+            continue;
+        }
+        let mut passed = Vec::new();
+        for (alo, ahi) in &call.args {
+            passed.extend(clocks_in(toks, *alo, *ahi, state));
+        }
+        // 1. uses of stale clocks → diagnostic
+        for c in &passed {
+            if let Some(st) = state.get(c).and_then(|v| v.stale.clone()) {
+                out.push(Diagnostic {
+                    rule: "CLK01",
+                    path: sem.file.rel.to_string(),
+                    line: call.line,
+                    message: format!(
+                        "time binding `{c}` is stale here: `{}` (line {}) returned a newer time head that was never folded in",
+                        st.by, st.line
+                    ),
+                    suggestion: format!(
+                        "pull the clock forward first (`{c} = {c}.max(…)`) as exec.rs's event-clock convention requires"
+                    ),
+                });
+            }
+        }
+        // 2. this call produces a newer head → the clocks it consumed go
+        // stale until reassigned
+        for c in passed {
+            if let Some(v) = state.get_mut(&c) {
+                if v.stale.is_none() {
+                    v.stale = Some(Staleness {
+                        by: call.path_str(),
+                        line: call.line,
+                    });
+                }
+            }
+        }
+    }
+    // assignments refresh: `c = …` / `self.now = …` anywhere in the expr
+    refresh_assignments(toks, e.lo, e.hi, state, rebinds);
+}
+
+/// Detect `<clock> = …` (simple assignment, not `==`) and mark the
+/// clock fresh again. Sets `rebinds` whenever a tracked clock is
+/// assigned — the signal that the enclosing fn follows the
+/// pull-now-forward convention at all.
+fn refresh_assignments(toks: &[Tok], lo: usize, hi: usize, state: &mut State, rebinds: &mut bool) {
+    let hi = hi.min(toks.len());
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let (key, eq_at) = if t.text == "self"
+                && toks.get(i + 1).map(|n| n.is_punct('.')).unwrap_or(false)
+                && toks.get(i + 2).map(|n| n.is_ident("now")).unwrap_or(false)
+            {
+                ("self.now".to_string(), i + 3)
+            } else {
+                (t.text.clone(), i + 1)
+            };
+            let is_assign = toks.get(eq_at).map(|n| n.is_punct('=')).unwrap_or(false)
+                && !toks.get(eq_at + 1).map(|n| n.is_punct('=')).unwrap_or(false)
+                && !toks
+                    .get(eq_at.wrapping_sub(1))
+                    .map(|n| {
+                        n.is_punct('=') || n.is_punct('!') || n.is_punct('<') || n.is_punct('>')
+                    })
+                    .unwrap_or(false)
+                // exclude `…day == key` forms handled above and struct
+                // field inits `now: x` are `:` not `=`, nothing to do
+                ;
+            if is_assign && eq_at == i + 3 {
+                // self.now = …
+                if let Some(v) = state.get_mut(&key) {
+                    v.stale = None;
+                    *rebinds = true;
+                }
+            } else if is_assign && eq_at == i + 1 && state.contains_key(&key) {
+                // plain ident; make sure it is not a field access
+                // (`x.end = …` must not refresh `end`)
+                let preceded_by_dot = i > 0 && toks[i - 1].is_punct('.');
+                if !preceded_by_dot {
+                    if let Some(v) = state.get_mut(&key) {
+                        v.stale = None;
+                        *rebinds = true;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Optimistic merge: stale only where *every* branch left it stale.
+fn merge(into: &mut State, branches: Vec<State>) {
+    for (name, var) in into.iter_mut() {
+        let all_stale = branches
+            .iter()
+            .all(|b| b.get(name).map(|v| v.stale.is_some()).unwrap_or(false));
+        if !all_stale {
+            var.stale = None;
+        } else if var.stale.is_none() {
+            var.stale = branches
+                .iter()
+                .find_map(|b| b.get(name).and_then(|v| v.stale.clone()));
+        }
+    }
+}
+
+fn walk(
+    sem: &SemCtx<'_>,
+    block: &Block,
+    state: &mut State,
+    out: &mut Vec<Diagnostic>,
+    rebinds: &mut bool,
+) {
+    let toks = sem.file.toks;
+    for s in &block.stmts {
+        match s {
+            Stmt::Let(l) => {
+                if let Some(init) = &l.init {
+                    scan_expr(sem, init, state, out, rebinds);
+                    // a snapshot of a clock is itself a clock:
+                    // `let end = self.now;` / `let t = now;` /
+                    // `let t = now.max(x);`
+                    if l.names.len() == 1 && !l.wild {
+                        let snap = clocks_in(toks, init.lo, init.hi, state);
+                        let pure_time = init.calls.iter().all(|c| TIME_ARITH.contains(&c.name()));
+                        if !snap.is_empty() && pure_time {
+                            state.insert(l.names[0].clone(), ClockVar { stale: None });
+                        }
+                    }
+                }
+                if let Some(els) = &l.els {
+                    let mut b = state.clone();
+                    walk(sem, els, &mut b, out, rebinds); // diverges; state unchanged
+                }
+            }
+            Stmt::Expr(e) => scan_expr(sem, &e.expr, state, out, rebinds),
+            Stmt::Return(r) => {
+                if let Some(e) = &r.expr {
+                    scan_expr(sem, e, state, out, rebinds);
+                }
+            }
+            Stmt::If(i) => {
+                scan_expr(sem, &i.cond, state, out, rebinds);
+                let mut then_state = state.clone();
+                walk(sem, &i.then, &mut then_state, out, rebinds);
+                let mut branches = vec![then_state];
+                if let Some(e) = &i.els {
+                    let mut else_state = state.clone();
+                    walk_stmt(sem, e, &mut else_state, out, rebinds);
+                    branches.push(else_state);
+                } else {
+                    branches.push(state.clone()); // fall-through arm
+                }
+                merge(state, branches);
+            }
+            Stmt::Match(m) => {
+                scan_expr(sem, &m.scrutinee, state, out, rebinds);
+                let mut branches = Vec::new();
+                for arm in &m.arms {
+                    let mut astate = state.clone();
+                    match &arm.body {
+                        ArmBody::Block(b) => walk(sem, b, &mut astate, out, rebinds),
+                        ArmBody::Expr(e) => scan_expr(sem, e, &mut astate, out, rebinds),
+                    }
+                    branches.push(astate);
+                }
+                if !branches.is_empty() {
+                    merge(state, branches);
+                }
+            }
+            Stmt::Loop(l) => {
+                if let Some(h) = &l.header {
+                    scan_expr(sem, h, state, out, rebinds);
+                }
+                let mut b = state.clone();
+                walk(sem, &l.body, &mut b, out, rebinds);
+                merge(state, vec![b, state.clone()]);
+            }
+            Stmt::Block(b) => walk(sem, b, state, out, rebinds),
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Item => {}
+        }
+    }
+}
+
+fn walk_stmt(
+    sem: &SemCtx<'_>,
+    s: &Stmt,
+    state: &mut State,
+    out: &mut Vec<Diagnostic>,
+    rebinds: &mut bool,
+) {
+    match s {
+        Stmt::Block(b) => walk(sem, b, state, out, rebinds),
+        Stmt::If(i) => {
+            scan_expr(sem, &i.cond, state, out, rebinds);
+            let mut then_state = state.clone();
+            walk(sem, &i.then, &mut then_state, out, rebinds);
+            let mut branches = vec![then_state];
+            if let Some(e) = &i.els {
+                let mut else_state = state.clone();
+                walk_stmt(sem, e, &mut else_state, out, rebinds);
+                branches.push(else_state);
+            } else {
+                branches.push(state.clone());
+            }
+            merge(state, branches);
+        }
+        _ => {}
+    }
+}

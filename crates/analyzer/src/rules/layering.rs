@@ -53,7 +53,9 @@ pub const ALLOWED: &[(&str, &[&str])] = &[
     ("analyzer", &[]),
 ];
 
-fn allowed_for(short: &str) -> Option<&'static [&'static str]> {
+/// The allowed lower layers for a crate (by short name), or `None` when
+/// the crate is not in the table. Shared with LAY03's call-graph check.
+pub fn allowed_for(short: &str) -> Option<&'static [&'static str]> {
     ALLOWED
         .iter()
         .find(|(name, _)| *name == short)

@@ -1,0 +1,27 @@
+// CLK01 fixture: a fn that follows the pull-now-forward convention
+// (it rebinds its clock) but reuses a stale binding on one path.
+#[derive(Clone, Copy)]
+pub struct SimTime;
+
+impl SimTime {
+    pub fn max(self, _o: SimTime) -> SimTime {
+        self
+    }
+}
+
+pub struct Dev;
+
+impl Dev {
+    pub fn submit(&mut self, t: SimTime) -> SimTime {
+        t
+    }
+}
+
+pub fn stale_reuse(d: &mut Dev, now: SimTime) -> SimTime {
+    let mut end = now; // snapshot of a clock is a clock
+    let done = d.submit(end); // `end` goes stale
+    end = end.max(done); // folded forward — convention adopted
+    let d2 = d.submit(end); // fresh use, marks `end` stale again
+    let d3 = d.submit(end); // CLK01: stale — `d2` was never folded in
+    end.max(d2).max(d3)
+}

@@ -1,0 +1,37 @@
+// CLK01 clean twin: every device-driving call sees a freshly folded
+// clock — plus a fn that never rebinds, which the opt-in gate exempts
+// (same-instant fan-out is a design choice, not a hazard).
+#[derive(Clone, Copy)]
+pub struct SimTime;
+
+impl SimTime {
+    pub fn max(self, _o: SimTime) -> SimTime {
+        self
+    }
+}
+
+pub struct Dev;
+
+impl Dev {
+    pub fn submit(&mut self, t: SimTime) -> SimTime {
+        t
+    }
+}
+
+pub fn pulled_forward(d: &mut Dev, now: SimTime) -> SimTime {
+    let mut end = now;
+    let done = d.submit(end);
+    end = end.max(done);
+    let d2 = d.submit(end);
+    end = end.max(d2);
+    let d3 = d.submit(end);
+    end.max(d3)
+}
+
+pub fn same_instant_fanout(d: &mut Dev, now: SimTime) -> SimTime {
+    // no rebind anywhere in this fn: both submissions are *meant* to
+    // carry the same timestamp, so the convention does not apply
+    let a = d.submit(now);
+    let b = d.submit(now);
+    a.max(b)
+}

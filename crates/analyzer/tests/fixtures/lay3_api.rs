@@ -1,0 +1,14 @@
+// LAY03 fixture: the "ssd" side of a cross-crate call edge. Defines a
+// type with a workspace-unique method and an associated constructor so
+// callers in other fixture files produce resolvable call-graph edges.
+pub struct SsdThing;
+
+impl SsdThing {
+    pub fn mk() -> SsdThing {
+        SsdThing
+    }
+
+    pub fn do_ssd_op(&mut self, t: u64) -> u64 {
+        t
+    }
+}

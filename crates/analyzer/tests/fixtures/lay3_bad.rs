@@ -1,0 +1,15 @@
+// LAY03 fixture: linted as crate `flash`, whose only allowed dependency
+// is `sim`. Both call edges below resolve to crate `ssd` — *above*
+// flash in the Figure-2 DAG — without a single `requiem_*` token, so
+// LAY02 cannot see them; only the call-graph pass can.
+pub fn up_the_stack(thing: &mut SsdThing, t: u64) -> u64 {
+    // method edge: `do_ssd_op` is workspace-unique, takes self, and its
+    // receiver type is named in this file
+    thing.do_ssd_op(t)
+}
+
+pub fn up_via_type(t: u64) -> u64 {
+    // type-owner edge: `SsdThing::mk` names the owning type directly
+    let mut thing = SsdThing::mk();
+    thing.do_ssd_op(t)
+}

@@ -1,0 +1,11 @@
+// LAY03 clean twin: the *same* call edges as lay3_bad.rs, but linted as
+// crate `db` — and db sits above ssd in the Figure-2 DAG, so calling
+// down is exactly what the architecture prescribes.
+pub fn down_the_stack(thing: &mut SsdThing, t: u64) -> u64 {
+    thing.do_ssd_op(t)
+}
+
+pub fn down_via_type(t: u64) -> u64 {
+    let mut thing = SsdThing::mk();
+    thing.do_ssd_op(t)
+}

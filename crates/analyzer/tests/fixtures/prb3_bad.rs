@@ -1,0 +1,47 @@
+// PRB03 fixture: command scopes left live on an exit path — a `?` that
+// drop-aborts, a fall-through past an early-return branch, and a scope
+// dropped at the end of its own statement.
+pub struct Probe;
+
+pub struct Scope;
+
+impl Probe {
+    pub fn open_command(&self, _k: &str, _t: u64) -> Scope {
+        Scope
+    }
+}
+
+impl Scope {
+    pub fn close(self, _t: u64) {}
+    pub fn detach(self) -> u64 {
+        0
+    }
+    pub fn abort(self) {}
+}
+
+pub fn fallible(t: u64) -> Result<u64, ()> {
+    Ok(t)
+}
+
+pub fn question_mark_leak(p: &Probe, t: u64) -> Result<u64, ()> {
+    let scope = p.open_command("io", t);
+    let d = fallible(t)?; // PRB03: `?` while `scope` is live
+    scope.close(d);
+    Ok(d)
+}
+
+pub fn fall_through_leak(p: &Probe, t: u64, hit: bool) -> u64 {
+    let scope = p.open_command("io", t);
+    if hit {
+        scope.close(t);
+        return t;
+    }
+    // PRB03: the early-return branch closed its copy, but this path
+    // reaches the end of the fn with `scope` still live
+    t
+}
+
+pub fn dropped_statement(p: &Probe, t: u64) {
+    // PRB03: the scope is dropped (aborted) at the semicolon
+    p.open_command("io", t);
+}

@@ -1,0 +1,53 @@
+// PRB03 clean twin: every exit path resolves its scope — explicit
+// `abort()` on the error path, `detach()` for out-of-order completion,
+// and a close on both arms of a branch.
+pub struct Probe;
+
+pub struct Scope;
+
+impl Probe {
+    pub fn open_command(&self, _k: &str, _t: u64) -> Scope {
+        Scope
+    }
+}
+
+impl Scope {
+    pub fn close(self, _t: u64) {}
+    pub fn detach(self) -> u64 {
+        0
+    }
+    pub fn abort(self) {}
+}
+
+pub fn fallible(t: u64) -> Result<u64, ()> {
+    Ok(t)
+}
+
+pub fn abort_on_error(p: &Probe, t: u64) -> Result<u64, ()> {
+    let scope = p.open_command("io", t);
+    let d = match fallible(t) {
+        Ok(d) => d,
+        Err(e) => {
+            scope.abort();
+            return Err(e);
+        }
+    };
+    scope.close(d);
+    Ok(d)
+}
+
+pub fn detach_for_later(p: &Probe, t: u64) -> u64 {
+    let scope = p.open_command("io", t);
+    let id = scope.detach();
+    id + t
+}
+
+pub fn closed_on_both_arms(p: &Probe, t: u64, hit: bool) -> u64 {
+    let scope = p.open_command("io", t);
+    if hit {
+        scope.close(t);
+        return t;
+    }
+    scope.close(t);
+    t
+}

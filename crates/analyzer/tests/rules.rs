@@ -10,12 +10,30 @@
 use std::path::Path;
 
 use analyzer::workspace::{CrateInfo, FileCat};
-use analyzer::{lexer, lint_source, rules};
+use analyzer::{lexer, lint_source, rules, FileInput};
 
 /// Lint fixture `text` as main-crate code of `crate_name` at `rel`,
 /// returning the fired rule ids.
 fn fired(crate_name: &str, rel: &str, text: &str) -> Vec<&'static str> {
     lint_source(crate_name, rel, FileCat::Main, text)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+/// Lint several in-memory files as one workspace (cross-crate symbol
+/// resolution), returning the fired rule ids.
+fn fired_files(files: &[(&str, &str, &str)]) -> Vec<&'static str> {
+    let inputs: Vec<FileInput> = files
+        .iter()
+        .map(|(krate, rel, text)| FileInput {
+            crate_name: krate.to_string(),
+            rel: rel.to_string(),
+            cat: FileCat::Main,
+            text: text.to_string(),
+        })
+        .collect();
+    analyzer::lint_files(&inputs)
         .into_iter()
         .map(|d| d.rule)
         .collect()
@@ -203,22 +221,113 @@ fn uns_fixture_fires_and_crate_root_check_wants_forbid() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
-/// The real workspace must lint clean against the checked-in allowlist —
-/// and the allowlist must carry no stale entries.
+#[test]
+fn lay3_callgraph_fixture_fires_and_twin_is_clean() {
+    let api = include_str!("fixtures/lay3_api.rs");
+    // the same call edges, linted once from below (flash → ssd inverts
+    // the DAG) and once from above (db → ssd is the architecture)
+    let bad = fired_files(&[
+        ("requiem-ssd", "crates/ssd/src/fixture_api.rs", api),
+        (
+            "requiem-flash",
+            "crates/flash/src/fixture.rs",
+            include_str!("fixtures/lay3_bad.rs"),
+        ),
+    ]);
+    assert_eq!(
+        bad.iter().filter(|r| **r == "LAY03").count(),
+        3,
+        "method + type-owner edges expected: {bad:?}"
+    );
+    let ok = fired_files(&[
+        ("requiem-ssd", "crates/ssd/src/fixture_api.rs", api),
+        (
+            "requiem-db",
+            "crates/db/src/fixture.rs",
+            include_str!("fixtures/lay3_ok.rs"),
+        ),
+    ]);
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn ios_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-db",
+        "crates/db/src/fixture.rs",
+        include_str!("fixtures/ios_bad.rs"),
+    );
+    assert!(bad.contains(&"IOS01"), "fired: {bad:?}");
+    assert_eq!(
+        bad.iter().filter(|r| **r == "IOS02").count(),
+        3,
+        "discard + unconsumed + projection expected: {bad:?}"
+    );
+    let ok = fired(
+        "requiem-db",
+        "crates/db/src/fixture.rs",
+        include_str!("fixtures/ios_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn clk_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-db",
+        "crates/db/src/fixture.rs",
+        include_str!("fixtures/clk_bad.rs"),
+    );
+    assert_eq!(
+        bad.iter().filter(|r| **r == "CLK01").count(),
+        1,
+        "one stale reuse expected: {bad:?}"
+    );
+    let ok = fired(
+        "requiem-db",
+        "crates/db/src/fixture.rs",
+        include_str!("fixtures/clk_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+#[test]
+fn prb3_path_fixture_fires_and_twin_is_clean() {
+    let bad = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/prb3_bad.rs"),
+    );
+    assert_eq!(
+        bad.iter().filter(|r| **r == "PRB03").count(),
+        3,
+        "`?` leak + fall-through leak + dropped statement expected: {bad:?}"
+    );
+    let ok = fired(
+        "requiem-ssd",
+        "crates/ssd/src/fixture.rs",
+        include_str!("fixtures/prb3_ok.rs"),
+    );
+    assert!(ok.is_empty(), "clean twin fired: {ok:?}");
+}
+
+/// The real workspace must lint *completely* clean: zero diagnostics —
+/// not merely zero denied — and zero stale allowlist entries. This is
+/// the `-D --deny-stale` contract CI enforces.
 #[test]
 fn workspace_self_check_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let allow = analyzer::load_allowlist(&root.join("lint.allow.toml")).expect("allowlist parses");
     let report = analyzer::run(&root, allow).expect("lint runs");
-    let denied: Vec<String> = report.denied().map(|d| d.to_string()).collect();
+    let all: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|(d, _)| d.to_string())
+        .collect();
     assert!(
-        denied.is_empty(),
-        "workspace has non-allowlisted diagnostics:\n{}",
-        denied.join("\n")
-    );
-    assert!(
-        !report.diagnostics.is_empty(),
-        "self-check lost its teeth: the allowlisted exceptions should still be detected"
+        all.is_empty(),
+        "workspace has diagnostics (the tree must be clean under -D):\n{}",
+        all.join("\n")
     );
     let stale: Vec<String> = report
         .unused_allows

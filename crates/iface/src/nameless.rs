@@ -342,7 +342,7 @@ impl NamelessSsd {
                 );
                 return Err(());
             }
-            Err(e) => panic!("nameless controller bug: illegal program: {e}"),
+            Err(e) => unreachable!("nameless controller bug: illegal program: {e}"),
         };
         let g = self.lun_res[phys.lun.0 as usize].reserve_tagged(start, dur, occ);
         if self.probe.is_enabled() {
@@ -596,7 +596,7 @@ impl NamelessSsd {
                 let status = IoStatus::RecoveredAfterRetry { steps };
                 finish(self, cursor, payload, status)
             }
-            Err(e) => panic!("nameless controller bug: illegal read: {e}"),
+            Err(e) => unreachable!("nameless controller bug: illegal read: {e}"),
         }
     }
 
@@ -696,7 +696,7 @@ impl NamelessSsd {
                 self.dir.retire(lun, victim);
                 self.upcalls.push(Upcall::BlockRetired { at: t });
             }
-            Err(e) => panic!("nameless controller bug: illegal erase: {e}"),
+            Err(e) => unreachable!("nameless controller bug: illegal erase: {e}"),
         }
     }
 

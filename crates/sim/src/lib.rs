@@ -54,7 +54,7 @@ pub use fault::{FaultPlan, FaultView, IoStatus};
 pub use gantt::{Gantt, Span};
 pub use probe::{BackgroundGuard, Cause, CommandScope, Layer, Probe, ProbeSummary, SpanEvent};
 pub use resource::{Occupant, Resource, ResourceBank};
-pub use rng::SimRng;
+pub use rng::{ExpInterarrival, SimRng};
 pub use stats::{Counter, Histogram, Summary};
 pub use table::Table;
 pub use time::{SimDuration, SimTime};

@@ -344,6 +344,15 @@ impl CommandScope {
         self.id
     }
 
+    /// Abort the command explicitly: discard the unfinished record and
+    /// reopen the bus, exactly as the drop-abort would — but visibly, so
+    /// error paths can state their intent (`scope.abort(); return
+    /// Err(e);`) instead of relying on an implicit drop the reader (and
+    /// the `requiem-lint` PRB03 pass) cannot tell apart from a leak.
+    pub fn abort(self) {
+        drop(self);
+    }
+
     /// Close the command at `done`.
     pub fn close(mut self, done: SimTime) {
         let owned = self.owned;

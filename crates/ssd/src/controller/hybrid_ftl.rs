@@ -75,7 +75,10 @@ impl Ssd {
             );
             if need_evict {
                 let victim = match &self.map {
-                    MappingState::Hybrid(h) => h.lru_log().expect("pool full implies non-empty"),
+                    MappingState::Hybrid(h) => match h.lru_log() {
+                        Some(v) => v,
+                        None => unreachable!("pool full implies non-empty"),
+                    },
                     _ => unreachable!(),
                 };
                 t = self.merge_hybrid(t, victim)?;
@@ -92,7 +95,10 @@ impl Ssd {
             MappingState::Hybrid(h) => {
                 let prev = h.log_of(lbn).and_then(|l| l.latest[off as usize]);
                 let page = h.append_log(lbn, off);
-                let phys = h.log_of(lbn).expect("just appended").phys;
+                let phys = match h.log_of(lbn) {
+                    Some(l) => l.phys,
+                    None => unreachable!("log_of after append_log: just appended"),
+                };
                 (phys, page, prev)
             }
             _ => unreachable!(),
@@ -140,7 +146,9 @@ impl Ssd {
         let _bg = self.sched.probe.background();
         let (log, data) = match &mut self.map {
             MappingState::Hybrid(h) => {
-                let log = h.take_log(lbn).expect("merge without log block");
+                let Some(log) = h.take_log(lbn) else {
+                    unreachable!("merge_hybrid without a log block for lbn")
+                };
                 (log, h.data.lookup(lbn))
             }
             _ => unreachable!(),

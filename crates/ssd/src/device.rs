@@ -544,7 +544,13 @@ impl Ssd {
                 status: IoStatus::Ok,
             });
         };
-        let done = self.op_read(t1, phys, true, OpCause::Host)?;
+        let done = match self.op_read(t1, phys, true, OpCause::Host) {
+            Ok(d) => d,
+            Err(e) => {
+                scope.abort();
+                return Err(e);
+            }
+        };
         self.metrics.read_lun_wait.record_duration(done.lun_wait);
         self.metrics
             .read_channel_wait
@@ -655,10 +661,17 @@ impl Ssd {
         let t0 = link.end + self.cfg.controller_overhead;
         self.span_overhead(link.end, t0);
         let salvages_before = self.metrics.recovery.program_salvages;
-        let (done, served) = match self.cfg.ftl.clone() {
-            FtlKind::PageMap | FtlKind::Dftl { .. } => self.write_page_mapped(t0, lpn)?,
-            FtlKind::BlockMap => (self.write_block_mapped(t0, lpn)?, Served::Flash),
-            FtlKind::Hybrid { .. } => (self.write_hybrid(t0, lpn)?, Served::Flash),
+        let written = match self.cfg.ftl.clone() {
+            FtlKind::PageMap | FtlKind::Dftl { .. } => self.write_page_mapped(t0, lpn),
+            FtlKind::BlockMap => self.write_block_mapped(t0, lpn).map(|d| (d, Served::Flash)),
+            FtlKind::Hybrid { .. } => self.write_hybrid(t0, lpn).map(|d| (d, Served::Flash)),
+        };
+        let (done, served) = match written {
+            Ok(v) => v,
+            Err(e) => {
+                scope.abort();
+                return Err(e);
+            }
         };
         // any program salvage on this command's critical path means the
         // write completed only through the recovery pipeline

@@ -186,7 +186,9 @@ impl HybridState {
     pub fn append_log(&mut self, lbn: u64, offset: u32) -> u32 {
         self.next_stamp += 1;
         let stamp = self.next_stamp;
-        let log = self.logs.get_mut(&lbn).expect("no log block for lbn");
+        let Some(log) = self.logs.get_mut(&lbn) else {
+            unreachable!("append_log contract: no log block for lbn")
+        };
         assert!(log.next_page < self.pages_per_block, "log block full");
         let page = log.next_page;
         log.next_page += 1;

@@ -57,7 +57,15 @@ impl Ssd {
     pub fn io(&mut self, now: SimTime, req: IoRequest) -> Result<IoCompletion, SsdError> {
         let scope = self.probe().open_command(req.op.as_str(), now);
         let id = scope.id();
-        let c = self.dispatch(now, req)?;
+        let c = match self.dispatch(now, req) {
+            Ok(c) => c,
+            Err(e) => {
+                // the command never completed: drop its record and
+                // reopen the bus before surfacing the error
+                scope.abort();
+                return Err(e);
+            }
+        };
         scope.close(c.done);
         Ok(IoCompletion {
             tag: req.tag,
@@ -140,8 +148,15 @@ impl QueuePair {
             // predecessor). Charged as host-visible queueing.
             probe.span(Layer::Block, Cause::Queue, "sq", now, admit);
         }
-        // On error the scope drops here, aborting the probe command.
-        let c = ssd.dispatch(admit, req)?;
+        let c = match ssd.dispatch(admit, req) {
+            Ok(c) => c,
+            Err(e) => {
+                // abort the probe command explicitly: the record is
+                // discarded and the bus reopens for the next submit
+                scope.abort();
+                return Err(e);
+            }
+        };
         self.window.commit(admit, req.lba, c.done);
         scope.close(c.done);
         self.cq.push(

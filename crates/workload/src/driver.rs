@@ -16,7 +16,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use requiem_sim::time::{SimDuration, SimTime};
-use requiem_sim::{Histogram, SimRng};
+use requiem_sim::{ExpInterarrival, Histogram, SimRng};
 use requiem_ssd::{IoRequest, Lpn, QueuePair, Ssd};
 use serde::{Deserialize, Serialize};
 
@@ -233,13 +233,12 @@ pub fn run_open_loop(
     seed: u64,
     start_at: SimTime,
 ) -> DriverReport {
-    assert!(iops > 0.0, "offered rate must be positive");
+    let arrivals = ExpInterarrival::per_second(iops);
     let mut rng = SimRng::from_seed(seed).derive("driver-open");
     let mut latency = Histogram::new();
     let mut now = start_at;
     let mut last_done = start_at;
     let mut reads = 0u64;
-    let mean_gap_ns = 1e9 / iops;
     for _ in 0..ops {
         let lpn = Lpn(pattern.next_addr());
         let is_read = rng.chance(mix.read_fraction);
@@ -251,9 +250,7 @@ pub fn run_open_loop(
         };
         latency.record_duration(completion.latency);
         last_done = last_done.max(completion.done);
-        // exponential inter-arrival, floor 1ns to keep time strictly advancing
-        let gap = (-rng.unit().max(f64::MIN_POSITIVE).ln() * mean_gap_ns).max(1.0);
-        now += SimDuration::from_nanos(gap as u64);
+        now += arrivals.sample(&mut rng);
     }
     let makespan = last_done.since(start_at);
     let secs = makespan.as_secs_f64().max(1e-12);
