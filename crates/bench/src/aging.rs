@@ -1,0 +1,512 @@
+//! **E16 core** — steady-state aging & GC-debt campaign.
+//!
+//! Every other experiment in this workspace runs on a *young* device, so
+//! the garbage-collection tax it measures is a lower bound (the paper's
+//! Myth 2 is about what happens *later*). This module preconditions a
+//! device to full and then drives it through a seeded multi-phase
+//! workload long enough for write amplification to plateau:
+//!
+//! 1. **fill** — sequential write of every exported page (device maps
+//!    100 % of its LBA space; free blocks sink to the GC threshold),
+//! 2. **overwrite** — zipfian random overwrites (θ = 0.9), the
+//!    locality-destroying phase that provokes steady-state GC,
+//! 3. **mixed** — a 50/50 read/write OLTP-ish phase on the aged device,
+//!    where reads queue behind the GC the write stream provokes.
+//!
+//! The campaign sweeps {page-mapped, hybrid} FTL × {greedy,
+//! cost-benefit} GC × {7 %, 28 %} over-provisioning and samples, every
+//! window of operations: windowed and cumulative write amplification,
+//! the free-block pool, **GC debt** (the per-LUN free-block deficit
+//! relative to the freshly-preconditioned pool, summed — the share of
+//! the OP cushion the collector has burned and not won back), and the
+//! window's p99/p99.9 latency.
+//!
+//! Everything is virtual-time deterministic: the binary's stdout is
+//! double-run diffed in CI (short preset) and the full trajectory is
+//! checked in as `BENCH_exp16.json`.
+
+use requiem_sim::time::SimTime;
+use requiem_sim::{Histogram, IoRequest, SimRng};
+use requiem_ssd::{
+    ArrayShape, BufferConfig, ChannelTiming, FtlKind, GcPolicyKind, Placement, QueuePair, Ssd,
+    SsdConfig,
+};
+use requiem_workload::driver::IoMix;
+use requiem_workload::pattern::{AddressPattern, Pattern};
+
+/// Base seed: every per-chunk RNG derives from this plus the chunk index.
+pub const SEED: u64 = 16;
+
+/// Campaign scale: the short preset exists so CI can double-run the
+/// binary in seconds; the full preset is what `BENCH_exp16.json` records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgingPreset {
+    /// Operations per sampling window.
+    pub window: u64,
+    /// Windows of zipfian overwrite after the fill.
+    pub overwrite_windows: u64,
+    /// Windows of mixed read/write traffic after the overwrites.
+    pub mixed_windows: u64,
+    /// Closed-loop queue depth.
+    pub queue_depth: usize,
+}
+
+impl AgingPreset {
+    /// Full campaign (the checked-in trajectory).
+    pub fn full() -> Self {
+        AgingPreset {
+            window: 4096,
+            overwrite_windows: 24,
+            mixed_windows: 12,
+            queue_depth: 8,
+        }
+    }
+
+    /// CI preset: same shape, small enough to double-run in seconds.
+    pub fn short() -> Self {
+        AgingPreset {
+            window: 512,
+            overwrite_windows: 6,
+            mixed_windows: 4,
+            queue_depth: 4,
+        }
+    }
+}
+
+/// One corner of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingConfig {
+    /// FTL mapping scheme.
+    pub ftl: FtlKind,
+    /// GC victim-selection policy.
+    pub gc: GcPolicyKind,
+    /// Over-provisioning ratio.
+    pub op_ratio: f64,
+}
+
+impl AgingConfig {
+    /// Stable label, used in tables and JSON.
+    pub fn label(&self) -> String {
+        let ftl = match self.ftl {
+            FtlKind::PageMap => "page",
+            FtlKind::Hybrid { .. } => "hybrid",
+            _ => "other",
+        };
+        let gc = match self.gc {
+            GcPolicyKind::Greedy => "greedy",
+            GcPolicyKind::CostBenefit => "costben",
+        };
+        format!("{ftl}/{gc}/op{:.0}%", self.op_ratio * 100.0)
+    }
+}
+
+/// The eight-corner sweep matrix, in deterministic order.
+pub fn matrix() -> Vec<AgingConfig> {
+    let mut out = Vec::new();
+    for ftl in [FtlKind::PageMap, FtlKind::Hybrid { log_blocks: 8 }] {
+        for gc in [GcPolicyKind::Greedy, GcPolicyKind::CostBenefit] {
+            for op_ratio in [0.07, 0.28] {
+                out.push(AgingConfig {
+                    ftl: ftl.clone(),
+                    gc,
+                    op_ratio,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The aging device: 2 channels × 2 chips of small-block flash so the
+/// fill phase is cheap and GC pressure arrives within the run. No write
+/// buffer — every host write reaches flash and is counted.
+pub fn device(c: &AgingConfig) -> SsdConfig {
+    let mut cfg = SsdConfig {
+        shape: ArrayShape {
+            channels: 2,
+            chips_per_channel: 2,
+            luns_per_chip: 1,
+        },
+        channel: ChannelTiming::onfi2(),
+        placement: Placement::RoundRobin,
+        buffer: BufferConfig { capacity_pages: 0 },
+        ftl: c.ftl.clone(),
+        op_ratio: c.op_ratio,
+        ..SsdConfig::modern()
+    };
+    // 128 small blocks per LUN (2 planes × 64): the same ratio that lets
+    // the BAST hybrid's 8 log blocks fit inside a 7 % OP share, while
+    // keeping the fill phase cheap.
+    cfg.flash.geometry = requiem_flash::Geometry::new(2, 64, 16, 4096);
+    cfg.gc.policy = c.gc;
+    cfg
+}
+
+/// One sampled point of an aging trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingPoint {
+    /// Phase name ("overwrite" or "mixed"); the fill is not sampled.
+    pub phase: &'static str,
+    /// Host operations completed since the fill ended.
+    pub ops: u64,
+    /// Write amplification over this window alone.
+    pub wa_window: f64,
+    /// Cumulative write amplification since the fill ended.
+    pub wa_cum: f64,
+    /// Free blocks across all LUNs at the window edge.
+    pub free_blocks: u32,
+    /// GC debt: Σ per LUN of max(0, post-fill free − free now) — the
+    /// consumed share of the OP cushion the collector owes back.
+    pub gc_debt: u32,
+    /// GC invocations during this window.
+    pub gc_runs: u64,
+    /// Full + switch merges during this window (hybrid's reclaim path).
+    pub merges: u64,
+    /// Window p99 latency (ns).
+    pub p99_ns: u64,
+    /// Window p99.9 latency (ns).
+    pub p999_ns: u64,
+    /// Window throughput (virtual-time IOPS).
+    pub iops: f64,
+}
+
+/// A full trajectory for one matrix corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgingRun {
+    /// The corner.
+    pub config: AgingConfig,
+    /// Exported pages (the working-set span).
+    pub exported_pages: u64,
+    /// Sampled trajectory, fill excluded.
+    pub points: Vec<AgingPoint>,
+    /// Cumulative WA at the end of the run (fill excluded).
+    pub final_wa: f64,
+    /// If the device went insolvent (a write found no usable space —
+    /// the hybrid merge-storm failure mode on thin OP), the aged-phase
+    /// operation count at which it happened.
+    pub insolvent_at: Option<u64>,
+    /// Steady-state plateau WA (mean over the plateau tail), if reached.
+    pub plateau_wa: Option<f64>,
+    /// Peak GC debt observed at any window edge.
+    pub peak_gc_debt: u32,
+    /// Total GC runs over the aged phases.
+    pub gc_runs: u64,
+    /// Total merges over the aged phases.
+    pub merges: u64,
+}
+
+/// Counters snapshotted at window edges to form deltas.
+#[derive(Debug, Clone, Copy, Default)]
+struct Snap {
+    host_writes: u64,
+    programs: u64,
+    gc_runs: u64,
+    merges: u64,
+}
+
+fn snap(ssd: &Ssd) -> Snap {
+    let m = ssd.metrics();
+    Snap {
+        host_writes: m.host_writes,
+        programs: m.flash_programs.total(),
+        gc_runs: m.gc_runs,
+        merges: m.merges_full + m.merges_switch,
+    }
+}
+
+/// Free-block total and GC debt. Debt is the per-LUN free-block deficit
+/// relative to the freshly-preconditioned pool (`baseline`), summed: how
+/// much of its OP cushion the device has burned and the collector has
+/// not yet won back. A steady-state collector holds debt flat; a losing
+/// one (the hybrid merge storm) rides it to insolvency.
+fn debt(ssd: &Ssd, baseline: &[u32]) -> (u32, u32) {
+    let per_lun = ssd.free_blocks_per_lun();
+    let free: u32 = per_lun.iter().sum();
+    let debt = per_lun
+        .iter()
+        .zip(baseline)
+        .map(|(&f, &b)| b.saturating_sub(f))
+        .sum::<u32>();
+    (free, debt)
+}
+
+/// One chunk of the closed loop: up to `ops` operations at `queue_depth`
+/// in flight, continuing the clock from `start`.
+///
+/// Unlike [`requiem_workload::driver::run_closed_loop`], an I/O failure
+/// is not a panic but a first-class outcome: a hybrid FTL on thin
+/// over-provisioning can genuinely run a LUN out of usable space under
+/// sustained random overwrite (the merge-storm insolvency this
+/// experiment exists to measure). On failure the chunk reports how many
+/// operations it completed before the device went insolvent.
+struct Chunk {
+    latency: Histogram,
+    end: SimTime,
+    completed: u64,
+    insolvent: bool,
+}
+
+fn run_chunk(
+    ssd: &mut Ssd,
+    pattern: &mut AddressPattern,
+    mix: IoMix,
+    queue_depth: usize,
+    ops: u64,
+    seed: u64,
+    start: SimTime,
+) -> Chunk {
+    let mut rng = SimRng::from_seed(seed).derive("driver-mix");
+    let mut latency = Histogram::new();
+    let mut qp = QueuePair::new(queue_depth);
+    let mut in_flight = 0usize;
+    let mut issued = 0u64;
+    let mut last_done = start;
+    let mut insolvent = false;
+
+    while issued < ops {
+        let now = if in_flight >= queue_depth {
+            let c = qp.pop().expect("completions outstanding");
+            latency.record_duration(c.latency());
+            last_done = last_done.max(c.done);
+            in_flight -= 1;
+            c.done
+        } else {
+            start
+        };
+        let lba = pattern.next_addr();
+        let req = if rng.chance(mix.read_fraction) {
+            IoRequest::read(lba)
+        } else {
+            IoRequest::write(lba)
+        };
+        if qp.submit(ssd, now, req).is_err() {
+            insolvent = true;
+            break;
+        }
+        in_flight += 1;
+        issued += 1;
+    }
+    while let Some(c) = qp.pop() {
+        latency.record_duration(c.latency());
+        last_done = last_done.max(c.done);
+    }
+    Chunk {
+        latency,
+        end: last_done,
+        completed: issued,
+        insolvent,
+    }
+}
+
+/// Detect a WA plateau: the run reached steady state when the last
+/// `tail` overwrite-phase windows all sit within ±`band` (relative) of
+/// their mean. Returns that mean.
+pub fn plateau(points: &[AgingPoint], tail: usize, band: f64) -> Option<f64> {
+    let over: Vec<&AgingPoint> = points.iter().filter(|p| p.phase == "overwrite").collect();
+    if over.len() < tail || tail == 0 {
+        return None;
+    }
+    let last = &over[over.len() - tail..];
+    let mean = last.iter().map(|p| p.wa_window).sum::<f64>() / tail as f64;
+    if mean <= 0.0 {
+        return None;
+    }
+    let ok = last
+        .iter()
+        .all(|p| ((p.wa_window - mean) / mean).abs() <= band);
+    ok.then_some(mean)
+}
+
+/// Run one matrix corner to completion.
+pub fn run_corner(c: &AgingConfig, preset: &AgingPreset) -> AgingRun {
+    let mut ssd = Ssd::new(device(c));
+    let pages = ssd.capacity().exported_pages;
+
+    // Phase 1: sequential fill — precondition the device to 100 % mapped.
+    // Not sampled: WA during the fill is 1.0 by construction.
+    let fill = run_chunk(
+        &mut ssd,
+        &mut AddressPattern::new(Pattern::Sequential, pages, SEED),
+        IoMix::write_only(),
+        preset.queue_depth,
+        pages,
+        SEED,
+        SimTime::ZERO,
+    );
+    assert!(!fill.insolvent, "sequential fill must fit the LBA space");
+    let mut t = fill.end;
+    // debt reference: the free pool of the freshly-preconditioned device
+    let baseline_free = ssd.free_blocks_per_lun();
+
+    // Aged phases share one zipfian overwrite stream and one mixed
+    // stream; each window is a chunked closed loop continuing the clock.
+    let mut over_pat = AddressPattern::new(Pattern::Zipfian { theta: 0.9 }, pages, SEED ^ 0xA5);
+    let mut mixed_pat = AddressPattern::new(Pattern::Zipfian { theta: 0.99 }, pages, SEED ^ 0x5A);
+
+    let base = snap(&ssd);
+    let mut prev = base;
+    let mut points = Vec::new();
+    let mut ops_done = 0u64;
+    let mut peak_debt = 0u32;
+
+    let mut insolvent_at = None;
+    let phases: [(&'static str, u64); 2] = [
+        ("overwrite", preset.overwrite_windows),
+        ("mixed", preset.mixed_windows),
+    ];
+    'campaign: for (phase, windows) in phases {
+        for w in 0..windows {
+            let (pattern, mix) = match phase {
+                "overwrite" => (&mut over_pat, IoMix::write_only()),
+                _ => (&mut mixed_pat, IoMix::mixed(0.5)),
+            };
+            let chunk = run_chunk(
+                &mut ssd,
+                pattern,
+                mix,
+                preset.queue_depth,
+                preset.window,
+                SEED.wrapping_add(w * 31).wrapping_add(ops_done),
+                t,
+            );
+            let makespan = chunk.end.since(t);
+            t = chunk.end;
+            ops_done += chunk.completed;
+
+            let cur = snap(&ssd);
+            let dw = cur.host_writes - prev.host_writes;
+            let dp = cur.programs - prev.programs;
+            let cw = cur.host_writes - base.host_writes;
+            let cp = cur.programs - base.programs;
+            let (free, gc_debt) = debt(&ssd, &baseline_free);
+            peak_debt = peak_debt.max(gc_debt);
+            points.push(AgingPoint {
+                phase,
+                ops: ops_done,
+                wa_window: if dw == 0 { 0.0 } else { dp as f64 / dw as f64 },
+                wa_cum: if cw == 0 { 0.0 } else { cp as f64 / cw as f64 },
+                free_blocks: free,
+                gc_debt,
+                gc_runs: cur.gc_runs - prev.gc_runs,
+                merges: cur.merges - prev.merges,
+                p99_ns: chunk.latency.p99(),
+                p999_ns: chunk.latency.quantile(0.999),
+                iops: chunk.completed as f64 / makespan.as_secs_f64().max(1e-12),
+            });
+            prev = cur;
+            if chunk.insolvent {
+                insolvent_at = Some(ops_done);
+                break 'campaign;
+            }
+        }
+    }
+
+    let end = snap(&ssd);
+    let cw = end.host_writes - base.host_writes;
+    let cp = end.programs - base.programs;
+    AgingRun {
+        config: c.clone(),
+        exported_pages: pages,
+        final_wa: if cw == 0 { 0.0 } else { cp as f64 / cw as f64 },
+        insolvent_at,
+        plateau_wa: plateau(&points, 4, 0.25),
+        peak_gc_debt: peak_debt,
+        gc_runs: end.gc_runs - base.gc_runs,
+        merges: end.merges - base.merges,
+        points,
+    }
+}
+
+/// Run the whole campaign in matrix order.
+pub fn run_campaign(preset: &AgingPreset) -> Vec<AgingRun> {
+    matrix().iter().map(|c| run_corner(c, preset)).collect()
+}
+
+/// Hand-rolled JSON for one run (byte-stable across runs and platforms:
+/// floats printed with fixed precision).
+pub fn run_json(r: &AgingRun) -> String {
+    let mut pts = String::new();
+    for (i, p) in r.points.iter().enumerate() {
+        if i > 0 {
+            pts.push(',');
+        }
+        pts.push_str(&format!(
+            "{{\"phase\":\"{}\",\"ops\":{},\"wa_window\":{:.3},\"wa_cum\":{:.3},\
+             \"free_blocks\":{},\"gc_debt\":{},\"gc_runs\":{},\"merges\":{},\
+             \"p99_ns\":{},\"p999_ns\":{},\"iops\":{:.0}}}",
+            p.phase,
+            p.ops,
+            p.wa_window,
+            p.wa_cum,
+            p.free_blocks,
+            p.gc_debt,
+            p.gc_runs,
+            p.merges,
+            p.p99_ns,
+            p.p999_ns,
+            p.iops
+        ));
+    }
+    let plateau = match r.plateau_wa {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    };
+    let insolvent = match r.insolvent_at {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"config\":\"{}\",\"exported_pages\":{},\"final_wa\":{:.3},\
+         \"plateau_wa\":{plateau},\"insolvent_at\":{insolvent},\
+         \"peak_gc_debt\":{},\"gc_runs\":{},\"merges\":{},\
+         \"trajectory\":[{pts}]}}",
+        r.config.label(),
+        r.exported_pages,
+        r.final_wa,
+        r.peak_gc_debt,
+        r.gc_runs,
+        r.merges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_the_eight_corner_sweep() {
+        let m = matrix();
+        assert_eq!(m.len(), 8);
+        let labels: Vec<String> = m.iter().map(AgingConfig::label).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup, "matrix labels must be unique");
+        assert_eq!(labels[0], "page/greedy/op7%");
+        assert_eq!(labels[7], "hybrid/costben/op28%");
+    }
+
+    #[test]
+    fn plateau_accepts_flat_tails_and_rejects_ramps() {
+        let mk = |wa: &[f64]| -> Vec<AgingPoint> {
+            wa.iter()
+                .map(|&w| AgingPoint {
+                    phase: "overwrite",
+                    ops: 0,
+                    wa_window: w,
+                    wa_cum: w,
+                    free_blocks: 0,
+                    gc_debt: 0,
+                    gc_runs: 0,
+                    merges: 0,
+                    p99_ns: 0,
+                    p999_ns: 0,
+                    iops: 0.0,
+                })
+                .collect()
+        };
+        let flat = mk(&[1.0, 2.0, 3.0, 3.1, 2.9, 3.0]);
+        assert!(plateau(&flat, 4, 0.25).is_some());
+        let ramp = mk(&[1.0, 1.5, 2.0, 3.0, 4.5, 7.0]);
+        assert!(plateau(&ramp, 4, 0.25).is_none());
+    }
+}

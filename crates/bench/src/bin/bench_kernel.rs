@@ -1,0 +1,151 @@
+//! **Kernel micro-bench driver** — deterministic work units for the
+//! perf gate.
+//!
+//! Each sub-bench runs a fixed, seeded amount of simulation-kernel work
+//! and prints one machine-readable line:
+//!
+//! ```text
+//! bench=<name> events=<count> checksum=<value>
+//! ```
+//!
+//! The binary itself never reads a clock: everything in the simulation
+//! path is virtual-time only (the determinism lint enforces this), so
+//! wall-clock timing lives outside, in `scripts/perf_gate.sh`, which
+//! times each sub-bench and composes `BENCH_kernel.json`. The `events`
+//! count is the numerator of the events/sec figure; `checksum` pins the
+//! work actually done so a broken bench can't pass by doing nothing.
+//!
+//! Sub-benches:
+//!
+//! * `queue_churn` — schedule/pop churn through [`EventQueue`]: the
+//!   slab-recycled indexed heap on the kernel's innermost loop.
+//! * `blame_alloc` / `blame_scratch` — occupant blame decomposition per
+//!   wait, as a fresh `Vec` per query vs. the scratch-buffer fast path
+//!   ([`Resource::blame_into`]) the scheduler uses.
+//! * `probe_recording_clone` / `probe_aggregated` — the headline pair:
+//!   a preconditioned device under zipfian overwrite, sampling probe
+//!   state every window. The first samples by cloning the recording
+//!   bus's event vector (the pre-refactor idiom); the second reads the
+//!   aggregated probe's per-resource accumulators. Same simulated work,
+//!   same sampled totals — the events/sec ratio is the cost of keeping
+//!   (and copying) unbounded event history on an aging run.
+
+use requiem_bench::aging::{device, AgingConfig};
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::{EventQueue, Occupant, Probe, Resource};
+use requiem_ssd::{FtlKind, GcPolicyKind, Lpn, Ssd};
+use requiem_workload::pattern::{AddressPattern, Pattern};
+
+/// Schedule/pop churn: `TOTAL` events through the queue with `PENDING`
+/// in flight, deterministic pseudo-jittered offsets.
+fn queue_churn() -> (u64, u64) {
+    const PENDING: u64 = 64;
+    const TOTAL: u64 = 4_000_000;
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(PENDING as usize);
+    let mut scheduled = 0u64;
+    let mut checksum = 0u64;
+    let jitter = |i: u64| SimDuration::from_nanos((i.wrapping_mul(2654435761) % 997) + 1);
+    while scheduled < PENDING {
+        q.schedule(SimTime::ZERO + jitter(scheduled), scheduled);
+        scheduled += 1;
+    }
+    let mut popped = 0u64;
+    while let Some((at, payload)) = q.pop() {
+        popped += 1;
+        checksum = checksum.wrapping_mul(31).wrapping_add(payload);
+        if scheduled < TOTAL {
+            q.schedule(at + jitter(scheduled), scheduled);
+            scheduled += 1;
+        }
+    }
+    (popped, checksum)
+}
+
+/// Blame decomposition per wait. `scratch` selects the scratch-buffer
+/// fast path; otherwise every query allocates a fresh `Vec` (the
+/// pre-refactor idiom).
+fn blame(scratch: bool) -> (u64, u64) {
+    const QUERIES: u64 = 2_000_000;
+    let mut res = Resource::new("bench-chan");
+    res.track_occupants(true);
+    let mut out = Vec::new();
+    let mut checksum = 0u64;
+    let mut t = SimTime::ZERO;
+    for i in 0..QUERIES {
+        let occ = if i % 3 == 0 {
+            Occupant::Gc
+        } else {
+            Occupant::Host
+        };
+        let g = res.reserve_tagged(t, SimDuration::from_nanos((i % 7) + 1), occ);
+        // a waiter that asked 300 ns before the grant started
+        let asked = if g.start >= SimTime::ZERO + SimDuration::from_nanos(300) {
+            g.start - SimDuration::from_nanos(300)
+        } else {
+            SimTime::ZERO
+        };
+        if scratch {
+            res.blame_into(asked, g.start, &mut out);
+            checksum = checksum.wrapping_add(out.len() as u64);
+        } else {
+            let v = res.blame(asked, g.start);
+            checksum = checksum.wrapping_add(v.len() as u64);
+        }
+        t = g.end;
+    }
+    (QUERIES, checksum)
+}
+
+/// Preconditioned device under zipfian overwrite, sampling probe state
+/// every `SAMPLE_EVERY` host operations. Returns (host ops, checksum of
+/// the sampled totals).
+fn probe_workload(probe: Probe, sample: impl Fn(&Probe) -> u64) -> (u64, u64) {
+    const OVERWRITES: u64 = 24_576;
+    const SAMPLE_EVERY: u64 = 64;
+    let c = AgingConfig {
+        ftl: FtlKind::PageMap,
+        gc: GcPolicyKind::Greedy,
+        op_ratio: 0.28,
+    };
+    let mut ssd = Ssd::new(device(&c));
+    ssd.attach_probe(probe.clone());
+    let pages = ssd.capacity().exported_pages;
+    let mut t = SimTime::ZERO;
+    for lpn in 0..pages {
+        let cmd = ssd.write(t, Lpn(lpn)).expect("precondition write");
+        t = cmd.done;
+    }
+    let mut pat = AddressPattern::new(Pattern::Zipfian { theta: 0.9 }, pages, 42);
+    let mut checksum = 0u64;
+    for i in 0..OVERWRITES {
+        let cmd = ssd.write(t, Lpn(pat.next_addr())).expect("overwrite");
+        t = cmd.done;
+        if (i + 1) % SAMPLE_EVERY == 0 {
+            checksum = checksum.wrapping_mul(31).wrapping_add(sample(&probe));
+        }
+    }
+    (pages + OVERWRITES, checksum)
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_default();
+    let (events, checksum) = match name.as_str() {
+        "queue_churn" => queue_churn(),
+        "blame_alloc" => blame(false),
+        "blame_scratch" => blame(true),
+        // pre-refactor sampling idiom: clone the whole recording bus
+        "probe_recording_clone" => probe_workload(Probe::recording(), |p| p.events().len() as u64),
+        // fast path: fold the aggregated per-resource accumulators
+        "probe_aggregated" => probe_workload(Probe::aggregated(), |p| {
+            p.resource_summary().iter().map(|s| s.count).sum()
+        }),
+        _ => {
+            eprintln!(
+                "usage: bench_kernel <queue_churn|blame_alloc|blame_scratch|\
+                 probe_recording_clone|probe_aggregated>"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("bench={name} events={events} checksum={checksum}");
+}

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aging;
+
 use requiem_sim::time::SimTime;
 use requiem_ssd::{BufferConfig, Lpn, Ssd, SsdConfig};
 use requiem_workload::driver::{run_closed_loop, DriverReport, IoMix};

@@ -239,15 +239,47 @@ impl<B: StorageBackend> IoStack<B> {
     }
 
     /// Emit a wait span `[from, start)` (queueing on a software resource)
-    /// followed by a busy span `[start, end)` of CPU-path overhead.
-    fn span_stage(&self, res: &str, from: SimTime, start: SimTime, end: SimTime) {
+    /// followed by a busy span `[start, end)` of CPU-path overhead, into
+    /// an already-open batch.
+    fn batch_stage(
+        batch: &mut requiem_sim::SpanBatch<'_>,
+        res: &str,
+        from: SimTime,
+        start: SimTime,
+        end: SimTime,
+    ) {
         if start > from {
-            self.probe
-                .span(Layer::Block, Cause::Queue, res, from, start);
+            batch.span(Layer::Block, Cause::Queue, res, from, start);
         }
         if end > start {
-            self.probe
-                .span(Layer::Block, Cause::Overhead, res, start, end);
+            batch.span(Layer::Block, Cause::Overhead, res, start, end);
+        }
+    }
+
+    /// Emit the submit-path stage spans of one command — core slice,
+    /// queue-lock slice, doorbell slice, and (batch path) SQ residency —
+    /// through a single probe borrow instead of up to eight.
+    #[allow(clippy::too_many_arguments)]
+    fn span_submit_stages(
+        &self,
+        core_res: &str,
+        q_res: &str,
+        now: SimTime,
+        g_submit: &requiem_sim::resource::Grant,
+        g_lock: &requiem_sim::resource::Grant,
+        g_bell: &requiem_sim::resource::Grant,
+        admit: Option<SimTime>,
+    ) {
+        let Some(mut batch) = self.probe.batch() else {
+            return;
+        };
+        Self::batch_stage(&mut batch, core_res, now, g_submit.start, g_submit.end);
+        Self::batch_stage(&mut batch, q_res, g_submit.end, g_lock.start, g_lock.end);
+        Self::batch_stage(&mut batch, core_res, g_lock.end, g_bell.start, g_bell.end);
+        if let Some(admit) = admit {
+            if admit > g_bell.end {
+                batch.span(Layer::Block, Cause::Queue, "sq", g_bell.end, admit);
+            }
         }
     }
 
@@ -291,9 +323,7 @@ impl<B: StorageBackend> IoStack<B> {
         if probing {
             let core_res = format!("core{core}");
             let q_res = format!("q{q}");
-            self.span_stage(&core_res, now, g_submit.start, g_submit.end);
-            self.span_stage(&q_res, g_submit.end, g_lock.start, g_lock.end);
-            self.span_stage(&core_res, g_lock.end, g_bell.start, g_bell.end);
+            self.span_submit_stages(&core_res, &q_res, now, &g_submit, &g_lock, &g_bell, None);
         }
         // 4. device — a self-reporting backend decomposes this interval
         // itself (the probe joined the open command); an opaque one gets
@@ -400,19 +430,22 @@ impl<B: StorageBackend> IoStack<B> {
             // Open this command's probe record for the submit path …
             let scope = self.probe.open_command(req.op.as_str(), now);
             let probe_id = scope.id();
-            if probing {
-                // … and tile [now, bell) with its share of the batch:
-                // its own core slice, then the shared lock + doorbell.
-                self.span_stage(&core_res, now, g_submit.start, g_submit.end);
-                self.span_stage(&q_res, g_submit.end, g_lock.start, g_lock.end);
-                self.span_stage(&core_res, g_lock.end, g_bell.start, g_bell.end);
-            }
             // 4. device-side in-flight window: SQ residency until a slot
             // (and any same-LBA predecessor) frees up.
             let admit = self.window.admit(g_bell.end, req.lba);
-            if probing && admit > g_bell.end {
-                self.probe
-                    .span(Layer::Block, Cause::Queue, "sq", g_bell.end, admit);
+            if probing {
+                // Tile [now, admit) with this command's share of the
+                // batch: its own core slice, the shared lock + doorbell,
+                // then SQ residency — one probe borrow for all of it.
+                self.span_submit_stages(
+                    &core_res,
+                    &q_res,
+                    now,
+                    g_submit,
+                    &g_lock,
+                    &g_bell,
+                    Some(admit),
+                );
             }
             // 5. device path at the admit instant
             let dev_c = self.backend.submit(admit, *req);
@@ -479,16 +512,16 @@ impl<B: StorageBackend> IoStack<B> {
             let done = g.end;
             if probing && p.probe_id != 0 {
                 let scope = self.probe.resume(p.probe_id);
-                // CQ residency (includes the shared IRQ interval — it is
-                // wait time from this command's point of view) …
-                if g.start > p.dev_done {
-                    self.probe
-                        .span(Layer::Block, Cause::Queue, "cq", p.dev_done, g.start);
-                }
-                // … then this command's completion slice.
-                if done > g.start {
-                    self.probe
-                        .span(Layer::Block, Cause::Overhead, "irq", g.start, done);
+                if let Some(mut batch) = self.probe.batch() {
+                    // CQ residency (includes the shared IRQ interval — it
+                    // is wait time from this command's point of view) …
+                    if g.start > p.dev_done {
+                        batch.span(Layer::Block, Cause::Queue, "cq", p.dev_done, g.start);
+                    }
+                    // … then this command's completion slice.
+                    if done > g.start {
+                        batch.span(Layer::Block, Cause::Overhead, "irq", g.start, done);
+                    }
                 }
                 scope.close(done);
             }

@@ -9,11 +9,8 @@ use requiem_sim::{Cause, Layer, Probe, SpanEvent};
 use requiem_ssd::{Ssd, SsdConfig};
 
 fn assert_tiles(probe: &Probe, id: u64) -> Vec<SpanEvent> {
-    let rec = probe
-        .commands()
-        .into_iter()
-        .find(|c| c.id == id)
-        .expect("command recorded");
+    let cmds = probe.commands_ref();
+    let rec = cmds.iter().find(|c| c.id == id).expect("command recorded");
     let done = rec.done.expect("command closed");
     let spans = probe.command_spans(id);
     let mut cursor = rec.submit;
@@ -38,7 +35,7 @@ fn stack_and_ssd_spans_join_into_one_command() {
     let w = stack.submit(SimTime::ZERO, 0, IoRequest::write(42));
     let r = stack.submit(w.done, 0, IoRequest::read(42));
 
-    let cmds = probe.commands();
+    let cmds = probe.commands_ref();
     assert_eq!(cmds.len(), 2, "one command per submit, joined not nested");
     assert_eq!(cmds[0].kind, "write");
     assert_eq!(cmds[1].kind, "read");
@@ -70,7 +67,7 @@ fn opaque_backend_collapses_device_time_into_one_span() {
     let probe = Probe::recording();
     stack.attach_probe(probe.clone());
     let c = stack.submit(SimTime::ZERO, 0, IoRequest::read(5));
-    let cmds = probe.commands();
+    let cmds = probe.commands_ref();
     assert_eq!(cmds.len(), 1);
     let spans = assert_tiles(&probe, cmds[0].id);
     let total: SimDuration = spans
@@ -94,7 +91,7 @@ fn polling_and_interrupt_spans_both_tile() {
         let probe = Probe::recording();
         stack.attach_probe(probe.clone());
         let w = stack.submit(SimTime::ZERO, 0, IoRequest::write(1));
-        let cmds = probe.commands();
+        let cmds = probe.commands_ref();
         let spans = assert_tiles(&probe, cmds[0].id);
         let total: SimDuration = spans
             .iter()
@@ -123,9 +120,9 @@ fn batch_path_spans_tile_per_command_out_of_order() {
             comps.extend(stack.poll_completions(t, 0));
         }
         assert_eq!(comps.len(), tags.len());
-        let cmds = probe.commands();
+        let cmds = probe.commands_ref();
         assert_eq!(cmds.len(), tags.len(), "one probe command per request");
-        for c in &cmds {
+        for c in cmds.iter() {
             let spans = assert_tiles(&probe, c.id);
             let done = c.done.expect("closed");
             let total: SimDuration = spans

@@ -632,12 +632,13 @@ impl<B: PersistenceBackend> Database<B> {
         for m in &members {
             if m.probe_id != 0 {
                 let scope = self.probe.resume(m.probe_id);
-                if t > m.enlisted {
-                    self.probe
-                        .span(Layer::Wal, Cause::Queue, "group-wait", m.enlisted, t);
+                // one bus borrow for both commit spans (QD fast path)
+                if let Some(mut batch) = self.probe.batch() {
+                    if t > m.enlisted {
+                        batch.span(Layer::Wal, Cause::Queue, "group-wait", m.enlisted, t);
+                    }
+                    batch.span(Layer::Wal, force_cause, "log-force", t, done);
                 }
-                self.probe
-                    .span(Layer::Wal, force_cause, "log-force", t, done);
                 scope.close(done);
             }
             let commit_force = done.since(m.enlisted);

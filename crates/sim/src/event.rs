@@ -5,44 +5,29 @@
 //! block pool sinks below a threshold, periodic checkpoints, buffer flush
 //! timers. [`EventQueue`] orders arbitrary payloads by `(time, sequence)`,
 //! giving deterministic FIFO tie-breaking for simultaneous events.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Internally the queue is an indexed binary min-heap over a payload
+//! slab: the heap holds small `(time, seq, slot)` keys that move during
+//! sifts, while payloads sit still in recycled slots. A
+//! schedule/pop-heavy run (one event per simulated I/O) therefore does
+//! no per-event allocation once the high-water mark is reached — the
+//! arena/slab half of the kernel fast-path work. Pop order is identical
+//! to the `BinaryHeap` this replaced: `(time, seq)` is a unique total
+//! order.
 
 use crate::time::SimTime;
-
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A time-ordered queue of events of type `E`.
 ///
 /// Events scheduled for the same instant pop in scheduling order.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Min-heap keys `(at, seq, slot)`, ordered by `(at, seq)`.
+    heap: Vec<(SimTime, u64, u32)>,
+    /// Payload slab; `heap` entries index into it and payloads never
+    /// move while queued.
+    slots: Vec<Option<E>>,
+    /// Recycled slab slots.
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
 }
@@ -57,7 +42,21 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with room for `cap` pending events before
+    /// the slab grows.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(cap),
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
         }
@@ -75,19 +74,40 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(payload);
+                s
+            }
+            None => {
+                self.slots.push(Some(payload));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.heap.push((at, seq, slot));
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
-        self.now = e.at;
-        Some((e.at, e.payload))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let (at, _, slot) = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        let payload = self.slots[slot as usize]
+            .take()
+            .expect("heap entry points at an empty slot");
+        self.free.push(slot);
+        self.now = at;
+        Some((at, payload))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|&(at, _, _)| at)
     }
 
     /// Current clock (timestamp of the last popped event).
@@ -108,16 +128,73 @@ impl<E> EventQueue<E> {
     /// Drain and process every event with `f`, which may schedule more
     /// events. Returns the number of events processed. `limit` bounds the
     /// total processed as a runaway guard (use `u64::MAX` for no limit).
+    ///
+    /// # Panics
+    /// Panics if, after a handler returns, the earliest pending event
+    /// lies before the clock. [`EventQueue::schedule`] already rejects
+    /// past insertions; this closes the remaining hole (a handler
+    /// replacing or corrupting the queue wholesale), turning a silent
+    /// causality bug into the same typed panic.
     pub fn run(&mut self, limit: u64, mut f: impl FnMut(SimTime, E, &mut EventQueue<E>)) -> u64 {
         let mut processed = 0u64;
         while processed < limit {
-            let Some(e) = self.heap.pop() else { break };
-            self.now = e.at;
+            let Some((at, payload)) = self.pop() else {
+                break;
+            };
             // Hand `self` to the handler so it can schedule follow-ups.
-            f(e.at, e.payload, self);
+            f(at, payload, self);
             processed += 1;
+            // `at` (not `self.now`): a hostile handler swapping in a whole
+            // stale queue replaces the clock along with the events.
+            if let Some(next) = self.peek_time() {
+                assert!(
+                    next >= at,
+                    "cannot schedule event in the past: at={next}, now={at}"
+                );
+            }
         }
         processed
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let (at, seq, _) = self.heap[i];
+            let (pat, pseq, _) = self.heap[parent];
+            if (at, seq) < (pat, pseq) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let mut child = l;
+            if r < n {
+                let (lat, lseq, _) = self.heap[l];
+                let (rat, rseq, _) = self.heap[r];
+                if (rat, rseq) < (lat, lseq) {
+                    child = r;
+                }
+            }
+            let (cat, cseq, _) = self.heap[child];
+            let (at, seq, _) = self.heap[i];
+            if (cat, cseq) < (at, seq) {
+                self.heap.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -188,6 +265,40 @@ mod tests {
             q.schedule(t + crate::time::NANOSECOND, v + 1); // infinite cascade
         });
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn run_rejects_queue_swapped_into_the_past() {
+        // `schedule` guards the normal path; `run` must also catch a
+        // handler that replaces the queue with one holding past events.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), 0u64);
+        q.schedule(SimTime::from_nanos(200), 1u64);
+        q.run(10, |_, v, q| {
+            if v == 0 {
+                let mut stale = EventQueue::new();
+                stale.schedule(SimTime::from_nanos(1), 9u64); // before now=100
+                *q = stale;
+            }
+        });
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        // schedule/pop churn must not grow the slab past its high-water
+        // mark: slots are recycled through the free list
+        let mut q = EventQueue::with_capacity(4);
+        for round in 0..100u64 {
+            for i in 0..3u64 {
+                q.schedule(SimTime::from_nanos(round * 10 + i), (round, i));
+            }
+            for _ in 0..3 {
+                q.pop().unwrap();
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.slots.len(), 3, "slab grew past its high-water mark");
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub use completion::{CompletionHeap, InflightWindow};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultView, IoStatus};
 pub use gantt::{Gantt, Span};
-pub use probe::{BackgroundGuard, Cause, CommandScope, Layer, Probe, ProbeSummary, SpanEvent};
+pub use probe::{
+    BackgroundGuard, Cause, CommandScope, CommandsRef, EventsRef, Layer, Probe, ProbeSummary,
+    ResourceStat, SpanBatch, SpanEvent,
+};
 pub use resource::{Occupant, Resource, ResourceBank};
 pub use rng::{ExpInterarrival, SimRng};
 pub use stats::{Counter, Histogram, Summary};

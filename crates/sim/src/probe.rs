@@ -294,15 +294,179 @@ impl ProbeSummary {
     }
 }
 
+/// Aggregate statistics for one `(layer, cause, resource)` bucket, as
+/// reported by [`Probe::resource_summary`] in aggregated mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceStat {
+    /// Stack layer.
+    pub layer: Layer,
+    /// Why the time elapsed.
+    pub cause: Cause,
+    /// Resource name (`"chip3"`, `"chan0"`, …).
+    pub resource: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Total attributed time.
+    pub total: SimDuration,
+}
+
 #[derive(Debug, Default)]
 struct ProbeBus {
     retain_events: bool,
+    /// Aggregated mode drops closed command records (memory stays
+    /// O(in-flight), not O(commands)); the default keeps them all.
+    discard_closed: bool,
+    /// Aggregated mode folds spans into `by_resource` accumulators.
+    track_resources: bool,
     events: Vec<SpanEvent>,
     commands: Vec<CommandRecord>,
+    /// Command id → position in `commands`, for O(log n) attribution
+    /// instead of the reverse linear scans the bus used to do per span.
+    index: BTreeMap<u64, usize>,
     open: Option<u64>,
+    /// Position of the open command in `commands`; valid iff `open` is
+    /// `Some` (cached so the per-span hot path does no lookup at all).
+    open_idx: usize,
     next_cmd: u64,
     background_depth: u32,
     summary: ProbeSummary,
+    /// Interned resource names (aggregated mode); id = first-seen order.
+    res_names: Vec<String>,
+    res_ids: BTreeMap<String, u32>,
+    by_resource: BTreeMap<(Layer, Cause, u32), SpanStat>,
+}
+
+impl ProbeBus {
+    fn intern(&mut self, resource: &str) -> u32 {
+        if let Some(&id) = self.res_ids.get(resource) {
+            return id;
+        }
+        let id = self.res_names.len() as u32;
+        self.res_names.push(resource.to_string());
+        self.res_ids.insert(resource.to_string(), id);
+        id
+    }
+
+    /// Emit one span (shared by [`Probe::span`] and [`SpanBatch::span`],
+    /// which differ only in how the `RefCell` borrow is amortized).
+    fn push_span(
+        &mut self,
+        layer: Layer,
+        cause: Cause,
+        resource: &str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        debug_assert!(end >= start, "span ends before it starts");
+        let cmd = if self.background_depth > 0 {
+            None
+        } else {
+            self.open
+        };
+        let stat = self
+            .summary
+            .by_layer_cause
+            .entry((layer, cause))
+            .or_default();
+        stat.count += 1;
+        stat.total += end.since(start);
+        if cmd.is_some() {
+            self.commands[self.open_idx].spans += 1;
+        }
+        if self.track_resources && !resource.is_empty() {
+            let rid = self.intern(resource);
+            let stat = self.by_resource.entry((layer, cause, rid)).or_default();
+            stat.count += 1;
+            stat.total += end.since(start);
+        }
+        if self.retain_events {
+            let resource = if resource.is_empty() {
+                None
+            } else {
+                Some(resource.to_string())
+            };
+            self.events.push(SpanEvent {
+                cmd,
+                layer,
+                cause,
+                resource,
+                start,
+                end,
+            });
+        }
+    }
+
+    fn push_wait_spans(
+        &mut self,
+        layer: Layer,
+        resource: &str,
+        from: SimTime,
+        to: SimTime,
+        blame: &[(Occupant, SimDuration)],
+    ) {
+        if to <= from {
+            return;
+        }
+        let mut cursor = from;
+        for &(occ, dur) in blame {
+            if dur == SimDuration::ZERO {
+                continue;
+            }
+            let end = cursor + dur;
+            self.push_span(layer, Cause::from_occupant(occ), resource, cursor, end);
+            cursor = end;
+        }
+        debug_assert_eq!(cursor, to, "blame does not tile the wait interval");
+    }
+
+    fn close_command(&mut self, id: u64, done: SimTime) {
+        if let Some(&pos) = self.index.get(&id) {
+            let kind = self.commands[pos].kind;
+            *self.summary.commands.entry(kind).or_insert(0) += 1;
+            if self.discard_closed {
+                // swap-remove keeps close O(1); fix the moved record's
+                // index entry (and the open cache, should it be open).
+                self.commands.swap_remove(pos);
+                self.index.remove(&id);
+                if pos < self.commands.len() {
+                    let moved = self.commands[pos].id;
+                    self.index.insert(moved, pos);
+                    if self.open == Some(moved) {
+                        self.open_idx = pos;
+                    }
+                }
+            } else {
+                self.commands[pos].done = Some(done);
+            }
+        }
+        self.open = None;
+    }
+
+    /// Remove an aborted (never-closed) record, preserving record order.
+    /// Aborts are error-path-only, so the O(n) index shift is fine.
+    fn abort_command(&mut self, id: u64) {
+        if self.open == Some(id) {
+            self.open = None;
+        }
+        let Some(&pos) = self.index.get(&id) else {
+            return;
+        };
+        if self.commands[pos].done.is_some() {
+            return;
+        }
+        self.commands.remove(pos);
+        self.index.remove(&id);
+        for p in self.index.values_mut() {
+            if *p > pos {
+                *p -= 1;
+            }
+        }
+        if let Some(open) = self.open {
+            if let Some(&op) = self.index.get(&open) {
+                self.open_idx = op;
+            }
+        }
+    }
 }
 
 /// Scope handle returned by [`Probe::open_command`]; close it with the
@@ -357,13 +521,7 @@ impl CommandScope {
     pub fn close(mut self, done: SimTime) {
         let owned = self.owned;
         if let (Some(bus), true) = (self.bus.take(), owned) {
-            let mut b = bus.borrow_mut();
-            if let Some(rec) = b.commands.iter_mut().rev().find(|c| c.id == self.id) {
-                rec.done = Some(done);
-                let kind = rec.kind;
-                *b.summary.commands.entry(kind).or_insert(0) += 1;
-            }
-            b.open = None;
+            bus.borrow_mut().close_command(self.id, done);
         }
     }
 }
@@ -375,17 +533,7 @@ impl Drop for CommandScope {
         }
         if let Some(bus) = self.bus.take() {
             // abort: the command never completed
-            let mut b = bus.borrow_mut();
-            if b.open == Some(self.id) {
-                b.open = None;
-            }
-            if let Some(pos) = b
-                .commands
-                .iter()
-                .rposition(|c| c.id == self.id && c.done.is_none())
-            {
-                b.commands.remove(pos);
-            }
+            bus.borrow_mut().abort_command(self.id);
         }
     }
 }
@@ -432,6 +580,22 @@ impl Probe {
         p
     }
 
+    /// An enabled probe for long-horizon runs: spans fold into
+    /// per-`(layer, cause, resource)` accumulators ([`Probe::resource_summary`])
+    /// and closed command records are dropped after counting, so memory
+    /// stays O(in-flight commands + distinct resources) instead of
+    /// O(events). The [`ProbeSummary`] is maintained identically to the
+    /// other modes — same totals, same JSON — on the same event stream.
+    pub fn aggregated() -> Self {
+        let p = Probe::new();
+        if let Some(b) = &p.bus {
+            let mut b = b.borrow_mut();
+            b.discard_closed = true;
+            b.track_resources = true;
+        }
+        p
+    }
+
     /// Whether the probe is attached to a bus.
     pub fn is_enabled(&self) -> bool {
         self.bus.is_some()
@@ -458,6 +622,9 @@ impl Probe {
         b.next_cmd += 1;
         let id = b.next_cmd;
         b.open = Some(id);
+        let pos = b.commands.len();
+        b.open_idx = pos;
+        b.index.insert(id, pos);
         b.commands.push(CommandRecord {
             id,
             kind,
@@ -497,14 +664,20 @@ impl Probe {
         }
         let mut b = bus.borrow_mut();
         debug_assert!(b.open.is_none(), "resume while another command is open");
+        let Some(&pos) = b.index.get(&id) else {
+            debug_assert!(false, "resume of unknown or already-closed command {id}");
+            return CommandScope {
+                bus: None,
+                id: 0,
+                owned: false,
+            };
+        };
         debug_assert!(
-            b.commands
-                .iter()
-                .rev()
-                .any(|c| c.id == id && c.done.is_none()),
-            "resume of unknown or already-closed command {id}"
+            b.commands[pos].done.is_none(),
+            "resume of already-closed command {id}"
         );
         b.open = Some(id);
+        b.open_idx = pos;
         CommandScope {
             bus: Some(bus.clone()),
             id,
@@ -518,12 +691,8 @@ impl Probe {
         self.bus
             .as_ref()
             .and_then(|b| {
-                b.borrow()
-                    .commands
-                    .iter()
-                    .rev()
-                    .find(|c| c.id == id)
-                    .map(|c| c.spans)
+                let b = b.borrow();
+                b.index.get(&id).map(|&pos| b.commands[pos].spans)
             })
             .unwrap_or(0)
     }
@@ -532,34 +701,9 @@ impl Probe {
     /// inside a background scope (or no command is open). Zero-duration
     /// spans are legal (markers such as [`Cause::BufferHit`]).
     pub fn span(&self, layer: Layer, cause: Cause, resource: &str, start: SimTime, end: SimTime) {
-        let Some(bus) = &self.bus else {
-            return;
-        };
-        let mut b = bus.borrow_mut();
-        debug_assert!(end >= start, "span ends before it starts");
-        let cmd = if b.background_depth > 0 { None } else { b.open };
-        let stat = b.summary.by_layer_cause.entry((layer, cause)).or_default();
-        stat.count += 1;
-        stat.total += end.since(start);
-        if let Some(id) = cmd {
-            if let Some(rec) = b.commands.iter_mut().rev().find(|c| c.id == id) {
-                rec.spans += 1;
-            }
-        }
-        if b.retain_events {
-            let resource = if resource.is_empty() {
-                None
-            } else {
-                Some(resource.to_string())
-            };
-            b.events.push(SpanEvent {
-                cmd,
-                layer,
-                cause,
-                resource,
-                start,
-                end,
-            });
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut()
+                .push_span(layer, cause, resource, start, end);
         }
     }
 
@@ -574,19 +718,25 @@ impl Probe {
         to: SimTime,
         blame: &[(Occupant, SimDuration)],
     ) {
-        if self.bus.is_none() || to <= from {
-            return;
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut()
+                .push_wait_spans(layer, resource, from, to, blame);
         }
-        let mut cursor = from;
-        for &(occ, dur) in blame {
-            if dur == SimDuration::ZERO {
-                continue;
-            }
-            let end = cursor + dur;
-            self.span(layer, Cause::from_occupant(occ), resource, cursor, end);
-            cursor = end;
-        }
-        debug_assert_eq!(cursor, to, "blame does not tile the wait interval");
+    }
+
+    /// Borrow the bus once for a run of span emissions. One flash
+    /// operation emits three to five spans (channel command, stall
+    /// decomposition, cell op, transfers); batching them through a single
+    /// guard replaces that many `RefCell` round-trips with one.
+    ///
+    /// Returns `None` when the probe is disabled — callers keep their
+    /// existing `is_enabled()` fast path. The guard must be dropped
+    /// before any other probe call (scope open/close, `summary()`), or
+    /// the bus `RefCell` will panic; keep batches straight-line.
+    pub fn batch(&self) -> Option<SpanBatch<'_>> {
+        self.bus.as_ref().map(|b| SpanBatch {
+            bus: b.borrow_mut(),
+        })
     }
 
     /// Count a non-`Ok` completion status in the summary (see
@@ -637,6 +787,8 @@ impl Probe {
     }
 
     /// All retained events (empty unless built with [`Probe::recording`]).
+    /// Clones the whole list; prefer [`Probe::events_ref`] for read-only
+    /// walks.
     pub fn events(&self) -> Vec<SpanEvent> {
         self.bus
             .as_ref()
@@ -644,7 +796,9 @@ impl Probe {
             .unwrap_or_default()
     }
 
-    /// All command records.
+    /// All command records (in aggregated mode, the in-flight ones only).
+    /// Clones the whole list; prefer [`Probe::commands_ref`] for
+    /// read-only walks.
     pub fn commands(&self) -> Vec<CommandRecord> {
         self.bus
             .as_ref()
@@ -652,16 +806,118 @@ impl Probe {
             .unwrap_or_default()
     }
 
+    /// Borrow the retained events without cloning. The guard keeps the
+    /// bus borrowed: drop it before emitting any span or opening a
+    /// command, or the bus `RefCell` will panic.
+    pub fn events_ref(&self) -> EventsRef<'_> {
+        EventsRef {
+            inner: self.bus.as_ref().map(|b| b.borrow()),
+        }
+    }
+
+    /// Borrow the command records without cloning (same borrow caveat as
+    /// [`Probe::events_ref`]).
+    pub fn commands_ref(&self) -> CommandsRef<'_> {
+        CommandsRef {
+            inner: self.bus.as_ref().map(|b| b.borrow()),
+        }
+    }
+
+    /// Per-`(layer, cause, resource)` totals, sorted by layer, cause,
+    /// then resource name. Populated only in [`Probe::aggregated`] mode;
+    /// empty otherwise (recording mode keeps the raw events instead —
+    /// fold them yourself if you need this view there).
+    pub fn resource_summary(&self) -> Vec<ResourceStat> {
+        let Some(bus) = &self.bus else {
+            return Vec::new();
+        };
+        let b = bus.borrow();
+        let mut v: Vec<ResourceStat> = b
+            .by_resource
+            .iter()
+            .map(|(&(layer, cause, rid), stat)| ResourceStat {
+                layer,
+                cause,
+                resource: b.res_names[rid as usize].clone(),
+                count: stat.count,
+                total: stat.total,
+            })
+            .collect();
+        v.sort_by(|a, b| (a.layer, a.cause, &a.resource).cmp(&(b.layer, b.cause, &b.resource)));
+        v
+    }
+
     /// Retained events on the critical path of command `id`, in
     /// chronological order.
     pub fn command_spans(&self, id: u64) -> Vec<SpanEvent> {
         let mut v: Vec<SpanEvent> = self
-            .events()
-            .into_iter()
+            .events_ref()
+            .iter()
             .filter(|e| e.cmd == Some(id))
+            .cloned()
             .collect();
         v.sort_by_key(|e| (e.start, e.end));
         v
+    }
+}
+
+/// Borrowed view of the retained events (see [`Probe::events_ref`]).
+/// Derefs to `[SpanEvent]`; empty for a disabled probe.
+pub struct EventsRef<'a> {
+    inner: Option<std::cell::Ref<'a, ProbeBus>>,
+}
+
+impl std::ops::Deref for EventsRef<'_> {
+    type Target = [SpanEvent];
+    fn deref(&self) -> &[SpanEvent] {
+        self.inner.as_ref().map_or(&[], |b| b.events.as_slice())
+    }
+}
+
+/// Borrowed view of the command records (see [`Probe::commands_ref`]).
+/// Derefs to `[CommandRecord]`; empty for a disabled probe.
+pub struct CommandsRef<'a> {
+    inner: Option<std::cell::Ref<'a, ProbeBus>>,
+}
+
+impl std::ops::Deref for CommandsRef<'_> {
+    type Target = [CommandRecord];
+    fn deref(&self) -> &[CommandRecord] {
+        self.inner.as_ref().map_or(&[], |b| b.commands.as_slice())
+    }
+}
+
+/// Single-borrow span emission guard (see [`Probe::batch`]). Emits
+/// exactly what the equivalent sequence of [`Probe::span`] /
+/// [`Probe::wait_spans`] calls would — same events, same summary — while
+/// holding the bus borrow once across the run.
+pub struct SpanBatch<'a> {
+    bus: std::cell::RefMut<'a, ProbeBus>,
+}
+
+impl SpanBatch<'_> {
+    /// Emit one span (see [`Probe::span`]).
+    pub fn span(
+        &mut self,
+        layer: Layer,
+        cause: Cause,
+        resource: &str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.bus.push_span(layer, cause, resource, start, end);
+    }
+
+    /// Emit a decomposed wait interval (see [`Probe::wait_spans`]).
+    pub fn wait_spans(
+        &mut self,
+        layer: Layer,
+        resource: &str,
+        from: SimTime,
+        to: SimTime,
+        blame: &[(Occupant, SimDuration)],
+    ) {
+        self.bus.push_wait_spans(layer, resource, from, to, blame);
     }
 }
 
@@ -892,6 +1148,181 @@ mod tests {
         let s = p.resume(id);
         s.close(SimTime::from_micros(1));
         assert_eq!(p.command_span_count(0), 0);
+    }
+
+    #[test]
+    fn aggregated_mode_matches_recording_summary() {
+        let mk = |p: &Probe| {
+            let scope = p.open_command("read", SimTime::ZERO);
+            p.span(
+                Layer::Flash,
+                Cause::CellRead,
+                "chip0",
+                SimTime::ZERO,
+                SimTime::from_micros(50),
+            );
+            p.span(
+                Layer::Channel,
+                Cause::Transfer,
+                "chan0",
+                SimTime::from_micros(50),
+                SimTime::from_micros(60),
+            );
+            scope.close(SimTime::from_micros(60));
+            let bg = p.background();
+            p.span(
+                Layer::Flash,
+                Cause::CellErase,
+                "chip0",
+                SimTime::from_micros(60),
+                SimTime::from_micros(2060),
+            );
+            drop(bg);
+        };
+        let rec = Probe::recording();
+        let agg = Probe::aggregated();
+        mk(&rec);
+        mk(&agg);
+        assert_eq!(rec.summary(), agg.summary());
+        assert_eq!(rec.summary().to_json(), agg.summary().to_json());
+        // aggregated mode drops the closed record but keeps the count
+        assert!(agg.commands().is_empty());
+        assert_eq!(agg.summary().commands.get("read"), Some(&1));
+    }
+
+    #[test]
+    fn aggregated_resource_totals() {
+        let p = Probe::aggregated();
+        let scope = p.open_command("read", SimTime::ZERO);
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip1",
+            SimTime::ZERO,
+            SimTime::from_micros(50),
+        );
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip0",
+            SimTime::from_micros(50),
+            SimTime::from_micros(80),
+        );
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip1",
+            SimTime::from_micros(80),
+            SimTime::from_micros(90),
+        );
+        scope.close(SimTime::from_micros(90));
+        let rs = p.resource_summary();
+        assert_eq!(rs.len(), 2);
+        // sorted by (layer, cause, resource name), not first-seen order
+        assert_eq!(rs[0].resource, "chip0");
+        assert_eq!(rs[0].count, 1);
+        assert_eq!(rs[0].total, MICROSECOND * 30);
+        assert_eq!(rs[1].resource, "chip1");
+        assert_eq!(rs[1].count, 2);
+        assert_eq!(rs[1].total, MICROSECOND * 60);
+        // recording mode leaves it empty
+        assert!(Probe::recording().resource_summary().is_empty());
+    }
+
+    #[test]
+    fn batch_emits_like_individual_calls() {
+        let a = Probe::recording();
+        let b = Probe::recording();
+        let blame = [
+            (Occupant::Gc, MICROSECOND * 3),
+            (Occupant::Host, MICROSECOND * 2),
+        ];
+        let sa = a.open_command("read", SimTime::ZERO);
+        a.span(
+            Layer::Channel,
+            Cause::Command,
+            "chan0",
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+        );
+        a.wait_spans(
+            Layer::Flash,
+            "chip0",
+            SimTime::from_micros(1),
+            SimTime::from_micros(6),
+            &blame,
+        );
+        sa.close(SimTime::from_micros(6));
+        let sb = b.open_command("read", SimTime::ZERO);
+        {
+            let mut batch = b.batch().expect("enabled probe");
+            batch.span(
+                Layer::Channel,
+                Cause::Command,
+                "chan0",
+                SimTime::ZERO,
+                SimTime::from_micros(1),
+            );
+            batch.wait_spans(
+                Layer::Flash,
+                "chip0",
+                SimTime::from_micros(1),
+                SimTime::from_micros(6),
+                &blame,
+            );
+        }
+        sb.close(SimTime::from_micros(6));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.summary(), b.summary());
+        assert!(Probe::disabled().batch().is_none());
+    }
+
+    #[test]
+    fn borrowed_accessors_match_clones() {
+        let p = Probe::recording();
+        let scope = p.open_command("write", SimTime::ZERO);
+        p.span(
+            Layer::Flash,
+            Cause::CellProgram,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(200),
+        );
+        scope.close(SimTime::from_micros(200));
+        assert_eq!(&*p.events_ref(), p.events().as_slice());
+        assert_eq!(&*p.commands_ref(), p.commands().as_slice());
+        let d = Probe::disabled();
+        assert!(d.events_ref().is_empty());
+        assert!(d.commands_ref().is_empty());
+    }
+
+    #[test]
+    fn aggregated_detach_resume_still_tracks() {
+        let p = Probe::aggregated();
+        let a = p.open_command("read", SimTime::ZERO);
+        let a_id = a.detach();
+        let b = p.open_command("write", SimTime::ZERO);
+        p.span(
+            Layer::Flash,
+            Cause::CellProgram,
+            "chip0",
+            SimTime::ZERO,
+            SimTime::from_micros(2),
+        );
+        b.close(SimTime::from_micros(2));
+        // closing B swap-removed its record; A must still resume cleanly
+        let a = p.resume(a_id);
+        p.span(
+            Layer::Flash,
+            Cause::CellRead,
+            "chip1",
+            SimTime::from_micros(2),
+            SimTime::from_micros(5),
+        );
+        a.close(SimTime::from_micros(5));
+        assert_eq!(p.summary().commands.get("read"), Some(&1));
+        assert_eq!(p.summary().commands.get("write"), Some(&1));
+        assert!(p.commands().is_empty());
     }
 
     #[test]

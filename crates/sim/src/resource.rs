@@ -171,12 +171,38 @@ impl Resource {
         requested_at: SimTime,
         granted_start: SimTime,
     ) -> Vec<(Occupant, SimDuration)> {
-        let mut out: Vec<(Occupant, SimDuration)> = Vec::new();
+        let mut out = Vec::new();
+        self.blame_into(requested_at, granted_start, &mut out);
+        out
+    }
+
+    /// [`blame`](Self::blame) into a caller-owned scratch buffer (cleared
+    /// first), so per-wait decomposition on the scheduler hot path reuses
+    /// one allocation instead of building a fresh `Vec` per query.
+    ///
+    /// The grant window is FIFO, so both starts and ends are
+    /// nondecreasing: the scan binary-searches to the first grant ending
+    /// inside the wait and stops at the first one starting past it,
+    /// touching only the overlapping grants instead of the whole window.
+    /// Occupants appear in order of their first overlapping grant —
+    /// identical to the full linear scan.
+    pub fn blame_into(
+        &self,
+        requested_at: SimTime,
+        granted_start: SimTime,
+        out: &mut Vec<(Occupant, SimDuration)>,
+    ) {
+        out.clear();
         if granted_start <= requested_at {
-            return out;
+            return;
         }
         let mut covered = SimDuration::ZERO;
-        for &(s, e, occ) in &self.recent {
+        // first grant with end > requested_at (ends are nondecreasing)
+        let first = self.recent.partition_point(|&(_, e, _)| e <= requested_at);
+        for &(s, e, occ) in self.recent.iter().skip(first) {
+            if s >= granted_start {
+                break; // starts are nondecreasing: nothing later overlaps
+            }
             // overlap of [s, e) with [requested_at, granted_start)
             let lo = s.max(requested_at);
             let hi = e.min(granted_start);
@@ -197,7 +223,6 @@ impl Resource {
                 None => out.push((Occupant::Host, rest)),
             }
         }
-        out
     }
 
     /// Reserve time that must start *exactly* when the resource next frees,
@@ -484,6 +509,22 @@ mod tests {
         assert!(r
             .blame(SimTime::from_micros(5), SimTime::from_micros(5))
             .is_empty());
+    }
+
+    #[test]
+    fn blame_into_reuses_scratch_and_matches_blame() {
+        let mut r = Resource::new("lun");
+        r.track_occupants(true);
+        r.reserve_tagged(SimTime::ZERO, MICROSECOND * 10, Occupant::Host);
+        r.reserve_tagged(SimTime::ZERO, MICROSECOND * 30, Occupant::Merge);
+        r.reserve_tagged(SimTime::ZERO, MICROSECOND * 5, Occupant::Gc);
+        let mut scratch = vec![(Occupant::Wear, MICROSECOND)]; // stale content
+        for (req, grant) in [(0u64, 45u64), (5, 40), (12, 45), (41, 45), (50, 50)] {
+            let req = SimTime::from_micros(req);
+            let grant = SimTime::from_micros(grant);
+            r.blame_into(req, grant, &mut scratch);
+            assert_eq!(scratch, r.blame(req, grant), "req={req} grant={grant}");
+        }
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Property test: the aggregated probe mode is **observationally
+//! equivalent** to the recording mode on any span interleaving.
+//!
+//! [`Probe::aggregated`] discards closed command records and folds spans
+//! into per-`(layer, cause, resource)` accumulators so multi-hour runs
+//! hold O(1) memory — but its [`ProbeSummary`] (and its JSON encoding)
+//! must be byte-identical to what the recording probe produces on the
+//! same event stream, and its resource accumulators must equal a fold
+//! over the recording probe's retained events. This is the correctness
+//! contract that lets exp16 run with the aggregated probe while every
+//! other experiment keeps recording.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use requiem_sim::time::{SimDuration, SimTime};
+use requiem_sim::{Cause, Layer, Occupant, Probe};
+use std::collections::BTreeMap;
+
+const LAYERS: [Layer; 5] = [
+    Layer::App,
+    Layer::Block,
+    Layer::Controller,
+    Layer::Channel,
+    Layer::Flash,
+];
+const CAUSES: [Cause; 6] = [
+    Cause::Overhead,
+    Cause::Queue,
+    Cause::Transfer,
+    Cause::CellRead,
+    Cause::CellProgram,
+    Cause::GcStall,
+];
+const RESOURCES: [&str; 4] = ["chan0", "lun3", "core", ""];
+const KINDS: [&str; 3] = ["read", "write", "trim"];
+
+/// One span relative to the current clock.
+#[derive(Debug, Clone, Copy)]
+struct SpanSpec {
+    layer: u8,
+    cause: u8,
+    res: u8,
+    gap_ns: u16,
+    dur_ns: u16,
+}
+
+/// How a command lifecycle segment ends.
+#[derive(Debug, Clone, Copy)]
+enum Finish {
+    Close,
+    Abort,
+    Detach,
+}
+
+/// One probe interaction.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Open a command, emit spans, then close/abort/detach it.
+    Command {
+        kind: u8,
+        spans: Vec<SpanSpec>,
+        finish: Finish,
+    },
+    /// Resume the oldest detached command (no-op if none), emit spans,
+    /// finish it.
+    Resume {
+        spans: Vec<SpanSpec>,
+        finish: Finish,
+    },
+    /// A span outside any command scope.
+    Bare(SpanSpec),
+    /// A span under a background guard (GC / rebuild work).
+    Background(SpanSpec),
+    /// A decomposed wait interval with a two-occupant blame split.
+    Wait { res: u8, a_ns: u16, b_ns: u16 },
+    /// A status note.
+    Status(u8),
+}
+
+fn span_spec() -> impl Strategy<Value = SpanSpec> {
+    ((0..5u8, 0..6u8, 0..4u8), (0..200u16, 1..500u16)).prop_map(
+        |((layer, cause, res), (gap_ns, dur_ns))| SpanSpec {
+            layer,
+            cause,
+            res,
+            gap_ns,
+            dur_ns,
+        },
+    )
+}
+
+fn finish() -> impl Strategy<Value = Finish> {
+    prop_oneof![
+        3 => Just(Finish::Close),
+        1 => Just(Finish::Abort),
+        2 => Just(Finish::Detach),
+    ]
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0..3u8, proptest::collection::vec(span_spec(), 0..4), finish())
+            .prop_map(|(kind, spans, finish)| Action::Command { kind, spans, finish }),
+        2 => (proptest::collection::vec(span_spec(), 0..4), finish())
+            .prop_map(|(spans, finish)| Action::Resume { spans, finish }),
+        2 => span_spec().prop_map(Action::Bare),
+        2 => span_spec().prop_map(Action::Background),
+        1 => (0..4u8, 1..400u16, 1..400u16)
+            .prop_map(|(res, a_ns, b_ns)| Action::Wait { res, a_ns, b_ns }),
+        1 => (0..3u8).prop_map(Action::Status),
+    ]
+}
+
+/// Replay `actions` against `probe`, advancing a monotone virtual clock.
+fn replay(probe: &Probe, actions: &[Action]) {
+    let mut now = SimTime::ZERO;
+    let mut detached: Vec<u64> = Vec::new();
+    let emit = |probe: &Probe, now: &mut SimTime, s: &SpanSpec| {
+        let start = *now + SimDuration::from_nanos(s.gap_ns as u64);
+        let end = start + SimDuration::from_nanos(s.dur_ns as u64);
+        probe.span(
+            LAYERS[s.layer as usize],
+            CAUSES[s.cause as usize],
+            RESOURCES[s.res as usize],
+            start,
+            end,
+        );
+        *now = end;
+    };
+    for a in actions {
+        match a {
+            Action::Command {
+                kind,
+                spans,
+                finish,
+            } => {
+                let scope = probe.open_command(KINDS[*kind as usize], now);
+                for s in spans {
+                    emit(probe, &mut now, s);
+                }
+                match finish {
+                    Finish::Close => scope.close(now),
+                    Finish::Abort => scope.abort(),
+                    Finish::Detach => detached.push(scope.detach()),
+                }
+            }
+            Action::Resume { spans, finish } => {
+                if detached.is_empty() {
+                    continue;
+                }
+                let id = detached.remove(0);
+                let scope = probe.resume(id);
+                for s in spans {
+                    emit(probe, &mut now, s);
+                }
+                match finish {
+                    Finish::Close => scope.close(now),
+                    Finish::Abort => scope.abort(),
+                    Finish::Detach => detached.push(scope.detach()),
+                }
+            }
+            Action::Bare(s) => emit(probe, &mut now, s),
+            Action::Background(s) => {
+                let _bg = probe.background();
+                emit(probe, &mut now, s);
+            }
+            Action::Wait { res, a_ns, b_ns } => {
+                let a = SimDuration::from_nanos(*a_ns as u64);
+                let b = SimDuration::from_nanos(*b_ns as u64);
+                let from = now;
+                let to = from + a + b;
+                probe.wait_spans(
+                    Layer::Controller,
+                    RESOURCES[*res as usize],
+                    from,
+                    to,
+                    &[(Occupant::Gc, a), (Occupant::Host, b)],
+                );
+                now = to;
+            }
+            Action::Status(k) => probe.note_status(KINDS[*k as usize]),
+        }
+    }
+    // close out any commands still detached so both probes end settled
+    for id in detached {
+        let scope = probe.resume(id);
+        scope.close(now);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregated totals == recording totals, byte-for-byte in the JSON.
+    #[test]
+    fn aggregated_probe_matches_recording_probe(actions in proptest::collection::vec(action(), 0..40)) {
+        let rec = Probe::recording();
+        let agg = Probe::aggregated();
+        replay(&rec, &actions);
+        replay(&agg, &actions);
+
+        // identical summaries, including the checked-in JSON encoding
+        prop_assert_eq!(rec.summary(), agg.summary(), "summaries diverged");
+        prop_assert_eq!(
+            rec.summary().to_json(),
+            agg.summary().to_json(),
+            "summary JSON diverged"
+        );
+
+        // the aggregated per-resource fold equals a fold over the
+        // recording probe's retained raw events
+        let mut expect: BTreeMap<(Layer, Cause, String), (u64, SimDuration)> = BTreeMap::new();
+        for e in rec.events_ref().iter() {
+            let Some(res) = &e.resource else { continue };
+            let slot = expect
+                .entry((e.layer, e.cause, res.clone()))
+                .or_insert((0, SimDuration::ZERO));
+            slot.0 += 1;
+            slot.1 += e.duration();
+        }
+        let got = agg.resource_summary();
+        prop_assert_eq!(got.len(), expect.len(), "resource key sets diverged");
+        for stat in &got {
+            let key = (stat.layer, stat.cause, stat.resource.clone());
+            let (count, total) = expect.get(&key).copied().unwrap_or((0, SimDuration::ZERO));
+            prop_assert_eq!(stat.count, count, "count diverged for {:?}", key);
+            prop_assert_eq!(stat.total, total, "total diverged for {:?}", key);
+        }
+
+        // aggregated mode must actually bound memory: every closed or
+        // aborted command is gone from its bus
+        prop_assert!(
+            agg.commands_ref().iter().all(|c| c.done.is_none()),
+            "aggregated bus retained a closed command record"
+        );
+    }
+}

@@ -57,6 +57,11 @@ pub struct BlockInfo {
 struct LunDir {
     blocks: Vec<BlockInfo>,
     free: Vec<u32>,
+    /// Indices of Full blocks — the GC candidate set. Kept in lockstep
+    /// with the `state` transitions so victim picking walks candidates
+    /// only instead of scanning every block; a `BTreeSet` iterates in
+    /// index order, preserving the full scan's tie-breaks exactly.
+    full: std::collections::BTreeSet<u32>,
     active_host: Option<(u32, u32)>, // (block index, next page)
     active_gc: Option<(u32, u32)>,
 }
@@ -84,6 +89,7 @@ impl BlockDirectory {
                     })
                     .collect(),
                 free: (0..geom.total_blocks()).collect(),
+                full: std::collections::BTreeSet::new(),
                 active_host: None,
                 active_gc: None,
             })
@@ -169,7 +175,9 @@ impl BlockDirectory {
             other => {
                 // frontier missing or full: close it and open a new block
                 if let Some((b, _)) = other {
-                    self.lun_mut(l).blocks[b as usize].state = BlockUse::Full;
+                    let d = self.lun_mut(l);
+                    d.blocks[b as usize].state = BlockUse::Full;
+                    d.full.insert(b);
                 }
                 let nb = self.pop_free(l, wear_aware)?;
                 self.seq += 1;
@@ -190,6 +198,7 @@ impl BlockDirectory {
             *slot = Some((block_idx, page + 1));
             if page + 1 >= ppb {
                 d.blocks[block_idx as usize].state = BlockUse::Full;
+                d.full.insert(block_idx);
             }
         }
         let addr = self.geom.addr(requiem_flash::Ppn(
@@ -279,6 +288,7 @@ impl BlockDirectory {
         info.state = BlockUse::Free;
         info.erase_count += 1;
         info.backptrs.iter_mut().for_each(|b| *b = None);
+        d.full.remove(&block_idx);
         d.free.push(block_idx);
         // clear a frontier that pointed at this block (possible for merges)
         if let Some((b, _)) = d.active_host {
@@ -297,6 +307,7 @@ impl BlockDirectory {
     pub fn retire(&mut self, l: LunId, block_idx: u32) {
         let d = self.lun_mut(l);
         d.blocks[block_idx as usize].state = BlockUse::Bad;
+        d.full.remove(&block_idx);
         d.free.retain(|&b| b != block_idx);
         if let Some((b, _)) = d.active_host {
             if b == block_idx {
@@ -320,6 +331,7 @@ impl BlockDirectory {
     pub fn claim_full(&mut self, l: LunId, block_idx: u32) {
         let d = self.lun_mut(l);
         d.blocks[block_idx as usize].state = BlockUse::Full;
+        d.full.insert(block_idx);
         d.free.retain(|&b| b != block_idx);
     }
 
@@ -341,10 +353,11 @@ impl BlockDirectory {
         let d = self.lun(l);
         let ppb = self.geom.pages_per_block as f64;
         let mut best: Option<(u32, f64)> = None;
-        for (i, info) in d.blocks.iter().enumerate() {
-            if info.state != BlockUse::Full {
-                continue;
-            }
+        // walk the Full-block index (ascending block order, so ties keep
+        // the lowest index exactly as the old whole-LUN scan did)
+        for &i in &d.full {
+            let info = &d.blocks[i as usize];
+            debug_assert_eq!(info.state, BlockUse::Full, "stale full-set entry");
             // a full block with every page valid yields nothing (greedy);
             // cost-benefit may still skip it via u=1 guard
             let score = match policy {
@@ -361,7 +374,7 @@ impl BlockDirectory {
             };
             match best {
                 Some((_, s)) if s >= score => {}
-                _ => best = Some((i as u32, score)),
+                _ => best = Some((i, score)),
             }
         }
         // never pick a fully-valid block under greedy either: it frees no
@@ -407,13 +420,13 @@ impl BlockDirectory {
     /// The coldest Full block of a LUN (lowest erase count) — static wear
     /// leveling migration source.
     pub fn coldest_full_block(&self, l: LunId) -> Option<u32> {
-        self.lun(l)
-            .blocks
+        let d = self.lun(l);
+        // ascending full-set order keeps the lowest-index tie-break of
+        // the whole-LUN scan this replaced
+        d.full
             .iter()
-            .enumerate()
-            .filter(|(_, b)| b.state == BlockUse::Full)
-            .min_by_key(|(_, b)| b.erase_count)
-            .map(|(i, _)| i as u32)
+            .min_by_key(|&&i| d.blocks[i as usize].erase_count)
+            .copied()
     }
 
     /// Current monotonic sequence stamp.

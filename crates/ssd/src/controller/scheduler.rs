@@ -16,6 +16,7 @@ use requiem_sim::gantt::Gantt;
 use requiem_sim::resource::Grant;
 use requiem_sim::time::{SimDuration, SimTime};
 use requiem_sim::{Cause, Layer, Occupant, Probe, Resource};
+use std::cell::RefCell;
 
 use crate::addr::{Lpn, LunId, PhysPage};
 use crate::block_dir::Stream;
@@ -68,6 +69,11 @@ pub struct Scheduler {
     pub(crate) trace: Option<Gantt>,
     /// Observability bus handle (disabled by default).
     pub(crate) probe: Probe,
+    /// Reusable blame-decomposition buffer: every wait emission on the
+    /// flash op hot path decomposes into it instead of allocating a
+    /// fresh `Vec` per query (`RefCell` because emission happens behind
+    /// `&self` while the device is mutably mid-operation).
+    blame_scratch: RefCell<Vec<(Occupant, SimDuration)>>,
 }
 
 impl Scheduler {
@@ -84,6 +90,7 @@ impl Scheduler {
             host_link: Resource::new("host-link"),
             trace: None,
             probe: Probe::disabled(),
+            blame_scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -122,18 +129,19 @@ impl Scheduler {
     /// Emit wait-blame + transfer spans for a host-link grant requested
     /// at `requested`.
     pub(crate) fn emit_host_link_spans(&self, requested: SimTime, g: Grant) {
-        if !self.probe.is_enabled() {
+        let Some(mut batch) = self.probe.batch() else {
             return;
-        }
-        let blame = self.host_link.blame(requested, g.start);
-        self.probe.wait_spans(
+        };
+        let mut blame = self.blame_scratch.borrow_mut();
+        self.host_link.blame_into(requested, g.start, &mut blame);
+        batch.wait_spans(
             Layer::HostLink,
             self.host_link.name(),
             requested,
             g.start,
             &blame,
         );
-        self.probe.span(
+        batch.span(
             Layer::HostLink,
             Cause::Transfer,
             self.host_link.name(),
@@ -142,27 +150,82 @@ impl Scheduler {
         );
     }
 
-    /// Emit wait-blame spans for a LUN grant requested at `requested`.
-    fn emit_lun_wait(&self, lun: usize, requested: SimTime, start: SimTime) {
-        let blame = self.lun_res[lun].blame(requested, start);
-        self.probe.wait_spans(
+    /// Emit the span triplet of one command-cycled flash op — channel
+    /// command cycles `[issue, cmd_done)`, LUN wait blame
+    /// `[cmd_done, g.start)`, then the cell op `[g.start, g.end)` as
+    /// `cell` — through a single probe borrow (the LUN-level record
+    /// batch; three to five `RefCell` round-trips become one).
+    fn emit_flash_op_spans(
+        &self,
+        chan: usize,
+        lun: usize,
+        issue: SimTime,
+        cmd_done: SimTime,
+        g: Grant,
+        cell: Cause,
+    ) {
+        let Some(mut batch) = self.probe.batch() else {
+            return;
+        };
+        let mut blame = self.blame_scratch.borrow_mut();
+        self.lun_res[lun].blame_into(cmd_done, g.start, &mut blame);
+        batch.span(
+            Layer::Channel,
+            Cause::Command,
+            self.chan_res[chan].name(),
+            issue,
+            cmd_done,
+        );
+        batch.wait_spans(
+            Layer::Flash,
+            self.lun_res[lun].name(),
+            cmd_done,
+            g.start,
+            &blame,
+        );
+        batch.span(Layer::Flash, cell, self.lun_res[lun].name(), g.start, g.end);
+    }
+
+    /// Emit LUN wait blame `[requested, g.start)` plus the cell op span
+    /// `[g.start, g.end)` (no command cycles — programs pay theirs on
+    /// the data bus) through a single probe borrow.
+    fn emit_lun_op_spans(&self, lun: usize, requested: SimTime, g: Grant, cell: Cause) {
+        let Some(mut batch) = self.probe.batch() else {
+            return;
+        };
+        let mut blame = self.blame_scratch.borrow_mut();
+        self.lun_res[lun].blame_into(requested, g.start, &mut blame);
+        batch.wait_spans(
             Layer::Flash,
             self.lun_res[lun].name(),
             requested,
-            start,
+            g.start,
             &blame,
         );
+        batch.span(Layer::Flash, cell, self.lun_res[lun].name(), g.start, g.end);
     }
 
-    /// Emit wait-blame spans for a channel grant requested at `requested`.
-    fn emit_chan_wait(&self, chan: usize, requested: SimTime, start: SimTime) {
-        let blame = self.chan_res[chan].blame(requested, start);
-        self.probe.wait_spans(
+    /// Emit channel wait blame `[requested, g.start)` plus the transfer
+    /// span `[g.start, g.end)` through a single probe borrow.
+    fn emit_chan_transfer_spans(&self, chan: usize, requested: SimTime, g: Grant) {
+        let Some(mut batch) = self.probe.batch() else {
+            return;
+        };
+        let mut blame = self.blame_scratch.borrow_mut();
+        self.chan_res[chan].blame_into(requested, g.start, &mut blame);
+        batch.wait_spans(
             Layer::Channel,
             self.chan_res[chan].name(),
             requested,
-            start,
+            g.start,
             &blame,
+        );
+        batch.span(
+            Layer::Channel,
+            Cause::Transfer,
+            self.chan_res[chan].name(),
+            g.start,
+            g.end,
         );
     }
 }
@@ -222,38 +285,14 @@ impl Ssd {
         let lg = self.sched.lun_res[li].reserve_tagged(cmd_done, dur, occ);
         let lun_wait = lg.start.since(cmd_done);
         self.metrics.flash_reads.bump(cause);
-        if self.sched.probe.is_enabled() {
-            self.sched.probe.span(
-                Layer::Channel,
-                Cause::Command,
-                self.sched.chan_res[chan].name(),
-                not_before,
-                cmd_done,
-            );
-            self.sched.emit_lun_wait(li, cmd_done, lg.start);
-            self.sched.probe.span(
-                Layer::Flash,
-                Cause::CellRead,
-                self.sched.lun_res[li].name(),
-                lg.start,
-                lg.end,
-            );
-        }
+        self.sched
+            .emit_flash_op_spans(chan, li, not_before, cmd_done, lg, Cause::CellRead);
         self.sched
             .trace_span(format!("chip{}", phys.lun.0), lg.start, lg.end, 'R');
         let (end, chan_wait) = if with_transfer {
             let xfer = self.cfg.channel.transfer(self.page_size()) + self.chan_hiccup_extra(chan);
             let xg = self.sched.chan_res[chan].reserve_tagged(lg.end, xfer, occ);
-            if self.sched.probe.is_enabled() {
-                self.sched.emit_chan_wait(chan, lg.end, xg.start);
-                self.sched.probe.span(
-                    Layer::Channel,
-                    Cause::Transfer,
-                    self.sched.chan_res[chan].name(),
-                    xg.start,
-                    xg.end,
-                );
-            }
+            self.sched.emit_chan_transfer_spans(chan, lg.end, xg);
             self.sched
                 .trace_span(format!("chan{chan}"), xg.start, xg.end, 't');
             (xg.end, xg.start.since(lg.end))
@@ -310,23 +349,8 @@ impl Ssd {
         let lg = self.sched.lun_res[li].reserve_tagged(cmd_done, t_read, occ);
         let lun_wait = lg.start.since(cmd_done);
         self.metrics.flash_reads.bump(cause);
-        if probe_on {
-            self.sched.probe.span(
-                Layer::Channel,
-                Cause::Command,
-                self.sched.chan_res[chan].name(),
-                not_before,
-                cmd_done,
-            );
-            self.sched.emit_lun_wait(li, cmd_done, lg.start);
-            self.sched.probe.span(
-                Layer::Flash,
-                Cause::CellRead,
-                self.sched.lun_res[li].name(),
-                lg.start,
-                lg.end,
-            );
-        }
+        self.sched
+            .emit_flash_op_spans(chan, li, not_before, cmd_done, lg, Cause::CellRead);
         self.sched.trace_span(lane.clone(), lg.start, lg.end, 'R');
 
         let mut cursor = lg.end;
@@ -342,23 +366,8 @@ impl Ssd {
             let rung_cmd_done = cursor + cmd;
             let g =
                 self.sched.lun_res[li].reserve_tagged(rung_cmd_done, t_read, Occupant::Recovery);
-            if probe_on {
-                self.sched.probe.span(
-                    Layer::Channel,
-                    Cause::Command,
-                    self.sched.chan_res[chan].name(),
-                    cursor,
-                    rung_cmd_done,
-                );
-                self.sched.emit_lun_wait(li, rung_cmd_done, g.start);
-                self.sched.probe.span(
-                    Layer::Flash,
-                    Cause::Recovery,
-                    self.sched.lun_res[li].name(),
-                    g.start,
-                    g.end,
-                );
-            }
+            self.sched
+                .emit_flash_op_spans(chan, li, cursor, rung_cmd_done, g, Cause::Recovery);
             self.sched.trace_span(lane.clone(), g.start, g.end, 'r');
             cursor = g.end;
             match self.luns[li].recovery_read(phys.addr, derate, 1.0) {
@@ -389,23 +398,8 @@ impl Ssd {
                 t_read * u64::from(ECC_ESCALATION_SENSES),
                 Occupant::Recovery,
             );
-            if probe_on {
-                self.sched.probe.span(
-                    Layer::Channel,
-                    Cause::Command,
-                    self.sched.chan_res[chan].name(),
-                    cursor,
-                    esc_cmd_done,
-                );
-                self.sched.emit_lun_wait(li, esc_cmd_done, g.start);
-                self.sched.probe.span(
-                    Layer::Flash,
-                    Cause::Recovery,
-                    self.sched.lun_res[li].name(),
-                    g.start,
-                    g.end,
-                );
-            }
+            self.sched
+                .emit_flash_op_spans(chan, li, cursor, esc_cmd_done, g, Cause::Recovery);
             self.sched.trace_span(lane.clone(), g.start, g.end, 'e');
             cursor = g.end;
             match self.luns[li].recovery_read(
@@ -488,16 +482,7 @@ impl Ssd {
         let (end, chan_wait) = if with_transfer {
             let xfer = self.cfg.channel.transfer(self.page_size()) + self.chan_hiccup_extra(chan);
             let xg = self.sched.chan_res[chan].reserve_tagged(cursor, xfer, occ);
-            if probe_on {
-                self.sched.emit_chan_wait(chan, cursor, xg.start);
-                self.sched.probe.span(
-                    Layer::Channel,
-                    Cause::Transfer,
-                    self.sched.chan_res[chan].name(),
-                    xg.start,
-                    xg.end,
-                );
-            }
+            self.sched.emit_chan_transfer_spans(chan, cursor, xg);
             self.sched
                 .trace_span(format!("chan{chan}"), xg.start, xg.end, 't');
             (xg.end, xg.start.since(cursor))
@@ -532,16 +517,7 @@ impl Ssd {
             let bus_time =
                 self.cfg.channel.write_bus_time(self.page_size()) + self.chan_hiccup_extra(chan);
             let bus = self.sched.chan_res[chan].reserve_tagged(not_before, bus_time, occ);
-            if self.sched.probe.is_enabled() {
-                self.sched.emit_chan_wait(chan, not_before, bus.start);
-                self.sched.probe.span(
-                    Layer::Channel,
-                    Cause::Transfer,
-                    self.sched.chan_res[chan].name(),
-                    bus.start,
-                    bus.end,
-                );
-            }
+            self.sched.emit_chan_transfer_spans(chan, not_before, bus);
             self.sched
                 .trace_span(format!("chan{chan}"), bus.start, bus.end, 't');
             bus.end
@@ -566,16 +542,8 @@ impl Ssd {
         };
         let g = self.sched.lun_res[li].reserve_tagged(start, dur, occ);
         self.metrics.flash_programs.bump(cause);
-        if self.sched.probe.is_enabled() {
-            self.sched.emit_lun_wait(li, start, g.start);
-            self.sched.probe.span(
-                Layer::Flash,
-                Cause::CellProgram,
-                self.sched.lun_res[li].name(),
-                g.start,
-                g.end,
-            );
-        }
+        self.sched
+            .emit_lun_op_spans(li, start, g, Cause::CellProgram);
         self.sched
             .trace_span(format!("chip{}", phys.lun.0), g.start, g.end, 'P');
         Ok(g.end)
@@ -613,24 +581,9 @@ impl Ssd {
             }
         };
         self.metrics.flash_erases.bump(cause);
-        if self.sched.probe.is_enabled() {
-            let chan = self.shape().channel_of(lun) as usize;
-            self.sched.probe.span(
-                Layer::Channel,
-                Cause::Command,
-                self.sched.chan_res[chan].name(),
-                not_before,
-                cmd_done,
-            );
-            self.sched.emit_lun_wait(li, cmd_done, g.start);
-            self.sched.probe.span(
-                Layer::Flash,
-                Cause::CellErase,
-                self.sched.lun_res[li].name(),
-                g.start,
-                g.end,
-            );
-        }
+        let chan = self.shape().channel_of(lun) as usize;
+        self.sched
+            .emit_flash_op_spans(chan, li, not_before, cmd_done, g, Cause::CellErase);
         if retired {
             self.metrics.blocks_retired += 1;
             self.metrics.recovery.erase_retirements += 1;

@@ -307,8 +307,8 @@ mod tests {
         let comps: Vec<IoCompletion> = std::iter::from_fn(|| qp.pop()).collect();
         assert_eq!(comps.len(), tags.len());
         // Every command's retained spans tile [submitted, done) exactly.
-        let records = probe.commands();
-        for rec in &records {
+        let records = probe.commands_ref();
+        for rec in records.iter() {
             let done = rec.done.expect("command closed");
             let spans = probe.command_spans(rec.id);
             assert!(!spans.is_empty());

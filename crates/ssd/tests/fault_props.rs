@@ -124,11 +124,8 @@ proptest! {
 /// Assert the spans attributed to command `id` tile `[submit, done)`
 /// contiguously (no gap, no overlap) and return them.
 fn assert_tiles(probe: &Probe, id: u64) -> Vec<SpanEvent> {
-    let rec = probe
-        .commands()
-        .into_iter()
-        .find(|c| c.id == id)
-        .expect("command recorded");
+    let cmds = probe.commands_ref();
+    let rec = cmds.iter().find(|c| c.id == id).expect("command recorded");
     let done = rec.done.expect("command closed");
     let spans = probe.command_spans(id);
     assert!(!spans.is_empty(), "command {id} has no spans");
@@ -174,7 +171,7 @@ fn recovered_reads_tile_their_latency() {
     for lpn in 0..16u64 {
         let c = ssd.read(t, Lpn(lpn)).expect("read");
         t = c.done;
-        let id = probe.commands().last().expect("recorded").id;
+        let id = probe.commands_ref().last().expect("recorded").id;
         let spans = assert_tiles(&probe, id);
         if matches!(c.status, IoStatus::RecoveredAfterRetry { .. }) {
             recovered += 1;
@@ -208,7 +205,7 @@ fn unrecoverable_reads_tile_their_latency() {
     for lpn in 0..8u64 {
         let c = ssd.read(t, Lpn(lpn)).expect("read");
         t = c.done;
-        let id = probe.commands().last().expect("recorded").id;
+        let id = probe.commands_ref().last().expect("recorded").id;
         assert_tiles(&probe, id);
         if c.status == IoStatus::Unrecoverable {
             unrecoverable += 1;

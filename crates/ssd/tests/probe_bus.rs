@@ -23,11 +23,8 @@ fn one_lun() -> SsdConfig {
 /// Assert the spans attributed to command `id` tile `[submit, done)`
 /// contiguously (no gap, no overlap) and return them.
 fn assert_tiles(probe: &Probe, id: u64) -> Vec<SpanEvent> {
-    let rec = probe
-        .commands()
-        .into_iter()
-        .find(|c| c.id == id)
-        .expect("command recorded");
+    let cmds = probe.commands_ref();
+    let rec = cmds.iter().find(|c| c.id == id).expect("command recorded");
     let done = rec.done.expect("command closed");
     let spans = probe.command_spans(id);
     assert!(!spans.is_empty(), "command {id} has no spans");
@@ -64,7 +61,7 @@ fn write_and_read_spans_tile_completion_latency() {
     let r = ssd.read(w.done, Lpn(7)).expect("read");
     assert_eq!(r.served, Served::Flash);
 
-    let cmds = probe.commands();
+    let cmds = probe.commands_ref();
     assert_eq!(cmds.len(), 2);
     let (wid, rid) = (cmds[0].id, cmds[1].id);
     assert_eq!(cmds[0].kind, "write");
@@ -116,7 +113,7 @@ fn myth3_read_stalled_behind_gc_erase_is_blamed_as_gc_stall() {
         if ssd.metrics().gc_runs > before {
             let r = ssd.read(t, Lpn((x + 1) % pages)).expect("read under gc");
             assert_eq!(r.served, Served::Flash);
-            stalled_read = Some(probe.commands().last().unwrap().id);
+            stalled_read = Some(probe.commands_ref().last().unwrap().id);
             break;
         }
         t = w.done;
@@ -181,9 +178,10 @@ fn background_gc_work_is_not_charged_to_commands() {
     }
     assert!(ssd.metrics().gc_runs > 0, "churn must trigger GC");
     let erases: Vec<SpanEvent> = probe
-        .events()
-        .into_iter()
+        .events_ref()
+        .iter()
         .filter(|e| e.cause == Cause::CellErase)
+        .cloned()
         .collect();
     assert!(!erases.is_empty(), "GC must have erased blocks");
     assert!(

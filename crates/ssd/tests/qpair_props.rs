@@ -134,9 +134,9 @@ proptest! {
     #[test]
     fn spans_tile_every_command(qd in 1usize..17, ops in workload()) {
         let (trace, probe, _drain) = run(qd, &ops);
-        let cmds = probe.commands();
+        let cmds = probe.commands_ref();
         prop_assert_eq!(cmds.len(), trace.len(), "one probe command per request");
-        for rec in &cmds {
+        for rec in cmds.iter() {
             let done = rec.done.expect("command closed");
             let spans = probe.command_spans(rec.id);
             let mut cursor = rec.submit;
