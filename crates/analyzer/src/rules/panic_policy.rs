@@ -27,7 +27,11 @@ use crate::lexer::TokKind;
 /// `crates/iface` joined the set when the cooperating-logs storage
 /// manager started driving the nameless device under OLTP load: a
 /// device-full or stale-name condition there must come back as a typed
-/// `IoStatus`/`NamelessError`, never a host abort.
+/// `IoStatus`/`NamelessError`, never a host abort. The shard
+/// coordinator and two-phase ledger joined with the executor-shard
+/// split: a failed prepare force is a NO vote that must come back as a
+/// typed abort (`TxnDecision::Aborted`), never a host abort — a panic
+/// there would take down N executors mid-two-phase.
 fn protected(rel: &str) -> bool {
     rel.starts_with("crates/ssd/src/controller/")
         || rel.starts_with("crates/ssd/src/mapping/")
@@ -35,6 +39,8 @@ fn protected(rel: &str) -> bool {
         || rel == "crates/ssd/src/qpair.rs"
         || rel == "crates/db/src/exec.rs"
         || rel == "crates/db/src/prefetch.rs"
+        || rel == "crates/db/src/shard.rs"
+        || rel == "crates/db/src/ledger.rs"
 }
 
 /// Run PAN01 on one file.

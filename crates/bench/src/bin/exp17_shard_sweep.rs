@@ -1,0 +1,363 @@
+//! **E17 — Executor shard sweep**: horizontal scaling over one device,
+//! up to the channel-bound knee.
+//!
+//! E13 scaled one completion-driven executor by deepening its queue.
+//! This experiment scales *out* instead: N executor shards, each with
+//! its own submission core, keyspace residue class (`page % N`), and
+//! buffer-pool partition, all over one shared Figure-1 device. A
+//! million-client zipfian mix drives the shards; a knob forces a
+//! fraction of transactions to span shards, which routes them through
+//! the two-phase ledger on the shared-per-shard group-commit WAL.
+//! Four sections:
+//!
+//! * **17a** — TPS vs shard count at fixed per-shard depth: adding
+//!   shards multiplies in-flight work until the single ONFI-2 channel
+//!   saturates. At the knee the probe bus shows channel/queue spans
+//!   dominating the decomposition — the device, not the executors, is
+//!   the wall. Asserted from the probe summary, not eyeballed.
+//! * **17b** — per-shard queue depth at a fixed shard count: the two
+//!   axes (scale out, scale deep) buy the same parallelism until they
+//!   collide on the same channel.
+//! * **17c** — the cross-shard knob: raising the two-phase fraction
+//!   adds prepare forces and a second synchronous wait to every
+//!   distributed commit; throughput pays for coordination.
+//! * **17d** — the identity anchor: QD 1 × 1 shard replays the
+//!   serialized engine bit-for-bit, so every delta the sweep measures
+//!   is caused by sharding, not by a different engine.
+//!
+//! `--short` selects the CI preset (same phases, fewer transactions).
+//! The trailing JSON feeds the determinism diff and `BENCH_exp17.json`.
+
+use requiem_bench::{note, section};
+use requiem_db::{
+    BlockStackBackend, Database, DbBuilder, DbConfig, ExecConfig, GroupCommitPolicy,
+    PersistenceBackend, PrefetchConfig, ShardedDb, ShardedReport, TxnInput,
+};
+use requiem_sim::probe::{Cause, Layer};
+use requiem_sim::table::Align;
+use requiem_sim::time::SimDuration;
+use requiem_sim::{Probe, Table};
+use requiem_ssd::{ArrayShape, BufferConfig, ChannelTiming, Placement, SsdConfig};
+use requiem_workload::sharded::{ShardedOltpConfig, ShardedOltpGen};
+use requiem_workload::txn_to_input;
+
+const SEED: u64 = 17;
+const DATA_PAGES: u64 = 1024;
+const LOG_PAGES: u64 = 512;
+/// Pool sized to the whole keyspace: E17 studies *submission* scaling,
+/// so the working set stays resident and no steal traffic muddies the
+/// channel attribution (E13b already covers memory pressure).
+const BUFFER_FRAMES: usize = 1024;
+const CLIENTS: u64 = 1 << 20;
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+const QDS: [usize; 4] = [1, 2, 4, 8];
+const CROSS: f64 = 0.10;
+
+/// The E11/E13 device: four chips behind one shared ONFI-2 channel.
+/// Every shard submits into the same channel — the knee this sweep
+/// hunts for is that channel running out of idle cycles.
+fn figure1_device() -> SsdConfig {
+    SsdConfig {
+        shape: ArrayShape {
+            channels: 1,
+            chips_per_channel: 4,
+            luns_per_chip: 1,
+        },
+        channel: ChannelTiming::onfi2(),
+        placement: Placement::RoundRobin,
+        buffer: BufferConfig { capacity_pages: 0 },
+        ..SsdConfig::modern()
+    }
+}
+
+fn builder(shards: usize, cross: f64) -> DbBuilder {
+    DbConfig::builder()
+        .data_pages(DATA_PAGES)
+        .log_pages(LOG_PAGES)
+        .buffer_frames(BUFFER_FRAMES)
+        .shards(shards)
+        .cross_shard_ratio(cross)
+}
+
+/// The million-client mix, pre-generated so the run is a pure function
+/// of `(seed, config)`.
+fn inputs(shards: usize, cross: f64, txns: u64) -> Vec<TxnInput> {
+    let mut gen = ShardedOltpGen::new(
+        ShardedOltpConfig {
+            clients: CLIENTS,
+            shards,
+            cross_shard_ratio: cross,
+            data_pages: DATA_PAGES,
+            ..ShardedOltpConfig::default()
+        },
+        SEED,
+    );
+    (0..txns).map(|_| txn_to_input(&gen.next_txn())).collect()
+}
+
+struct SweepPoint {
+    shards: usize,
+    qd: usize,
+    report: ShardedReport,
+    /// Fraction of all probe-attributed time spent queueing for the
+    /// flash channel — the channel-bound signature.
+    channel_queue_share: f64,
+    /// Whether channel/queue is the single largest `(layer, cause)`
+    /// bucket in the probe decomposition.
+    channel_queue_dominates: bool,
+}
+
+/// One closed-loop run: `shards` executors at per-shard depth `qd` on a
+/// fresh device, cross-shard fraction `cross`.
+fn run_point(shards: usize, qd: usize, cross: f64, txns: u64) -> SweepPoint {
+    let mut db: ShardedDb<BlockStackBackend> = builder(shards, cross).build_sharded_stack(
+        requiem_block::StackConfig::blk_mq(shards as u32),
+        figure1_device(),
+    );
+    let probe = Probe::new();
+    db.shard_mut(0).attach_probe(probe.clone());
+    let cfg = ExecConfig {
+        concurrency: qd,
+        prefetch: PrefetchConfig::off(),
+        group: GroupCommitPolicy::batched(qd as u32),
+    };
+    let report = db.run(&inputs(shards, cross, txns), &cfg);
+    let summary = probe.summary();
+    let total: u64 = summary
+        .by_layer_cause
+        .values()
+        .map(|s| s.total.as_nanos())
+        .sum();
+    let chan_queue = summary
+        .by_layer_cause
+        .get(&(Layer::Channel, Cause::Queue))
+        .map(|s| s.total.as_nanos())
+        .unwrap_or(0);
+    let largest = summary
+        .by_layer_cause
+        .values()
+        .map(|s| s.total.as_nanos())
+        .max()
+        .unwrap_or(0);
+    SweepPoint {
+        shards,
+        qd,
+        report,
+        channel_queue_share: chan_queue as f64 / total.max(1) as f64,
+        channel_queue_dominates: chan_queue > 0 && chan_queue == largest,
+    }
+}
+
+fn p999(report: &ShardedReport) -> u64 {
+    let mut all = report.read_only_latency.clone();
+    all.merge(&report.update_latency);
+    all.quantile(0.999)
+}
+
+fn sweep_json(points: &[SweepPoint]) -> String {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"shards\":{},\"qd\":{},\"tps\":{:.1},\"p999_ns\":{},\"channel_stall_share\":{:.3},\"committed\":{},\"cross\":{},\"aborted\":{},\"forces\":{}}}",
+                p.shards,
+                p.qd,
+                p.report.tps,
+                p999(&p.report),
+                p.channel_queue_share,
+                p.report.committed,
+                p.report.cross_txns,
+                p.report.aborted,
+                p.report.forces
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let txns: u64 = if short { 240 } else { 600 };
+
+    println!("# E17 — executor shard sweep over one Figure-1 device");
+    note("N executor shards (own core, own keyspace residue, own pool partition) submit into one shared ONFI-2 channel; cross-shard transactions run two-phase over the per-shard WALs.");
+    println!(
+        "preset: {} ({txns} txns per point)\n",
+        if short { "short" } else { "full" }
+    );
+
+    // ------------------------------------------------------------------
+    section("17a. TPS vs shard count (per-shard QD 4, 10% cross-shard)");
+    let points: Vec<SweepPoint> = SHARDS
+        .iter()
+        .map(|&s| run_point(s, 4, CROSS, txns))
+        .collect();
+    let mut tbl = Table::new([
+        "shards",
+        "TPS",
+        "speedup",
+        "committed",
+        "cross",
+        "aborted",
+        "forces",
+        "p99.9",
+        "chan-queue share",
+    ]);
+    let base_tps = points[0].report.tps;
+    for p in &points {
+        tbl.row([
+            format!("{}", p.shards),
+            format!("{:.0}", p.report.tps),
+            format!("{:.2}x", p.report.tps / base_tps),
+            format!("{}", p.report.committed),
+            format!("{}", p.report.cross_txns),
+            format!("{}", p.report.aborted),
+            format!("{}", p.report.forces),
+            format!("{}", SimDuration::from_nanos(p999(&p.report))),
+            format!("{:.1}%", p.channel_queue_share * 100.0),
+        ]);
+    }
+    println!("{tbl}");
+    assert!(
+        points[1].report.tps > points[0].report.tps * 1.1,
+        "two shards must out-run one by a clear margin ({:.0} vs {:.0})",
+        points[1].report.tps,
+        points[0].report.tps
+    );
+    let knee = points.last().unwrap();
+    assert!(
+        knee.report.tps > points[0].report.tps,
+        "the full fleet must still beat one shard ({:.0} vs {:.0})",
+        knee.report.tps,
+        points[0].report.tps
+    );
+    assert!(
+        knee.channel_queue_share > points[0].channel_queue_share,
+        "the channel-queue share must grow toward the knee ({:.3} vs {:.3})",
+        knee.channel_queue_share,
+        points[0].channel_queue_share
+    );
+    assert!(
+        knee.channel_queue_dominates,
+        "at the knee, channel/queue must be the largest span bucket"
+    );
+    note("Each added shard multiplies the commands in flight; the chips absorb them until the shared channel's command/data cycles become the scarce resource. The probe decomposition at the knee is dominated by channel/queue waits — the block interface would report only 'latency went up'.");
+
+    // ------------------------------------------------------------------
+    section("17b. Per-shard queue depth at 4 shards (10% cross-shard)");
+    let qd_points: Vec<SweepPoint> = QDS
+        .iter()
+        .map(|&qd| run_point(4, qd, CROSS, txns))
+        .collect();
+    let mut tbl = Table::new(["QD/shard", "TPS", "speedup", "p99.9", "chan-queue share"]);
+    let qd_base = qd_points[0].report.tps;
+    for p in &qd_points {
+        tbl.row([
+            format!("{}", p.qd),
+            format!("{:.0}", p.report.tps),
+            format!("{:.2}x", p.report.tps / qd_base),
+            format!("{}", SimDuration::from_nanos(p999(&p.report))),
+            format!("{:.1}%", p.channel_queue_share * 100.0),
+        ]);
+    }
+    println!("{tbl}");
+    assert!(
+        qd_points[1].report.tps > qd_points[0].report.tps,
+        "deepening the per-shard queue must help at first ({:.0} vs {:.0})",
+        qd_points[1].report.tps,
+        qd_points[0].report.tps
+    );
+    note("Scale-out (17a) and scale-deep (17b) are the same lever — more independent commands for the array — and they hit the same channel wall.");
+
+    // ------------------------------------------------------------------
+    section("17c. The cross-shard knob: paying for two-phase commit");
+    let cross_points: Vec<(f64, SweepPoint)> = [0.0, 0.1, 0.3]
+        .iter()
+        .map(|&c| (c, run_point(4, 4, c, txns)))
+        .collect();
+    let mut tbl =
+        Table::new(["cross ratio", "TPS", "cross txns", "forces", "p99.9"]).align(0, Align::Left);
+    for (c, p) in &cross_points {
+        tbl.row([
+            format!("{:.0}%", c * 100.0),
+            format!("{:.0}", p.report.tps),
+            format!("{}", p.report.cross_txns),
+            format!("{}", p.report.forces),
+            format!("{}", SimDuration::from_nanos(p999(&p.report))),
+        ]);
+    }
+    println!("{tbl}");
+    let (_, none) = &cross_points[0];
+    let (_, heavy) = &cross_points[2];
+    assert_eq!(none.report.cross_txns, 0, "ratio 0 must stay local");
+    assert!(heavy.report.cross_txns > 0, "ratio 0.3 must cross shards");
+    assert!(
+        heavy.report.forces > none.report.forces,
+        "two-phase commit must add prepare forces ({} vs {})",
+        heavy.report.forces,
+        none.report.forces
+    );
+    note("A distributed commit forces every participant's prepare record before the home shard's decide force — more synchronous log writes per transaction, and a wait on the slowest participant.");
+
+    // ------------------------------------------------------------------
+    section("17d. QD 1 x 1 shard vs the serialized engine");
+    let ident_inputs = inputs(1, 0.0, 200.min(txns));
+    let mut serial: Database<BlockStackBackend> =
+        builder(1, 0.0).build_stack(requiem_block::StackConfig::blk_mq(1), figure1_device());
+    for t in &ident_inputs {
+        serial.execute(&t.accesses, t.log_bytes);
+    }
+    let mut sharded: ShardedDb<BlockStackBackend> = builder(1, 0.0)
+        .build_sharded_stack(requiem_block::StackConfig::blk_mq(1), figure1_device());
+    sharded.run(&ident_inputs, &ExecConfig::serialized());
+    let shard0 = sharded.shard(0);
+    let identical = shard0.now() == serial.now()
+        && shard0.txn_latency() == serial.txn_latency()
+        && shard0.commit_latency() == serial.commit_latency()
+        && shard0.stats() == serial.stats()
+        && shard0.wal_backend().stats().log_forces == serial.wal_backend().stats().log_forces
+        && shard0.wal_backend().stats().log_bytes == serial.wal_backend().stats().log_bytes
+        && shard0.backend().stats().page_reads == serial.backend().stats().page_reads;
+    let mut tbl =
+        Table::new(["engine", "final clock", "commits", "bit-identical"]).align(0, Align::Left);
+    tbl.row([
+        "serialized execute()".to_string(),
+        format!("{}", serial.now()),
+        format!("{}", serial.stats().commits),
+        String::new(),
+    ]);
+    tbl.row([
+        "1-shard coordinator QD 1".to_string(),
+        format!("{}", shard0.now()),
+        format!("{}", shard0.stats().commits),
+        format!("{identical}"),
+    ]);
+    println!("{tbl}");
+    assert!(
+        identical,
+        "one shard at QD 1 must replay the serialized engine bit-for-bit"
+    );
+    note("The coordinator degenerates to the single executor's loop: same WAL bytes, same device commands, same clock. Sharding is an overlay, not a different engine.");
+
+    // ------------------------------------------------------------------
+    section("Sweep summary (JSON)");
+    note("Per-shard-count and per-depth rows (TPS, merged p99.9, the channel/queue share of all probe-attributed time), the cross-shard cost rows, and the identity verdict.");
+    println!("```json");
+    println!(
+        "{{\"device\":\"figure1 1ch x 4chip onfi2 via blk-mq stack\",\"preset\":\"{}\",\"txns\":{txns},\"qd1_one_shard_matches_serialized\":{identical},",
+        if short { "short" } else { "full" }
+    );
+    println!("\"shard_sweep\":{},", sweep_json(&points));
+    println!("\"qd_sweep\":{},", sweep_json(&qd_points));
+    let cross_rows: Vec<String> = cross_points
+        .iter()
+        .map(|(c, p)| {
+            format!(
+                "{{\"cross_ratio\":{:.1},\"tps\":{:.1},\"cross\":{},\"aborted\":{},\"forces\":{}}}",
+                c, p.report.tps, p.report.cross_txns, p.report.aborted, p.report.forces
+            )
+        })
+        .collect();
+    println!("\"cross_sweep\":[{}]}}", cross_rows.join(","));
+    println!("```");
+}

@@ -156,8 +156,10 @@ pub struct IoStack<B: StorageBackend> {
     /// Accumulated end-to-end latency across all completed I/Os.
     total_latency: SimDuration,
     ios: u64,
-    /// Device-side in-flight window for the queue-pair path.
-    window: InflightWindow,
+    /// Device-side in-flight windows for the queue-pair path, one per
+    /// core: each submission context bounds its own outstanding
+    /// commands, so shards on different cores throttle independently.
+    windows: Vec<InflightWindow>,
     /// Per-core completion queues (queue-pair path).
     cqs: Vec<CompletionHeap<Pending>>,
     /// Auto-assigned host tags.
@@ -184,6 +186,9 @@ impl<B: StorageBackend> IoStack<B> {
         let cqs = (0..cfg.cores as usize)
             .map(|_| CompletionHeap::new())
             .collect();
+        let windows = (0..cfg.cores as usize)
+            .map(|_| InflightWindow::new(DEFAULT_INFLIGHT_WINDOW))
+            .collect();
         IoStack {
             cores: ResourceBank::new("core", cfg.cores as usize),
             queues: (0..nq).map(|i| Resource::new(format!("q{i}"))).collect(),
@@ -194,7 +199,7 @@ impl<B: StorageBackend> IoStack<B> {
             device_busy: SimDuration::ZERO,
             total_latency: SimDuration::ZERO,
             ios: 0,
-            window: InflightWindow::new(DEFAULT_INFLIGHT_WINDOW),
+            windows,
             cqs,
             next_tag: 0,
         }
@@ -205,7 +210,18 @@ impl<B: StorageBackend> IoStack<B> {
     /// [`DEFAULT_INFLIGHT_WINDOW`]. A window of 1 serializes the device
     /// exactly like [`IoStack::submit`].
     pub fn set_inflight_window(&mut self, depth: usize) {
-        self.window = InflightWindow::new(depth);
+        for w in self.windows.iter_mut() {
+            *w = InflightWindow::new(depth);
+        }
+    }
+
+    /// Set one core's in-flight window without touching the others —
+    /// the sharded executor sizes each submission context to its own
+    /// `concurrency + prefetch` population.
+    pub fn set_core_inflight_window(&mut self, core: usize, depth: usize) {
+        if let Some(w) = self.windows.get_mut(core) {
+            *w = InflightWindow::new(depth);
+        }
     }
 
     /// The configuration.
@@ -432,7 +448,7 @@ impl<B: StorageBackend> IoStack<B> {
             let probe_id = scope.id();
             // 4. device-side in-flight window: SQ residency until a slot
             // (and any same-LBA predecessor) frees up.
-            let admit = self.window.admit(g_bell.end, req.lba);
+            let admit = self.windows[core].admit(g_bell.end, req.lba);
             if probing {
                 // Tile [now, admit) with this command's share of the
                 // batch: its own core slice, the shared lock + doorbell,
@@ -450,7 +466,7 @@ impl<B: StorageBackend> IoStack<B> {
             // 5. device path at the admit instant
             let dev_c = self.backend.submit(admit, *req);
             let dev_done = dev_c.done;
-            self.window.commit(admit, req.lba, dev_done);
+            self.windows[core].commit(admit, req.lba, dev_done);
             let device_time = dev_done.since(admit);
             if probing && !self.backend.self_reporting() && dev_done > admit {
                 self.probe.span(

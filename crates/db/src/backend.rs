@@ -186,6 +186,13 @@ pub trait PersistenceBackend {
         let _ = probe;
     }
 
+    /// Switch the underlying device to multi-queue submission semantics:
+    /// commands from different submitters may arrive out of global time
+    /// order (NVMe only orders within one submission queue). Called by
+    /// the sharded coordinator on every shard backend; backends without
+    /// a device-level submit-order check ignore it.
+    fn relax_submit_order(&mut self) {}
+
     // -- batched asynchronous read path (completion-driven engine) ------
     //
     // The methods below are the queue-pair form of `page_read`: submit a
@@ -431,6 +438,10 @@ impl PersistenceBackend for LegacyBackend {
 
     fn attach_probe(&mut self, probe: requiem_sim::Probe) {
         self.ssd.borrow_mut().attach_probe(probe);
+    }
+
+    fn relax_submit_order(&mut self) {
+        self.ssd.borrow_mut().relax_submit_order();
     }
 
     fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {

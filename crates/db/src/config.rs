@@ -17,6 +17,7 @@ use crate::coop::CoopLogBackend;
 use crate::engine::{Database, DbConfig};
 use crate::exec::ExecConfig;
 use crate::prefetch::PrefetchConfig;
+use crate::shard::ShardedDb;
 use crate::stack_backend::BlockStackBackend;
 use crate::wal::GroupCommitPolicy;
 use crate::walbackend::WalConfig;
@@ -33,6 +34,8 @@ pub struct DbBuilder {
     prefetch: PrefetchConfig,
     concurrency: usize,
     wal: WalConfig,
+    shards: usize,
+    cross_shard_ratio: f64,
 }
 
 impl DbConfig {
@@ -49,6 +52,8 @@ impl DbConfig {
             prefetch: PrefetchConfig::off(),
             concurrency: 1,
             wal: WalConfig::Flash,
+            shards: 1,
+            cross_shard_ratio: 0.0,
         }
     }
 }
@@ -103,6 +108,37 @@ impl DbBuilder {
         self
     }
 
+    /// Executor shards for [`Self::build_sharded_stack`] (default 1:
+    /// the single-executor path, bit-identical to before the knob
+    /// existed). Must divide `data_pages` evenly.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one shard");
+        self.shards = n;
+        self
+    }
+
+    /// Fraction of workload transactions that should span shards
+    /// (recorded for workload generators to consume; the builder itself
+    /// partitions only the keyspace). Default 0.0.
+    pub fn cross_shard_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "cross_shard_ratio must be in [0, 1]"
+        );
+        self.cross_shard_ratio = ratio;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured cross-shard transaction fraction.
+    pub fn cross_ratio(&self) -> f64 {
+        self.cross_shard_ratio
+    }
+
     /// The [`ExecConfig`] matching this builder's loop knobs.
     pub fn exec_config(&self) -> ExecConfig {
         ExecConfig {
@@ -139,6 +175,43 @@ impl DbBuilder {
         let mut db = Database::new(self.db_config(), be);
         db.load();
         db
+    }
+
+    /// A loaded [`ShardedDb`] over the composed block-layer stack: one
+    /// SSD, one I/O stack, `shards()` engines — each bound to its own
+    /// submission core, LBA stripe, and `data_pages / N` keyspace
+    /// partition, with `buffer_frames / N` pool frames. At the default
+    /// single shard this is `build_stack` wrapped in a one-element
+    /// coordinator (the QD-1 × 1-shard identity anchor).
+    pub fn build_sharded_stack(
+        &self,
+        mut stack: StackConfig,
+        ssd: SsdConfig,
+    ) -> ShardedDb<BlockStackBackend> {
+        // every shard needs its own submission core
+        stack.cores = stack.cores.max(self.shards as u32);
+        let n = self.shards as u64;
+        assert!(
+            self.data_pages % n == 0,
+            "data_pages {} must divide evenly over {} shards",
+            self.data_pages,
+            self.shards
+        );
+        let per_shard_pages = self.data_pages / n;
+        let backends =
+            BlockStackBackend::shards(stack, ssd, self.shards, per_shard_pages, self.log_pages);
+        let cfg = DbConfig {
+            data_pages: per_shard_pages,
+            buffer_frames: (self.buffer_frames / self.shards).max(1),
+            ..self.db_config()
+        };
+        let dbs = backends
+            .into_iter()
+            .map(|be| Database::new(cfg.clone(), be))
+            .collect();
+        let mut sharded = ShardedDb::new(dbs, self.data_pages);
+        sharded.load();
+        sharded
     }
 
     /// A loaded database over the cooperating-logs manager (nameless
@@ -180,6 +253,34 @@ mod tests {
         let cfg = b.db_config();
         assert_eq!(cfg.group_commit, 8, "serialized path follows the policy");
         assert!(matches!(cfg.wal, WalConfig::Pcm(_)));
+    }
+
+    #[test]
+    fn shard_knobs_default_to_the_single_executor_path() {
+        let b = DbConfig::builder();
+        assert_eq!(b.num_shards(), 1);
+        assert_eq!(b.cross_ratio(), 0.0);
+        let b = b.shards(4).cross_shard_ratio(0.25);
+        assert_eq!(b.num_shards(), 4);
+        assert_eq!(b.cross_ratio(), 0.25);
+    }
+
+    #[test]
+    fn sharded_stack_partitions_keyspace_and_pool() {
+        let b = DbConfig::builder()
+            .data_pages(64)
+            .log_pages(16)
+            .buffer_frames(32)
+            .shards(4);
+        let sharded = b.build_sharded_stack(StackConfig::blk_mq(4), SsdConfig::modern());
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.data_pages(), 64);
+        for s in 0..4 {
+            assert_eq!(sharded.shard(s).stats().commits, 0);
+        }
+        // page → shard is the hash partition key % N
+        assert_eq!(sharded.shard_of(5), 1);
+        assert_eq!(sharded.shard_of(64 + 2), 2, "keyspace folds before hashing");
     }
 
     #[test]

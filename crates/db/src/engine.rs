@@ -481,14 +481,31 @@ impl<B: PersistenceBackend> Database<B> {
     ///
     /// [`IoStatus`]: requiem_sim::IoStatus
     pub fn recover(&mut self) -> u64 {
-        let committed: BTreeSet<u64> = self
-            .wal
-            .durable_records()
-            .filter_map(|(_, r)| match r {
-                LogRecord::Commit { txn } => Some(*txn),
-                _ => None,
-            })
-            .collect();
+        self.recover_with(None)
+    }
+
+    /// [`Self::recover`] with an externally supplied committed set.
+    ///
+    /// A standalone engine derives the committed set from its own
+    /// durable log (`None`). A shard of a two-phase deployment must use
+    /// the *union* of durable `Commit` records across every shard: a
+    /// cross-shard transaction's commit record lives only on its home
+    /// shard, while the participants hold `Prepare` records plus the
+    /// updates — passing the global set makes those updates replayable
+    /// here. Prepared-but-undecided transactions stay invisible either
+    /// way.
+    pub fn recover_with(&mut self, committed: Option<&BTreeSet<u64>>) -> u64 {
+        let committed: BTreeSet<u64> = match committed {
+            Some(set) => set.clone(),
+            None => self
+                .wal
+                .durable_records()
+                .filter_map(|(_, r)| match r {
+                    LogRecord::Commit { txn } => Some(*txn),
+                    _ => None,
+                })
+                .collect(),
+        };
         let start = self.wal.last_durable_checkpoint();
         // charge the physical log scan: bytes before the checkpoint are
         // skipped (their offset positions the read), bytes from the

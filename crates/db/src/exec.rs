@@ -45,7 +45,7 @@ use crate::buffer::EvictOutcome;
 use crate::engine::Database;
 use crate::page::{PageId, SlottedPage};
 use crate::prefetch::{PrefetchConfig, PrefetchStats, Prefetcher};
-use crate::wal::{GroupCommit, GroupCommitPolicy, GroupMember, LogRecord, Lsn};
+use crate::wal::{GroupCommit, GroupCommitPolicy, GroupMember, LogRecord, Lsn, MemberKind};
 
 /// Configuration for the completion-driven executor.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,7 +114,7 @@ pub struct ExecReport {
 
 /// Where one executor slot is in its transaction's life.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotState {
+pub(crate) enum SlotState {
     /// No transaction; free to start one once `free_at` passes.
     Idle {
         /// When the slot's previous commit completed.
@@ -138,55 +138,160 @@ enum SlotState {
 
 /// One closed-loop slot.
 #[derive(Debug, Clone)]
-struct Slot {
-    state: SlotState,
-    txn: Option<Active>,
+pub(crate) struct Slot {
+    pub(crate) state: SlotState,
+    pub(crate) txn: Option<Active>,
+}
+
+/// How a transaction terminates on this executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum TxnRole {
+    /// Single-shard: append `Commit` and finish locally (the only role
+    /// `run_concurrent` ever uses).
+    #[default]
+    Local,
+    /// One participant's share of a cross-shard transaction: append
+    /// `Prepare`, report the vote, and let the coordinator decide.
+    Participant,
 }
 
 /// The transaction a slot is running.
 #[derive(Debug, Clone, Copy)]
-struct Active {
-    /// Transaction id.
-    id: u64,
+pub(crate) struct Active {
+    /// Transaction id (the *global* id for cross-shard participants).
+    pub(crate) id: u64,
     /// Start instant (end-to-end latency base).
-    started: SimTime,
+    pub(crate) started: SimTime,
     /// Index into the input list.
-    input: usize,
+    pub(crate) input: usize,
     /// Next access to apply.
-    next: usize,
+    pub(crate) next: usize,
     /// True once any access dirtied a page.
-    wrote: bool,
+    pub(crate) wrote: bool,
+    /// How the transaction terminates.
+    pub(crate) role: TxnRole,
+}
+
+/// One pre-assigned transaction in a shard's input queue: the
+/// coordinator names ids up front (a global namespace across shards)
+/// instead of letting the executor allocate them.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlannedTxn {
+    /// Transaction id to run under.
+    pub(crate) id: u64,
+    /// Commit locally or prepare for the coordinator.
+    pub(crate) role: TxnRole,
+}
+
+/// What a shard reports back to its coordinator after a force.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ShardEvent {
+    /// A participant's prepare force completed: its durability vote.
+    Prepared {
+        /// The global transaction.
+        txn: u64,
+        /// The force's typed outcome — a failure is a NO vote.
+        status: IoStatus,
+        /// When the force landed.
+        done: SimTime,
+        /// When this participant's share started (latency base).
+        started: SimTime,
+    },
+    /// The coordinator's decision force completed: the global commit
+    /// point for a cross-shard transaction.
+    Committed {
+        /// The global transaction.
+        txn: u64,
+        /// When the decision force landed.
+        done: SimTime,
+    },
+}
+
+/// In-memory before-image of one participant update, kept until the
+/// global decision so a typed abort can roll the share back.
+#[derive(Debug, Clone)]
+pub(crate) struct UndoEntry {
+    /// Updated page.
+    pub(crate) page: PageId,
+    /// Updated slot.
+    pub(crate) slot: u16,
+    /// Record bytes before the update (`None` = slot was empty).
+    pub(crate) before: Option<Vec<u8>>,
 }
 
 /// Host-side context of one in-flight page fetch: the image the device
 /// "returns" was chosen at submit time (exactly when the serialized
 /// engine read it), so completion order cannot change the bytes.
 #[derive(Debug)]
-struct FetchCtx {
-    image: SlottedPage,
+pub(crate) struct FetchCtx {
+    pub(crate) image: SlottedPage,
     /// Submitted by the readahead engine rather than a demand miss.
-    speculative: bool,
+    pub(crate) speculative: bool,
     /// A demand request is (or was) waiting on it.
-    demanded: bool,
+    pub(crate) demanded: bool,
 }
 
 /// Mutable executor state threaded through the event loop.
-struct ExecState {
-    slots: Vec<Slot>,
-    pending: BTreeMap<PageId, FetchCtx>,
-    prefetcher: Prefetcher,
-    group: GroupCommit,
+pub(crate) struct ExecState {
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) pending: BTreeMap<PageId, FetchCtx>,
+    pub(crate) prefetcher: Prefetcher,
+    pub(crate) group: GroupCommit,
     /// Inputs handed to slots so far.
-    issued: usize,
-    forces: u64,
-    grouped: u64,
-    commit_order: Vec<(u64, Lsn)>,
-    read_only_latency: Histogram,
-    update_latency: Histogram,
+    pub(crate) issued: usize,
+    pub(crate) forces: u64,
+    pub(crate) grouped: u64,
+    pub(crate) commit_order: Vec<(u64, Lsn)>,
+    pub(crate) read_only_latency: Histogram,
+    pub(crate) update_latency: Histogram,
+    /// Coordinator-assigned ids/roles per input index; empty in
+    /// `run_concurrent`, where the executor allocates ids itself.
+    pub(crate) assigned: Vec<PlannedTxn>,
+    /// Force outcomes to report to the coordinator (drained per step).
+    pub(crate) outbox: Vec<ShardEvent>,
+    /// Before-images of participant updates, per global transaction,
+    /// consumed on abort and dropped on commit.
+    pub(crate) undo: BTreeMap<u64, Vec<UndoEntry>>,
+    /// Under a sharded coordinator, a group force does *not* advance the
+    /// shard's event clock synchronously (other shards keep submitting
+    /// into the overlap window); the completion instant is parked here
+    /// and the coordinator wakes the shard at it. `run_concurrent`
+    /// keeps the synchronous single-submitter discipline.
+    pub(crate) async_force: bool,
+    /// Latest pending force completion (only meaningful when
+    /// `async_force` is set; the coordinator treats it as a wake).
+    pub(crate) force_horizon: SimTime,
 }
 
 impl ExecState {
-    fn all_idle(&self) -> bool {
+    /// Fresh state for a `depth`-slot closed loop starting at `now`.
+    pub(crate) fn new(depth: usize, now: SimTime, prefetch: &PrefetchConfig) -> Self {
+        ExecState {
+            slots: vec![
+                Slot {
+                    state: SlotState::Idle { free_at: now },
+                    txn: None,
+                };
+                depth
+            ],
+            pending: BTreeMap::new(),
+            prefetcher: Prefetcher::new(prefetch.clone()),
+            group: GroupCommit::new(),
+            issued: 0,
+            forces: 0,
+            grouped: 0,
+            commit_order: Vec::new(),
+            read_only_latency: Histogram::new(),
+            update_latency: Histogram::new(),
+            assigned: Vec::new(),
+            outbox: Vec::new(),
+            undo: BTreeMap::new(),
+            async_force: false,
+            force_horizon: now,
+        }
+    }
+
+    pub(crate) fn all_idle(&self) -> bool {
         self.slots
             .iter()
             .all(|s| matches!(s.state, SlotState::Idle { .. }))
@@ -205,24 +310,7 @@ impl<B: PersistenceBackend> Database<B> {
             .set_read_window(depth + cfg.prefetch.depth as usize);
         let started_at = self.now;
         let coalesced_before = self.pool.stats().coalesced;
-        let mut st = ExecState {
-            slots: vec![
-                Slot {
-                    state: SlotState::Idle { free_at: self.now },
-                    txn: None,
-                };
-                depth
-            ],
-            pending: BTreeMap::new(),
-            prefetcher: Prefetcher::new(cfg.prefetch.clone()),
-            group: GroupCommit::new(),
-            issued: 0,
-            forces: 0,
-            grouped: 0,
-            commit_order: Vec::new(),
-            read_only_latency: Histogram::new(),
-            update_latency: Histogram::new(),
-        };
+        let mut st = ExecState::new(depth, self.now, &cfg.prefetch);
 
         loop {
             // 1. run everything that can run at the current instant
@@ -243,30 +331,7 @@ impl<B: PersistenceBackend> Database<B> {
             }
 
             // 4. advance virtual time to the next event
-            let mut next: Option<SimTime> = self.backend.next_read_done();
-            let mut merge = |t: SimTime| {
-                next = Some(match next {
-                    Some(n) => n.min(t),
-                    None => t,
-                });
-            };
-            for s in &st.slots {
-                match s.state {
-                    SlotState::Idle { free_at }
-                        if st.issued < inputs.len() && free_at > self.now =>
-                    {
-                        merge(free_at)
-                    }
-                    SlotState::Run { ready_at } if ready_at > self.now => merge(ready_at),
-                    _ => {}
-                }
-            }
-            if let Some(d) = st.group.deadline(&cfg.group) {
-                if d > self.now {
-                    merge(d);
-                }
-            }
-            match next {
+            match self.next_event(inputs.len(), cfg, &st) {
                 Some(t) if t > self.now => self.now = t,
                 Some(_) => {} // an event is ready at `now`: loop again
                 None => {
@@ -281,6 +346,19 @@ impl<B: PersistenceBackend> Database<B> {
             }
         }
 
+        self.finish_run(started_at, coalesced_before, st)
+    }
+
+    /// Close out a closed-loop run: settle the clock on the last commit
+    /// force, finalize readahead attribution, and build the report.
+    /// Shared by `run_concurrent` and the shard coordinator so the two
+    /// paths cannot drift.
+    pub(crate) fn finish_run(
+        &mut self,
+        started_at: SimTime,
+        coalesced_before: u64,
+        mut st: ExecState,
+    ) -> ExecReport {
         // the run ends when the last commit force (or checkpoint) lands
         for s in &st.slots {
             if let SlotState::Idle { free_at } = s.state {
@@ -313,23 +391,68 @@ impl<B: PersistenceBackend> Database<B> {
         }
     }
 
+    /// The earliest *future* instant anything can happen: the next read
+    /// completion, a slot becoming free or runnable, or the group
+    /// deadline. `None` means nothing is scheduled (an undersized group
+    /// may still need forcing). `Some(t)` with `t <= now` means an
+    /// event is already ready at the current instant.
+    pub(crate) fn next_event(
+        &mut self,
+        input_count: usize,
+        cfg: &ExecConfig,
+        st: &ExecState,
+    ) -> Option<SimTime> {
+        let mut next: Option<SimTime> = self.backend.next_read_done();
+        let mut merge = |t: SimTime| {
+            next = Some(match next {
+                Some(n) => n.min(t),
+                None => t,
+            });
+        };
+        for s in &st.slots {
+            match s.state {
+                SlotState::Idle { free_at } if st.issued < input_count && free_at > self.now => {
+                    merge(free_at)
+                }
+                SlotState::Run { ready_at } if ready_at > self.now => merge(ready_at),
+                _ => {}
+            }
+        }
+        if let Some(d) = st.group.deadline(&cfg.group) {
+            if d > self.now {
+                merge(d);
+            }
+        }
+        next
+    }
+
     /// Run refills, runnable slots, and due forces until nothing can
     /// make progress at the current instant.
-    fn quiesce(&mut self, inputs: &[TxnInput], cfg: &ExecConfig, st: &mut ExecState) {
+    pub(crate) fn quiesce(&mut self, inputs: &[TxnInput], cfg: &ExecConfig, st: &mut ExecState) {
         loop {
             let mut progress = false;
             // refill idle slots in slot order (deterministic admission)
             for i in 0..st.slots.len() {
                 if let SlotState::Idle { free_at } = st.slots[i].state {
                     if free_at <= self.now && st.issued < inputs.len() {
-                        let id = self.next_txn;
-                        self.next_txn += 1;
+                        // the coordinator pre-assigns ids (a global
+                        // namespace across shards); standalone runs
+                        // allocate locally, exactly as before
+                        let (id, role) = match st.assigned.get(st.issued) {
+                            Some(p) => (p.id, p.role),
+                            None => {
+                                let id = self.next_txn;
+                                self.next_txn += 1;
+                                (id, TxnRole::Local)
+                            }
+                        };
                         st.slots[i].txn = Some(Active {
                             id,
                             started: self.now,
                             input: st.issued,
                             next: 0,
                             wrote: false,
+                            role,
                         });
                         st.slots[i].state = SlotState::Run { ready_at: self.now };
                         st.issued += 1;
@@ -359,16 +482,30 @@ impl<B: PersistenceBackend> Database<B> {
 
     /// Advance slot `i` through its accesses until it blocks (page
     /// miss) or commits (enlists in the group).
-    fn drive_slot(&mut self, i: usize, inputs: &[TxnInput], st: &mut ExecState) {
+    pub(crate) fn drive_slot(&mut self, i: usize, inputs: &[TxnInput], st: &mut ExecState) {
         loop {
             let Some(active) = st.slots[i].txn else {
                 return; // defensive: a Run slot always has a transaction
             };
             let input = &inputs[active.input];
             if active.next >= input.accesses.len() {
-                // all accesses applied: append the commit record and
-                // enlist for the shared force
-                let commit_lsn = self.wal.append(LogRecord::Commit { txn: active.id });
+                // all accesses applied: append the termination record
+                // (a local commit, or a two-phase prepare whose force
+                // is this shard's durability vote) and enlist it for
+                // the shared force
+                let (record, kind, label) = match active.role {
+                    TxnRole::Local => (
+                        LogRecord::Commit { txn: active.id },
+                        MemberKind::Commit,
+                        "commit",
+                    ),
+                    TxnRole::Participant => (
+                        LogRecord::Prepare { txn: active.id },
+                        MemberKind::Prepare,
+                        "prepare",
+                    ),
+                };
+                let commit_lsn = self.wal.append(record);
                 let force_bytes = if active.wrote {
                     input.log_bytes.max(32)
                 } else {
@@ -379,12 +516,13 @@ impl<B: PersistenceBackend> Database<B> {
                 // the group's horizon in one device interaction
                 self.wal_dev.append(commit_lsn, force_bytes);
                 let probe_id = if self.probe.is_enabled() {
-                    self.probe.open_command("commit", self.now).detach()
+                    self.probe.open_command(label, self.now).detach()
                 } else {
                     0
                 };
                 st.group.enlist(GroupMember {
                     slot: i,
+                    kind,
                     txn: active.id,
                     lsn: commit_lsn,
                     enlisted: self.now,
@@ -470,8 +608,9 @@ impl<B: PersistenceBackend> Database<B> {
     }
 
     /// Apply one access to a resident page (the serialized engine's
-    /// inner loop, verbatim).
-    fn apply_access(
+    /// inner loop, verbatim — plus before-image capture for two-phase
+    /// participants, whose updates may need a typed abort).
+    pub(crate) fn apply_access(
         &mut self,
         i: usize,
         pid: PageId,
@@ -479,13 +618,21 @@ impl<B: PersistenceBackend> Database<B> {
         dirty: bool,
         st: &mut ExecState,
     ) {
-        let Some(active) = st.slots[i].txn.as_mut() else {
+        let Some(mut active) = st.slots[i].txn else {
             return; // defensive: a Run slot always has a transaction
         };
         if dirty {
             // pin the frame BEFORE logging (see `Database::execute`)
             if let Some(frame) = self.pool.get_mut(pid, true) {
                 active.wrote = true;
+                if active.role == TxnRole::Participant {
+                    // RAM-only bookkeeping: no device work, no clock
+                    st.undo.entry(active.id).or_default().push(UndoEntry {
+                        page: pid,
+                        slot: slot_no,
+                        before: frame.get(slot_no).map(<[u8]>::to_vec),
+                    });
+                }
                 let mut after = vec![0u8; self.cfg.record_size];
                 after[..8].copy_from_slice(&active.id.to_le_bytes());
                 let lsn = self.wal.append(LogRecord::Update {
@@ -501,12 +648,13 @@ impl<B: PersistenceBackend> Database<B> {
             self.pool.get_mut(pid, false);
         }
         active.next += 1;
+        st.slots[i].txn = Some(active);
     }
 
     /// The image a device read "returns": the newest in-flight write if
     /// any, else the durable image, else a freshly formatted page —
     /// chosen at submit time, exactly like the serialized engine.
-    fn pick_image(&self, pid: PageId) -> SlottedPage {
+    pub(crate) fn pick_image(&self, pid: PageId) -> SlottedPage {
         self.in_flight
             .iter()
             .rev()
@@ -521,7 +669,7 @@ impl<B: PersistenceBackend> Database<B> {
     /// be non-decreasing in time, so install-side work — media redo,
     /// steal writes — happens on the advanced clock). Returns true when
     /// anything was reaped.
-    fn reap(&mut self, st: &mut ExecState) -> bool {
+    pub(crate) fn reap(&mut self, st: &mut ExecState) -> bool {
         let completions = self.backend.poll(self.now);
         if completions.is_empty() {
             return false;
@@ -536,7 +684,7 @@ impl<B: PersistenceBackend> Database<B> {
     /// Install one completed page read: typed-status handling, media
     /// redo, eviction (with the WAL rule), waiter wake-up, and
     /// speculation attribution — on the advanced event clock.
-    fn finish_read(&mut self, r: PageRead, st: &mut ExecState) {
+    pub(crate) fn finish_read(&mut self, r: PageRead, st: &mut ExecState) {
         let Some(ctx) = st.pending.remove(&r.page) else {
             return; // orphaned completion (no fetch context): drop it
         };
@@ -582,9 +730,18 @@ impl<B: PersistenceBackend> Database<B> {
             self.durable.insert(page_id, *image);
         }
         // install-side device work (media redo, steal) drove the device
-        // to `end`; the event clock follows so no later submission can
-        // go backwards in device time
-        self.now = self.now.max(end);
+        // to `end`
+        if st.async_force {
+            // sharded coordinator: park the horizon instead of
+            // advancing the clock — the waiters' `ready_at = end` gates
+            // execution, and the multi-queue device accepts the
+            // out-of-order submissions peer overlap produces
+            st.force_horizon = st.force_horizon.max(end);
+        } else {
+            // single submitter: the event clock follows so no later
+            // submission can go backwards in device time
+            self.now = self.now.max(end);
+        }
         // wake every waiter at the instant the page became usable; each
         // charges its own read stall from its own demand instant (zero
         // when the coalesced read had already completed before the
@@ -607,9 +764,12 @@ impl<B: PersistenceBackend> Database<B> {
     }
 
     /// Force the enlisted group at `t`: one shared log force, then each
-    /// member's commit completes at the force's end — probe spans split
-    /// its wait into *group wait* and *shared force*.
-    fn force_group(&mut self, t: SimTime, st: &mut ExecState) {
+    /// member resolves at the force's end — probe spans split the wait
+    /// into *group wait* and *shared force*. `Commit` members complete
+    /// their slot's transaction; `Prepare` members free the slot and
+    /// report their durability vote; `Decide` members are the slot-less
+    /// commit point of a cross-shard transaction.
+    pub(crate) fn force_group(&mut self, t: SimTime, st: &mut ExecState) {
         let (members, _bytes) = st.group.take();
         if members.is_empty() {
             return;
@@ -622,11 +782,21 @@ impl<B: PersistenceBackend> Database<B> {
         let f = self.wal_dev.force(t, horizon);
         self.note_force(f.status);
         let done = f.done;
-        // the force is synchronous at the engine interface: a spilling
-        // force submits device writes up to `done`, so the event clock
-        // follows (reads already in flight still overlap the force —
-        // their completions are reaped afterwards with done <= now)
-        self.now = self.now.max(done);
+        if st.async_force {
+            // sharded coordinator: the force's outcome is already fully
+            // determined (slot frees, stats, and outbox all carry
+            // `done`), but the clock holds so peer shards can submit
+            // into the force's latency window; the coordinator wakes
+            // this shard at the horizon
+            st.force_horizon = st.force_horizon.max(done);
+        } else {
+            // the force is synchronous at the engine interface: a
+            // spilling force submits device writes up to `done`, so the
+            // event clock follows (reads already in flight still
+            // overlap the force — their completions are reaped
+            // afterwards with done <= now)
+            self.now = self.now.max(done);
+        }
         self.wal.mark_flushed(horizon);
         let force_cause = self.wal_dev.force_cause();
         for m in &members {
@@ -641,6 +811,20 @@ impl<B: PersistenceBackend> Database<B> {
                 }
                 scope.close(done);
             }
+            if m.kind == MemberKind::Prepare {
+                // the vote: a failed force is a NO — the coordinator
+                // turns it into a typed abort. The slot frees either
+                // way; commit accounting waits for the decision.
+                st.outbox.push(ShardEvent::Prepared {
+                    txn: m.txn,
+                    status: f.status,
+                    done,
+                    started: m.started,
+                });
+                st.slots[m.slot].state = SlotState::Idle { free_at: done };
+                st.slots[m.slot].txn = None;
+                continue;
+            }
             let commit_force = done.since(m.enlisted);
             self.stats.commit_stall += commit_force;
             self.stats.commits += 1;
@@ -653,8 +837,18 @@ impl<B: PersistenceBackend> Database<B> {
                 st.update_latency.record_duration(latency);
             }
             st.commit_order.push((m.txn, m.lsn));
-            st.slots[m.slot].state = SlotState::Idle { free_at: done };
-            st.slots[m.slot].txn = None;
+            match m.kind {
+                MemberKind::Commit => {
+                    st.slots[m.slot].state = SlotState::Idle { free_at: done };
+                    st.slots[m.slot].txn = None;
+                }
+                MemberKind::Decide => {
+                    // slot-less: the participants' slots freed at their
+                    // prepare forces; this force is the commit point
+                    st.outbox.push(ShardEvent::Committed { txn: m.txn, done });
+                }
+                MemberKind::Prepare => {} // handled above
+            }
             if self.cfg.checkpoint_every > 0 && self.stats.commits % self.cfg.checkpoint_every == 0
             {
                 // a sharp checkpoint quiesces the engine (global pause),
@@ -663,6 +857,87 @@ impl<B: PersistenceBackend> Database<B> {
                 self.checkpoint();
             }
         }
+    }
+
+    /// Enlist the coordinator's decision commit for cross-shard
+    /// transaction `global` in this (home) shard's group: the single
+    /// commit-point force of the two-phase protocol. `started` is the
+    /// global transaction's earliest participant start (latency base).
+    pub(crate) fn enlist_decision(
+        &mut self,
+        global: u64,
+        started: SimTime,
+        read_only: bool,
+        st: &mut ExecState,
+    ) {
+        let commit_lsn = self.wal.append(LogRecord::Commit { txn: global });
+        // the participants' prepare forces already paid for the update
+        // payload; the decision forces only the commit record itself
+        let force_bytes = 32;
+        self.wal_dev.append(commit_lsn, force_bytes);
+        let probe_id = if self.probe.is_enabled() {
+            self.probe.open_command("decide", self.now).detach()
+        } else {
+            0
+        };
+        st.group.enlist(GroupMember {
+            slot: usize::MAX,
+            kind: MemberKind::Decide,
+            txn: global,
+            lsn: commit_lsn,
+            enlisted: self.now,
+            started,
+            bytes: force_bytes,
+            probe_id,
+            read_only,
+        });
+    }
+
+    /// Roll back this shard's share of an aborted cross-shard
+    /// transaction: restore captured before-images wherever the aborted
+    /// write is still visible (resident frame, stolen durable image, or
+    /// an in-flight steal). RAM-only — the redo log keeps the records,
+    /// but with no `Commit` anywhere recovery never replays them.
+    /// Returns the number of slots restored.
+    pub(crate) fn undo_participant(&mut self, global: u64, st: &mut ExecState) -> u64 {
+        let Some(entries) = st.undo.remove(&global) else {
+            return 0; // read-only share, or already rolled back
+        };
+        let mut restored = 0;
+        for e in entries.iter().rev() {
+            // only touch a slot that still carries the aborted write
+            // (a later committed update supersedes the rollback)
+            let owned = |img: &SlottedPage| {
+                img.get(e.slot)
+                    .map(|r| r.len() >= 8 && r[..8] == global.to_le_bytes())
+                    .unwrap_or(false)
+            };
+            let undo_one = |img: &mut SlottedPage| match &e.before {
+                Some(before) => {
+                    img.update(e.slot, before);
+                }
+                None => {
+                    img.delete(e.slot);
+                }
+            };
+            if let Some(frame) = self.pool.get_mut(e.page, true) {
+                if owned(frame) {
+                    undo_one(frame);
+                    restored += 1;
+                }
+            }
+            if let Some(img) = self.durable.get_mut(&e.page) {
+                if owned(img) {
+                    undo_one(img);
+                }
+            }
+            for (_, p, img) in self.in_flight.iter_mut() {
+                if *p == e.page && owned(img) {
+                    undo_one(img);
+                }
+            }
+        }
+        restored
     }
 }
 

@@ -34,7 +34,13 @@
 //!   collector in the whole stack (E14 measures what the second one
 //!   cost);
 //! * [`kvstore`] — a SILT-flavoured key-value store over nameless writes
-//!   (the paper's ref [14] rebuilt on the §3 interface).
+//!   (the paper's ref [14] rebuilt on the §3 interface);
+//! * [`shard`] — the sharded execution path: N executor shards, each
+//!   with its own submission context, keyspace partition, and
+//!   buffer-pool slice, stepped by a deterministic core clock;
+//! * [`ledger`] — two-phase atomic commit for cross-shard transactions,
+//!   riding on the group-commit WAL (prepare votes, one decision
+//!   force, typed aborts).
 //!
 //! Virtual time discipline: RAM operations are free; every device
 //! interaction advances the clock through the backend.
@@ -51,10 +57,12 @@ pub mod engine;
 pub mod exec;
 pub mod heap;
 pub mod kvstore;
+pub mod ledger;
 pub mod manager;
 pub mod page;
 pub mod pagetable;
 pub mod prefetch;
+pub mod shard;
 pub mod stack_backend;
 pub mod wal;
 pub mod walbackend;
@@ -67,10 +75,12 @@ pub use coop::CoopLogBackend;
 pub use engine::{Database, DbConfig, TxnOutcome};
 pub use exec::{ExecConfig, ExecReport, TxnInput};
 pub use kvstore::NamelessKv;
+pub use ledger::{LedgerStats, TwoPhaseLedger, TxnDecision};
 pub use manager::StorageManager;
 pub use page::{PageId, Rid, SlottedPage, PAGE_SIZE};
 pub use pagetable::PageTable;
 pub use prefetch::{PrefetchConfig, PrefetchMode, PrefetchStats};
+pub use shard::{ShardedDb, ShardedReport};
 pub use stack_backend::BlockStackBackend;
 pub use wal::GroupCommitPolicy;
 pub use walbackend::{FlashWal, PcmWal, PcmWalConfig, WalBackend, WalConfig, WalForce, WalStats};

@@ -36,6 +36,14 @@ pub struct BlockStackBackend {
     data_base: u64,
     journal_base: u64,
     data_pages: u64,
+    /// First LBA of this backend's region. A standalone backend owns
+    /// the whole device (base 0); a shard of a multi-queue deployment
+    /// owns a disjoint `[log | data | journal]` stripe.
+    lba_base: u64,
+    /// Submission/completion core this backend drives. Each shard's
+    /// traffic rides its own queue pair; contention happens below, on
+    /// the shared channels.
+    core: usize,
     /// Use TRIM on frees (off by default, like the legacy stack).
     pub use_trim: bool,
     /// Batched reads in flight: host tag → page.
@@ -81,12 +89,71 @@ impl BlockStackBackend {
             data_base: log_pages,
             journal_base: log_pages + data_pages,
             data_pages,
+            lba_base: 0,
+            core: 0,
             use_trim: false,
             pending: BTreeMap::new(),
             ready: Vec::new(),
             next_tag: 0,
             stats: BackendStats::default(),
         }
+    }
+
+    /// Build `shards` backends over ONE device and ONE block stack:
+    /// shard `i` submits on core `i` (its own queue pair and in-flight
+    /// window) and owns the LBA stripe
+    /// `[i * stripe, (i+1) * stripe)` with the usual
+    /// `[log | data | journal]` layout inside, where
+    /// `stripe = log_pages + 2 * data_pages`. `data_pages` here is the
+    /// *per-shard* data-region size. Host tags are namespaced per core
+    /// so traces stay unambiguous.
+    ///
+    /// # Panics
+    /// Panics if `stack_cfg` has fewer cores than `shards`, or the
+    /// device is too small for `shards` stripes.
+    pub fn shards(
+        stack_cfg: StackConfig,
+        ssd_cfg: SsdConfig,
+        shards: usize,
+        data_pages: u64,
+        log_pages: u64,
+    ) -> Vec<Self> {
+        let shards = shards.max(1);
+        assert!(
+            stack_cfg.cores as usize >= shards,
+            "stack must expose one core per shard ({} < {shards})",
+            stack_cfg.cores
+        );
+        let mut ssd = Ssd::new(ssd_cfg);
+        // sharded clocks are loosely coupled: commands from different
+        // queue pairs (and a shard's own submissions during a parked
+        // force window) interleave out of global time order, exactly as
+        // NVMe multi-SQ — each stream stays monotone
+        ssd.relax_submit_order();
+        let exported = ssd.capacity().exported_pages;
+        let stripe = log_pages + 2 * data_pages;
+        let needed = stripe * shards as u64;
+        assert!(
+            needed <= exported,
+            "device too small: need {needed} pages ({shards} shards x {stripe}), exported {exported}"
+        );
+        let stack = Rc::new(RefCell::new(IoStack::new(stack_cfg, ssd)));
+        (0..shards)
+            .map(|i| BlockStackBackend {
+                stack: Rc::clone(&stack),
+                log_pages,
+                data_base: log_pages,
+                journal_base: log_pages + data_pages,
+                data_pages,
+                lba_base: i as u64 * stripe,
+                core: i,
+                use_trim: false,
+                pending: BTreeMap::new(),
+                ready: Vec::new(),
+                next_tag: (i as u64) << 48,
+                stats: BackendStats::default(),
+            })
+            .collect()
     }
 
     /// The block stack (for software-share reporting).
@@ -101,7 +168,7 @@ impl BlockStackBackend {
 
     fn data_lpn(&self, page: PageId) -> Lpn {
         assert!(page.0 < self.data_pages, "page id beyond data region");
-        Lpn(self.data_base + page.0)
+        Lpn(self.lba_base + self.data_base + page.0)
     }
 
     fn fresh_tag(&mut self) -> CommandTag {
@@ -119,17 +186,17 @@ impl BlockStackBackend {
             return now;
         }
         let batch: BTreeSet<u64> = reqs.iter().map(|r| r.tag.0).collect();
-        self.stack.borrow_mut().submit_batch(now, 0, reqs);
+        self.stack.borrow_mut().submit_batch(now, self.core, reqs);
         let mut outstanding = batch;
         let mut t = now;
         while !outstanding.is_empty() {
-            let Some(next) = self.stack.borrow().next_completion_time(0) else {
+            let Some(next) = self.stack.borrow().next_completion_time(self.core) else {
                 // nothing left in flight but tags unaccounted — a batch
                 // member was dropped by the stack; stop honestly rather
                 // than spin (cannot happen with the current stack)
                 break;
             };
-            for c in self.stack.borrow_mut().poll_completions(next, 0) {
+            for c in self.stack.borrow_mut().poll_completions(next, self.core) {
                 if outstanding.remove(&c.tag.0) {
                     t = t.max(c.done);
                 } else if let Some(page) = self.pending.remove(&c.tag.0) {
@@ -149,9 +216,15 @@ impl BlockStackBackend {
 impl PersistenceBackend for BlockStackBackend {
     fn make_wal(&mut self) -> Box<dyn WalBackend> {
         // identical layout policy to the legacy backend, but every log
-        // write pays the block-layer path like the page traffic around it
+        // write pays the block-layer path like the page traffic around
+        // it — in this backend's own stripe, on its own core
         Box::new(FlashWal::new(
-            StackLog::new(Rc::clone(&self.stack), self.log_pages),
+            StackLog::with_region(
+                Rc::clone(&self.stack),
+                self.log_pages,
+                self.lba_base,
+                self.core,
+            ),
             self.log_pages,
         ))
     }
@@ -162,7 +235,11 @@ impl PersistenceBackend for BlockStackBackend {
         let lpn = self.data_lpn(page);
         self.stack
             .borrow_mut()
-            .submit(now, 0, IoRequest::write(lpn.0).class(IoClass::Background))
+            .submit(
+                now,
+                self.core,
+                IoRequest::write(lpn.0).class(IoClass::Background),
+            )
             .done
     }
 
@@ -172,7 +249,7 @@ impl PersistenceBackend for BlockStackBackend {
         let lpn = self.data_lpn(page);
         self.stack
             .borrow_mut()
-            .submit(now, 0, IoRequest::write(lpn.0))
+            .submit(now, self.core, IoRequest::write(lpn.0))
             .done
     }
 
@@ -182,7 +259,7 @@ impl PersistenceBackend for BlockStackBackend {
         let c = self
             .stack
             .borrow_mut()
-            .submit(now, 0, IoRequest::read(lpn.0));
+            .submit(now, self.core, IoRequest::read(lpn.0));
         (c.done, c.status)
     }
 
@@ -202,7 +279,7 @@ impl PersistenceBackend for BlockStackBackend {
             .enumerate()
             .map(|(i, _)| {
                 let tag = self.fresh_tag();
-                IoRequest::write(self.journal_base + i as u64).tag(tag)
+                IoRequest::write(self.lba_base + self.journal_base + i as u64).tag(tag)
             })
             .collect();
         let t1 = self.run_batch_to_completion(now, &journal);
@@ -222,7 +299,7 @@ impl PersistenceBackend for BlockStackBackend {
             let lpn = self.data_lpn(page);
             self.stack.borrow_mut().submit(
                 now,
-                0,
+                self.core,
                 IoRequest::trim(lpn.0).class(IoClass::Background),
             );
         }
@@ -240,6 +317,10 @@ impl PersistenceBackend for BlockStackBackend {
         self.stack.borrow_mut().attach_probe(probe);
     }
 
+    fn relax_submit_order(&mut self) {
+        self.stack.borrow_mut().backend_mut().relax_submit_order();
+    }
+
     fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<CommandTag> {
         let reqs: Vec<IoRequest> = pages
             .iter()
@@ -250,7 +331,7 @@ impl PersistenceBackend for BlockStackBackend {
                 IoRequest::read(self.data_lpn(p).0).tag(tag)
             })
             .collect();
-        self.stack.borrow_mut().submit_batch(now, 0, &reqs)
+        self.stack.borrow_mut().submit_batch(now, self.core, &reqs)
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<PageRead> {
@@ -265,7 +346,7 @@ impl PersistenceBackend for BlockStackBackend {
             }
         });
         out.sort_by_key(|r| (r.done, r.tag.0));
-        for c in self.stack.borrow_mut().poll_completions(now, 0) {
+        for c in self.stack.borrow_mut().poll_completions(now, self.core) {
             if let Some(page) = self.pending.remove(&c.tag.0) {
                 out.push(PageRead {
                     tag: c.tag,
@@ -280,7 +361,7 @@ impl PersistenceBackend for BlockStackBackend {
 
     fn next_read_done(&mut self) -> Option<SimTime> {
         let r = self.ready.iter().map(|r| r.done).min();
-        match (r, self.stack.borrow().next_completion_time(0)) {
+        match (r, self.stack.borrow().next_completion_time(self.core)) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
@@ -295,7 +376,9 @@ impl PersistenceBackend for BlockStackBackend {
             self.pending.is_empty() && self.ready.is_empty(),
             "window change with reads in flight"
         );
-        self.stack.borrow_mut().set_inflight_window(depth.max(1));
+        self.stack
+            .borrow_mut()
+            .set_core_inflight_window(self.core, depth.max(1));
     }
 }
 

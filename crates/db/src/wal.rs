@@ -44,6 +44,21 @@ pub enum LogRecord {
         /// The transaction.
         txn: u64,
     },
+    /// Two-phase prepare: this shard's updates for the global
+    /// transaction are complete and durable once the record is forced.
+    /// A transaction with a `Prepare` but no `Commit` anywhere is *not*
+    /// committed — recovery discards it.
+    Prepare {
+        /// The global transaction.
+        txn: u64,
+    },
+    /// Two-phase abort: a participant's prepare force failed and the
+    /// coordinator rolled the global transaction back. Purely
+    /// informational for recovery (no `Commit` exists either way).
+    Abort {
+        /// The global transaction.
+        txn: u64,
+    },
     /// Checkpoint: all pages with LSN ≤ this record's LSN are durable.
     Checkpoint,
 }
@@ -56,6 +71,8 @@ impl LogRecord {
             LogRecord::Update { after, .. } => 8 + 8 + 2 + 4 + after.len(),
             LogRecord::Delete { .. } => 8 + 8 + 2,
             LogRecord::Commit { .. } => 8,
+            LogRecord::Prepare { .. } => 8,
+            LogRecord::Abort { .. } => 8,
             LogRecord::Checkpoint => 0,
         };
         (16 + payload) as u32 // 16-byte record header (lsn, len, type, crc)
@@ -198,11 +215,29 @@ impl Default for GroupCommitPolicy {
     }
 }
 
+/// What an enlisted member means once its force lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemberKind {
+    /// A local (single-shard) commit: the force completes the slot's
+    /// transaction.
+    #[default]
+    Commit,
+    /// A two-phase prepare: the force makes this shard's prepare record
+    /// durable; the slot frees, and the coordinator is told the vote.
+    Prepare,
+    /// The coordinator's decision commit for a cross-shard transaction:
+    /// slot-less (`slot == usize::MAX`), counted as one global commit.
+    Decide,
+}
+
 /// One commit enlisted for the next shared force.
 #[derive(Debug, Clone)]
 pub struct GroupMember {
-    /// Executor slot cookie (opaque to the WAL).
+    /// Executor slot cookie (opaque to the WAL); `usize::MAX` for
+    /// slot-less [`MemberKind::Decide`] members.
     pub slot: usize,
+    /// How the member resolves when the force lands.
+    pub kind: MemberKind,
     /// The committing transaction.
     pub txn: u64,
     /// Its commit record's LSN.
@@ -355,6 +390,7 @@ mod tests {
     fn member(slot: usize, lsn: u64, enlisted: u64, bytes: u32) -> GroupMember {
         GroupMember {
             slot,
+            kind: MemberKind::Commit,
             txn: slot as u64,
             lsn: Lsn(lsn),
             enlisted: SimTime::ZERO + SimDuration::from_nanos(enlisted),

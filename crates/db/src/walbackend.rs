@@ -352,39 +352,62 @@ impl LogDevice for BareSsdLog {
 pub struct StackLog {
     stack: Rc<RefCell<IoStack<Ssd>>>,
     log_pages: u64,
+    /// First LBA of the log region (a shard's stripe starts here).
+    base: u64,
+    /// Submission core: a shard's log forces ride its own queue pair.
+    core: usize,
 }
 
 impl StackLog {
     /// Port onto `stack`, folding segments onto LBAs `0..log_pages`.
     pub fn new(stack: Rc<RefCell<IoStack<Ssd>>>, log_pages: u64) -> Self {
+        Self::with_region(stack, log_pages, 0, 0)
+    }
+
+    /// Port onto `stack`, folding segments onto LBAs
+    /// `base..base + log_pages` and submitting on `core` — one shard's
+    /// slice of a multi-queue deployment.
+    pub fn with_region(
+        stack: Rc<RefCell<IoStack<Ssd>>>,
+        log_pages: u64,
+        base: u64,
+        core: usize,
+    ) -> Self {
         StackLog {
             stack,
             log_pages: log_pages.max(1),
+            base,
+            core,
         }
     }
 }
 
 impl LogDevice for StackLog {
     fn write_seg(&mut self, now: SimTime, seg: u64) -> (SimTime, IoStatus) {
-        let lba = seg % self.log_pages;
+        let lba = self.base + seg % self.log_pages;
         let c = self
             .stack
             .borrow_mut()
-            .submit(now, 0, IoRequest::write(lba));
+            .submit(now, self.core, IoRequest::write(lba));
         (c.done, c.status)
     }
 
     fn read_seg(&mut self, now: SimTime, seg: u64) -> Option<(SimTime, IoStatus)> {
-        let lba = seg % self.log_pages;
-        let c = self.stack.borrow_mut().submit(now, 0, IoRequest::read(lba));
+        let lba = self.base + seg % self.log_pages;
+        let c = self
+            .stack
+            .borrow_mut()
+            .submit(now, self.core, IoRequest::read(lba));
         Some((c.done, c.status))
     }
 
     fn trim_seg(&mut self, now: SimTime, seg: u64) -> bool {
-        let lba = seg % self.log_pages;
-        self.stack
-            .borrow_mut()
-            .submit(now, 0, IoRequest::trim(lba).class(IoClass::Background));
+        let lba = self.base + seg % self.log_pages;
+        self.stack.borrow_mut().submit(
+            now,
+            self.core,
+            IoRequest::trim(lba).class(IoClass::Background),
+        );
         true
     }
 

@@ -1,0 +1,453 @@
+//! Property tests for the sharded execution path (PR 10):
+//!
+//! 1. **The QD-1 × 1-shard identity** — a one-shard [`ShardedDb`] at
+//!    concurrency 1, prefetch off, immediate forces replays the
+//!    serialized `execute()` engine bit for bit: clock, stall ledger,
+//!    histograms, WAL bytes, device counters. This is the anchor that
+//!    proves the coordinator adds *nothing* until shards and queue
+//!    depth are dialed up.
+//! 2. **No cross-shard commit without every prepare** — under arbitrary
+//!    fault plans (program fails, elevated RBER), a durable `Commit`
+//!    for a cross-shard transaction implies a durable `Prepare` on
+//!    every participant, aborted transactions never leave a `Commit`
+//!    anywhere, and recovery only resurrects decided transactions.
+//! 3. **Deterministic replay** — the same inputs on identically built
+//!    deployments produce byte-identical schedules for N ∈ {2, 4, 8}.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use requiem_block::StackConfig;
+use requiem_db::page::PageId;
+use requiem_db::wal::{LogRecord, Lsn};
+use requiem_db::{
+    BlockStackBackend, Database, DbConfig, ExecConfig, GroupCommitPolicy, LegacyBackend,
+    PersistenceBackend, ReadShim, ShardedDb, TxnDecision, TxnInput, WalBackend, WalForce, WalStats,
+};
+use requiem_sim::time::SimTime;
+use requiem_sim::{FaultPlan, IoStatus};
+use requiem_ssd::SsdConfig;
+
+const DATA_PAGES: u64 = 64;
+const SLOTS: u16 = 16;
+
+fn sharded(n: usize, fault: FaultPlan) -> ShardedDb<BlockStackBackend> {
+    let mut ssd = SsdConfig::modern();
+    ssd.fault = fault;
+    DbConfig::builder()
+        .data_pages(DATA_PAGES)
+        .log_pages(16)
+        .buffer_frames(32)
+        .shards(n)
+        .build_sharded_stack(StackConfig::blk_mq(n as u32), ssd)
+}
+
+fn arb_txn() -> impl Strategy<Value = TxnInput> {
+    (
+        proptest::collection::vec((0..DATA_PAGES, 0..SLOTS, 0u8..2), 1..6),
+        32u32..512,
+    )
+        .prop_map(|(raw, log_bytes)| TxnInput {
+            accesses: raw
+                .into_iter()
+                .map(|(page, slot, dirty)| (page, slot, dirty == 1))
+                .collect(),
+            log_bytes,
+        })
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<TxnInput>> {
+    proptest::collection::vec(arb_txn(), 1..24)
+}
+
+/// A fault plan mixing deterministic program fails (early write indices
+/// on a few units — these land in WAL regions and turn prepare forces
+/// into NO votes) with optional elevated raw bit error rates.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec((0u32..8, proptest::collection::vec(0u64..40, 0..4)), 0..4),
+        prop_oneof![Just(1.0f64), Just(50.0), Just(400.0)],
+    )
+        .prop_map(|(fails, rber)| {
+            let mut plan = if rber > 1.0 {
+                FaultPlan::uniform_rber(rber)
+            } else {
+                FaultPlan::none()
+            };
+            for (unit, indices) in fails {
+                if !indices.is_empty() {
+                    plan = plan.with_program_fail(unit, indices);
+                }
+            }
+            plan
+        })
+}
+
+/// A WAL that forges `Unrecoverable` on every `fail_every`-th force:
+/// the device's write path self-heals program failures, so genuinely
+/// failing a prepare force — the NO vote the ledger must handle — needs
+/// a forged status, exactly like the engine's own flaky-read tests.
+struct FlakyWal {
+    inner: Box<dyn WalBackend>,
+    forces: u64,
+    fail_every: u64,
+}
+
+impl WalBackend for FlakyWal {
+    fn append(&mut self, lsn: Lsn, bytes: u32) {
+        self.inner.append(lsn, bytes)
+    }
+    fn force(&mut self, now: SimTime, to: Lsn) -> WalForce {
+        let mut f = self.inner.force(now, to);
+        self.forces += 1;
+        if self.fail_every > 0 && self.forces % self.fail_every == 0 {
+            f.status = IoStatus::Unrecoverable;
+        }
+        f
+    }
+    fn truncate(&mut self, now: SimTime, up_to_byte: u64) {
+        self.inner.truncate(now, up_to_byte)
+    }
+    fn recover_scan(&mut self, now: SimTime, offset: u64, bytes: u32) -> (SimTime, IoStatus) {
+        self.inner.recover_scan(now, offset, bytes)
+    }
+    fn stats(&self) -> &WalStats {
+        self.inner.stats()
+    }
+    fn label(&self) -> &'static str {
+        "flaky-wal"
+    }
+}
+
+struct FlakyWalBackend {
+    inner: LegacyBackend,
+    fail_every: u64,
+}
+
+impl PersistenceBackend for FlakyWalBackend {
+    fn make_wal(&mut self) -> Box<dyn WalBackend> {
+        Box::new(FlakyWal {
+            inner: self.inner.make_wal(),
+            forces: 0,
+            fail_every: self.fail_every,
+        })
+    }
+    fn page_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.inner.page_write(now, page)
+    }
+    fn steal_write(&mut self, now: SimTime, page: PageId) -> SimTime {
+        self.inner.steal_write(now, page)
+    }
+    fn page_read(&mut self, now: SimTime, page: PageId) -> (SimTime, IoStatus) {
+        self.inner.page_read(now, page)
+    }
+    fn page_batch(&mut self, now: SimTime, pages: &[PageId]) -> SimTime {
+        self.inner.page_batch(now, pages)
+    }
+    fn free_page(&mut self, now: SimTime, page: PageId) {
+        self.inner.free_page(now, page)
+    }
+    fn read_shim(&mut self) -> Option<&mut ReadShim> {
+        self.inner.read_shim()
+    }
+    fn submit_reads(&mut self, now: SimTime, pages: &[PageId]) -> Vec<requiem_db::CommandTag> {
+        self.inner.submit_reads(now, pages)
+    }
+    fn poll(&mut self, now: SimTime) -> Vec<requiem_db::PageRead> {
+        self.inner.poll(now)
+    }
+    fn next_read_done(&mut self) -> Option<SimTime> {
+        self.inner.next_read_done()
+    }
+    fn reads_in_flight(&mut self) -> usize {
+        self.inner.reads_in_flight()
+    }
+    fn set_read_window(&mut self, depth: usize) {
+        self.inner.set_read_window(depth)
+    }
+    fn relax_submit_order(&mut self) {
+        self.inner.relax_submit_order()
+    }
+    fn stats(&self) -> &requiem_db::backend::BackendStats {
+        self.inner.stats()
+    }
+    fn label(&self) -> &'static str {
+        "flaky-wal-block"
+    }
+}
+
+/// A sharded deployment whose every shard drops each `fail_every`-th
+/// WAL force (1 = every force fails, every prepare is a NO vote).
+fn flaky_sharded(n: usize, fail_every: u64) -> ShardedDb<FlakyWalBackend> {
+    let local_pages = DATA_PAGES / n as u64;
+    let dbs = (0..n)
+        .map(|_| {
+            let cfg = requiem_db::DbConfig {
+                data_pages: local_pages,
+                buffer_frames: 16,
+                ..requiem_db::DbConfig::default()
+            };
+            let mut ssd = SsdConfig::modern();
+            ssd.buffer.capacity_pages = 0;
+            let be = FlakyWalBackend {
+                inner: LegacyBackend::new(ssd, local_pages, 64),
+                fail_every,
+            };
+            let mut db = Database::new(cfg, be);
+            db.load();
+            db
+        })
+        .collect();
+    ShardedDb::new(dbs, DATA_PAGES)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// QD-1 × 1-shard == serialized `execute()`, bit for bit.
+    #[test]
+    fn qd1_one_shard_is_bit_identical_to_execute(inputs in arb_inputs()) {
+        let mut serial = DbConfig::builder()
+            .data_pages(DATA_PAGES)
+            .log_pages(16)
+            .buffer_frames(32)
+            .build_stack(StackConfig::blk_mq(1), SsdConfig::modern());
+        for t in &inputs {
+            serial.execute(&t.accesses, t.log_bytes);
+        }
+
+        let mut one = sharded(1, FaultPlan::none());
+        let report = one.run(&inputs, &ExecConfig::serialized());
+
+        prop_assert_eq!(report.committed, inputs.len() as u64);
+        let shard = one.shard(0);
+        prop_assert_eq!(shard.now(), serial.now(), "virtual clocks must match");
+        prop_assert_eq!(shard.stats(), serial.stats(), "stall ledger must match");
+        prop_assert_eq!(shard.txn_latency(), serial.txn_latency());
+        prop_assert_eq!(shard.commit_latency(), serial.commit_latency());
+        prop_assert_eq!(
+            shard.wal_backend().stats().log_forces,
+            serial.wal_backend().stats().log_forces
+        );
+        prop_assert_eq!(
+            shard.wal_backend().stats().log_bytes,
+            serial.wal_backend().stats().log_bytes
+        );
+        prop_assert_eq!(
+            shard.backend().stats().page_reads,
+            serial.backend().stats().page_reads
+        );
+        prop_assert_eq!(
+            shard.backend().stats().steal_writes,
+            serial.backend().stats().steal_writes
+        );
+        // byte-level observable: identical record owners everywhere
+        let mut one = one;
+        for page in 0..DATA_PAGES {
+            for slot in 0..SLOTS {
+                prop_assert_eq!(
+                    one.shard_mut(0).visible_owner(page, slot),
+                    serial.visible_owner(page, slot),
+                    "owner mismatch at page {} slot {}", page, slot
+                );
+            }
+        }
+    }
+
+    /// Two-phase safety under arbitrary fault plans: durable `Commit`
+    /// for a cross-shard transaction ⇒ durable `Prepare` on every
+    /// participant; an abort leaves no `Commit` anywhere.
+    #[test]
+    fn no_cross_shard_commit_with_missing_prepare(
+        inputs in arb_inputs(),
+        n in prop_oneof![Just(2usize), Just(4usize)],
+        concurrency in 1usize..5,
+        plan in arb_fault_plan(),
+    ) {
+        let mut db = sharded(n, plan);
+        let cfg = ExecConfig {
+            concurrency,
+            group: GroupCommitPolicy::batched(2),
+            ..ExecConfig::serialized()
+        };
+        let report = db.run(&inputs, &cfg);
+        prop_assert_eq!(
+            report.committed + report.aborted,
+            inputs.len() as u64,
+            "every global transaction must be decided"
+        );
+
+        let durable_commit = |s: usize, txn: u64| {
+            db.shard(s)
+                .wal()
+                .durable_records()
+                .any(|(_, r)| matches!(r, LogRecord::Commit { txn: t } if *t == txn))
+        };
+        let durable_prepare = |s: usize, txn: u64| {
+            db.shard(s)
+                .wal()
+                .durable_records()
+                .any(|(_, r)| matches!(r, LogRecord::Prepare { txn: t } if *t == txn))
+        };
+
+        for (&txn, entry) in db.ledger().entries() {
+            match entry.decision {
+                TxnDecision::Committed => {
+                    prop_assert!(
+                        durable_commit(entry.home, txn),
+                        "committed txn {} missing its home Commit", txn
+                    );
+                    for &p in &entry.participants {
+                        prop_assert!(
+                            durable_prepare(p, txn),
+                            "committed txn {} has no durable Prepare on shard {}", txn, p
+                        );
+                    }
+                }
+                TxnDecision::Aborted => {
+                    for s in 0..n {
+                        prop_assert!(
+                            !durable_commit(s, txn),
+                            "aborted txn {} left a Commit on shard {}", txn, s
+                        );
+                    }
+                }
+                other => prop_assert!(
+                    false,
+                    "txn {} left undecided after the run: {:?}", txn, other
+                ),
+            }
+            // the commit point is the home shard's force alone
+            for s in (0..n).filter(|&s| s != entry.home) {
+                prop_assert!(
+                    !durable_commit(s, txn),
+                    "txn {} has a Commit off its home shard ({})", txn, s
+                );
+            }
+        }
+
+        // recovery must agree: only decided-committed transactions are
+        // visible after a crash
+        db.crash();
+        db.recover();
+        let aborted: Vec<u64> = db
+            .ledger()
+            .entries()
+            .filter(|(_, e)| e.decision == TxnDecision::Aborted)
+            .map(|(&t, _)| t)
+            .collect();
+        for txn in aborted {
+            for s in 0..n {
+                let local_pages = DATA_PAGES / n as u64;
+                for page in 0..local_pages {
+                    for slot in 0..SLOTS {
+                        prop_assert_ne!(
+                            db.shard_mut(s).visible_owner(page, slot),
+                            txn,
+                            "aborted txn {} visible after recovery (shard {} page {} slot {})",
+                            txn, s, page, slot
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Typed aborts under forged force failures: a NO vote can never be
+    /// followed by a durable commit, every aborted share is rolled
+    /// back, and with every force failing, *every* cross-shard
+    /// transaction aborts.
+    #[test]
+    fn forged_prepare_failures_abort_without_commits(
+        inputs in arb_inputs(),
+        n in prop_oneof![Just(2usize), Just(4usize)],
+        fail_every in 1u64..5,
+        concurrency in 1usize..5,
+    ) {
+        let mut db = flaky_sharded(n, fail_every);
+        let cfg = ExecConfig {
+            concurrency,
+            ..ExecConfig::serialized()
+        };
+        let report = db.run(&inputs, &cfg);
+        prop_assert_eq!(report.committed + report.aborted, inputs.len() as u64);
+        if fail_every == 1 {
+            prop_assert_eq!(
+                report.aborted, report.cross_txns,
+                "with every force failing, every cross-shard txn must abort"
+            );
+        }
+        for (&txn, entry) in db.ledger().entries() {
+            if entry.decision == TxnDecision::Aborted {
+                for s in 0..n {
+                    let no_commit = !db.shard(s).wal().durable_records().any(
+                        |(_, r)| matches!(r, LogRecord::Commit { txn: t } if *t == txn),
+                    );
+                    prop_assert!(no_commit, "aborted txn {} left a Commit on shard {}", txn, s);
+                }
+                let abort_logged = db.shard(entry.home).wal().durable_records().chain(
+                    db.shard(entry.home).wal().records_after(None),
+                ).any(|(_, r)| matches!(r, LogRecord::Abort { txn: t } if *t == txn));
+                prop_assert!(abort_logged, "aborted txn {} has no Abort record", txn);
+            }
+        }
+        // rolled-back shares must be invisible in the final bytes
+        let aborted: Vec<u64> = db
+            .ledger()
+            .entries()
+            .filter(|(_, e)| e.decision == TxnDecision::Aborted)
+            .map(|(&t, _)| t)
+            .collect();
+        let local_pages = DATA_PAGES / n as u64;
+        for txn in aborted {
+            for s in 0..n {
+                for page in 0..local_pages {
+                    for slot in 0..SLOTS {
+                        prop_assert_ne!(
+                            db.shard_mut(s).visible_owner(page, slot),
+                            txn,
+                            "aborted txn {} still visible on shard {}", txn, s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bit-reproducible schedules at every shard count.
+    #[test]
+    fn sharded_replay_is_deterministic(
+        inputs in arb_inputs(),
+        concurrency in 1usize..6,
+    ) {
+        for n in [2usize, 4, 8] {
+            let cfg = ExecConfig {
+                concurrency,
+                ..ExecConfig::serialized()
+            };
+            let mut a = sharded(n, FaultPlan::none());
+            let mut b = sharded(n, FaultPlan::none());
+            let ra = a.run(&inputs, &cfg);
+            let rb = b.run(&inputs, &cfg);
+            prop_assert_eq!(ra.makespan, rb.makespan, "{} shards: makespan", n);
+            prop_assert_eq!(ra.committed, rb.committed, "{} shards: committed", n);
+            prop_assert_eq!(ra.forces, rb.forces, "{} shards: forces", n);
+            for s in 0..n {
+                prop_assert_eq!(
+                    &ra.per_shard[s].commit_order,
+                    &rb.per_shard[s].commit_order,
+                    "{} shards: shard {} durability order", n, s
+                );
+                prop_assert_eq!(
+                    a.shard(s).now(),
+                    b.shard(s).now(),
+                    "{} shards: shard {} clock", n, s
+                );
+                prop_assert_eq!(
+                    a.shard(s).wal_backend().stats().log_bytes,
+                    b.shard(s).wal_backend().stats().log_bytes,
+                    "{} shards: shard {} WAL bytes", n, s
+                );
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod cmd;
 pub mod completion;
+pub mod coreclock;
 pub mod event;
 pub mod fault;
 pub mod gantt;
@@ -49,6 +50,7 @@ pub mod time;
 
 pub use cmd::{CommandId, IoClass, IoCompletion, IoOp, IoRequest};
 pub use completion::{CompletionHeap, InflightWindow};
+pub use coreclock::CoreClock;
 pub use event::EventQueue;
 pub use fault::{FaultPlan, FaultView, IoStatus};
 pub use gantt::{Gantt, Span};

@@ -427,6 +427,42 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_merge_equals_whole_run_quantiles() {
+        // The shard coordinator records latencies into per-shard
+        // histograms (samples hash-partitioned exactly like the
+        // keyspace, `key % N`) and merges them for the run report. For
+        // any shard count the merged quantiles must equal what one
+        // whole-run histogram would have reported.
+        let samples: Vec<u64> = (0..4096u64)
+            .map(|i| 30_000 + (i * 2_654_435_761 % 5_000_000))
+            .collect();
+        let mut whole = Histogram::new();
+        for &v in &samples {
+            whole.record(v);
+        }
+        for n in [2usize, 4, 8] {
+            let mut shards = vec![Histogram::new(); n];
+            for (i, &v) in samples.iter().enumerate() {
+                shards[i % n].record(v);
+            }
+            let mut merged = Histogram::new();
+            for h in &shards {
+                merged.merge(h);
+            }
+            assert_eq!(merged, whole, "{n}-way shard merge must equal whole-run");
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                assert_eq!(
+                    merged.quantile(q),
+                    whole.quantile(q),
+                    "{n} shards: quantile {q}"
+                );
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert!((merged.mean() - whole.mean()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
     fn merge_into_empty_and_with_empty() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -239,6 +239,10 @@ pub struct Ssd {
     pub(crate) metrics: SsdMetrics,
     pub(crate) rr: u32,
     pub(crate) last_submit: SimTime,
+    /// True when several independently-clocked submission streams (per-
+    /// core queue pairs) share this device: global submit order is then
+    /// not a host invariant — NVMe only fetches *each* SQ in order.
+    pub(crate) multi_queue: bool,
     /// Re-entrancy guard: GC triggered from inside GC relocation must not
     /// recurse (the inner allocation falls through to other LUNs instead).
     pub(crate) gc_gate: GcGate,
@@ -313,6 +317,7 @@ impl Ssd {
             capacity,
             cfg,
             last_submit: SimTime::ZERO,
+            multi_queue: false,
             gc_gate: GcGate::new(),
             repl: None,
             oob_seq: 0,
@@ -475,9 +480,19 @@ impl Ssd {
         }
     }
 
+    /// Declare that several independently-clocked submitters (per-core
+    /// queue pairs) share this device. Drops the global submit-order
+    /// check: each stream must still be internally monotone, but across
+    /// streams the controller serializes commands in *arrival* order —
+    /// the standard multi-SQ approximation. Internal resource timelines
+    /// stay FIFO, so replay is still deterministic.
+    pub fn relax_submit_order(&mut self) {
+        self.multi_queue = true;
+    }
+
     fn note_submit(&mut self, now: SimTime) {
         debug_assert!(
-            now >= self.last_submit,
+            self.multi_queue || now >= self.last_submit,
             "host commands must be submitted in time order ({now} < {})",
             self.last_submit
         );

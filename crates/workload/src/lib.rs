@@ -16,6 +16,9 @@
 //! * [`dbdriver`] — a closed-loop driver feeding the OLTP mix into
 //!   `requiem-db`'s completion-driven executor (N transactions in
 //!   flight — queue depth at the storage-manager interface).
+//! * [`sharded`] — a million-client zipfian mix partitioned over N
+//!   executor shards, with a knob for the fraction of transactions
+//!   forced to span shards (the two-phase-ledger path in E17).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +27,7 @@ pub mod dbdriver;
 pub mod driver;
 pub mod oltp;
 pub mod pattern;
+pub mod sharded;
 
 pub use dbdriver::{oltp_inputs, run_oltp_closed_loop, txn_to_input};
 pub use driver::{
@@ -31,3 +35,4 @@ pub use driver::{
     DriverReport, IoMix,
 };
 pub use pattern::{AddressPattern, Pattern};
+pub use sharded::{ShardedOltpConfig, ShardedOltpGen};
